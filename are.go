@@ -1,0 +1,358 @@
+// Package are is the public API of the Aggregate Risk Engine: a parallel
+// Monte Carlo engine for portfolio-level catastrophe risk analysis and
+// pricing, reproducing Bahl, Baltzer, Rau-Chaplin and Varghese,
+// "Parallel Simulations for Analysing Portfolios of Catastrophic Event
+// Risk" (SC 2012 / arXiv:1308.2066).
+//
+// # Pipeline
+//
+// The package covers the full analytical pipeline of a quantitative
+// reinsurer:
+//
+//  1. Risk assessment — a stochastic event catalog (Catalog) and exposure
+//     databases (ExposureSet) are run through a catastrophe model
+//     (BuildELT) to produce Event Loss Tables.
+//  2. Portfolio risk management — layers (Layer) covering sets of ELTs
+//     under occurrence/aggregate excess-of-loss terms are evaluated by
+//     the engine (Engine.Run) against a pre-simulated Year Event Table
+//     (YET), producing a Year Loss Table per layer.
+//  3. Reporting and pricing — exceedance curves, PML and TVaR (EPCurve)
+//     and premium quotes (Price) are derived from the YLTs.
+//
+// # Quickstart
+//
+//	portfolio, _ := are.GeneratePortfolio(are.PortfolioConfig{
+//		Seed: 1, NumLayers: 1, ELTsPerLayer: 15,
+//		RecordsPerELT: 20000, CatalogSize: 1000000,
+//	})
+//	yet, _ := are.GenerateYET(are.UniformEvents(1000000), are.YETConfig{
+//		Seed: 2, Trials: 50000, MeanEvents: 1000,
+//	})
+//	engine, _ := are.NewEngine(portfolio, 1000000, are.LookupDirect)
+//	result, _ := engine.Run(yet, are.Options{})
+//	curve, _ := are.NewEPCurve(result.YLT(0))
+//	pml100, _ := curve.PML(100)
+//
+// Synthetic generators stand in for the proprietary industrial data the
+// paper used; every generator is deterministic in its seed, and all
+// engine variants (sequential, parallel, chunked) produce bitwise
+// identical results.
+package are
+
+import (
+	"io"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/catmodel"
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/elt"
+	"github.com/ralab/are/internal/exposure"
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/harness"
+	"github.com/ralab/are/internal/layer"
+	"github.com/ralab/are/internal/lossdist"
+	"github.com/ralab/are/internal/metrics"
+	"github.com/ralab/are/internal/pricing"
+	"github.com/ralab/are/internal/report"
+	"github.com/ralab/are/internal/spec"
+	"github.com/ralab/are/internal/yet"
+)
+
+// ---------------------------------------------------------------------------
+// Stage 1: catalog, exposure, catastrophe model, ELTs.
+
+// Core domain types, re-exported for users of the public API.
+type (
+	// EventID identifies an event in the stochastic catalog.
+	EventID = catalog.EventID
+	// Peril is a catastrophe class (hurricane, earthquake, ...).
+	Peril = catalog.Peril
+	// Event is one synthetic catastrophe event.
+	Event = catalog.Event
+	// Catalog is a stochastic event catalog.
+	Catalog = catalog.Catalog
+	// CatalogConfig controls catalog generation.
+	CatalogConfig = catalog.Config
+
+	// ExposureSet is one cedant's insured portfolio of buildings.
+	ExposureSet = exposure.Set
+	// ExposureConfig controls exposure generation.
+	ExposureConfig = exposure.Config
+	// Building is a single insured risk.
+	Building = exposure.Building
+
+	// CatModelConfig controls the catastrophe model run.
+	CatModelConfig = catmodel.Config
+
+	// ELT is an Event Loss Table.
+	ELT = elt.Table
+	// ELTRecord is one event-loss pair.
+	ELTRecord = elt.Record
+	// ELTConfig controls synthetic ELT generation.
+	ELTConfig = elt.GenConfig
+
+	// FinancialTerms are the ELT-level terms I (FX, per-event
+	// retention/limit, participation).
+	FinancialTerms = financial.Terms
+)
+
+// Perils lists the modelled catastrophe classes.
+func Perils() []Peril { return catalog.Perils() }
+
+// GenerateCatalog builds a synthetic stochastic event catalog.
+func GenerateCatalog(cfg CatalogConfig) (*Catalog, error) { return catalog.Generate(cfg) }
+
+// GenerateExposure builds a synthetic exposure set.
+func GenerateExposure(id uint32, cfg ExposureConfig) (*ExposureSet, error) {
+	return exposure.Generate(id, cfg)
+}
+
+// BuildELT runs the catastrophe model for one exposure set against a
+// catalog, producing its Event Loss Table.
+func BuildELT(cat *Catalog, set *ExposureSet, terms FinancialTerms, eltID uint32, cfg CatModelConfig) (*ELT, error) {
+	return catmodel.BuildELT(cat, set, terms, eltID, cfg)
+}
+
+// GenerateELT builds a synthetic ELT directly (without running the
+// catastrophe model), matching the statistical shape the paper reports.
+func GenerateELT(id uint32, cfg ELTConfig) (*ELT, error) { return elt.Generate(id, cfg) }
+
+// NewELT builds an ELT from explicit records.
+func NewELT(id uint32, terms FinancialTerms, records []ELTRecord) (*ELT, error) {
+	return elt.New(id, terms, records)
+}
+
+// DefaultFinancialTerms returns pass-through financial terms.
+func DefaultFinancialTerms() FinancialTerms { return financial.Default() }
+
+// UnlimitedLoss is the sentinel for "no limit" in financial and layer
+// terms.
+var UnlimitedLoss = financial.Unlimited
+
+// ---------------------------------------------------------------------------
+// Stage 2: layers, YET, engine.
+
+// Contract and simulation types, re-exported.
+type (
+	// Layer is one reinsurance contract over a set of ELTs.
+	Layer = layer.Layer
+	// LayerTerms is the tuple (TOccR, TOccL, TAggR, TAggL) of Table I.
+	LayerTerms = layer.Terms
+	// Portfolio is a book of layers.
+	Portfolio = layer.Portfolio
+	// PortfolioConfig controls synthetic portfolio generation.
+	PortfolioConfig = layer.GenConfig
+
+	// YET is a Year Event Table of pre-simulated trials.
+	YET = yet.Table
+	// YETConfig controls YET generation.
+	YETConfig = yet.Config
+	// EventSource supplies event draws for YET generation.
+	EventSource = yet.EventSource
+	// Occurrence is one (event, timestamp) pair in a trial.
+	Occurrence = yet.Occurrence
+
+	// Engine is a compiled portfolio ready to run against YETs.
+	Engine = core.Engine
+	// Options configures an engine run.
+	Options = core.Options
+	// Result holds the Year Loss Tables of a run.
+	Result = core.Result
+	// PhaseBreakdown is the per-phase time decomposition.
+	PhaseBreakdown = core.PhaseBreakdown
+	// LookupKind selects the ELT representation.
+	LookupKind = core.LookupKind
+)
+
+// ELT representations (paper §III.B).
+const (
+	// LookupDirect is the paper's direct access table.
+	LookupDirect = core.LookupDirect
+	// LookupSorted is the sorted-array / binary-search alternative.
+	LookupSorted = core.LookupSorted
+	// LookupHash is the built-in map alternative.
+	LookupHash = core.LookupHash
+	// LookupCuckoo is the cuckoo-hash alternative cited by the paper.
+	LookupCuckoo = core.LookupCuckoo
+	// LookupCombined folds financial terms and the cross-ELT sum into
+	// one table per layer at compile time — one lookup per occurrence,
+	// bitwise identical to LookupDirect (an optimisation beyond the
+	// paper; see the core package for its applicability limits).
+	LookupCombined = core.LookupCombined
+)
+
+// NewLayer builds and validates a layer over ELTs.
+func NewLayer(id uint32, name string, elts []*ELT, terms LayerTerms) (*Layer, error) {
+	return layer.New(id, name, elts, terms)
+}
+
+// PassThroughLayerTerms returns layer terms that leave losses untouched.
+func PassThroughLayerTerms() LayerTerms { return layer.PassThrough() }
+
+// GeneratePortfolio builds a synthetic portfolio of layers and ELTs.
+func GeneratePortfolio(cfg PortfolioConfig) (*Portfolio, error) {
+	return layer.GeneratePortfolio(cfg)
+}
+
+// GenerateYET pre-simulates a Year Event Table.
+func GenerateYET(src EventSource, cfg YETConfig) (*YET, error) { return yet.Generate(src, cfg) }
+
+// UniformEvents returns an EventSource drawing uniformly from a catalog of
+// n events (rate-weighted draws come from *Catalog itself).
+func UniformEvents(n int) EventSource { return yet.UniformSource(n) }
+
+// ReadYET deserialises a YET written with WriteYET.
+func ReadYET(r io.Reader) (*YET, error) { return yet.Read(r) }
+
+// WriteYET serialises a YET in the package's binary format.
+func WriteYET(w io.Writer, t *YET) (int64, error) { return t.WriteTo(w) }
+
+// NewEngine compiles a portfolio against a catalog size using the given
+// ELT representation.
+func NewEngine(p *Portfolio, catalogSize int, kind LookupKind) (*Engine, error) {
+	return core.NewEngine(p, catalogSize, kind)
+}
+
+// Reference evaluates the portfolio with the literal transcription of the
+// paper's pseudocode; it exists for verification and testing.
+func Reference(p *Portfolio, y *YET, catalogSize int) (*Result, error) {
+	return core.Reference(p, y, catalogSize)
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: metrics and pricing.
+
+// Reporting types, re-exported.
+type (
+	// EPCurve is an exceedance-probability curve.
+	EPCurve = metrics.EPCurve
+	// EPPoint is one point of a printed EP curve.
+	EPPoint = metrics.Point
+	// YLTSummary holds YLT moments.
+	YLTSummary = metrics.Summary
+	// Quote is a priced layer.
+	Quote = pricing.Quote
+	// PricingConfig sets pricing loadings.
+	PricingConfig = pricing.Config
+)
+
+// NewEPCurve builds an exceedance curve from per-trial losses (a YLT for
+// AEP, per-trial maximum occurrence losses for OEP).
+func NewEPCurve(losses []float64) (*EPCurve, error) { return metrics.NewEPCurve(losses) }
+
+// Summarise computes YLT summary statistics.
+func Summarise(ylt []float64) (YLTSummary, error) { return metrics.Summarise(ylt) }
+
+// StandardReturnPeriods are the conventionally reported return periods.
+func StandardReturnPeriods() []float64 { return metrics.StandardReturnPeriods }
+
+// Price computes a premium quote from a layer's YLT.
+func Price(ylt []float64, cfg PricingConfig) (Quote, error) { return pricing.Price(ylt, cfg) }
+
+// ---------------------------------------------------------------------------
+// Experiments.
+
+// ExperimentConfig controls paper-figure regeneration.
+type ExperimentConfig = harness.Config
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = harness.Table
+
+// Experiments lists the reproducible paper figures.
+func Experiments() []string { return harness.Names() }
+
+// RunExperiment regenerates one paper figure as a table.
+func RunExperiment(name string, cfg ExperimentConfig) (*ExperimentTable, error) {
+	return harness.Run(name, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Extension: losses as distributions (paper §IV).
+
+// Distribution types, re-exported.
+type (
+	// LossDist is a discretised loss distribution (secondary
+	// uncertainty support, the extension sketched in the paper's §IV).
+	LossDist = lossdist.Dist
+)
+
+// NewLossDist builds a distribution from a PMF on a uniform grid.
+func NewLossDist(step float64, pmf []float64) (*LossDist, error) { return lossdist.New(step, pmf) }
+
+// DiscretiseLoss puts a continuous CDF onto the grid.
+func DiscretiseLoss(step, maxLoss float64, cdf func(float64) float64) (*LossDist, error) {
+	return lossdist.Discretise(step, maxLoss, cdf)
+}
+
+// ConvolveLosses returns the distribution of the sum of independent
+// losses (FFT-accelerated for large supports).
+func ConvolveLosses(ds ...*LossDist) (*LossDist, error) { return lossdist.ConvolveN(ds...) }
+
+// CompoundAnnualLoss returns the analytical distribution of the annual
+// aggregate loss for Poisson(lambda) occurrences with the given severity
+// distribution (Panjer recursion) — the closed-form counterpart to the
+// Monte Carlo engine for a single severity model.
+func CompoundAnnualLoss(lambda float64, severity *LossDist, maxBuckets int) (*LossDist, error) {
+	return lossdist.CompoundPoisson(lambda, severity, maxBuckets)
+}
+
+// ApplyLayerTermsToDist pushes a loss distribution through
+// min(max(X-retention, 0), limit).
+func ApplyLayerTermsToDist(d *LossDist, retention, limit float64) (*LossDist, error) {
+	return lossdist.ApplyLayerTerms(d, retention, limit)
+}
+
+// ---------------------------------------------------------------------------
+// Enterprise roll-up and advanced pricing.
+
+// ReinstatableQuote is a Cat XL quote with reinstatement provisions.
+type ReinstatableQuote = pricing.ReinstatableQuote
+
+// PriceReinstatable prices a Cat XL layer with reinstatement provisions
+// (reference [18] of the paper): reinstatement premium income, pro rata
+// to the limit consumed, offsets the upfront technical premium.
+func PriceReinstatable(ylt []float64, reinstatements int, reinstRate float64, cfg PricingConfig) (ReinstatableQuote, error) {
+	return pricing.PriceReinstatable(ylt, reinstatements, reinstRate, cfg)
+}
+
+// AllocateTVaR attributes the group's tail capital at confidence q back
+// to layers by co-TVaR; allocations sum to the group TVaR.
+func AllocateTVaR(ylts [][]float64, q float64) ([]float64, error) {
+	return metrics.AllocateTVaR(ylts, q)
+}
+
+// DiversificationBenefit reports the group's tail-capital saving versus
+// standalone TVaRs, in [0, 1).
+func DiversificationBenefit(ylts [][]float64, q float64) (float64, error) {
+	return metrics.DiversificationBenefit(ylts, q)
+}
+
+// ParsePortfolioSpec loads a JSON portfolio specification (see
+// internal/spec for the schema) and returns the portfolio plus the
+// catalog size to compile against.
+func ParsePortfolioSpec(r io.Reader) (*Portfolio, int, error) { return spec.Parse(r) }
+
+// ReportConfig controls rendered analysis reports.
+type ReportConfig = report.Config
+
+// WriteReport renders a markdown analysis report (per-layer metrics and
+// quotes, group roll-up, capital allocation) for an engine result.
+func WriteReport(w io.Writer, p *Portfolio, res *Result, cfg ReportConfig) error {
+	return report.Write(w, p, res, cfg)
+}
+
+// SpecOpener resolves "file" ELT references in a portfolio spec.
+type SpecOpener = spec.Opener
+
+// ParsePortfolioSpecFiles is ParsePortfolioSpec with an opener for
+// resolving "file" ELT references (binary tables written by WriteELT).
+func ParsePortfolioSpecFiles(r io.Reader, open SpecOpener) (*Portfolio, int, error) {
+	return spec.ParseFiles(r, open)
+}
+
+// WriteELT serialises an Event Loss Table in the binary format consumed
+// by spec "file" references and ReadELT.
+func WriteELT(w io.Writer, t *ELT) (int64, error) { return t.WriteTo(w) }
+
+// ReadELT deserialises a binary Event Loss Table.
+func ReadELT(r io.Reader) (*ELT, error) { return elt.ReadTable(r) }

@@ -1,0 +1,296 @@
+// Benchmarks regenerating the series behind every figure in the paper's
+// evaluation (§III). Each BenchmarkFigNN corresponds to one figure:
+//
+//   - measured sub-benchmarks time the Go engines on scaled-down inputs
+//     (ns/op scales linearly with the paper-size inputs, §III.C.1), and
+//   - model sub-benchmarks evaluate the calibrated i7-2600 / Tesla C2075
+//     cost models at full paper size, reporting the modelled seconds as
+//     the custom metric "model-s/run".
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The cmd/benchtab tool prints the same series as aligned tables.
+package are_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	are "github.com/ralab/are"
+	"github.com/ralab/are/internal/gpusim"
+)
+
+// Benchmark-scale constants: small enough for quick runs, large enough
+// that per-trial behaviour (random lookups into multi-MB tables) is real.
+const (
+	benchCatalog = 200_000
+	benchRecords = 5_000
+	benchTrials  = 256
+	benchEvents  = 1000
+)
+
+type benchShape struct {
+	layers, elts, trials, events int
+}
+
+var (
+	benchMu    sync.Mutex
+	benchCache = map[benchShape]*benchInput{}
+)
+
+type benchInput struct {
+	engine *are.Engine
+	yet    *are.YET
+}
+
+// benchSetup builds (and caches) a portfolio+YET+engine of the given
+// shape; generation cost is kept out of the timed loop.
+func benchSetup(b *testing.B, s benchShape) *benchInput {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if in, ok := benchCache[s]; ok {
+		return in
+	}
+	p, err := are.GeneratePortfolio(are.PortfolioConfig{
+		Seed: 1, NumLayers: s.layers, ELTsPerLayer: s.elts,
+		ELTPool: s.layers * s.elts, RecordsPerELT: benchRecords,
+		CatalogSize: benchCatalog,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := are.GenerateYET(are.UniformEvents(benchCatalog), are.YETConfig{
+		Seed: 2, Trials: s.trials, FixedEvents: s.events,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := are.NewEngine(p, benchCatalog, are.LookupDirect)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := &benchInput{engine: eng, yet: y}
+	benchCache[s] = in
+	return in
+}
+
+func runEngine(b *testing.B, in *benchInput, opt are.Options) {
+	b.Helper()
+	opt.SkipValidation = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.engine.Run(in.yet, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(in.yet.NumTrials()*in.engine.NumLayers()), "layer-trials/op")
+}
+
+// --- Figure 2: sequential scaling in the four problem-size parameters ---
+
+func BenchmarkFig2a(b *testing.B) {
+	for _, elts := range []int{3, 6, 9, 12, 15} {
+		b.Run(fmt.Sprintf("elts=%d", elts), func(b *testing.B) {
+			in := benchSetup(b, benchShape{1, elts, benchTrials, benchEvents})
+			runEngine(b, in, are.Options{Workers: 1})
+		})
+	}
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	for _, trials := range []int{64, 128, 192, 256, 320} { // 200k..1M scaled
+		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
+			in := benchSetup(b, benchShape{1, 15, trials, benchEvents})
+			runEngine(b, in, are.Options{Workers: 1})
+		})
+	}
+}
+
+func BenchmarkFig2c(b *testing.B) {
+	for layers := 1; layers <= 5; layers++ {
+		b.Run(fmt.Sprintf("layers=%d", layers), func(b *testing.B) {
+			in := benchSetup(b, benchShape{layers, 15, benchTrials, benchEvents})
+			runEngine(b, in, are.Options{Workers: 1})
+		})
+	}
+}
+
+func BenchmarkFig2d(b *testing.B) {
+	for _, events := range []int{800, 900, 1000, 1100, 1200} {
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			in := benchSetup(b, benchShape{1, 15, benchTrials, events})
+			runEngine(b, in, are.Options{Workers: 1})
+		})
+	}
+}
+
+// --- Figure 3: the parallel engine over worker counts ---
+
+func BenchmarkFig3a(b *testing.B) {
+	cpu := gpusim.Corei7_2600()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			in := benchSetup(b, benchShape{1, 15, benchTrials, benchEvents})
+			est, err := gpusim.SimulateCPU(cpu, gpusim.PaperWorkload(), workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runEngine(b, in, are.Options{Workers: workers})
+			b.ReportMetric(est.Seconds, "model-s/run")
+		})
+	}
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	cpu := gpusim.Corei7_2600()
+	for _, tpc := range []int{1, 16, 256, 1024} {
+		b.Run(fmt.Sprintf("threadsPerCore=%d", tpc), func(b *testing.B) {
+			in := benchSetup(b, benchShape{1, 15, benchTrials, benchEvents})
+			est, err := gpusim.SimulateCPUOversubscribed(cpu, gpusim.PaperWorkload(), 8, tpc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runEngine(b, in, are.Options{Workers: 8 * tpc})
+			b.ReportMetric(est.Seconds, "model-s/run")
+		})
+	}
+}
+
+// --- Figures 4 and 5: the GPU kernels on the device model ---
+
+func BenchmarkFig4(b *testing.B) {
+	d, w := gpusim.TeslaC2075(), gpusim.PaperWorkload()
+	for _, tpb := range []int{128, 256, 384, 512, 640} {
+		b.Run(fmt.Sprintf("threadsPerBlock=%d", tpb), func(b *testing.B) {
+			var est gpusim.Estimate
+			var err error
+			for i := 0; i < b.N; i++ {
+				est, err = gpusim.SimulateGPU(d, w, gpusim.Kernel{ThreadsPerBlock: tpb})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(est.Seconds, "model-s/run")
+		})
+	}
+}
+
+func BenchmarkFig5a(b *testing.B) {
+	d, w := gpusim.TeslaC2075(), gpusim.PaperWorkload()
+	for _, chunk := range []int{1, 4, 8, 12, 16, 24} {
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			// Model at paper size plus the real Go chunked engine.
+			est, err := gpusim.SimulateGPU(d, w, gpusim.Kernel{ThreadsPerBlock: 64, ChunkSize: chunk})
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := benchSetup(b, benchShape{1, 15, benchTrials, benchEvents})
+			runEngine(b, in, are.Options{Workers: 1, ChunkSize: chunk})
+			b.ReportMetric(est.Seconds, "model-s/run")
+		})
+	}
+}
+
+func BenchmarkFig5b(b *testing.B) {
+	d, w := gpusim.TeslaC2075(), gpusim.PaperWorkload()
+	for tpb := 32; tpb <= 192; tpb += 32 {
+		b.Run(fmt.Sprintf("threadsPerBlock=%d", tpb), func(b *testing.B) {
+			var est gpusim.Estimate
+			var err error
+			for i := 0; i < b.N; i++ {
+				est, err = gpusim.SimulateGPU(d, w, gpusim.Kernel{ThreadsPerBlock: tpb, ChunkSize: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(est.Seconds, "model-s/run")
+		})
+	}
+}
+
+// --- Figure 6: implementation comparison and phase breakdown ---
+
+func BenchmarkFig6a(b *testing.B) {
+	in := benchSetup(b, benchShape{1, 15, benchTrials, benchEvents})
+	b.Run("sequential", func(b *testing.B) { runEngine(b, in, are.Options{Workers: 1}) })
+	b.Run("parallel", func(b *testing.B) { runEngine(b, in, are.Options{}) })
+	b.Run("chunked", func(b *testing.B) { runEngine(b, in, are.Options{ChunkSize: 4}) })
+	b.Run("model", func(b *testing.B) {
+		w := gpusim.PaperWorkload()
+		cpu, _ := gpusim.SimulateCPU(gpusim.Corei7_2600(), w, 1)
+		basic, _ := gpusim.SimulateGPU(gpusim.TeslaC2075(), w, gpusim.Kernel{ThreadsPerBlock: 256})
+		opt, _ := gpusim.SimulateGPU(gpusim.TeslaC2075(), w, gpusim.Kernel{ThreadsPerBlock: 64, ChunkSize: 4})
+		for i := 0; i < b.N; i++ {
+			_ = cpu
+		}
+		b.ReportMetric(cpu.Seconds/basic.Seconds, "gpu-basic-speedup")
+		b.ReportMetric(cpu.Seconds/opt.Seconds, "gpu-opt-speedup")
+	})
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	in := benchSetup(b, benchShape{1, 15, benchTrials, benchEvents})
+	var lookupPct float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := in.engine.Run(in.yet, are.Options{Workers: 1, Profile: true, SkipValidation: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lookupPct = res.Phases.Percentages()[1]
+	}
+	b.ReportMetric(lookupPct, "lookup-%")
+}
+
+// --- §III.B: the ELT representation comparison ---
+
+func BenchmarkELTRepresentations(b *testing.B) {
+	p, err := are.GeneratePortfolio(are.PortfolioConfig{
+		Seed: 1, NumLayers: 1, ELTsPerLayer: 15,
+		RecordsPerELT: benchRecords, CatalogSize: benchCatalog,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := are.GenerateYET(are.UniformEvents(benchCatalog), are.YETConfig{
+		Seed: 2, Trials: benchTrials, FixedEvents: benchEvents,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []are.LookupKind{are.LookupDirect, are.LookupSorted, are.LookupHash, are.LookupCuckoo, are.LookupCombined} {
+		b.Run(kind.String(), func(b *testing.B) {
+			eng, err := are.NewEngine(p, benchCatalog, kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(y, are.Options{Workers: 1, SkipValidation: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(eng.LookupMemory())/(1<<20), "table-MB")
+		})
+	}
+}
+
+// --- §IV: the real-time pricing path (analysis + quote) ---
+
+func BenchmarkPricingScenario(b *testing.B) {
+	in := benchSetup(b, benchShape{1, 15, benchTrials, benchEvents})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := in.engine.Run(in.yet, are.Options{SkipValidation: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := are.Price(res.YLT(0), are.PricingConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: the smallest complete aggregate risk analysis.
+//
+// Builds a synthetic one-layer portfolio and a 10,000-trial Year Event
+// Table, runs the parallel engine, and prints the layer's loss exceedance
+// curve, PML and TVaR.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	are "github.com/ralab/are"
+)
+
+func main() {
+	const catalogSize = 200_000
+
+	// One layer over 15 Event Loss Tables — the paper's typical
+	// contract shape.
+	portfolio, err := are.GeneratePortfolio(are.PortfolioConfig{
+		Seed:          1,
+		NumLayers:     1,
+		ELTsPerLayer:  15,
+		RecordsPerELT: 10_000,
+		CatalogSize:   catalogSize,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 10,000 pre-simulated years, ~1000 event occurrences each.
+	yet, err := are.GenerateYET(are.UniformEvents(catalogSize), are.YETConfig{
+		Seed:       2,
+		Trials:     10_000,
+		MeanEvents: 1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	engine, err := are.NewEngine(portfolio, catalogSize, are.LookupDirect)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	result, err := engine.Run(yet, are.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analysed %d trials x %d ELTs in %v\n\n",
+		yet.NumTrials(), 15, time.Since(start).Round(time.Millisecond))
+
+	ylt := result.YLT(0)
+	summary, err := are.Summarise(ylt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("average annual loss: %14.0f\n", summary.Mean)
+	fmt.Printf("annual volatility:   %14.0f\n\n", summary.StdDev)
+
+	curve, err := are.NewEPCurve(ylt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("return period   exceedance prob   loss (PML)")
+	for _, pt := range curve.Curve(nil) {
+		fmt.Printf("%9.0f y   %15.4f   %12.0f\n", pt.ReturnPeriod, pt.Prob, pt.Loss)
+	}
+	tvar, err := curve.TVaR(0.99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTVaR(99%%): %.0f (expected loss in the worst 1%% of years)\n", tvar)
+}

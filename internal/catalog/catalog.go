@@ -1,0 +1,242 @@
+// Package catalog models the stochastic event catalog that drives the
+// aggregate risk pipeline.
+//
+// A catalog is the mathematical representation of natural-hazard occurrence
+// patterns (paper §I): a global set of synthetic events, each with a peril,
+// a geographic region, an annual occurrence rate, and physical severity
+// parameters consumed by the catastrophe model. A production catalog covers
+// multiple perils and contains on the order of millions of events; the
+// paper's direct-access-table sizing example uses a 2-million-event catalog.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ralab/are/internal/rng"
+	"github.com/ralab/are/internal/stats"
+)
+
+// Peril identifies the class of catastrophe an event belongs to.
+type Peril uint8
+
+// The perils named in the paper's introduction.
+const (
+	Hurricane Peril = iota
+	Earthquake
+	Flood
+	Tornado
+	WinterStorm
+	numPerils
+)
+
+// String returns the peril's display name.
+func (p Peril) String() string {
+	switch p {
+	case Hurricane:
+		return "hurricane"
+	case Earthquake:
+		return "earthquake"
+	case Flood:
+		return "flood"
+	case Tornado:
+		return "tornado"
+	case WinterStorm:
+		return "winter-storm"
+	default:
+		return fmt.Sprintf("peril(%d)", uint8(p))
+	}
+}
+
+// Perils lists all modelled perils.
+func Perils() []Peril {
+	return []Peril{Hurricane, Earthquake, Flood, Tornado, WinterStorm}
+}
+
+// EventID identifies an event within a catalog. IDs are dense in
+// [0, Catalog.NumEvents), which is what makes direct access tables viable.
+type EventID uint32
+
+// Event is one synthetic catastrophe event.
+type Event struct {
+	ID     EventID
+	Peril  Peril
+	Region uint16 // geographic region index
+
+	// Rate is the annual occurrence rate (events per year, Poisson).
+	Rate float64
+
+	// Intensity is the peril-specific severity at the event's centre
+	// (e.g. wind speed, peak ground acceleration) on a normalised
+	// [0, 1] scale consumed by vulnerability curves.
+	Intensity float64
+
+	// CentreX, CentreY locate the event footprint centre on the synthetic
+	// 1000x1000 km exposure plane.
+	CentreX, CentreY float64
+
+	// RadiusKm is the footprint radius within which exposures are damaged.
+	RadiusKm float64
+}
+
+// Catalog is an immutable set of events plus an alias sampler over their
+// rates, enabling O(1) draws of "which event occurs next".
+type Catalog struct {
+	events    []Event
+	totalRate float64
+	sampler   *stats.Alias
+}
+
+// Config controls synthetic catalog generation.
+type Config struct {
+	Seed      uint64
+	NumEvents int
+	Regions   int // number of geographic regions; default 16
+
+	// PerilWeights optionally reweights the share of events per peril;
+	// nil means uniform across Perils().
+	PerilWeights map[Peril]float64
+
+	// MeanAnnualRate is the catalog-wide expected number of occurrences
+	// per year. The per-trial event counts in the paper are 800-1500, so
+	// the default is 1000.
+	MeanAnnualRate float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Regions <= 0 {
+		c.Regions = 16
+	}
+	if c.MeanAnnualRate <= 0 {
+		c.MeanAnnualRate = 1000
+	}
+}
+
+// ErrNoEvents is returned when a catalog would contain no events.
+var ErrNoEvents = errors.New("catalog: NumEvents must be positive")
+
+// Generate builds a synthetic catalog. Generation is deterministic in
+// Config.Seed.
+func Generate(cfg Config) (*Catalog, error) {
+	cfg.setDefaults()
+	if cfg.NumEvents <= 0 {
+		return nil, ErrNoEvents
+	}
+	r := rng.At(cfg.Seed, 0x0CA7A)
+
+	perils := Perils()
+	weights := make([]float64, len(perils))
+	for i, p := range perils {
+		w := 1.0
+		if cfg.PerilWeights != nil {
+			w = cfg.PerilWeights[p]
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("catalog: negative weight for peril %v", p)
+		}
+		weights[i] = w
+	}
+	perilAlias, err := stats.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: peril weights: %w", err)
+	}
+
+	events := make([]Event, cfg.NumEvents)
+	rates := make([]float64, cfg.NumEvents)
+	var totalRate float64
+	for i := range events {
+		p := perils[perilAlias.Draw(r)]
+		// Event rates are heavy-tailed: most events are rare, a few are
+		// frequent. A Pareto over relative rate mimics real catalogs.
+		rel := stats.Pareto(r, 1, 1.2)
+		// Severity is anti-correlated with frequency — rare events are
+		// the intense ones — and most events are weak, so the bulk of
+		// a year's occurrences cause little or no damage (as in real
+		// catalogs) and ELT losses are driven by the tail.
+		boost := 1 / (1 + 0.35*rel) // ~0.74 for the rarest, -> 0 for frequent
+		intensity := clamp01(0.05 + 0.95*stats.Beta(r, 1.0+2.5*boost, 5.0))
+		ev := Event{
+			ID:        EventID(i),
+			Peril:     p,
+			Region:    uint16(r.Intn(cfg.Regions)),
+			Rate:      rel,
+			Intensity: intensity,
+			CentreX:   r.Range(0, 1000),
+			CentreY:   r.Range(0, 1000),
+			RadiusKm:  footprintRadius(p, r),
+		}
+		events[i] = ev
+		rates[i] = rel
+		totalRate += rel
+	}
+	// Normalise so the catalog-wide annual rate equals MeanAnnualRate.
+	scale := cfg.MeanAnnualRate / totalRate
+	for i := range events {
+		events[i].Rate *= scale
+		rates[i] = events[i].Rate
+	}
+	sampler, err := stats.NewAlias(rates)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: rate sampler: %w", err)
+	}
+	return &Catalog{events: events, totalRate: cfg.MeanAnnualRate, sampler: sampler}, nil
+}
+
+func footprintRadius(p Peril, r *rng.Rand) float64 {
+	switch p {
+	case Hurricane:
+		return r.Range(80, 300)
+	case Earthquake:
+		return r.Range(30, 150)
+	case Flood:
+		return r.Range(20, 120)
+	case Tornado:
+		return r.Range(2, 25)
+	case WinterStorm:
+		return r.Range(100, 400)
+	default:
+		return r.Range(10, 100)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// NumEvents returns the catalog size.
+func (c *Catalog) NumEvents() int { return len(c.events) }
+
+// Event returns the event with the given ID. It panics if id is out of
+// range, mirroring slice semantics.
+func (c *Catalog) Event(id EventID) Event { return c.events[id] }
+
+// Events returns the backing event slice. Callers must not modify it.
+func (c *Catalog) Events() []Event { return c.events }
+
+// TotalRate returns the catalog-wide annual occurrence rate.
+func (c *Catalog) TotalRate() float64 { return c.totalRate }
+
+// Draw samples an event ID with probability proportional to its rate.
+func (c *Catalog) Draw(r *rng.Rand) EventID {
+	return EventID(c.sampler.Draw(r))
+}
+
+// PerilCounts returns the number of events per peril, for reporting.
+func (c *Catalog) PerilCounts() map[Peril]int {
+	m := make(map[Peril]int, int(numPerils))
+	for _, e := range c.events {
+		m[e.Peril]++
+	}
+	return m
+}
+
+// PerilOf returns the peril of event id; it implements the yet package's
+// PerilSource so seasonal Year Event Tables can be generated from a
+// catalog. It panics if id is out of range, mirroring slice semantics.
+func (c *Catalog) PerilOf(id EventID) Peril { return c.events[id].Peril }

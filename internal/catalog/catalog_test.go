@@ -1,0 +1,179 @@
+package catalog
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ralab/are/internal/rng"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	c, err := Generate(Config{Seed: 1, NumEvents: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEvents() != 10000 {
+		t.Fatalf("NumEvents = %d", c.NumEvents())
+	}
+	if math.Abs(c.TotalRate()-1000) > 1e-6 {
+		t.Fatalf("TotalRate = %v, want 1000 (default)", c.TotalRate())
+	}
+	var sum float64
+	for _, e := range c.Events() {
+		if e.Rate <= 0 {
+			t.Fatalf("event %d has non-positive rate %v", e.ID, e.Rate)
+		}
+		if e.Intensity <= 0 || e.Intensity > 1 {
+			t.Fatalf("event %d intensity %v outside (0,1]", e.ID, e.Intensity)
+		}
+		if e.RadiusKm <= 0 {
+			t.Fatalf("event %d radius %v", e.ID, e.RadiusKm)
+		}
+		if e.CentreX < 0 || e.CentreX > 1000 || e.CentreY < 0 || e.CentreY > 1000 {
+			t.Fatalf("event %d centre outside plane", e.ID)
+		}
+		sum += e.Rate
+	}
+	if math.Abs(sum-1000) > 1e-6 {
+		t.Fatalf("rates sum to %v, want 1000", sum)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 42, NumEvents: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 42, NumEvents: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Events() {
+		if a.Events()[i] != b.Events()[i] {
+			t.Fatalf("event %d differs across identical generations", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Config{Seed: 1, NumEvents: 100})
+	b, _ := Generate(Config{Seed: 2, NumEvents: 100})
+	same := 0
+	for i := range a.Events() {
+		if a.Events()[i].CentreX == b.Events()[i].CentreX {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d/100 events identical across seeds", same)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, NumEvents: 0}); !errors.Is(err, ErrNoEvents) {
+		t.Errorf("zero events: %v", err)
+	}
+	if _, err := Generate(Config{Seed: 1, NumEvents: 10,
+		PerilWeights: map[Peril]float64{Hurricane: -1}}); err == nil {
+		t.Error("negative peril weight accepted")
+	}
+}
+
+func TestPerilWeights(t *testing.T) {
+	c, err := Generate(Config{Seed: 3, NumEvents: 10000,
+		PerilWeights: map[Peril]float64{Hurricane: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := c.PerilCounts()
+	if counts[Hurricane] != 10000 {
+		t.Fatalf("hurricane-only catalog has counts %v", counts)
+	}
+}
+
+func TestPerilCountsCoverAll(t *testing.T) {
+	c, err := Generate(Config{Seed: 4, NumEvents: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := c.PerilCounts()
+	for _, p := range Perils() {
+		if counts[p] < 1000 {
+			t.Fatalf("peril %v underrepresented: %d/20000", p, counts[p])
+		}
+	}
+}
+
+func TestDrawRespectsRates(t *testing.T) {
+	c, err := Generate(Config{Seed: 5, NumEvents: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	counts := make([]int, 50)
+	const n = 500000
+	for i := 0; i < n; i++ {
+		counts[c.Draw(r)]++
+	}
+	total := c.TotalRate()
+	for i, e := range c.Events() {
+		want := float64(n) * e.Rate / total
+		if want < 50 {
+			continue // too rare for a tight bound
+		}
+		if math.Abs(float64(counts[i])-want) > 8*math.Sqrt(want) {
+			t.Fatalf("event %d drawn %d times, want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestMeanAnnualRateOverride(t *testing.T) {
+	c, err := Generate(Config{Seed: 7, NumEvents: 100, MeanAnnualRate: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.TotalRate()-1234) > 1e-9 {
+		t.Fatalf("TotalRate = %v", c.TotalRate())
+	}
+}
+
+func TestRegionsAssigned(t *testing.T) {
+	c, err := Generate(Config{Seed: 8, NumEvents: 5000, Regions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint16]int{}
+	for _, e := range c.Events() {
+		if e.Region >= 4 {
+			t.Fatalf("region %d out of range", e.Region)
+		}
+		seen[e.Region]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d regions used", len(seen))
+	}
+}
+
+func TestPerilString(t *testing.T) {
+	for p, want := range map[Peril]string{
+		Hurricane: "hurricane", Earthquake: "earthquake", Flood: "flood",
+		Tornado: "tornado", WinterStorm: "winter-storm", Peril(77): "peril(77)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestEventAccessor(t *testing.T) {
+	c, err := Generate(Config{Seed: 9, NumEvents: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if c.Event(EventID(i)).ID != EventID(i) {
+			t.Fatalf("Event(%d) has ID %d", i, c.Event(EventID(i)).ID)
+		}
+	}
+}

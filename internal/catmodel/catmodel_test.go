@@ -1,0 +1,189 @@
+package catmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/exposure"
+	"github.com/ralab/are/internal/financial"
+)
+
+func testInputs(t *testing.T) (*catalog.Catalog, *exposure.Set) {
+	t.Helper()
+	cat, err := catalog.Generate(catalog.Config{Seed: 1, NumEvents: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := exposure.Generate(0, exposure.Config{Seed: 2, NumBuildings: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, set
+}
+
+func TestHazardAt(t *testing.T) {
+	ev := catalog.Event{Intensity: 0.8, CentreX: 500, CentreY: 500, RadiusKm: 100}
+	if got := HazardAt(ev, 500, 500); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("hazard at centre = %v, want 0.8", got)
+	}
+	if got := HazardAt(ev, 500, 601); got != 0 {
+		t.Errorf("hazard outside radius = %v, want 0", got)
+	}
+	near := HazardAt(ev, 510, 500)
+	far := HazardAt(ev, 590, 500)
+	if !(near > far && far > 0) {
+		t.Errorf("attenuation not monotone: near=%v far=%v", near, far)
+	}
+}
+
+func TestVulnerabilityMonotoneInIntensity(t *testing.T) {
+	for _, c := range exposure.Constructions() {
+		prev := -1.0
+		for i := 0.0; i <= 1.0; i += 0.05 {
+			d := vulnerability(c, i)
+			if d < 0 || d > 1 {
+				t.Fatalf("%v damage %v outside [0,1] at intensity %v", c, d, i)
+			}
+			if d < prev-1e-12 {
+				t.Fatalf("%v damage not monotone at intensity %v", c, i)
+			}
+			prev = d
+		}
+		if vulnerability(c, 0) != 0 {
+			t.Fatalf("%v damage at zero intensity != 0", c)
+		}
+	}
+}
+
+func TestVulnerabilityOrdering(t *testing.T) {
+	// At mid intensity, weaker construction must be damaged more.
+	d := func(c exposure.Construction) float64 { return vulnerability(c, 0.6) }
+	if !(d(exposure.LightFrame) > d(exposure.Masonry) && d(exposure.Masonry) > d(exposure.SteelFrame)) {
+		t.Fatalf("fragility ordering violated: light=%v masonry=%v steel=%v",
+			d(exposure.LightFrame), d(exposure.Masonry), d(exposure.SteelFrame))
+	}
+}
+
+func TestBuildELT(t *testing.T) {
+	cat, set := testInputs(t)
+	tbl, err := BuildELT(cat, set, financial.Default(), 7, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != 7 {
+		t.Fatalf("ID = %d", tbl.ID)
+	}
+	if tbl.Len() == 0 {
+		t.Fatal("ELT is empty")
+	}
+	// ELTs must be sparse: far fewer entries than catalog events.
+	if tbl.Len() >= cat.NumEvents() {
+		t.Fatalf("ELT has %d records for %d events; not sparse", tbl.Len(), cat.NumEvents())
+	}
+	for _, rec := range tbl.Records() {
+		if rec.Loss <= 0 {
+			t.Fatalf("event %d loss %v", rec.Event, rec.Loss)
+		}
+		if int(rec.Event) >= cat.NumEvents() {
+			t.Fatalf("event %d outside catalog", rec.Event)
+		}
+	}
+}
+
+func TestBuildELTDeterministic(t *testing.T) {
+	cat, set := testInputs(t)
+	a, err := BuildELT(cat, set, financial.Default(), 1, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildELT(cat, set, financial.Default(), 1, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Records() {
+		if a.Records()[i] != b.Records()[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestBuildELTDistinctSeedsDiffer(t *testing.T) {
+	cat, set := testInputs(t)
+	a, _ := BuildELT(cat, set, financial.Default(), 1, Config{Seed: 1})
+	b, _ := BuildELT(cat, set, financial.Default(), 1, Config{Seed: 2})
+	same := 0
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	for i := 0; i < n; i++ {
+		if a.Records()[i].Loss == b.Records()[i].Loss {
+			same++
+		}
+	}
+	if same > n/10 {
+		t.Fatalf("%d/%d losses identical across seeds", same, n)
+	}
+}
+
+func TestBuildELTNilInputs(t *testing.T) {
+	cat, set := testInputs(t)
+	if _, err := BuildELT(nil, set, financial.Default(), 0, Config{}); !errors.Is(err, ErrNilInput) {
+		t.Errorf("nil catalog: %v", err)
+	}
+	if _, err := BuildELT(cat, nil, financial.Default(), 0, Config{}); !errors.Is(err, ErrNilInput) {
+		t.Errorf("nil exposure: %v", err)
+	}
+}
+
+func TestBuildELTLossesBoundedByExposure(t *testing.T) {
+	cat, set := testInputs(t)
+	tbl, err := BuildELT(cat, set, financial.Default(), 0, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No single event can exceed the sum of all per-risk limits.
+	var cap float64
+	for i := range set.Buildings {
+		cap += set.Buildings[i].Limit
+	}
+	for _, rec := range tbl.Records() {
+		if rec.Loss > cap {
+			t.Fatalf("event %d loss %v exceeds total limit %v", rec.Event, rec.Loss, cap)
+		}
+	}
+}
+
+func TestGridVisitsFootprintBuildings(t *testing.T) {
+	set, err := exposure.Generate(0, exposure.Config{Seed: 5, NumBuildings: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildGrid(set.Buildings, 50)
+	// Visit with a circle and verify every building inside the radius is
+	// reported.
+	cx, cy, radius := 400.0, 600.0, 120.0
+	visited := make(map[uint32]bool)
+	g.visit(cx, cy, radius, func(b *exposure.Building) { visited[b.ID] = true })
+	for i := range set.Buildings {
+		b := &set.Buildings[i]
+		dx, dy := b.X-cx, b.Y-cy
+		if math.Sqrt(dx*dx+dy*dy) < radius && !visited[b.ID] {
+			t.Fatalf("building %d inside footprint not visited", b.ID)
+		}
+	}
+}
+
+func TestOccupancyFactor(t *testing.T) {
+	if occupancyFactor(exposure.Industrial) <= occupancyFactor(exposure.Residential) {
+		t.Error("industrial factor should exceed residential")
+	}
+	if occupancyFactor(exposure.Occupancy(99)) != 1.0 {
+		t.Error("unknown occupancy should default to 1")
+	}
+}

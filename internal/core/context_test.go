@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/ralab/are/internal/layer"
+	"github.com/ralab/are/internal/rng"
+	"github.com/ralab/are/internal/yet"
+)
+
+func TestRunContextMatchesRun(t *testing.T) {
+	p := testPortfolio(t, 2, 4, 1500)
+	y := testYET(t, 300, 60)
+	base := run(t, p, y, Options{Workers: 1})
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.RunContext(context.Background(), y, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, got, base, "context")
+}
+
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 500)
+	y := testYET(t, 50, 30)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx, y, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelledMidRun(t *testing.T) {
+	// A large-enough input that cancellation lands mid-run.
+	p := testPortfolio(t, 1, 8, 3000)
+	y := testYET(t, 3000, 200)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = e.RunContext(ctx, y, Options{Workers: 2, SkipValidation: true})
+	if !errors.Is(err, context.Canceled) {
+		// The run may legitimately finish before the cancel lands on a
+		// fast machine; only a wrong error is a failure.
+		if err != nil {
+			t.Fatalf("err = %v", err)
+		}
+		t.Skip("run completed before cancellation")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation was not prompt")
+	}
+}
+
+func TestRunContextNilYET(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 500)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunContext(context.Background(), nil, Options{}); !errors.Is(err, ErrNilYET) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunContextValidates(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 500)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := yet.Generate(yet.UniformSource(testCatalog*4), yet.Config{
+		Seed: 1, Trials: 10, FixedEvents: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunContext(context.Background(), big, Options{}); !errors.Is(err, ErrEventOutside) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: for random small portfolios and YETs, every engine variant
+// agrees with the pseudocode reference on every trial.
+func TestQuickEngineMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const catalogSize = 2000
+		p, err := layer.GeneratePortfolio(layer.GenConfig{
+			Seed:          seed,
+			NumLayers:     1 + r.Intn(3),
+			ELTsPerLayer:  1 + r.Intn(5),
+			RecordsPerELT: 50 + r.Intn(400),
+			CatalogSize:   catalogSize,
+		})
+		if err != nil {
+			return false
+		}
+		y, err := yet.Generate(yet.UniformSource(catalogSize), yet.Config{
+			Seed: seed + 1, Trials: 5 + r.Intn(40), MeanEvents: 1 + 30*r.Float64(),
+		})
+		if err != nil {
+			return false
+		}
+		want, err := Reference(p, y, catalogSize)
+		if err != nil {
+			return false
+		}
+		for _, opt := range []Options{
+			{Workers: 1},
+			{Workers: 3},
+			{Workers: 2, ChunkSize: 1 + r.Intn(16)},
+			{Workers: 1, Lookup: LookupCombined},
+			{Workers: 2, Lookup: LookupCuckoo, Dynamic: true},
+		} {
+			e, err := NewEngine(p, catalogSize, opt.Lookup)
+			if err != nil {
+				return false
+			}
+			got, err := e.Run(y, opt)
+			if err != nil {
+				return false
+			}
+			for l := range want.AggLoss {
+				for tr := range want.AggLoss[l] {
+					if got.AggLoss[l][tr] != want.AggLoss[l][tr] {
+						return false
+					}
+					if got.MaxOccLoss[l][tr] != want.MaxOccLoss[l][tr] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

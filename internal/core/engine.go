@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ralab/are/internal/elt"
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/layer"
+	"github.com/ralab/are/internal/yet"
+)
+
+// NewEngine compiles a portfolio against a catalog of catalogSize events
+// using the given ELT representation.
+func NewEngine(p *layer.Portfolio, catalogSize int, kind LookupKind) (*Engine, error) {
+	if p == nil || len(p.Layers) == 0 {
+		return nil, ErrNilPortfolio
+	}
+	if catalogSize <= 0 {
+		return nil, ErrBadCatalog
+	}
+	e := &Engine{catalogSize: catalogSize, kind: kind}
+	// Share representations between layers that reference the same
+	// *elt.Table, as real books share cedant ELTs across contracts.
+	cache := make(map[*elt.Table]elt.Lookup)
+	for _, l := range p.Layers {
+		cl := compiledLayer{id: l.ID, lterms: l.LTerms}
+		if kind == LookupCombined {
+			combined := make([]float64, catalogSize)
+			for _, t := range l.ELTs {
+				if int(t.MaxEvent()) >= catalogSize {
+					return nil, fmt.Errorf("core: layer %d: event %d outside catalog of %d",
+						l.ID, t.MaxEvent(), catalogSize)
+				}
+				// Same ELT order as the runtime accumulation of the
+				// direct kernel, so the per-event sums are bitwise
+				// identical.
+				for _, rec := range t.Records() {
+					combined[rec.Event] += t.Terms.Apply(rec.Loss)
+				}
+			}
+			cl.combined = combined
+			e.lookupMem += 8 * catalogSize
+			e.layers = append(e.layers, cl)
+			continue
+		}
+		if kind == LookupDirect {
+			ld, err := elt.BuildLayerDense(l.ELTs, catalogSize)
+			if err != nil {
+				return nil, fmt.Errorf("core: layer %d: %w", l.ID, err)
+			}
+			cl.direct = ld
+			e.lookupMem += ld.MemoryBytes()
+		} else {
+			cl.lookups = make([]elt.Lookup, len(l.ELTs))
+			cl.terms = make([]financial.Terms, 0, len(l.ELTs))
+			for i, t := range l.ELTs {
+				if int(t.MaxEvent()) >= catalogSize {
+					return nil, fmt.Errorf("core: layer %d: event %d outside catalog of %d",
+						l.ID, t.MaxEvent(), catalogSize)
+				}
+				look, ok := cache[t]
+				if !ok {
+					var err error
+					look, err = buildLookup(t, catalogSize, kind)
+					if err != nil {
+						return nil, err
+					}
+					cache[t] = look
+					e.lookupMem += look.MemoryBytes()
+				}
+				cl.lookups[i] = look
+				cl.terms = append(cl.terms, t.Terms)
+			}
+		}
+		e.layers = append(e.layers, cl)
+	}
+	return e, nil
+}
+
+func buildLookup(t *elt.Table, catalogSize int, kind LookupKind) (elt.Lookup, error) {
+	switch kind {
+	case LookupDirect:
+		return elt.NewDirect(t, catalogSize)
+	case LookupSorted:
+		return elt.NewSorted(t), nil
+	case LookupHash:
+		return elt.NewHash(t), nil
+	case LookupCuckoo:
+		return elt.NewCuckoo(t), nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownLookup, kind)
+	}
+}
+
+// CatalogSize returns the catalog size the engine was compiled against.
+func (e *Engine) CatalogSize() int { return e.catalogSize }
+
+// NumLayers returns the number of compiled layers.
+func (e *Engine) NumLayers() int { return len(e.layers) }
+
+// LookupKind returns the compiled ELT representation.
+func (e *Engine) LookupKind() LookupKind { return e.kind }
+
+// LookupMemory returns the total bytes held by ELT representations.
+func (e *Engine) LookupMemory() int { return e.lookupMem }
+
+// Run executes the aggregate analysis of every compiled layer over every
+// trial of y and returns the Year Loss Tables.
+func (e *Engine) Run(y *yet.Table, opt Options) (*Result, error) {
+	if y == nil {
+		return nil, ErrNilYET
+	}
+	if !opt.SkipValidation {
+		if err := e.validate(y); err != nil {
+			return nil, err
+		}
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nt := y.NumTrials()
+	if workers > nt {
+		workers = max(1, nt)
+	}
+
+	res := &Result{
+		LayerIDs:     make([]uint32, len(e.layers)),
+		AggLoss:      make([][]float64, len(e.layers)),
+		MaxOccLoss:   make([][]float64, len(e.layers)),
+		LookupMemory: e.lookupMem,
+	}
+	for i, cl := range e.layers {
+		res.LayerIDs[i] = cl.id
+		res.AggLoss[i] = make([]float64, nt)
+		res.MaxOccLoss[i] = make([]float64, nt)
+	}
+
+	if workers == 1 {
+		w := newWorker(e, opt, y.MeanTrialLen())
+		w.runRange(y, 0, nt, res)
+		res.Phases = w.phases
+		return res, nil
+	}
+
+	var wg sync.WaitGroup
+	workerPhases := make([]PhaseBreakdown, workers)
+	if opt.Dynamic {
+		// Dynamic scheduling: workers pull fixed-size spans of trials
+		// from a shared cursor, trading the static partition's perfect
+		// streaming locality for load balance when trial lengths are
+		// skewed. Output slots are disjoint either way, so results
+		// remain bitwise identical.
+		const span = 64
+		var cursor atomic.Int64
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w := newWorker(e, opt, y.MeanTrialLen())
+				for {
+					lo := int(cursor.Add(span)) - span
+					if lo >= nt {
+						break
+					}
+					hi := lo + span
+					if hi > nt {
+						hi = nt
+					}
+					w.runRange(y, lo, hi, res)
+				}
+				workerPhases[wi] = w.phases
+			}(wi)
+		}
+		wg.Wait()
+		for _, p := range workerPhases {
+			res.Phases.add(p)
+		}
+		return res, nil
+	}
+
+	// Static partition of trials into one contiguous range per worker —
+	// the OpenMP-style decomposition. Contiguity keeps YET streaming
+	// sequential within each worker.
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * nt / workers
+		hi := (wi + 1) * nt / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			w := newWorker(e, opt, y.MeanTrialLen())
+			w.runRange(y, lo, hi, res)
+			workerPhases[wi] = w.phases
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range workerPhases {
+		res.Phases.add(p)
+	}
+	return res, nil
+}
+
+// validate scans the YET once, rejecting event IDs outside the catalog so
+// the direct-table kernels can index without bounds anxiety.
+func (e *Engine) validate(y *yet.Table) error {
+	for t := 0; t < y.NumTrials(); t++ {
+		for _, occ := range y.Trial(t) {
+			if int(occ.Event) >= e.catalogSize {
+				return fmt.Errorf("%w: event %d, catalog %d", ErrEventOutside, occ.Event, e.catalogSize)
+			}
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/layer"
+	"github.com/ralab/are/internal/yet"
+)
+
+// Reference evaluates the portfolio with the most literal transcription of
+// the paper's pseudocode (§II.B lines 1-19), using plain maps for ELT
+// lookup and making no attempt at performance. It exists solely as the
+// golden implementation the optimised engines are tested against.
+func Reference(p *layer.Portfolio, y *yet.Table, catalogSize int) (*Result, error) {
+	if p == nil || len(p.Layers) == 0 {
+		return nil, ErrNilPortfolio
+	}
+	if y == nil {
+		return nil, ErrNilYET
+	}
+	nt := y.NumTrials()
+	res := &Result{
+		LayerIDs:   make([]uint32, len(p.Layers)),
+		AggLoss:    make([][]float64, len(p.Layers)),
+		MaxOccLoss: make([][]float64, len(p.Layers)),
+	}
+
+	// for all a in L
+	for li, a := range p.Layers {
+		res.LayerIDs[li] = a.ID
+		res.AggLoss[li] = make([]float64, nt)
+		res.MaxOccLoss[li] = make([]float64, nt)
+
+		maps := make([]map[catalog.EventID]float64, len(a.ELTs))
+		for e, t := range a.ELTs {
+			m := make(map[catalog.EventID]float64, t.Len())
+			for _, rec := range t.Records() {
+				if int(rec.Event) >= catalogSize {
+					return nil, fmt.Errorf("%w: event %d, catalog %d", ErrEventOutside, rec.Event, catalogSize)
+				}
+				m[rec.Event] = rec.Loss
+			}
+			maps[e] = m
+		}
+
+		// for all b in YET
+		for ti := 0; ti < nt; ti++ {
+			trial := y.Trial(ti)
+			n := len(trial)
+			for _, occ := range trial {
+				if int(occ.Event) >= catalogSize {
+					return nil, fmt.Errorf("%w: event %d, catalog %d", ErrEventOutside, occ.Event, catalogSize)
+				}
+			}
+
+			// Lines 3-5: xd — raw loss per (ELT, occurrence).
+			x := make([][]float64, len(a.ELTs))
+			for e := range x {
+				x[e] = make([]float64, n)
+				for d := 0; d < n; d++ {
+					x[e][d] = maps[e][trial[d].Event]
+				}
+			}
+
+			// Lines 6-7: lxd — financial terms per ELT loss.
+			lx := make([][]float64, len(a.ELTs))
+			for e := range lx {
+				lx[e] = make([]float64, n)
+				for d := 0; d < n; d++ {
+					if x[e][d] != 0 {
+						lx[e][d] = a.ELTs[e].Terms.Apply(x[e][d])
+					}
+				}
+			}
+
+			// Lines 8-9: loxd — accumulate across ELTs.
+			lox := make([]float64, n)
+			for e := range lx {
+				for d := 0; d < n; d++ {
+					lox[d] += lx[e][d]
+				}
+			}
+
+			// Lines 10-11: occurrence terms.
+			var maxOcc float64
+			for d := 0; d < n; d++ {
+				lox[d] = a.LTerms.ApplyOcc(lox[d])
+				if lox[d] > maxOcc {
+					maxOcc = lox[d]
+				}
+			}
+
+			// Lines 12-13: running sum.
+			for d := 1; d < n; d++ {
+				lox[d] += lox[d-1]
+			}
+
+			// Lines 14-15: aggregate terms on the cumulative sums.
+			for d := 0; d < n; d++ {
+				lox[d] = a.LTerms.ApplyAgg(lox[d])
+			}
+
+			// Lines 16-17: difference back to per-occurrence payouts.
+			for d := n - 1; d >= 1; d-- {
+				lox[d] -= lox[d-1]
+			}
+
+			// Lines 18-19: trial loss.
+			var lr float64
+			for d := 0; d < n; d++ {
+				lr += lox[d]
+			}
+			res.AggLoss[li][ti] = lr
+			res.MaxOccLoss[li][ti] = maxOcc
+		}
+	}
+	return res, nil
+}

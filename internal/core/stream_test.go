@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ralab/are/internal/yet"
+)
+
+func TestRunStreamMatchesRun(t *testing.T) {
+	p := testPortfolio(t, 2, 4, 1500)
+	y := testYET(t, 333, 60)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Run(y, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := y.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	for _, batch := range []int{1, 7, 64, 333, 1000} {
+		got, err := e.RunStream(bytes.NewReader(data), batch, Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		assertResultsEqual(t, got, want, "stream")
+	}
+}
+
+func TestRunStreamProfiled(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 800)
+	y := testYET(t, 100, 40)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := y.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunStream(&buf, 32, Options{Workers: 1, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases.Total() <= 0 {
+		t.Fatal("streamed profiled run recorded no phases")
+	}
+}
+
+func TestRunStreamErrors(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 500)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunStream(nil, 10, Options{}); err == nil {
+		t.Error("nil reader accepted")
+	}
+	if _, err := e.RunStream(bytes.NewReader([]byte("junk-stream")), 10, Options{}); err == nil {
+		t.Error("junk stream accepted")
+	}
+	y := testYET(t, 10, 20)
+	var buf bytes.Buffer
+	if _, err := y.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunStream(&buf, 0, Options{}); err == nil {
+		t.Error("zero batch size accepted")
+	}
+	// Truncated payload must fail cleanly.
+	var full bytes.Buffer
+	if _, err := y.WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	data := full.Bytes()
+	if _, err := e.RunStream(bytes.NewReader(data[:len(data)-16]), 4, Options{}); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestRunStreamRejectsOutOfCatalog(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 500)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := yet.Generate(yet.UniformSource(testCatalog*10), yet.Config{
+		Seed: 1, Trials: 20, FixedEvents: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := big.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunStream(&buf, 8, Options{}); err == nil {
+		t.Error("stream with out-of-catalog events accepted")
+	}
+}
+
+func TestDynamicSchedulingBitwiseIdentical(t *testing.T) {
+	p := testPortfolio(t, 2, 4, 1500)
+	y := testYET(t, 400, 50)
+	base := run(t, p, y, Options{Workers: 1})
+	for _, workers := range []int{2, 5, 16} {
+		got := run(t, p, y, Options{Workers: workers, Dynamic: true})
+		assertResultsEqual(t, got, base, "dynamic")
+	}
+	// Dynamic + chunked together.
+	got := run(t, p, y, Options{Workers: 4, Dynamic: true, ChunkSize: 8})
+	assertResultsEqual(t, got, base, "dynamic-chunked")
+}
+
+func BenchmarkSchedulingStaticVsDynamic(b *testing.B) {
+	p := testPortfolio(b, 1, 8, 3000)
+	// Heavily skewed trial lengths stress the static partition.
+	y, err := yet.Generate(yet.UniformSource(testCatalog), yet.Config{
+		Seed: 5, Trials: 2000, MeanEvents: 80,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, opt := range map[string]Options{
+		"static":  {Workers: 4, SkipValidation: true},
+		"dynamic": {Workers: 4, Dynamic: true, SkipValidation: true},
+	} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(y, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

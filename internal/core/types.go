@@ -1,0 +1,209 @@
+// Package core implements the Aggregate Risk Engine (ARE), the paper's
+// primary contribution (§II): a Monte Carlo engine that evaluates a
+// portfolio of reinsurance layers against a pre-simulated Year Event Table
+// and emits a Year Loss Table per layer.
+//
+// Three execution strategies are provided, mirroring the paper's
+// implementations:
+//
+//   - sequential (one goroutine; the paper's C++ baseline),
+//   - parallel (a goroutine worker pool over trials; the paper's OpenMP
+//     version — one logical thread per trial, scheduled in batches), and
+//   - chunked (events processed in fixed-size blocks through small local
+//     buffers; the paper's optimised GPU kernel, whose shared-memory
+//     behaviour is modelled faithfully by package gpusim).
+//
+// All strategies execute the identical floating-point operation sequence
+// per trial, so their Year Loss Tables are bitwise identical — enforced by
+// tests — and any strategy can be verified against the straightforward
+// reference implementation in reference.go.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ralab/are/internal/elt"
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/layer"
+)
+
+// LookupKind selects the ELT representation used by the engine, enabling
+// the paper's data-structure comparison (§III.B).
+type LookupKind uint8
+
+// Supported ELT representations.
+const (
+	// LookupDirect is the paper's choice: dense arrays indexed by event
+	// ID, one memory access per lookup.
+	LookupDirect LookupKind = iota
+	// LookupSorted is the compact sorted-array/binary-search alternative.
+	LookupSorted
+	// LookupHash is the built-in Go map.
+	LookupHash
+	// LookupCuckoo is the constant-time compact cuckoo hash cited by the
+	// paper.
+	LookupCuckoo
+	// LookupCombined goes beyond the paper: because the financial terms
+	// I are a per-event pure function of the stored loss, each layer's
+	// cross-ELT accumulation (algorithm lines 3-9) can be folded into a
+	// single direct access table at compile time, turning |ELT| random
+	// lookups per occurrence into one. Results are bitwise identical to
+	// LookupDirect (the compile-time sum uses the same ELT order as the
+	// runtime accumulation). The trade-off: the combined table cannot be
+	// shared between layers, and event-level detail (which ELT
+	// contributed) is lost — which is why production systems that apply
+	// event-date-dependent FX at run time cannot always use it.
+	LookupCombined
+)
+
+// String names the representation.
+func (k LookupKind) String() string {
+	switch k {
+	case LookupDirect:
+		return "direct"
+	case LookupSorted:
+		return "sorted"
+	case LookupHash:
+		return "hash"
+	case LookupCuckoo:
+		return "cuckoo"
+	case LookupCombined:
+		return "combined"
+	default:
+		return fmt.Sprintf("lookup(%d)", uint8(k))
+	}
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers is the number of concurrent workers over trials. 0 means
+	// runtime.GOMAXPROCS(0); 1 runs sequentially on the calling
+	// goroutine.
+	Workers int
+
+	// ChunkSize, when > 0, processes each trial's events in fixed-size
+	// chunks through per-worker local buffers (the optimised kernel).
+	// 0 processes whole trials at once (the basic kernel).
+	ChunkSize int
+
+	// Lookup selects the ELT representation; default LookupDirect.
+	Lookup LookupKind
+
+	// Dynamic switches the parallel scheduler from static contiguous
+	// partitions (the OpenMP-style default) to dynamic span-stealing,
+	// which balances load when trial lengths are heavily skewed.
+	// Results are bitwise identical either way.
+	Dynamic bool
+
+	// Profile enables per-phase instrumentation (event fetch, ELT
+	// lookup, financial terms, layer terms) at a small runtime cost.
+	Profile bool
+
+	// SkipValidation skips the pre-run scan that checks every YET event
+	// ID against the catalog size. Benchmarks that re-run the same
+	// validated table may set this.
+	SkipValidation bool
+}
+
+// PhaseBreakdown records time spent in each algorithm phase across a run,
+// reproducing the paper's Figure 6b decomposition. Only populated when
+// Options.Profile is set.
+type PhaseBreakdown struct {
+	EventFetch time.Duration // reading trial occurrences from the YET
+	ELTLookup  time.Duration // random access into ELT representations
+	Financial  time.Duration // ELT financial terms + cross-ELT accumulation
+	LayerTerms time.Duration // occurrence and aggregate layer terms
+}
+
+// Total returns the summed phase time.
+func (p PhaseBreakdown) Total() time.Duration {
+	return p.EventFetch + p.ELTLookup + p.Financial + p.LayerTerms
+}
+
+// Percentages returns each phase's share of the total, in order
+// (fetch, lookup, financial, layer). Zero total yields zeros.
+func (p PhaseBreakdown) Percentages() [4]float64 {
+	tot := p.Total()
+	if tot <= 0 {
+		return [4]float64{}
+	}
+	f := 100 / float64(tot)
+	return [4]float64{
+		float64(p.EventFetch) * f,
+		float64(p.ELTLookup) * f,
+		float64(p.Financial) * f,
+		float64(p.LayerTerms) * f,
+	}
+}
+
+func (p *PhaseBreakdown) add(q PhaseBreakdown) {
+	p.EventFetch += q.EventFetch
+	p.ELTLookup += q.ELTLookup
+	p.Financial += q.Financial
+	p.LayerTerms += q.LayerTerms
+}
+
+// Result is the engine output: one Year Loss Table per layer plus, for
+// OEP-style metrics, the per-trial maximum occurrence loss.
+type Result struct {
+	LayerIDs []uint32
+
+	// AggLoss[l][t] is the trial loss (year loss net of all terms) of
+	// layer l in trial t — the YLT of the paper's line 19.
+	AggLoss [][]float64
+
+	// MaxOccLoss[l][t] is the largest single-occurrence loss net of
+	// occurrence terms in trial t, the quantity behind occurrence
+	// exceedance (OEP) curves.
+	MaxOccLoss [][]float64
+
+	// Phases is populated when the run was profiled.
+	Phases PhaseBreakdown
+
+	// LookupMemory is the total resident size of the ELT representations
+	// used, for the memory/speed trade-off report.
+	LookupMemory int
+}
+
+// YLT returns the year-loss vector of layer index l.
+func (r *Result) YLT(l int) []float64 { return r.AggLoss[l] }
+
+// compiledLayer is a layer lowered into the representation-specific form
+// the kernels consume.
+type compiledLayer struct {
+	id      uint32
+	lookups []elt.Lookup
+	terms   []financial.Terms
+	lterms  layer.Terms
+
+	// direct is non-nil when the layer was compiled with LookupDirect;
+	// kernels then use the packed flat vector exactly as the paper's
+	// implementation does, avoiding an interface call per lookup.
+	direct *elt.LayerDense
+
+	// combined is non-nil when the layer was compiled with
+	// LookupCombined: combined[event] is the layer's total loss for the
+	// event net of each ELT's financial terms, folded at compile time.
+	combined []float64
+}
+
+// Engine is a portfolio compiled against a catalog size, ready to run
+// against any number of YETs. It is immutable after construction and safe
+// for concurrent use.
+type Engine struct {
+	catalogSize int
+	layers      []compiledLayer
+	lookupMem   int
+	kind        LookupKind
+}
+
+// Construction errors.
+var (
+	ErrNilPortfolio  = errors.New("core: portfolio must be non-nil and non-empty")
+	ErrBadCatalog    = errors.New("core: catalogSize must be positive")
+	ErrEventOutside  = errors.New("core: YET references event outside catalog")
+	ErrNilYET        = errors.New("core: YET must be non-nil")
+	ErrUnknownLookup = errors.New("core: unknown lookup kind")
+)

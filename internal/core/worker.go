@@ -1,0 +1,292 @@
+package core
+
+import (
+	"time"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/yet"
+)
+
+// termsT shortens signatures inside the kernels.
+type termsT = financial.Terms
+
+// yetEvent converts a fetched raw event ID back to the catalog ID type.
+func yetEvent(id uint32) catalog.EventID { return catalog.EventID(id) }
+
+// worker holds the per-goroutine scratch state for the kernels: the lox
+// occurrence-loss buffer of the paper's algorithm plus, in chunked mode,
+// the fixed-size chunk buffer standing in for GPU shared memory.
+type worker struct {
+	e   *Engine
+	opt Options
+
+	// lox[d] is the combined loss of occurrence d net of financial
+	// terms, then net of occurrence terms — the paper's lox vector.
+	lox []float64
+
+	// chunk is the ChunkSize-long local buffer used by the optimised
+	// kernel.
+	chunk []float64
+
+	phases PhaseBreakdown
+}
+
+func newWorker(e *Engine, opt Options, meanTrialLen float64) *worker {
+	w := &worker{e: e, opt: opt}
+	n := int(meanTrialLen) + 64
+	if n < 256 {
+		n = 256
+	}
+	w.lox = make([]float64, 0, n)
+	if opt.ChunkSize > 0 {
+		w.chunk = make([]float64, opt.ChunkSize)
+	}
+	return w
+}
+
+// runRange evaluates trials [lo, hi) for every layer, writing results into
+// res (disjoint slices per range, so no synchronisation is needed).
+func (w *worker) runRange(y *yet.Table, lo, hi int, res *Result) {
+	for li := range w.e.layers {
+		cl := &w.e.layers[li]
+		agg := res.AggLoss[li]
+		maxOcc := res.MaxOccLoss[li]
+		for t := lo; t < hi; t++ {
+			trial := y.Trial(t)
+			var a, m float64
+			switch {
+			case w.opt.Profile:
+				a, m = w.trialProfiled(cl, trial)
+			case w.opt.ChunkSize > 0:
+				a, m = w.trialChunked(cl, trial)
+			default:
+				a, m = w.trialBasic(cl, trial)
+			}
+			agg[t] = a
+			maxOcc[t] = m
+		}
+	}
+}
+
+// trialBasic is the paper's basic kernel: for one trial and one layer,
+// steps 1-4 of §II.B over the whole event sequence at once.
+func (w *worker) trialBasic(cl *compiledLayer, trial []yet.Occurrence) (aggLoss, maxOcc float64) {
+	n := len(trial)
+	if n == 0 {
+		return 0, 0
+	}
+	lox := w.buf(n)
+
+	// Steps 1+2: per-occurrence ELT lookup, financial terms, cross-ELT
+	// accumulation. Iterating ELT-major matches the packed flat-vector
+	// layout (one direct-access table after another).
+	if cl.combined != nil {
+		for d := 0; d < n; d++ {
+			lox[d] = cl.combined[trial[d].Event]
+		}
+		return w.layerTerms(cl, lox)
+	}
+	if cl.direct != nil {
+		ld := cl.direct
+		for e := 0; e < ld.NumELTs(); e++ {
+			terms := ld.Terms(e)
+			for d := 0; d < n; d++ {
+				if raw := ld.Loss(e, trial[d].Event); raw != 0 {
+					lox[d] += terms.Apply(raw)
+				}
+			}
+		}
+	} else {
+		for e, look := range cl.lookups {
+			terms := cl.terms[e]
+			for d := 0; d < n; d++ {
+				if raw := look.Loss(trial[d].Event); raw != 0 {
+					lox[d] += terms.Apply(raw)
+				}
+			}
+		}
+	}
+
+	return w.layerTerms(cl, lox)
+}
+
+// trialChunked is the optimised kernel: identical arithmetic, but events
+// move through a fixed-size chunk buffer so the working set per step is
+// ChunkSize values (the GPU shared-memory discipline). The floating-point
+// operation sequence per occurrence is unchanged, so results are bitwise
+// identical to trialBasic.
+func (w *worker) trialChunked(cl *compiledLayer, trial []yet.Occurrence) (aggLoss, maxOcc float64) {
+	n := len(trial)
+	if n == 0 {
+		return 0, 0
+	}
+	lox := w.buf(n)
+	cs := len(w.chunk)
+
+	for base := 0; base < n; base += cs {
+		end := base + cs
+		if end > n {
+			end = n
+		}
+		chunk := w.chunk[:end-base]
+		for i := range chunk {
+			chunk[i] = 0
+		}
+		if cl.combined != nil {
+			for i := range chunk {
+				chunk[i] = cl.combined[trial[base+i].Event]
+			}
+		} else if cl.direct != nil {
+			ld := cl.direct
+			for e := 0; e < ld.NumELTs(); e++ {
+				terms := ld.Terms(e)
+				for i := range chunk {
+					if raw := ld.Loss(e, trial[base+i].Event); raw != 0 {
+						chunk[i] += terms.Apply(raw)
+					}
+				}
+			}
+		} else {
+			for e, look := range cl.lookups {
+				terms := cl.terms[e]
+				for i := range chunk {
+					if raw := look.Loss(trial[base+i].Event); raw != 0 {
+						chunk[i] += terms.Apply(raw)
+					}
+				}
+			}
+		}
+		copy(lox[base:end], chunk)
+	}
+
+	return w.layerTerms(cl, lox)
+}
+
+// trialProfiled mirrors the paper's phase-separated loops (one pass per
+// algorithm step) and accumulates wall time per phase, producing the
+// Figure 6b breakdown. It is arithmetically equivalent but NOT guaranteed
+// bitwise-identical to the fused kernels (the raw-loss pass accumulates in
+// the same ELT order, so in practice it matches; tests assert equality).
+func (w *worker) trialProfiled(cl *compiledLayer, trial []yet.Occurrence) (aggLoss, maxOcc float64) {
+	n := len(trial)
+	if n == 0 {
+		return 0, 0
+	}
+	lox := w.buf(n)
+
+	// Phase (a): fetch events from the YET into a local vector
+	// (lines 3-4: walking Et in b).
+	t0 := time.Now()
+	ids := make([]uint32, n)
+	for d := 0; d < n; d++ {
+		ids[d] = uint32(trial[d].Event)
+	}
+	t1 := time.Now()
+	w.phases.EventFetch += t1.Sub(t0)
+
+	if cl.combined != nil {
+		// Phase (b): the single combined lookup replaces both the
+		// per-ELT lookups and the financial-terms pass (folded at
+		// compile time), so all of it is attributed to lookup.
+		for d := 0; d < n; d++ {
+			lox[d] = cl.combined[ids[d]]
+		}
+		t2 := time.Now()
+		w.phases.ELTLookup += t2.Sub(t1)
+		aggLoss, maxOcc = w.layerTerms(cl, lox)
+		w.phases.LayerTerms += time.Since(t2)
+		return aggLoss, maxOcc
+	}
+
+	// Phase (b): ELT lookups (line 5), raw losses gathered per ELT.
+	numELTs := w.numELTs(cl)
+	raw := make([]float64, numELTs*n)
+	if cl.direct != nil {
+		ld := cl.direct
+		for e := 0; e < numELTs; e++ {
+			row := raw[e*n : (e+1)*n]
+			for d := 0; d < n; d++ {
+				row[d] = ld.Loss(e, yetEvent(ids[d]))
+			}
+		}
+	} else {
+		for e := 0; e < numELTs; e++ {
+			row := raw[e*n : (e+1)*n]
+			look := cl.lookups[e]
+			for d := 0; d < n; d++ {
+				row[d] = look.Loss(yetEvent(ids[d]))
+			}
+		}
+	}
+	t2 := time.Now()
+	w.phases.ELTLookup += t2.Sub(t1)
+
+	// Phase (c): financial terms and cross-ELT accumulation
+	// (lines 6-9).
+	for e := 0; e < numELTs; e++ {
+		terms := w.termsOf(cl, e)
+		row := raw[e*n : (e+1)*n]
+		for d := 0; d < n; d++ {
+			if row[d] != 0 {
+				lox[d] += terms.Apply(row[d])
+			}
+		}
+	}
+	t3 := time.Now()
+	w.phases.Financial += t3.Sub(t2)
+
+	// Phase (d): occurrence + aggregate layer terms (lines 10-19).
+	aggLoss, maxOcc = w.layerTerms(cl, lox)
+	w.phases.LayerTerms += time.Since(t3)
+	return aggLoss, maxOcc
+}
+
+// layerTerms applies steps 3 and 4 of the algorithm to the combined
+// occurrence losses: occurrence terms per occurrence (line 11), then the
+// running-sum aggregate terms (lines 12-17) whose differenced payouts sum
+// to the trial loss (line 19).
+func (w *worker) layerTerms(cl *compiledLayer, lox []float64) (aggLoss, maxOcc float64) {
+	lt := cl.lterms
+	for d := range lox {
+		v := lt.ApplyOcc(lox[d])
+		lox[d] = v
+		if v > maxOcc {
+			maxOcc = v
+		}
+	}
+	var running, prev float64
+	for d := range lox {
+		running += lox[d]
+		capped := lt.ApplyAgg(running)
+		aggLoss += capped - prev
+		prev = capped
+	}
+	return aggLoss, maxOcc
+}
+
+// buf returns the zeroed lox buffer of length n.
+func (w *worker) buf(n int) []float64 {
+	if cap(w.lox) < n {
+		w.lox = make([]float64, n)
+	}
+	w.lox = w.lox[:n]
+	for i := range w.lox {
+		w.lox[i] = 0
+	}
+	return w.lox
+}
+
+func (w *worker) numELTs(cl *compiledLayer) int {
+	if cl.direct != nil {
+		return cl.direct.NumELTs()
+	}
+	return len(cl.lookups)
+}
+
+func (w *worker) termsOf(cl *compiledLayer, e int) termsT {
+	if cl.direct != nil {
+		return cl.direct.Terms(e)
+	}
+	return cl.terms[e]
+}

@@ -1,0 +1,378 @@
+// Package elt implements Event Loss Tables and the lookup representations
+// studied in the paper (§III.B).
+//
+// An ELT is a dictionary from event ID to expected loss for one exposure
+// set, plus the financial terms applied to each loss taken from it. The
+// aggregate analysis is dominated by random lookups into the layer's ELTs
+// (78% of runtime in the paper's breakdown), so the choice of
+// representation is the key design decision. The paper selects a direct
+// access table — a dense array indexed by event ID, extremely sparse but
+// one memory access per lookup — over compact alternatives (sorted array
+// with binary search, hashing, cuckoo hashing). All four are implemented
+// here so the trade-off can be measured.
+package elt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/rng"
+)
+
+// Record is one event-loss pair ELi = {Ei, li}.
+type Record struct {
+	Event catalog.EventID
+	Loss  float64
+}
+
+// Table is one Event Loss Table: records sorted by event ID plus the
+// table's financial terms I.
+type Table struct {
+	ID      uint32
+	Terms   financial.Terms
+	records []Record
+}
+
+// Validation errors.
+var (
+	ErrNoRecords      = errors.New("elt: table must contain at least one record")
+	ErrDuplicateEvent = errors.New("elt: duplicate event ID")
+	ErrBadLoss        = errors.New("elt: losses must be finite and non-negative")
+)
+
+// New builds a Table from records, sorting them by event ID. Duplicate
+// event IDs, NaN/Inf/negative losses, and empty inputs are rejected. The
+// record slice is taken over by the table and must not be reused.
+func New(id uint32, terms financial.Terms, records []Record) (*Table, error) {
+	if len(records) == 0 {
+		return nil, ErrNoRecords
+	}
+	if err := terms.Validate(); err != nil {
+		return nil, fmt.Errorf("elt %d: %w", id, err)
+	}
+	for _, rec := range records {
+		if rec.Loss < 0 || math.IsNaN(rec.Loss) || math.IsInf(rec.Loss, 0) {
+			return nil, fmt.Errorf("%w: event %d loss %v", ErrBadLoss, rec.Event, rec.Loss)
+		}
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Event < records[j].Event })
+	for i := 1; i < len(records); i++ {
+		if records[i].Event == records[i-1].Event {
+			return nil, fmt.Errorf("%w: event %d", ErrDuplicateEvent, records[i].Event)
+		}
+	}
+	return &Table{ID: id, Terms: terms, records: records}, nil
+}
+
+// Len returns the number of non-zero event losses in the table.
+func (t *Table) Len() int { return len(t.records) }
+
+// Records returns the sorted records. Callers must not modify them.
+func (t *Table) Records() []Record { return t.records }
+
+// MaxEvent returns the largest event ID present.
+func (t *Table) MaxEvent() catalog.EventID {
+	return t.records[len(t.records)-1].Event
+}
+
+// Lookup is the abstract fast-random-read interface every representation
+// provides: Loss returns the loss for an event, or 0 when the event caused
+// no loss to this exposure set.
+type Lookup interface {
+	// Loss returns the loss for event id, 0 if absent.
+	Loss(id catalog.EventID) float64
+	// MemoryBytes estimates the resident size of the representation.
+	MemoryBytes() int
+}
+
+// ---------------------------------------------------------------------------
+// Direct access table (the paper's choice).
+
+// Direct is a dense array of losses indexed by event ID: one memory access
+// per lookup, memory proportional to the full catalog size regardless of
+// how few events have losses.
+type Direct struct {
+	losses []float64
+}
+
+// NewDirect builds a direct access table covering event IDs
+// [0, catalogSize). Records beyond catalogSize are rejected.
+func NewDirect(t *Table, catalogSize int) (*Direct, error) {
+	if catalogSize <= 0 {
+		return nil, errors.New("elt: catalogSize must be positive")
+	}
+	if int(t.MaxEvent()) >= catalogSize {
+		return nil, fmt.Errorf("elt: event %d outside catalog of %d events", t.MaxEvent(), catalogSize)
+	}
+	d := &Direct{losses: make([]float64, catalogSize)}
+	for _, rec := range t.records {
+		d.losses[rec.Event] = rec.Loss
+	}
+	return d, nil
+}
+
+// Loss returns the loss for id in one array access.
+func (d *Direct) Loss(id catalog.EventID) float64 { return d.losses[id] }
+
+// MemoryBytes reports 8 bytes per catalog event.
+func (d *Direct) MemoryBytes() int { return 8 * len(d.losses) }
+
+// ---------------------------------------------------------------------------
+// Sorted-array representation (binary search, O(log n) per lookup).
+
+// Sorted is a compact sorted-array representation searched with binary
+// search: O(log n) memory accesses per lookup.
+type Sorted struct {
+	events []catalog.EventID
+	losses []float64
+}
+
+// NewSorted builds the compact representation from a table.
+func NewSorted(t *Table) *Sorted {
+	s := &Sorted{
+		events: make([]catalog.EventID, len(t.records)),
+		losses: make([]float64, len(t.records)),
+	}
+	for i, rec := range t.records {
+		s.events[i] = rec.Event
+		s.losses[i] = rec.Loss
+	}
+	return s
+}
+
+// Loss binary-searches for id.
+func (s *Sorted) Loss(id catalog.EventID) float64 {
+	lo, hi := 0, len(s.events)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.events[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.events) && s.events[lo] == id {
+		return s.losses[lo]
+	}
+	return 0
+}
+
+// MemoryBytes reports 12 bytes per stored record.
+func (s *Sorted) MemoryBytes() int { return 12 * len(s.events) }
+
+// ---------------------------------------------------------------------------
+// Go map representation (chained hashing baseline).
+
+// Hash wraps the built-in map as the straightforward hashing baseline.
+type Hash struct {
+	m map[catalog.EventID]float64
+}
+
+// NewHash builds the map representation.
+func NewHash(t *Table) *Hash {
+	h := &Hash{m: make(map[catalog.EventID]float64, len(t.records))}
+	for _, rec := range t.records {
+		h.m[rec.Event] = rec.Loss
+	}
+	return h
+}
+
+// Loss looks up id in the map.
+func (h *Hash) Loss(id catalog.EventID) float64 { return h.m[id] }
+
+// MemoryBytes estimates Go map overhead at ~32 bytes per entry.
+func (h *Hash) MemoryBytes() int { return 32 * len(h.m) }
+
+// ---------------------------------------------------------------------------
+// Cuckoo hash representation (the paper's cited constant-time compact
+// alternative, Pagh & Rodler [30]).
+
+const cuckooEmpty = math.MaxUint32 // catalog IDs are dense, so this is free
+
+// Cuckoo is a two-table cuckoo hash with at most two probes per lookup.
+type Cuckoo struct {
+	seed1, seed2 uint64
+	mask         uint32
+	keys1, keys2 []uint32
+	vals1, vals2 []float64
+	n            int
+}
+
+// NewCuckoo builds a cuckoo table at ~40% load factor per the classic
+// scheme (two tables, each sized to the next power of two above 1.25n).
+func NewCuckoo(t *Table) *Cuckoo {
+	size := nextPow2(uint32(float64(len(t.records))*1.25) + 1)
+	c := &Cuckoo{}
+	c.init(size, 0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F)
+	for _, rec := range t.records {
+		c.insert(uint32(rec.Event), rec.Loss)
+	}
+	return c
+}
+
+func nextPow2(v uint32) uint32 {
+	if v < 8 {
+		return 8
+	}
+	v--
+	v |= v >> 1
+	v |= v >> 2
+	v |= v >> 4
+	v |= v >> 8
+	v |= v >> 16
+	return v + 1
+}
+
+func (c *Cuckoo) init(size uint32, s1, s2 uint64) {
+	c.seed1, c.seed2 = s1, s2
+	c.mask = size - 1
+	c.keys1 = make([]uint32, size)
+	c.keys2 = make([]uint32, size)
+	c.vals1 = make([]float64, size)
+	c.vals2 = make([]float64, size)
+	for i := range c.keys1 {
+		c.keys1[i] = cuckooEmpty
+		c.keys2[i] = cuckooEmpty
+	}
+	c.n = 0
+}
+
+func (c *Cuckoo) h1(key uint32) uint32 {
+	return uint32(rng.Mix64(uint64(key)^c.seed1)) & c.mask
+}
+
+func (c *Cuckoo) h2(key uint32) uint32 {
+	return uint32(rng.Mix64(uint64(key)^c.seed2)>>32) & c.mask
+}
+
+// insert adds (key, val), displacing residents cuckoo-style; on an
+// insertion cycle the table is rebuilt with fresh hash seeds (growing if
+// the load factor is high).
+func (c *Cuckoo) insert(key uint32, val float64) {
+	for attempt := 0; ; attempt++ {
+		k, v := key, val
+		maxKicks := 8 * (32 - 1) // generous bound ~ O(log n) kicks
+		for i := 0; i < maxKicks; i++ {
+			p1 := c.h1(k)
+			if c.keys1[p1] == cuckooEmpty || c.keys1[p1] == k {
+				if c.keys1[p1] == cuckooEmpty {
+					c.n++
+				}
+				c.keys1[p1], c.vals1[p1] = k, v
+				return
+			}
+			k, c.keys1[p1] = c.keys1[p1], k
+			v, c.vals1[p1] = c.vals1[p1], v
+
+			p2 := c.h2(k)
+			if c.keys2[p2] == cuckooEmpty || c.keys2[p2] == k {
+				if c.keys2[p2] == cuckooEmpty {
+					c.n++
+				}
+				c.keys2[p2], c.vals2[p2] = k, v
+				return
+			}
+			k, c.keys2[p2] = c.keys2[p2], k
+			v, c.vals2[p2] = c.vals2[p2], v
+		}
+		// Cycle: rehash with new seeds, growing when above 45% load.
+		key, val = k, v
+		size := c.mask + 1
+		if float64(c.n) > 0.45*float64(size)*2 {
+			size *= 2
+		}
+		old1k, old1v, old2k, old2v := c.keys1, c.vals1, c.keys2, c.vals2
+		s := rng.Mix64(c.seed1 ^ uint64(attempt+1))
+		c.init(size, s, rng.Mix64(s))
+		for i, kk := range old1k {
+			if kk != cuckooEmpty {
+				c.insert(kk, old1v[i])
+			}
+		}
+		for i, kk := range old2k {
+			if kk != cuckooEmpty {
+				c.insert(kk, old2v[i])
+			}
+		}
+	}
+}
+
+// Loss probes at most two slots.
+func (c *Cuckoo) Loss(id catalog.EventID) float64 {
+	k := uint32(id)
+	if p := c.h1(k); c.keys1[p] == k {
+		return c.vals1[p]
+	}
+	if p := c.h2(k); c.keys2[p] == k {
+		return c.vals2[p]
+	}
+	return 0
+}
+
+// Len returns the number of stored keys.
+func (c *Cuckoo) Len() int { return c.n }
+
+// MemoryBytes reports 12 bytes per slot across both tables.
+func (c *Cuckoo) MemoryBytes() int { return 2 * 12 * int(c.mask+1) }
+
+// ---------------------------------------------------------------------------
+// Packed per-layer structure (the paper's §III.B.1 flat vectors).
+
+// LayerDense packs the direct access tables of all ELTs in a layer into a
+// single flat loss vector of numELTs x catalogSize entries plus a parallel
+// terms slice — exactly the memory layout the paper's basic implementation
+// keeps in (global) memory.
+type LayerDense struct {
+	losses []float64 // len = numELTs * stride
+	terms  []financial.Terms
+	stride int
+}
+
+// BuildLayerDense packs tables for a layer. All tables must fit within
+// catalogSize.
+func BuildLayerDense(tables []*Table, catalogSize int) (*LayerDense, error) {
+	if len(tables) == 0 {
+		return nil, errors.New("elt: layer must cover at least one ELT")
+	}
+	if catalogSize <= 0 {
+		return nil, errors.New("elt: catalogSize must be positive")
+	}
+	ld := &LayerDense{
+		losses: make([]float64, len(tables)*catalogSize),
+		terms:  make([]financial.Terms, len(tables)),
+		stride: catalogSize,
+	}
+	for i, t := range tables {
+		if int(t.MaxEvent()) >= catalogSize {
+			return nil, fmt.Errorf("elt: table %d: event %d outside catalog of %d events",
+				t.ID, t.MaxEvent(), catalogSize)
+		}
+		base := i * catalogSize
+		for _, rec := range t.records {
+			ld.losses[base+int(rec.Event)] = rec.Loss
+		}
+		ld.terms[i] = t.Terms
+	}
+	return ld, nil
+}
+
+// NumELTs returns the number of packed tables.
+func (ld *LayerDense) NumELTs() int { return len(ld.terms) }
+
+// Stride returns the catalog size used as the per-table stride.
+func (ld *LayerDense) Stride() int { return ld.stride }
+
+// Loss returns the raw loss for (table index, event).
+func (ld *LayerDense) Loss(elt int, id catalog.EventID) float64 {
+	return ld.losses[elt*ld.stride+int(id)]
+}
+
+// Terms returns the financial terms for table index elt.
+func (ld *LayerDense) Terms(elt int) financial.Terms { return ld.terms[elt] }
+
+// MemoryBytes reports the flat vector's size.
+func (ld *LayerDense) MemoryBytes() int { return 8 * len(ld.losses) }

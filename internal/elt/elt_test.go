@@ -1,0 +1,303 @@
+package elt
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/rng"
+)
+
+func mustTable(t *testing.T, recs []Record) *Table {
+	t.Helper()
+	tbl, err := New(1, financial.Default(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func randomTable(t *testing.T, seed uint64, n, catalogSize int) *Table {
+	t.Helper()
+	r := rng.New(seed)
+	seen := make(map[catalog.EventID]bool, n)
+	recs := make([]Record, 0, n)
+	for len(recs) < n {
+		id := catalog.EventID(r.Intn(catalogSize))
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		recs = append(recs, Record{Event: id, Loss: 1 + 1000*r.Float64()})
+	}
+	return mustTable(t, recs)
+}
+
+func TestNewSortsRecords(t *testing.T) {
+	tbl := mustTable(t, []Record{{5, 50}, {1, 10}, {3, 30}})
+	recs := tbl.Records()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Event <= recs[i-1].Event {
+			t.Fatalf("records not sorted: %v", recs)
+		}
+	}
+	if tbl.Len() != 3 || tbl.MaxEvent() != 5 {
+		t.Fatalf("Len=%d MaxEvent=%d", tbl.Len(), tbl.MaxEvent())
+	}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(1, financial.Default(), nil); !errors.Is(err, ErrNoRecords) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	_, err := New(1, financial.Default(), []Record{{2, 1}, {2, 2}})
+	if !errors.Is(err, ErrDuplicateEvent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewRejectsBadLosses(t *testing.T) {
+	for _, loss := range []float64{-1, math.NaN(), math.Inf(1)} {
+		_, err := New(1, financial.Default(), []Record{{1, loss}})
+		if !errors.Is(err, ErrBadLoss) {
+			t.Fatalf("loss %v: err = %v", loss, err)
+		}
+	}
+}
+
+func TestNewRejectsBadTerms(t *testing.T) {
+	_, err := New(1, financial.Terms{FX: 0, EventLimit: 1, Participation: 1}, []Record{{1, 1}})
+	if err == nil {
+		t.Fatal("invalid terms accepted")
+	}
+}
+
+func TestDirectLookup(t *testing.T) {
+	tbl := mustTable(t, []Record{{0, 7}, {10, 70}, {99, 990}})
+	d, err := NewDirect(tbl, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Loss(0) != 7 || d.Loss(10) != 70 || d.Loss(99) != 990 {
+		t.Fatal("present events wrong")
+	}
+	if d.Loss(1) != 0 || d.Loss(50) != 0 {
+		t.Fatal("absent events should be 0")
+	}
+	if d.MemoryBytes() != 800 {
+		t.Fatalf("MemoryBytes = %d", d.MemoryBytes())
+	}
+}
+
+func TestDirectRejectsOutOfRange(t *testing.T) {
+	tbl := mustTable(t, []Record{{100, 1}})
+	if _, err := NewDirect(tbl, 100); err == nil {
+		t.Fatal("event beyond catalog accepted")
+	}
+	if _, err := NewDirect(tbl, 0); err == nil {
+		t.Fatal("zero catalog accepted")
+	}
+}
+
+func TestSortedLookup(t *testing.T) {
+	tbl := mustTable(t, []Record{{2, 20}, {4, 40}, {8, 80}})
+	s := NewSorted(tbl)
+	for id, want := range map[catalog.EventID]float64{
+		0: 0, 1: 0, 2: 20, 3: 0, 4: 40, 5: 0, 8: 80, 9: 0, 1000: 0,
+	} {
+		if got := s.Loss(id); got != want {
+			t.Errorf("Loss(%d) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestCuckooLookup(t *testing.T) {
+	tbl := randomTable(t, 42, 5000, 100000)
+	c := NewCuckoo(tbl)
+	if c.Len() != tbl.Len() {
+		t.Fatalf("cuckoo holds %d keys, want %d", c.Len(), tbl.Len())
+	}
+	for _, rec := range tbl.Records() {
+		if got := c.Loss(rec.Event); got != rec.Loss {
+			t.Fatalf("Loss(%d) = %v, want %v", rec.Event, got, rec.Loss)
+		}
+	}
+	// Absent keys return 0.
+	present := make(map[catalog.EventID]bool)
+	for _, rec := range tbl.Records() {
+		present[rec.Event] = true
+	}
+	r := rng.New(7)
+	misses := 0
+	for misses < 1000 {
+		id := catalog.EventID(r.Intn(100000))
+		if present[id] {
+			continue
+		}
+		misses++
+		if got := c.Loss(id); got != 0 {
+			t.Fatalf("absent Loss(%d) = %v", id, got)
+		}
+	}
+}
+
+func TestCuckooDegenerateSmall(t *testing.T) {
+	tbl := mustTable(t, []Record{{1, 10}})
+	c := NewCuckoo(tbl)
+	if c.Loss(1) != 10 || c.Loss(2) != 0 {
+		t.Fatal("tiny cuckoo table wrong")
+	}
+}
+
+// All representations must agree with each other on hits and misses.
+func TestRepresentationEquivalence(t *testing.T) {
+	tbl := randomTable(t, 99, 20000, 2000000)
+	d, err := NewDirect(tbl, 2000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := map[string]Lookup{
+		"sorted": NewSorted(tbl),
+		"hash":   NewHash(tbl),
+		"cuckoo": NewCuckoo(tbl),
+	}
+	r := rng.New(123)
+	for i := 0; i < 50000; i++ {
+		id := catalog.EventID(r.Intn(2000000))
+		want := d.Loss(id)
+		for name, rep := range reps {
+			if got := rep.Loss(id); got != want {
+				t.Fatalf("%s.Loss(%d) = %v, want %v", name, id, got, want)
+			}
+		}
+	}
+}
+
+// Property: for arbitrary record sets, sorted and map representations agree.
+func TestQuickSortedHashAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(200)
+		seen := make(map[catalog.EventID]bool)
+		recs := make([]Record, 0, n)
+		for len(recs) < n {
+			id := catalog.EventID(r.Intn(1000))
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			recs = append(recs, Record{Event: id, Loss: r.Float64() * 100})
+		}
+		tbl, err := New(0, financial.Default(), recs)
+		if err != nil {
+			return false
+		}
+		s, h, c := NewSorted(tbl), NewHash(tbl), NewCuckoo(tbl)
+		for id := catalog.EventID(0); id < 1000; id++ {
+			if s.Loss(id) != h.Loss(id) || s.Loss(id) != c.Loss(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerDense(t *testing.T) {
+	t1 := mustTable(t, []Record{{0, 1}, {5, 5}})
+	t2, err := New(2, financial.Terms{FX: 2, EventLimit: financial.Unlimited, Participation: 1},
+		[]Record{{5, 50}, {9, 90}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := BuildLayerDense([]*Table{t1, t2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.NumELTs() != 2 || ld.Stride() != 10 {
+		t.Fatalf("NumELTs=%d Stride=%d", ld.NumELTs(), ld.Stride())
+	}
+	if ld.Loss(0, 5) != 5 || ld.Loss(1, 5) != 50 || ld.Loss(1, 0) != 0 {
+		t.Fatal("packed losses wrong")
+	}
+	if ld.Terms(1).FX != 2 {
+		t.Fatal("terms not carried")
+	}
+	if ld.MemoryBytes() != 8*20 {
+		t.Fatalf("MemoryBytes = %d", ld.MemoryBytes())
+	}
+}
+
+func TestLayerDenseErrors(t *testing.T) {
+	if _, err := BuildLayerDense(nil, 10); err == nil {
+		t.Fatal("empty layer accepted")
+	}
+	t1 := mustTable(t, []Record{{100, 1}})
+	if _, err := BuildLayerDense([]*Table{t1}, 10); err == nil {
+		t.Fatal("out-of-catalog table accepted")
+	}
+	if _, err := BuildLayerDense([]*Table{t1}, 0); err == nil {
+		t.Fatal("zero catalog accepted")
+	}
+}
+
+func TestMemoryBytesOrdering(t *testing.T) {
+	// For a sparse table, compact representations must be much smaller
+	// than the direct access table (the paper's trade-off).
+	tbl := randomTable(t, 5, 20000, 2000000)
+	d, err := NewDirect(tbl, 2000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSorted(tbl)
+	c := NewCuckoo(tbl)
+	if !(s.MemoryBytes() < d.MemoryBytes() && c.MemoryBytes() < d.MemoryBytes()) {
+		t.Fatalf("memory: direct=%d sorted=%d cuckoo=%d", d.MemoryBytes(), s.MemoryBytes(), c.MemoryBytes())
+	}
+	if d.MemoryBytes() != 16000000 {
+		t.Fatalf("direct = %d bytes, want 16MB for 2M events", d.MemoryBytes())
+	}
+}
+
+func benchLookup(b *testing.B, rep Lookup, catalogSize int) {
+	r := rng.New(1)
+	ids := make([]catalog.EventID, 1<<16)
+	for i := range ids {
+		ids[i] = catalog.EventID(r.Intn(catalogSize))
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += rep.Loss(ids[i&(1<<16-1)])
+	}
+	_ = sink
+}
+
+func BenchmarkLookupDirect(b *testing.B) {
+	tbl := randomTable(&testing.T{}, 9, 20000, 2000000)
+	d, _ := NewDirect(tbl, 2000000)
+	benchLookup(b, d, 2000000)
+}
+
+func BenchmarkLookupSorted(b *testing.B) {
+	tbl := randomTable(&testing.T{}, 9, 20000, 2000000)
+	benchLookup(b, NewSorted(tbl), 2000000)
+}
+
+func BenchmarkLookupHash(b *testing.B) {
+	tbl := randomTable(&testing.T{}, 9, 20000, 2000000)
+	benchLookup(b, NewHash(tbl), 2000000)
+}
+
+func BenchmarkLookupCuckoo(b *testing.B) {
+	tbl := randomTable(&testing.T{}, 9, 20000, 2000000)
+	benchLookup(b, NewCuckoo(tbl), 2000000)
+}

@@ -1,0 +1,63 @@
+package elt
+
+import (
+	"testing"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/financial"
+)
+
+// FuzzCuckoo drives the cuckoo table with arbitrary key sets and checks it
+// against the trivially correct map representation.
+func FuzzCuckoo(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint32(100))
+	f.Add([]byte{0}, uint32(1))
+	f.Add([]byte{255, 254, 253, 1, 1, 2}, uint32(1<<20))
+
+	f.Fuzz(func(t *testing.T, raw []byte, span uint32) {
+		if len(raw) == 0 {
+			return
+		}
+		if span == 0 {
+			span = 1
+		}
+		if span > 1<<24 {
+			span = 1 << 24
+		}
+		// Derive a deduplicated key set from the fuzz bytes.
+		want := map[catalog.EventID]float64{}
+		recs := make([]Record, 0, len(raw))
+		for i, b := range raw {
+			id := catalog.EventID((uint32(b) * 2654435761) % span)
+			if _, ok := want[id]; ok {
+				continue
+			}
+			loss := float64(i + 1)
+			want[id] = loss
+			recs = append(recs, Record{Event: id, Loss: loss})
+		}
+		tbl, err := New(0, financial.Default(), recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewCuckoo(tbl)
+		if c.Len() != len(want) {
+			t.Fatalf("cuckoo holds %d keys, want %d", c.Len(), len(want))
+		}
+		for id, loss := range want {
+			if got := c.Loss(id); got != loss {
+				t.Fatalf("Loss(%d) = %v, want %v", id, got, loss)
+			}
+		}
+		// A sample of absent keys must return 0.
+		for probe := uint32(0); probe < 64; probe++ {
+			id := catalog.EventID(probe % span)
+			if _, ok := want[id]; ok {
+				continue
+			}
+			if got := c.Loss(id); got != 0 {
+				t.Fatalf("absent Loss(%d) = %v", id, got)
+			}
+		}
+	})
+}

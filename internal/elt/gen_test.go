@@ -1,0 +1,176 @@
+package elt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/rng"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	tbl, err := Generate(3, GenConfig{Seed: 1, NumRecords: 5000, CatalogSize: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != 3 || tbl.Len() != 5000 {
+		t.Fatalf("ID=%d Len=%d", tbl.ID, tbl.Len())
+	}
+	seen := map[catalog.EventID]bool{}
+	var sum float64
+	for _, rec := range tbl.Records() {
+		if seen[rec.Event] {
+			t.Fatalf("duplicate event %d", rec.Event)
+		}
+		seen[rec.Event] = true
+		if int(rec.Event) >= 100000 {
+			t.Fatalf("event %d outside catalog", rec.Event)
+		}
+		if rec.Loss <= 0 {
+			t.Fatalf("non-positive loss %v", rec.Loss)
+		}
+		sum += rec.Loss
+	}
+	mean := sum / 5000
+	// Default MeanLoss 250k, heavy-tailed: loose band.
+	if mean < 100000 || mean > 600000 {
+		t.Fatalf("mean loss = %v, want ~250k", mean)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 5, NumRecords: 300, CatalogSize: 2000}
+	a, err := Generate(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records() {
+		if a.Records()[i] != b.Records()[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	c, err := Generate(2, cfg) // different ID -> different stream
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Records() {
+		if a.Records()[i].Loss == c.Records()[i].Loss {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("%d/300 identical losses across ELT IDs", same)
+	}
+}
+
+func TestGenerateDensePath(t *testing.T) {
+	// NumRecords*3 >= CatalogSize exercises the partial-shuffle branch.
+	tbl, err := Generate(1, GenConfig{Seed: 2, NumRecords: 90, CatalogSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 90 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	seen := map[catalog.EventID]bool{}
+	for _, rec := range tbl.Records() {
+		if seen[rec.Event] {
+			t.Fatal("dense sampling produced duplicates")
+		}
+		seen[rec.Event] = true
+	}
+}
+
+func TestGenerateFullCatalog(t *testing.T) {
+	tbl, err := Generate(1, GenConfig{Seed: 3, NumRecords: 64, CatalogSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 64 || int(tbl.MaxEvent()) != 63 {
+		t.Fatalf("full-catalog ELT: Len=%d Max=%d", tbl.Len(), tbl.MaxEvent())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(1, GenConfig{Seed: 1, NumRecords: 0, CatalogSize: 10}); !errors.Is(err, ErrGenSize) {
+		t.Errorf("zero records: %v", err)
+	}
+	if _, err := Generate(1, GenConfig{Seed: 1, NumRecords: 11, CatalogSize: 10}); !errors.Is(err, ErrGenSize) {
+		t.Errorf("records > catalog: %v", err)
+	}
+}
+
+func TestGenerateCustomTerms(t *testing.T) {
+	terms := financial.Terms{FX: 1.3, EventRetention: 10, EventLimit: 1e9, Participation: 0.4}
+	tbl, err := Generate(1, GenConfig{Seed: 4, NumRecords: 10, CatalogSize: 100, Terms: terms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Terms != terms {
+		t.Fatalf("terms = %+v", tbl.Terms)
+	}
+}
+
+func TestGenerateMeanLossOverride(t *testing.T) {
+	tbl, err := Generate(1, GenConfig{Seed: 6, NumRecords: 20000, CatalogSize: 100000,
+		MeanLoss: 1e6, LossCV: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, rec := range tbl.Records() {
+		sum += rec.Loss
+	}
+	mean := sum / float64(tbl.Len())
+	if math.Abs(mean-1e6)/1e6 > 0.02 {
+		t.Fatalf("mean = %v, want ~1e6 at cv 0.1", mean)
+	}
+}
+
+func TestSampleDistinctProperties(t *testing.T) {
+	r := rng.New(9)
+	for _, tc := range []struct{ k, n int }{
+		{1, 1}, {5, 10}, {100, 10000}, {999, 1000}, {1000, 1000},
+	} {
+		ids := sampleDistinct(r, tc.k, tc.n)
+		if len(ids) != tc.k {
+			t.Fatalf("k=%d n=%d: got %d ids", tc.k, tc.n, len(ids))
+		}
+		seen := map[int]bool{}
+		for _, id := range ids {
+			if id < 0 || id >= tc.n || seen[id] {
+				t.Fatalf("k=%d n=%d: invalid/duplicate id %d", tc.k, tc.n, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestHashMemoryBytes(t *testing.T) {
+	tbl := mustTable(t, []Record{{1, 10}, {2, 20}})
+	h := NewHash(tbl)
+	if h.MemoryBytes() != 64 {
+		t.Fatalf("MemoryBytes = %d", h.MemoryBytes())
+	}
+}
+
+func TestCuckooGrowthUnderLoad(t *testing.T) {
+	// Enough keys to force rehash/growth cycles inside the cuckoo table.
+	tbl := randomTable(t, 77, 120000, 1<<22)
+	c := NewCuckoo(tbl)
+	if c.Len() != tbl.Len() {
+		t.Fatalf("Len = %d, want %d", c.Len(), tbl.Len())
+	}
+	for _, rec := range tbl.Records() {
+		if c.Loss(rec.Event) != rec.Loss {
+			t.Fatalf("lost key %d after growth", rec.Event)
+		}
+	}
+}

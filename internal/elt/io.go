@@ -1,0 +1,152 @@
+package elt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/financial"
+)
+
+// Binary serialisation for Event Loss Tables, mirroring the YET format so
+// generated data can be staged once and reused across runs. Format:
+//
+//	magic   "ELTB"          4 bytes
+//	version uint32          little endian
+//	id      uint32
+//	terms   4 x float64     FX, event retention, event limit, participation
+//	numRecords uint64
+//	records numRecords x { event uint32, pad uint32, loss float64 }
+//
+// Records are written sorted by event ID (the Table invariant) and the
+// reader verifies ordering, making corruption detectable.
+
+const (
+	eltMagic   = "ELTB"
+	eltVersion = 1
+)
+
+// Serialisation errors.
+var (
+	ErrBadELTMagic   = errors.New("elt: bad magic (not an ELT file)")
+	ErrBadELTVersion = errors.New("elt: unsupported version")
+	ErrCorruptELT    = errors.New("elt: corrupt table data")
+)
+
+// WriteTo serialises the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<18)
+	var n int64
+	if _, err := bw.WriteString(eltMagic); err != nil {
+		return n, err
+	}
+	n += 4
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(uint32(eltVersion)); err != nil {
+		return n, err
+	}
+	if err := write(t.ID); err != nil {
+		return n, err
+	}
+	for _, f := range []float64{t.Terms.FX, t.Terms.EventRetention, t.Terms.EventLimit, t.Terms.Participation} {
+		if err := write(math.Float64bits(f)); err != nil {
+			return n, err
+		}
+	}
+	if err := write(uint64(len(t.records))); err != nil {
+		return n, err
+	}
+	for _, rec := range t.records {
+		if err := write(uint32(rec.Event)); err != nil {
+			return n, err
+		}
+		if err := write(uint32(0)); err != nil {
+			return n, err
+		}
+		if err := write(math.Float64bits(rec.Loss)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTable deserialises a table written by WriteTo, re-validating all
+// invariants (terms, ordering, loss ranges).
+func ReadTable(rd io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(rd, 1<<18)
+	var mg [4]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadELTMagic, err)
+	}
+	if string(mg[:]) != eltMagic {
+		return nil, ErrBadELTMagic
+	}
+	var ver, id uint32
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptELT, err)
+	}
+	if ver != eltVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadELTVersion, ver)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptELT, err)
+	}
+	var raw [4]uint64
+	for i := range raw {
+		if err := binary.Read(br, binary.LittleEndian, &raw[i]); err != nil {
+			return nil, fmt.Errorf("%w: terms: %v", ErrCorruptELT, err)
+		}
+	}
+	terms := financial.Terms{
+		FX:             math.Float64frombits(raw[0]),
+		EventRetention: math.Float64frombits(raw[1]),
+		EventLimit:     math.Float64frombits(raw[2]),
+		Participation:  math.Float64frombits(raw[3]),
+	}
+	var numRecords uint64
+	if err := binary.Read(br, binary.LittleEndian, &numRecords); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptELT, err)
+	}
+	if numRecords == 0 || numRecords >= 1<<33 {
+		return nil, fmt.Errorf("%w: implausible record count %d", ErrCorruptELT, numRecords)
+	}
+	const preallocCap = 1 << 20
+	records := make([]Record, 0, min64u(numRecords, preallocCap))
+	var rec [16]byte
+	prevSet := false
+	var prev catalog.EventID
+	for i := uint64(0); i < numRecords; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrCorruptELT, i, err)
+		}
+		ev := catalog.EventID(binary.LittleEndian.Uint32(rec[0:4]))
+		loss := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16]))
+		if prevSet && ev <= prev {
+			return nil, fmt.Errorf("%w: records not strictly ordered at %d", ErrCorruptELT, i)
+		}
+		prev, prevSet = ev, true
+		records = append(records, Record{Event: ev, Loss: loss})
+	}
+	t, err := New(id, terms, records)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptELT, err)
+	}
+	return t, nil
+}
+
+func min64u(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

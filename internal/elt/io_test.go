@@ -1,0 +1,130 @@
+package elt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/ralab/are/internal/financial"
+)
+
+func TestELTRoundTrip(t *testing.T) {
+	orig, err := Generate(42, GenConfig{
+		Seed: 1, NumRecords: 5000, CatalogSize: 100000,
+		Terms: financial.Terms{FX: 1.3, EventRetention: 100, EventLimit: financial.Unlimited, Participation: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || got.Terms != orig.Terms || got.Len() != orig.Len() {
+		t.Fatalf("header mismatch: %+v vs %+v", got, orig)
+	}
+	for i := range orig.Records() {
+		if orig.Records()[i] != got.Records()[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestELTRoundTripPreservesInfLimit(t *testing.T) {
+	orig := mustTable(t, []Record{{1, 10}, {5, 50}})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Terms != financial.Default() {
+		t.Fatalf("terms = %+v", got.Terms)
+	}
+}
+
+func TestReadTableRejectsGarbage(t *testing.T) {
+	if _, err := ReadTable(bytes.NewReader([]byte("YETB0000"))); !errors.Is(err, ErrBadELTMagic) {
+		t.Errorf("wrong magic: %v", err)
+	}
+	if _, err := ReadTable(bytes.NewReader(nil)); !errors.Is(err, ErrBadELTMagic) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestReadTableRejectsBadVersion(t *testing.T) {
+	orig := mustTable(t, []Record{{1, 10}})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 9
+	if _, err := ReadTable(bytes.NewReader(data)); !errors.Is(err, ErrBadELTVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadTableRejectsTruncation(t *testing.T) {
+	orig := mustTable(t, []Record{{1, 10}, {2, 20}, {3, 30}})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) - 1, len(data) / 2, 10} {
+		if _, err := ReadTable(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadTableRejectsUnorderedRecords(t *testing.T) {
+	orig := mustTable(t, []Record{{1, 10}, {2, 20}})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Record block starts after 4+4+4+32+8 = 52 bytes; swap the two
+	// event IDs to break ordering.
+	data[52], data[52+16] = data[52+16], data[52]
+	if _, err := ReadTable(bytes.NewReader(data)); !errors.Is(err, ErrCorruptELT) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// FuzzReadTable: arbitrary bytes must never panic or over-allocate, and
+// accepted tables must satisfy the Table invariants.
+func FuzzReadTable(f *testing.F) {
+	orig := &Table{}
+	tbl, err := Generate(1, GenConfig{Seed: 1, NumRecords: 20, CatalogSize: 100})
+	if err != nil {
+		f.Fatal(err)
+	}
+	orig = tbl
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("ELTB"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTable(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		recs := got.Records()
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Event <= recs[i-1].Event {
+				t.Fatal("accepted table unordered")
+			}
+		}
+	})
+}

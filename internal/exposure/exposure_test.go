@@ -1,0 +1,111 @@
+package exposure
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	s, err := Generate(3, Config{Seed: 1, NumBuildings: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != 3 || len(s.Buildings) != 5000 {
+		t.Fatalf("ID=%d len=%d", s.ID, len(s.Buildings))
+	}
+	if s.Currency != "USD" || s.Name == "" {
+		t.Fatalf("defaults not applied: %q %q", s.Currency, s.Name)
+	}
+	for _, b := range s.Buildings {
+		if b.X < 0 || b.X > 1000 || b.Y < 0 || b.Y > 1000 {
+			t.Fatalf("building %d outside plane: (%v,%v)", b.ID, b.X, b.Y)
+		}
+		if b.TIV <= 0 {
+			t.Fatalf("building %d TIV %v", b.ID, b.TIV)
+		}
+		if b.Deductible < 0 || b.Deductible > b.TIV {
+			t.Fatalf("building %d deductible %v of TIV %v", b.ID, b.Deductible, b.TIV)
+		}
+		if b.Limit <= 0 || b.Limit > b.TIV {
+			t.Fatalf("building %d limit %v of TIV %v", b.ID, b.Limit, b.TIV)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(1, Config{Seed: 5, NumBuildings: 100})
+	b, _ := Generate(1, Config{Seed: 5, NumBuildings: 100})
+	for i := range a.Buildings {
+		if a.Buildings[i] != b.Buildings[i] {
+			t.Fatalf("building %d differs across identical generations", i)
+		}
+	}
+}
+
+func TestGenerateDistinctIDsDiffer(t *testing.T) {
+	a, _ := Generate(1, Config{Seed: 5, NumBuildings: 100})
+	b, _ := Generate(2, Config{Seed: 5, NumBuildings: 100})
+	same := 0
+	for i := range a.Buildings {
+		if a.Buildings[i].X == b.Buildings[i].X {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d/100 buildings identical across set IDs", same)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(1, Config{Seed: 1}); !errors.Is(err, ErrNoBuildings) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTotalTIV(t *testing.T) {
+	s, err := Generate(1, Config{Seed: 2, NumBuildings: 1000, MeanTIV: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := s.TotalTIV()
+	// Lognormal mean 1e6 over 1000 buildings: total should be within a
+	// loose band around 1e9.
+	if tot < 3e8 || tot > 3e9 {
+		t.Fatalf("TotalTIV = %v, want ~1e9", tot)
+	}
+}
+
+func TestClassCoverage(t *testing.T) {
+	s, err := Generate(1, Config{Seed: 3, NumBuildings: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := map[Construction]int{}
+	occ := map[Occupancy]int{}
+	for _, b := range s.Buildings {
+		cons[b.Construction]++
+		occ[b.Occupancy]++
+	}
+	for _, c := range Constructions() {
+		if cons[c] < 500 {
+			t.Errorf("construction %v underrepresented: %d", c, cons[c])
+		}
+	}
+	for _, o := range []Occupancy{Residential, Commercial, Industrial} {
+		if occ[o] < 1000 {
+			t.Errorf("occupancy %v underrepresented: %d", o, occ[o])
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if LightFrame.String() != "light-frame" || SteelFrame.String() != "steel-frame" {
+		t.Error("construction names wrong")
+	}
+	if Construction(99).String() != "construction(99)" {
+		t.Error("unknown construction name wrong")
+	}
+	if Residential.String() != "residential" || Occupancy(99).String() != "occupancy(99)" {
+		t.Error("occupancy names wrong")
+	}
+}

@@ -1,0 +1,83 @@
+// Package financial implements the ELT-level financial terms I of the
+// paper (§II.A): metadata attached to each Event Loss Table that is applied
+// to every individual event loss drawn from that table — currency
+// conversion, the reinsurer's participation share, and per-event
+// retention/limit applied at the ELT level before losses are combined
+// across the layer's ELTs.
+package financial
+
+import (
+	"errors"
+	"math"
+)
+
+// Terms is the tuple I = (I1, I2, ...) of financial terms carried by an
+// ELT. Every event loss li taken from the ELT is transformed as
+//
+//	loss = min(max(li*FX - EventRetention, 0), EventLimit) * Participation
+//
+// mirroring the order in which production systems apply currency
+// conversion, event-level excess-of-loss terms, and share.
+type Terms struct {
+	// FX converts the ELT's native currency into the portfolio base
+	// currency. 1 means the ELT is already in base currency.
+	FX float64
+
+	// EventRetention is the per-event deductible in base currency.
+	EventRetention float64
+
+	// EventLimit is the per-event limit in base currency. Use
+	// math.Inf(1) (or Unlimited) for no limit.
+	EventLimit float64
+
+	// Participation is the share of each loss assumed, in (0, 1].
+	Participation float64
+}
+
+// Unlimited is a convenience value for EventLimit meaning "no limit".
+var Unlimited = math.Inf(1)
+
+// Default returns pass-through terms: FX 1, no retention, no limit, full
+// participation.
+func Default() Terms {
+	return Terms{FX: 1, EventRetention: 0, EventLimit: Unlimited, Participation: 1}
+}
+
+// Validation errors.
+var (
+	ErrBadFX            = errors.New("financial: FX must be finite and > 0")
+	ErrBadRetention     = errors.New("financial: EventRetention must be finite and >= 0")
+	ErrBadLimit         = errors.New("financial: EventLimit must be > 0 (may be +Inf)")
+	ErrBadParticipation = errors.New("financial: Participation must be in (0, 1]")
+)
+
+// Validate reports whether the terms are well formed.
+func (t Terms) Validate() error {
+	if !(t.FX > 0) || math.IsInf(t.FX, 0) || math.IsNaN(t.FX) {
+		return ErrBadFX
+	}
+	if t.EventRetention < 0 || math.IsInf(t.EventRetention, 0) || math.IsNaN(t.EventRetention) {
+		return ErrBadRetention
+	}
+	if !(t.EventLimit > 0) || math.IsNaN(t.EventLimit) {
+		return ErrBadLimit
+	}
+	if !(t.Participation > 0) || t.Participation > 1 {
+		return ErrBadParticipation
+	}
+	return nil
+}
+
+// Apply transforms a single event loss according to the terms. Zero input
+// always maps to zero output, so sparse representations may skip absent
+// events entirely.
+func (t Terms) Apply(loss float64) float64 {
+	l := loss*t.FX - t.EventRetention
+	if l <= 0 {
+		return 0
+	}
+	if l > t.EventLimit {
+		l = t.EventLimit
+	}
+	return l * t.Participation
+}

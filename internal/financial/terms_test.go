@@ -1,0 +1,116 @@
+package financial
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultIsIdentity(t *testing.T) {
+	d := Default()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Default invalid: %v", err)
+	}
+	for _, loss := range []float64{0, 1, 1000, 1e9} {
+		if got := d.Apply(loss); got != loss {
+			t.Errorf("Default.Apply(%v) = %v", loss, got)
+		}
+	}
+}
+
+func TestApplyRetention(t *testing.T) {
+	terms := Terms{FX: 1, EventRetention: 100, EventLimit: Unlimited, Participation: 1}
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {50, 0}, {100, 0}, {101, 1}, {600, 500},
+	}
+	for _, c := range cases {
+		if got := terms.Apply(c.in); got != c.want {
+			t.Errorf("Apply(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestApplyLimit(t *testing.T) {
+	terms := Terms{FX: 1, EventRetention: 0, EventLimit: 250, Participation: 1}
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {100, 100}, {250, 250}, {1000, 250},
+	}
+	for _, c := range cases {
+		if got := terms.Apply(c.in); got != c.want {
+			t.Errorf("Apply(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestApplyFXAndParticipation(t *testing.T) {
+	terms := Terms{FX: 2, EventRetention: 10, EventLimit: 100, Participation: 0.5}
+	// loss 30 -> 60 gross, -10 = 50, under limit, *0.5 = 25
+	if got := terms.Apply(30); got != 25 {
+		t.Errorf("Apply(30) = %v, want 25", got)
+	}
+	// loss 100 -> 200, -10 = 190, capped 100, *0.5 = 50
+	if got := terms.Apply(100); got != 50 {
+		t.Errorf("Apply(100) = %v, want 50", got)
+	}
+}
+
+func TestApplyZeroMapsToZero(t *testing.T) {
+	terms := Terms{FX: 3.5, EventRetention: 7, EventLimit: 100, Participation: 0.25}
+	if got := terms.Apply(0); got != 0 {
+		t.Errorf("Apply(0) = %v, want 0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		terms Terms
+		want  error
+	}{
+		{"default ok", Default(), nil},
+		{"zero fx", Terms{FX: 0, EventLimit: 1, Participation: 1}, ErrBadFX},
+		{"negative fx", Terms{FX: -1, EventLimit: 1, Participation: 1}, ErrBadFX},
+		{"nan fx", Terms{FX: math.NaN(), EventLimit: 1, Participation: 1}, ErrBadFX},
+		{"inf fx", Terms{FX: math.Inf(1), EventLimit: 1, Participation: 1}, ErrBadFX},
+		{"negative retention", Terms{FX: 1, EventRetention: -5, EventLimit: 1, Participation: 1}, ErrBadRetention},
+		{"inf retention", Terms{FX: 1, EventRetention: math.Inf(1), EventLimit: 1, Participation: 1}, ErrBadRetention},
+		{"zero limit", Terms{FX: 1, EventLimit: 0, Participation: 1}, ErrBadLimit},
+		{"nan limit", Terms{FX: 1, EventLimit: math.NaN(), Participation: 1}, ErrBadLimit},
+		{"inf limit ok", Terms{FX: 1, EventLimit: Unlimited, Participation: 1}, nil},
+		{"zero participation", Terms{FX: 1, EventLimit: 1, Participation: 0}, ErrBadParticipation},
+		{"participation above one", Terms{FX: 1, EventLimit: 1, Participation: 1.5}, ErrBadParticipation},
+	}
+	for _, c := range cases {
+		if got := c.terms.Validate(); got != c.want {
+			t.Errorf("%s: Validate() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// Property: Apply is monotone non-decreasing in the input loss.
+func TestQuickApplyMonotone(t *testing.T) {
+	terms := Terms{FX: 1.3, EventRetention: 50, EventLimit: 10000, Participation: 0.7}
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		return terms.Apply(a) <= terms.Apply(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: output bounded by EventLimit * Participation and never
+// negative.
+func TestQuickApplyBounds(t *testing.T) {
+	terms := Terms{FX: 2, EventRetention: 10, EventLimit: 500, Participation: 0.6}
+	f := func(loss float64) bool {
+		out := terms.Apply(math.Abs(loss))
+		return out >= 0 && out <= 500*0.6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package gpusim
+
+import "math"
+
+// Device describes a CUDA-class many-core processor for the cost model.
+type Device struct {
+	Name    string
+	ClockHz float64
+
+	NumSMs          int // streaming multiprocessors
+	WarpSize        int
+	MaxThreadsPerSM int
+	MaxBlocksPerSM  int
+	SharedMemPerSM  int // bytes
+
+	// GlobalLatency and SharedLatency are access latencies in cycles.
+	GlobalLatency float64
+	SharedLatency float64
+
+	// Issue costs in SM-cycles per warp-wide operation, derived from
+	// sustainable bandwidth: a warp-wide random read touches 32
+	// scattered 32-byte segments (mostly wasted), a coalesced access a
+	// handful of contiguous segments, a shared access none.
+	RandIssue   float64
+	CoalIssue   float64
+	SharedIssue float64
+
+	// MaxMLP caps the per-thread memory-level parallelism the chunked
+	// kernel exposes by batching a chunk's independent loads.
+	MaxMLP float64
+
+	// BytesPerChunkSlot is the shared memory each chunk slot consumes
+	// per thread in the optimised kernel (staged occurrence, lx and lox
+	// accumulators, and reduction scratch).
+	BytesPerChunkSlot int
+
+	// ChunkSyncCycles and ChunkELTCycles model the per-chunk-iteration
+	// overhead (barrier + loop) and its per-ELT component (terms reload,
+	// pointer arithmetic).
+	ChunkSyncCycles float64
+	ChunkELTCycles  float64
+}
+
+// TeslaC2075 returns the model of the paper's GPU platform: 14 SMs x 32
+// lanes (448 cores), 1.15 GHz, 48 KB shared memory per SM (Fermi).
+func TeslaC2075() Device {
+	return Device{
+		Name:              "Tesla C2075 (model)",
+		ClockHz:           1.15e9,
+		NumSMs:            14,
+		WarpSize:          32,
+		MaxThreadsPerSM:   1536,
+		MaxBlocksPerSM:    8,
+		SharedMemPerSM:    48 * 1024,
+		GlobalLatency:     800,
+		SharedLatency:     16,
+		RandIssue:         822, // 32 transactions x ~25.7 cycles sustainable random
+		CoalIssue:         100, // 8 transactions x ~12.5 cycles streaming
+		SharedIssue:       4,
+		MaxMLP:            8,
+		BytesPerChunkSlot: 64,
+		ChunkSyncCycles:   800,
+		ChunkELTCycles:    30,
+	}
+}
+
+// Kernel selects the GPU execution configuration.
+type Kernel struct {
+	// ThreadsPerBlock is the CUDA block size (a multiple of the warp
+	// size).
+	ThreadsPerBlock int
+	// ChunkSize selects the optimised kernel when > 0: events are
+	// processed in blocks of this size through shared memory. 0 runs
+	// the basic kernel with intermediates in global memory.
+	ChunkSize int
+}
+
+// Estimate is the model output.
+type Estimate struct {
+	Seconds float64
+
+	// Occupancy diagnostics.
+	BlocksPerSM int
+	ActiveWarps int
+	Waves       int
+
+	// SpillFraction is the share of intermediate traffic that overflowed
+	// shared memory to global memory (optimised kernel only).
+	SpillFraction float64
+
+	// Shares of total issue cycles by class, for breakdown reporting.
+	LookupShare, IntermediateShare, FetchShare, ComputeShare float64
+}
+
+// SimulateGPU estimates the kernel's execution time on the device.
+func SimulateGPU(d Device, w Workload, k Kernel) (Estimate, error) {
+	if err := w.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if k.ThreadsPerBlock <= 0 || k.ThreadsPerBlock%d.WarpSize != 0 {
+		return Estimate{}, ErrBadKernel
+	}
+	ops := countOps(w)
+	chunked := k.ChunkSize > 0
+
+	// ----- occupancy -------------------------------------------------
+	blocks := d.MaxBlocksPerSM
+	if byThreads := d.MaxThreadsPerSM / k.ThreadsPerBlock; byThreads < blocks {
+		blocks = byThreads
+	}
+	spill := 0.0
+	if chunked {
+		sharedPerBlock := k.ThreadsPerBlock * k.ChunkSize * d.BytesPerChunkSlot
+		if sharedPerBlock > d.SharedMemPerSM {
+			// The kernel caps its shared allocation at capacity and
+			// spills the remaining chunk slots to (slow) global
+			// memory — the paper's "shared memory overflow handled by
+			// the slow global memory".
+			slots := d.SharedMemPerSM / (k.ThreadsPerBlock * d.BytesPerChunkSlot)
+			if slots < 1 {
+				return Estimate{}, ErrNoOccupancy
+			}
+			spill = float64(k.ChunkSize-slots) / float64(k.ChunkSize)
+			blocks = 1
+		} else if byShared := d.SharedMemPerSM / sharedPerBlock; byShared < blocks {
+			blocks = byShared
+		}
+	}
+	if blocks < 1 {
+		return Estimate{}, ErrNoOccupancy
+	}
+	warpsPerBlock := k.ThreadsPerBlock / d.WarpSize
+	activeWarps := blocks * warpsPerBlock
+
+	// ----- per-warp cycle counts (one layer-trial per thread) --------
+	layers := float64(w.Layers)
+
+	// Issue (throughput) cycles.
+	sharedOps, globalIntOps := 0.0, ops.intermediate
+	if chunked {
+		sharedOps = ops.intermediate * (1 - spill)
+		globalIntOps = ops.intermediate * spill
+	}
+	intIssue := globalIntOps * d.CoalIssue
+	if chunked && spill > 0 {
+		// Spilled chunk slots live in per-thread local memory whose
+		// access pattern is scattered across the warp.
+		intIssue = globalIntOps * d.RandIssue
+	}
+	// Batching a chunk's independent lookups keeps more requests in
+	// flight at the memory controller, modestly raising achieved random
+	// bandwidth; the effect saturates after a handful of outstanding
+	// requests.
+	randIssue := d.RandIssue
+	if chunked && k.ChunkSize > 1 {
+		batch := math.Min(float64(k.ChunkSize), 4)
+		randIssue /= 1 + 0.33*(1-1/batch)
+	}
+	lookupIssue := ops.lookup * randIssue
+	fetchIssue := ops.fetch * d.CoalIssue
+	sharedIssue := sharedOps * d.SharedIssue
+	computeIssue := ops.compute
+	overheadIssue := 0.0
+	if chunked {
+		iters := math.Ceil(float64(w.EventsPerTrial) / float64(k.ChunkSize))
+		overheadIssue = iters * (d.ChunkSyncCycles + d.ChunkELTCycles*float64(w.ELTsPerLayer))
+	}
+	issuePerWarp := layers * (lookupIssue + fetchIssue + intIssue + sharedIssue + computeIssue + overheadIssue)
+
+	// Latency chain: the serial dependent-access time of a single warp,
+	// paid once per wave of resident warps. The chunked kernel batches
+	// a chunk's independent lookups, raising memory-level parallelism.
+	mlp := 2.0
+	if chunked {
+		mlp = math.Min(float64(k.ChunkSize), d.MaxMLP)
+		if mlp < 1 {
+			mlp = 1
+		}
+	}
+	latChain := layers * (ops.lookup*d.GlobalLatency/mlp +
+		(ops.fetch+globalIntOps)*d.GlobalLatency/8 + // streamed, prefetch-friendly
+		sharedOps*d.SharedLatency)
+
+	// ----- schedule ---------------------------------------------------
+	totalWarps := ceilDiv(w.Trials, d.WarpSize)
+	warpsPerSM := ceilDiv(totalWarps, d.NumSMs)
+	waves := ceilDiv(warpsPerSM, activeWarps)
+
+	totalCycles := float64(waves)*latChain + float64(warpsPerSM)*issuePerWarp
+	est := Estimate{
+		Seconds:       totalCycles / d.ClockHz,
+		BlocksPerSM:   blocks,
+		ActiveWarps:   activeWarps,
+		Waves:         waves,
+		SpillFraction: spill,
+	}
+	tot := lookupIssue + fetchIssue + intIssue + sharedIssue + computeIssue + overheadIssue
+	if tot > 0 {
+		est.LookupShare = lookupIssue / tot
+		est.IntermediateShare = (intIssue + sharedIssue) / tot
+		est.FetchShare = fetchIssue / tot
+		est.ComputeShare = (computeIssue + overheadIssue) / tot
+	}
+	return est, nil
+}
+
+// MaxThreadsForChunk returns the largest launchable block size (multiple
+// of the warp size) whose shared-memory request fits the SM at the given
+// chunk size — the constraint behind the paper's "with a chunk size of 4
+// the maximum number of threads that can be supported is 192".
+func MaxThreadsForChunk(d Device, chunk int) int {
+	if chunk <= 0 {
+		return d.MaxThreadsPerSM
+	}
+	maxThreads := d.SharedMemPerSM / (chunk * d.BytesPerChunkSlot)
+	return (maxThreads / d.WarpSize) * d.WarpSize
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

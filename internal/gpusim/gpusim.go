@@ -1,0 +1,82 @@
+// Package gpusim is an analytical performance model of the hardware the
+// paper evaluates on — a NVIDIA Tesla C2075 many-core GPU and an Intel
+// i7-2600 multi-core CPU — executing the aggregate risk analysis kernels.
+//
+// The paper's GPU figures (4, 5a, 5b, 6a) are driven by first-order
+// hardware effects: occupancy (resident warps per streaming
+// multiprocessor), global-memory latency and bandwidth for the random ELT
+// lookups, shared-memory capacity for the chunked intermediates, and the
+// spill to global memory when a chunk no longer fits. This package counts
+// the memory transactions and cycles each kernel issues — the same
+// operations the real kernels perform — and combines them with an
+// additive latency+throughput pipeline model:
+//
+//	time = waves x latencyChain + warpsPerSM x issueCycles
+//
+// so the characteristic shapes (threads-per-block optimum, chunk-size
+// plateau and cliff, basic-vs-optimised gap) emerge from capacity and
+// bandwidth arithmetic rather than curve fitting. The CPU model uses a
+// memory-contention saturation law for multi-core scaling.
+//
+// Absolute constants are calibrated once against the paper's published
+// end-to-end times (38.47 s basic, 22.72 s optimised, ~123 s sequential
+// CPU for the 1M-trial workload); everything else is emergent.
+package gpusim
+
+import "errors"
+
+// Workload is the aggregate-analysis problem size.
+type Workload struct {
+	Trials         int // |T|
+	EventsPerTrial int // |Et|av
+	ELTsPerLayer   int // |ELT|av
+	Layers         int // |L|
+}
+
+// Validate reports whether all dimensions are positive.
+func (w Workload) Validate() error {
+	if w.Trials <= 0 || w.EventsPerTrial <= 0 || w.ELTsPerLayer <= 0 || w.Layers <= 0 {
+		return ErrBadWorkload
+	}
+	return nil
+}
+
+// PaperWorkload is the fixed large input used throughout the paper's
+// evaluation: 1 million trials of 1000 events against one layer of 15
+// ELTs.
+func PaperWorkload() Workload {
+	return Workload{Trials: 1_000_000, EventsPerTrial: 1000, ELTsPerLayer: 15, Layers: 1}
+}
+
+// Model errors.
+var (
+	ErrBadWorkload = errors.New("gpusim: workload dimensions must be positive")
+	ErrBadKernel   = errors.New("gpusim: ThreadsPerBlock must be a positive multiple of the warp size")
+	ErrNoOccupancy = errors.New("gpusim: kernel cannot launch (zero occupancy)")
+)
+
+// opCounts are the per-thread (per-trial, per-layer) operation counts the
+// kernels issue. They follow the algorithm's structure (§II.B):
+// one coalesced fetch per occurrence, one random lookup per
+// (occurrence, ELT), and the intermediate lx/lox traffic of the financial
+// and layer term steps.
+type opCounts struct {
+	fetch        float64 // coalesced global reads of trial occurrences
+	lookup       float64 // random global reads into direct access tables
+	intermediate float64 // lx/lox reads+writes (global in basic, shared in optimised)
+	compute      float64 // arithmetic cycles
+}
+
+func countOps(w Workload) opCounts {
+	n := float64(w.EventsPerTrial)
+	l := float64(w.ELTsPerLayer)
+	return opCounts{
+		fetch:  n,
+		lookup: n * l,
+		// Financial terms: write lx, read it back, apply, accumulate
+		// into lox (4 ops per event-ELT pair); occurrence/cumulative/
+		// aggregate/difference/reduction passes: ~12 ops per event.
+		intermediate: 4*n*l + 12*n,
+		compute:      4*n*l + 12*n,
+	}
+}

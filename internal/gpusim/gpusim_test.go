@@ -1,0 +1,337 @@
+package gpusim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The shape assertions below encode the paper's published findings; the
+// model must reproduce them from capacity/bandwidth arithmetic.
+
+func TestCPUSequentialNearPaper(t *testing.T) {
+	e, err := SimulateCPU(Corei7_2600(), PaperWorkload(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig 6a implies ~123 s sequential for the 1M-trial workload.
+	if e.Seconds < 100 || e.Seconds > 150 {
+		t.Fatalf("sequential CPU = %.1fs, want ~123s", e.Seconds)
+	}
+	// Paper Fig 6b: ~78% of time in ELT lookup.
+	if e.LookupShare < 0.70 || e.LookupShare > 0.85 {
+		t.Fatalf("lookup share = %.2f, want ~0.78", e.LookupShare)
+	}
+}
+
+func TestCPUMulticoreSpeedupsNearPaper(t *testing.T) {
+	c, w := Corei7_2600(), PaperWorkload()
+	want := map[int][2]float64{ // core count -> [lo, hi] speedup band
+		2: {1.3, 1.8}, // paper: 1.5x
+		4: {1.9, 2.5}, // paper: 2.2x
+		8: {2.3, 3.1}, // paper: 2.6x
+	}
+	for p, band := range want {
+		e, err := SimulateCPU(c, w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Speedup < band[0] || e.Speedup > band[1] {
+			t.Errorf("speedup at %d cores = %.2f, want in [%.1f, %.1f]", p, e.Speedup, band[0], band[1])
+		}
+	}
+}
+
+func TestCPUSpeedupMonotoneButSublinear(t *testing.T) {
+	c, w := Corei7_2600(), PaperWorkload()
+	prev := 0.0
+	for p := 1; p <= 8; p++ {
+		e, err := SimulateCPU(c, w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Speedup <= prev {
+			t.Fatalf("speedup not monotone at %d cores", p)
+		}
+		if p > 1 && e.Speedup >= float64(p) {
+			t.Fatalf("speedup at %d cores = %.2f is not sublinear (memory-bound workload)", p, e.Speedup)
+		}
+		prev = e.Speedup
+	}
+}
+
+func TestCPUOversubscriptionShape(t *testing.T) {
+	// Paper Fig 3b: 135s -> 125s (~7%) by 256 threads/core, diminishing
+	// beyond.
+	c, w := Corei7_2600(), PaperWorkload()
+	base, _ := SimulateCPUOversubscribed(c, w, 8, 1)
+	at256, _ := SimulateCPUOversubscribed(c, w, 8, 256)
+	at4096, _ := SimulateCPUOversubscribed(c, w, 8, 4096)
+	gain := 1 - at256.Seconds/base.Seconds
+	if gain < 0.04 || gain > 0.12 {
+		t.Fatalf("oversubscription gain at 256 thr/core = %.1f%%, want ~7%%", gain*100)
+	}
+	if at4096.Seconds <= at256.Seconds {
+		t.Fatalf("no diminishing returns beyond saturation: %.1fs vs %.1fs", at4096.Seconds, at256.Seconds)
+	}
+}
+
+func TestCPUClampsCores(t *testing.T) {
+	c, w := Corei7_2600(), PaperWorkload()
+	at8, _ := SimulateCPU(c, w, 8)
+	at99, _ := SimulateCPU(c, w, 99)
+	at0, _ := SimulateCPU(c, w, 0)
+	at1, _ := SimulateCPU(c, w, 1)
+	if at99.Seconds != at8.Seconds {
+		t.Error("cores not clamped to maximum")
+	}
+	if at0.Seconds != at1.Seconds {
+		t.Error("cores not clamped to minimum")
+	}
+}
+
+func TestGPUBasicNearPaper(t *testing.T) {
+	// Paper: basic GPU, best configuration, 38.47s.
+	e, err := SimulateGPU(TeslaC2075(), PaperWorkload(), Kernel{ThreadsPerBlock: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seconds < 30 || e.Seconds > 48 {
+		t.Fatalf("basic GPU = %.2fs, want ~38.5s", e.Seconds)
+	}
+}
+
+func TestGPUOptimisedNearPaper(t *testing.T) {
+	// Paper: optimised GPU, chunk 4, 22.72s — a ~1.7x improvement.
+	d, w := TeslaC2075(), PaperWorkload()
+	basic, _ := SimulateGPU(d, w, Kernel{ThreadsPerBlock: 256})
+	opt, err := SimulateGPU(d, w, Kernel{ThreadsPerBlock: 64, ChunkSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Seconds < 18 || opt.Seconds > 28 {
+		t.Fatalf("optimised GPU = %.2fs, want ~22.7s", opt.Seconds)
+	}
+	ratio := basic.Seconds / opt.Seconds
+	if ratio < 1.4 || ratio > 2.1 {
+		t.Fatalf("basic/optimised ratio = %.2f, want ~1.7", ratio)
+	}
+}
+
+func TestGPUThreadsPerBlockShape(t *testing.T) {
+	// Paper Fig 4: 128 threads/block is worse than 256; beyond 256 the
+	// improvements diminish greatly (no configuration beats 256 by much).
+	d, w := TeslaC2075(), PaperWorkload()
+	at := func(b int) float64 {
+		e, err := SimulateGPU(d, w, Kernel{ThreadsPerBlock: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Seconds
+	}
+	t128, t256 := at(128), at(256)
+	if t128 <= t256 {
+		t.Fatalf("128 thr/blk (%.2fs) not slower than 256 (%.2fs)", t128, t256)
+	}
+	for _, b := range []int{320, 384, 448, 512, 576, 640} {
+		if tb := at(b); tb < t256*0.98 {
+			t.Fatalf("%d thr/blk (%.2fs) substantially beats 256 (%.2fs)", b, tb, t256)
+		}
+	}
+}
+
+func TestGPUChunkSizeShape(t *testing.T) {
+	// Paper Fig 5a: large gain by chunk 4, flat up to 12, rapid
+	// deterioration beyond (shared-memory overflow).
+	d, w := TeslaC2075(), PaperWorkload()
+	at := func(c int) Estimate {
+		e, err := SimulateGPU(d, w, Kernel{ThreadsPerBlock: 64, ChunkSize: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	c1, c4, c12, c16 := at(1), at(4), at(12), at(16)
+	if c4.Seconds >= c1.Seconds {
+		t.Fatalf("chunk 4 (%.2fs) not faster than chunk 1 (%.2fs)", c4.Seconds, c1.Seconds)
+	}
+	// Flat plateau 4..12: within 10%.
+	if math.Abs(c12.Seconds-c4.Seconds)/c4.Seconds > 0.10 {
+		t.Fatalf("plateau not flat: chunk4 %.2fs chunk12 %.2fs", c4.Seconds, c12.Seconds)
+	}
+	// Cliff beyond 12.
+	if c16.Seconds < c12.Seconds*1.5 {
+		t.Fatalf("no overflow cliff: chunk12 %.2fs chunk16 %.2fs", c12.Seconds, c16.Seconds)
+	}
+	if c12.SpillFraction != 0 {
+		t.Fatalf("chunk 12 spills %.2f, want 0", c12.SpillFraction)
+	}
+	if c16.SpillFraction <= 0 {
+		t.Fatal("chunk 16 does not spill")
+	}
+}
+
+func TestGPUMaxThreadsForChunk4Is192(t *testing.T) {
+	// Paper: "With a chunk size of 4 the maximum number of threads that
+	// can be supported is 192."
+	if got := MaxThreadsForChunk(TeslaC2075(), 4); got != 192 {
+		t.Fatalf("MaxThreadsForChunk(4) = %d, want 192", got)
+	}
+	if got := MaxThreadsForChunk(TeslaC2075(), 0); got != TeslaC2075().MaxThreadsPerSM {
+		t.Fatalf("MaxThreadsForChunk(0) = %d", got)
+	}
+}
+
+func TestGPUOptimisedThreadSweepNearFlat(t *testing.T) {
+	// Paper Fig 5b: threads in multiples of 32 up to 192, "small gradual
+	// improvement ... not significant": all within a narrow band, and
+	// 192 at least ties the best.
+	d, w := TeslaC2075(), PaperWorkload()
+	var times []float64
+	for b := 32; b <= 192; b += 32 {
+		e, err := SimulateGPU(d, w, Kernel{ThreadsPerBlock: b, ChunkSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, e.Seconds)
+	}
+	lo, hi := times[0], times[0]
+	for _, v := range times {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if (hi-lo)/lo > 0.08 {
+		t.Fatalf("thread sweep spread %.1f%%, want 'not significant' (<8%%): %v", (hi-lo)/lo*100, times)
+	}
+	if times[len(times)-1] > lo*1.001 {
+		t.Fatalf("192 threads (%.2fs) does not tie the best (%.2fs)", times[len(times)-1], lo)
+	}
+}
+
+func TestGPUSpeedupsVsSequentialNearPaper(t *testing.T) {
+	// Paper Fig 6a: basic GPU 3.2x, optimised 5.4x over sequential CPU.
+	cpu, _ := SimulateCPU(Corei7_2600(), PaperWorkload(), 1)
+	basic, _ := SimulateGPU(TeslaC2075(), PaperWorkload(), Kernel{ThreadsPerBlock: 256})
+	opt, _ := SimulateGPU(TeslaC2075(), PaperWorkload(), Kernel{ThreadsPerBlock: 64, ChunkSize: 4})
+	sb := cpu.Seconds / basic.Seconds
+	so := cpu.Seconds / opt.Seconds
+	if sb < 2.5 || sb > 4.0 {
+		t.Errorf("basic speedup = %.2fx, paper 3.2x", sb)
+	}
+	if so < 4.3 || so > 6.8 {
+		t.Errorf("optimised speedup = %.2fx, paper 5.4x", so)
+	}
+	if so <= sb {
+		t.Error("optimised not faster than basic")
+	}
+}
+
+func TestGPUTimeScalesLinearlyInInputs(t *testing.T) {
+	// §III.C.1: runtime linear in trials, events, ELTs and layers.
+	d := TeslaC2075()
+	base := Workload{Trials: 100000, EventsPerTrial: 1000, ELTsPerLayer: 15, Layers: 1}
+	k := Kernel{ThreadsPerBlock: 256}
+	tb, _ := SimulateGPU(d, base, k)
+	for name, scaled := range map[string]Workload{
+		"trials": {Trials: 200000, EventsPerTrial: 1000, ELTsPerLayer: 15, Layers: 1},
+		"layers": {Trials: 100000, EventsPerTrial: 1000, ELTsPerLayer: 15, Layers: 2},
+	} {
+		ts, _ := SimulateGPU(d, scaled, k)
+		ratio := ts.Seconds / tb.Seconds
+		if ratio < 1.9 || ratio > 2.1 {
+			t.Errorf("%s doubled: ratio %.3f, want ~2", name, ratio)
+		}
+	}
+	// Events and ELTs scale the dominant term linearly (within 25%).
+	for name, scaled := range map[string]Workload{
+		"events": {Trials: 100000, EventsPerTrial: 2000, ELTsPerLayer: 15, Layers: 1},
+		"elts":   {Trials: 100000, EventsPerTrial: 1000, ELTsPerLayer: 30, Layers: 1},
+	} {
+		ts, _ := SimulateGPU(d, scaled, k)
+		ratio := ts.Seconds / tb.Seconds
+		if ratio < 1.5 || ratio > 2.2 {
+			t.Errorf("%s doubled: ratio %.3f, want ~2", name, ratio)
+		}
+	}
+}
+
+func TestCPUTimeScalesLinearly(t *testing.T) {
+	c := Corei7_2600()
+	base := Workload{Trials: 100000, EventsPerTrial: 1000, ELTsPerLayer: 15, Layers: 1}
+	tb, _ := SimulateCPU(c, base, 1)
+	double := base
+	double.Trials *= 2
+	td, _ := SimulateCPU(c, double, 1)
+	if r := td.Seconds / tb.Seconds; math.Abs(r-2) > 1e-9 {
+		t.Fatalf("trials doubled: ratio %v", r)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d, w := TeslaC2075(), PaperWorkload()
+	if _, err := SimulateGPU(d, Workload{}, Kernel{ThreadsPerBlock: 256}); !errors.Is(err, ErrBadWorkload) {
+		t.Errorf("bad workload: %v", err)
+	}
+	if _, err := SimulateGPU(d, w, Kernel{ThreadsPerBlock: 0}); !errors.Is(err, ErrBadKernel) {
+		t.Errorf("zero threads: %v", err)
+	}
+	if _, err := SimulateGPU(d, w, Kernel{ThreadsPerBlock: 100}); !errors.Is(err, ErrBadKernel) {
+		t.Errorf("non-multiple threads: %v", err)
+	}
+	if _, err := SimulateCPU(Corei7_2600(), Workload{}, 1); !errors.Is(err, ErrBadWorkload) {
+		t.Errorf("bad CPU workload: %v", err)
+	}
+	// Block so large a single chunk slot per thread cannot fit.
+	if _, err := SimulateGPU(d, w, Kernel{ThreadsPerBlock: 1536, ChunkSize: 100}); !errors.Is(err, ErrNoOccupancy) {
+		t.Errorf("unlaunchable kernel: %v", err)
+	}
+}
+
+func TestBreakdownSharesSumToOne(t *testing.T) {
+	for _, k := range []Kernel{
+		{ThreadsPerBlock: 256},
+		{ThreadsPerBlock: 64, ChunkSize: 4},
+		{ThreadsPerBlock: 64, ChunkSize: 16},
+	} {
+		e, err := SimulateGPU(TeslaC2075(), PaperWorkload(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := e.LookupShare + e.IntermediateShare + e.FetchShare + e.ComputeShare
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("kernel %+v: shares sum to %v", k, sum)
+		}
+	}
+	e, _ := SimulateCPU(Corei7_2600(), PaperWorkload(), 1)
+	sum := e.LookupShare + e.IntermediateShare + e.FetchShare + e.ComputeShare
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("CPU shares sum to %v", sum)
+	}
+}
+
+// Property: estimates are positive and finite for arbitrary valid inputs.
+func TestQuickEstimatesPositive(t *testing.T) {
+	d, c := TeslaC2075(), Corei7_2600()
+	f := func(trials, events, elts, layers, b, chunk uint16) bool {
+		w := Workload{
+			Trials:         1 + int(trials),
+			EventsPerTrial: 1 + int(events)%3000,
+			ELTsPerLayer:   1 + int(elts)%40,
+			Layers:         1 + int(layers)%10,
+		}
+		k := Kernel{ThreadsPerBlock: 32 * (1 + int(b)%16), ChunkSize: int(chunk) % 20}
+		g, err := SimulateGPU(d, w, k)
+		if err == nil && (g.Seconds <= 0 || math.IsNaN(g.Seconds) || math.IsInf(g.Seconds, 0)) {
+			return false
+		}
+		p, err := SimulateCPU(c, w, 1+int(b)%8)
+		if err != nil {
+			return false
+		}
+		return p.Seconds > 0 && !math.IsNaN(p.Seconds) && !math.IsInf(p.Seconds, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

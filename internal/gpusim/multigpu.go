@@ -1,0 +1,102 @@
+package gpusim
+
+import (
+	"errors"
+	"math"
+)
+
+// Multi-GPU extension (paper §IV): "If a complete portfolio analysis is
+// required on a 1M trial basis then a multi-GPU hardware platform would
+// likely be required." Trials are embarrassingly parallel across devices;
+// each device needs its own copy of the packed ELT tables.
+
+// ErrBadDevices is returned for a non-positive device count.
+var ErrBadDevices = errors.New("gpusim: devices must be positive")
+
+// MultiGPUEstimate extends Estimate with the data-distribution cost.
+type MultiGPUEstimate struct {
+	Seconds        float64 // end-to-end wall time
+	ComputeSeconds float64 // slowest device's kernel time
+	UploadSeconds  float64 // broadcasting the packed ELT tables
+	PerDeviceTable float64 // bytes of direct access tables per device
+}
+
+// pciGBs is the sustained host-to-device bandwidth used for table
+// broadcast (PCIe 2.0 x16-class, matching the C2075 era).
+const pciGBs = 6.0
+
+// SimulateMultiGPU estimates wall time when trials are partitioned evenly
+// across `devices` identical GPUs. catalogSize sizes the direct access
+// tables each device must hold (the paper's example: 2M events).
+func SimulateMultiGPU(d Device, w Workload, k Kernel, devices, catalogSize int) (MultiGPUEstimate, error) {
+	if devices <= 0 {
+		return MultiGPUEstimate{}, ErrBadDevices
+	}
+	if catalogSize <= 0 {
+		return MultiGPUEstimate{}, ErrBadWorkload
+	}
+	per := w
+	per.Trials = ceilDiv(w.Trials, devices)
+	est, err := SimulateGPU(d, per, k)
+	if err != nil {
+		return MultiGPUEstimate{}, err
+	}
+	tableBytes := float64(w.Layers) * float64(w.ELTsPerLayer) * float64(catalogSize) * 8
+	upload := tableBytes / (pciGBs * 1e9)
+	return MultiGPUEstimate{
+		Seconds:        est.Seconds + upload,
+		ComputeSeconds: est.Seconds,
+		UploadSeconds:  upload,
+		PerDeviceTable: tableBytes,
+	}, nil
+}
+
+// Scenario projections for the paper's §IV capacity discussion.
+
+// PortfolioScenario describes a whole-book analysis.
+type PortfolioScenario struct {
+	Contracts int
+	Trials    int
+}
+
+// HoursOnCPU projects the scenario's wall time in hours on the CPU model
+// with p cores.
+func HoursOnCPU(c CPU, s PortfolioScenario, p int) (float64, error) {
+	est, err := SimulateCPU(c, Workload{
+		Trials: s.Trials, EventsPerTrial: 1000, ELTsPerLayer: 15, Layers: s.Contracts,
+	}, p)
+	if err != nil {
+		return 0, err
+	}
+	return est.Seconds / 3600, nil
+}
+
+// HoursOnGPUs projects the scenario's wall time in hours on n devices
+// running the optimised kernel.
+func HoursOnGPUs(d Device, s PortfolioScenario, n, catalogSize int) (float64, error) {
+	est, err := SimulateMultiGPU(d, Workload{
+		Trials: s.Trials, EventsPerTrial: 1000, ELTsPerLayer: 15, Layers: s.Contracts,
+	}, Kernel{ThreadsPerBlock: 64, ChunkSize: 4}, n, catalogSize)
+	if err != nil {
+		return 0, err
+	}
+	return est.Seconds / 3600, nil
+}
+
+// SpeedupEfficiency returns the parallel efficiency of n devices vs one
+// for the given workload (1 = perfect scaling; upload costs and trial
+// quantisation reduce it).
+func SpeedupEfficiency(d Device, w Workload, k Kernel, n, catalogSize int) (float64, error) {
+	one, err := SimulateMultiGPU(d, w, k, 1, catalogSize)
+	if err != nil {
+		return 0, err
+	}
+	many, err := SimulateMultiGPU(d, w, k, n, catalogSize)
+	if err != nil {
+		return 0, err
+	}
+	return one.Seconds / (many.Seconds * float64(n)), nil
+}
+
+// roundHours is a reporting helper: hours rounded to one decimal.
+func roundHours(h float64) float64 { return math.Round(h*10) / 10 }

@@ -1,0 +1,126 @@
+package gpusim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMultiGPUScalesNearLinearly(t *testing.T) {
+	d, w := TeslaC2075(), PaperWorkload()
+	k := Kernel{ThreadsPerBlock: 64, ChunkSize: 4}
+	one, err := SimulateMultiGPU(d, w, k, 1, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := SimulateMultiGPU(d, w, k, 4, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := one.Seconds / four.Seconds
+	if speedup < 3.0 || speedup > 4.0 {
+		t.Fatalf("4-GPU speedup = %.2f, want near-linear", speedup)
+	}
+	if four.ComputeSeconds >= one.ComputeSeconds {
+		t.Fatal("per-device compute did not shrink")
+	}
+	if four.UploadSeconds != one.UploadSeconds {
+		t.Fatal("broadcast cost should be per-device constant")
+	}
+}
+
+func TestMultiGPUSingleDeviceMatchesPlusUpload(t *testing.T) {
+	d, w := TeslaC2075(), PaperWorkload()
+	k := Kernel{ThreadsPerBlock: 256}
+	single, err := SimulateGPU(d, w, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := SimulateMultiGPU(d, w, k, 1, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(multi.ComputeSeconds-single.Seconds) > 1e-9 {
+		t.Fatalf("1-device compute %v != single %v", multi.ComputeSeconds, single.Seconds)
+	}
+	// 15 ELTs x 2M events x 8B = 240MB -> ~0.04s at 6 GB/s.
+	wantUpload := 240e6 / 6e9
+	if math.Abs(multi.UploadSeconds-wantUpload) > 1e-6 {
+		t.Fatalf("upload = %v, want %v", multi.UploadSeconds, wantUpload)
+	}
+	if multi.PerDeviceTable != 240e6 {
+		t.Fatalf("table bytes = %v", multi.PerDeviceTable)
+	}
+}
+
+func TestMultiGPUErrors(t *testing.T) {
+	d, w := TeslaC2075(), PaperWorkload()
+	k := Kernel{ThreadsPerBlock: 256}
+	if _, err := SimulateMultiGPU(d, w, k, 0, 100); !errors.Is(err, ErrBadDevices) {
+		t.Errorf("zero devices: %v", err)
+	}
+	if _, err := SimulateMultiGPU(d, w, k, 1, 0); !errors.Is(err, ErrBadWorkload) {
+		t.Errorf("zero catalog: %v", err)
+	}
+	if _, err := SimulateMultiGPU(d, Workload{}, k, 1, 100); err == nil {
+		t.Error("bad workload accepted")
+	}
+}
+
+// §IV capacity claims: a 50k-trial full-portfolio roll-up is an
+// overnight/weekly job, and a 1M-trial roll-up needs multiple GPUs to be
+// practical.
+func TestPortfolioScenarioShapes(t *testing.T) {
+	book := PortfolioScenario{Contracts: 5000, Trials: 50_000}
+	cpuH, err := HoursOnCPU(Corei7_2600(), book, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuH, err := HoursOnGPUs(TeslaC2075(), book, 1, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(gpuH < cpuH) {
+		t.Fatalf("GPU book roll-up (%.1fh) not faster than 8-core CPU (%.1fh)", gpuH, cpuH)
+	}
+	// Order of magnitude: hours, not minutes or weeks (paper: "around
+	// 24 hours" on their production path; our kernel-only model gives
+	// the same order for the CPU and lower for the GPU).
+	if cpuH < 0.5 || cpuH > 48 {
+		t.Fatalf("8-core CPU book roll-up = %.1f hours; implausible", cpuH)
+	}
+
+	big := PortfolioScenario{Contracts: 5000, Trials: 1_000_000}
+	oneGPU, err := HoursOnGPUs(TeslaC2075(), big, 1, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eightGPU, err := HoursOnGPUs(TeslaC2075(), big, 8, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneGPU < 12 {
+		t.Fatalf("1M-trial book on one GPU = %.1f hours; paper argues this needs multi-GPU", oneGPU)
+	}
+	if eightGPU > oneGPU/6 {
+		t.Fatalf("8 GPUs give %.1fh vs %.1fh on one; scaling too weak", eightGPU, oneGPU)
+	}
+}
+
+func TestSpeedupEfficiency(t *testing.T) {
+	d, w := TeslaC2075(), PaperWorkload()
+	k := Kernel{ThreadsPerBlock: 64, ChunkSize: 4}
+	eff, err := SpeedupEfficiency(d, w, k, 8, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff <= 0.5 || eff > 1.0 {
+		t.Fatalf("8-GPU efficiency = %.2f, want (0.5, 1]", eff)
+	}
+}
+
+func TestRoundHours(t *testing.T) {
+	if roundHours(1.26) != 1.3 {
+		t.Fatal("roundHours broken")
+	}
+}

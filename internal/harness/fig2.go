@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/gpusim"
+)
+
+// Figure 2: sequential scaling of the basic algorithm in each of the four
+// problem-size parameters (§III.C.1). Each table reports the measured Go
+// sequential engine at Config.Scale alongside the calibrated CPU model at
+// full paper size; both must scale linearly.
+
+func init() {
+	register("fig2a", "sequential runtime vs ELTs per layer (3-15); 1 layer, 1M trials x 1000 events", fig2a)
+	register("fig2b", "sequential runtime vs trials (200k-1M); 1 layer, 15 ELTs, 1000 events", fig2b)
+	register("fig2c", "sequential runtime vs layers (1-5); 15 ELTs/layer, 1M trials x 1000 events", fig2c)
+	register("fig2d", "sequential runtime vs events per trial (800-1200); 1 layer, 15 ELTs, 100k trials", fig2d)
+}
+
+func fig2Row(cfg Config, layers, elts, paperTrials, events int) (measured string, model string, trials int, err error) {
+	trials = cfg.scaledTrials(paperTrials)
+	p, y, err := buildInputs(cfg, layers, elts, trials, events)
+	if err != nil {
+		return "", "", 0, err
+	}
+	eng, err := core.NewEngine(p, cfg.CatalogSize, core.LookupDirect)
+	if err != nil {
+		return "", "", 0, err
+	}
+	el, _, err := measure(eng, y, core.Options{Workers: 1, SkipValidation: true})
+	if err != nil {
+		return "", "", 0, err
+	}
+	est, err := gpusim.SimulateCPU(gpusim.Corei7_2600(), gpusim.Workload{
+		Trials: paperTrials, EventsPerTrial: events, ELTsPerLayer: elts, Layers: layers,
+	}, 1)
+	if err != nil {
+		return "", "", 0, err
+	}
+	return seconds(el), fmt.Sprintf("%.1f", est.Seconds), trials, nil
+}
+
+func fig2a(cfg Config) (*Table, error) {
+	t := &Table{Name: "fig2a", Title: "sequential runtime vs average ELTs per layer",
+		Columns: []string{"elts/layer", "measured_s(go,scaled)", "model_s(i7,paper-size)"}}
+	var trials int
+	for _, elts := range []int{3, 6, 9, 12, 15} {
+		m, sim, tr, err := fig2Row(cfg, 1, elts, 1_000_000, 1000)
+		if err != nil {
+			return nil, err
+		}
+		trials = tr
+		t.AddRow(fmt.Sprint(elts), m, sim)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("measured column uses %d trials (scale %.4g); paper uses 1M", trials, cfg.Scale),
+		"expected shape: linear in ELTs per layer")
+	return t, nil
+}
+
+func fig2b(cfg Config) (*Table, error) {
+	t := &Table{Name: "fig2b", Title: "sequential runtime vs number of trials",
+		Columns: []string{"paper_trials", "measured_trials", "measured_s(go)", "model_s(i7,paper-size)"}}
+	for _, paperTrials := range []int{200_000, 400_000, 600_000, 800_000, 1_000_000} {
+		m, sim, tr, err := fig2Row(cfg, 1, 15, paperTrials, 1000)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(paperTrials), fmt.Sprint(tr), m, sim)
+	}
+	t.Notes = append(t.Notes, "expected shape: linear in trials")
+	return t, nil
+}
+
+func fig2c(cfg Config) (*Table, error) {
+	t := &Table{Name: "fig2c", Title: "sequential runtime vs number of layers",
+		Columns: []string{"layers", "measured_s(go,scaled)", "model_s(i7,paper-size)"}}
+	for layers := 1; layers <= 5; layers++ {
+		m, sim, _, err := fig2Row(cfg, layers, 15, 1_000_000, 1000)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(layers), m, sim)
+	}
+	t.Notes = append(t.Notes, "expected shape: linear in layers")
+	return t, nil
+}
+
+func fig2d(cfg Config) (*Table, error) {
+	t := &Table{Name: "fig2d", Title: "sequential runtime vs events per trial",
+		Columns: []string{"events/trial", "measured_s(go,scaled)", "model_s(i7,paper-size)"}}
+	for _, events := range []int{800, 900, 1000, 1100, 1200} {
+		m, sim, _, err := fig2Row(cfg, 1, 15, 100_000, events)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(events), m, sim)
+	}
+	t.Notes = append(t.Notes, "expected shape: linear in events per trial")
+	return t, nil
+}

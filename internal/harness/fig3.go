@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/gpusim"
+)
+
+// Figure 3: the parallel (OpenMP-style) engine on a multi-core CPU.
+// The measured columns run the goroutine worker pool on this machine; on
+// boxes with fewer cores than the sweep the extra workers time-share, so
+// the model column (calibrated to the paper's i7-2600 measurements:
+// 1.5x/2.2x/2.6x at 2/4/8 cores) carries the paper's shape.
+
+func init() {
+	register("fig3a", "parallel engine: cores vs execution time (paper: 1.5x@2, 2.2x@4, 2.6x@8)", fig3a)
+	register("fig3b", "parallel engine: total software threads vs execution time (paper: 135s->125s at 256 thr/core)", fig3b)
+}
+
+func fig3a(cfg Config) (*Table, error) {
+	trials := cfg.scaledTrials(1_000_000)
+	p, y, err := buildInputs(cfg, 1, 15, trials, 1000)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(p, cfg.CatalogSize, core.LookupDirect)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: "fig3a", Title: "execution time vs number of cores",
+		Columns: []string{"cores", "measured_s(go)", "measured_speedup", "model_s(i7)", "model_speedup"}}
+	var base float64
+	for _, cores := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		el, _, err := measure(eng, y, core.Options{Workers: cores, SkipValidation: true})
+		if err != nil {
+			return nil, err
+		}
+		if cores == 1 {
+			base = el.Seconds()
+		}
+		est, err := gpusim.SimulateCPU(gpusim.Corei7_2600(), gpusim.PaperWorkload(), cores)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(cores), seconds(el),
+			fmt.Sprintf("%.2fx", base/el.Seconds()),
+			fmt.Sprintf("%.1f", est.Seconds),
+			fmt.Sprintf("%.2fx", est.Speedup))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("measured on GOMAXPROCS=%d; worker counts beyond physical cores time-share", maxProcs()),
+		"expected shape: sub-linear speedup saturating well below 8x (memory-bandwidth bound)")
+	return t, nil
+}
+
+func fig3b(cfg Config) (*Table, error) {
+	trials := cfg.scaledTrials(1_000_000)
+	p, y, err := buildInputs(cfg, 1, 15, trials, 1000)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(p, cfg.CatalogSize, core.LookupDirect)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: "fig3b", Title: "execution time vs total software threads (8 cores)",
+		Columns: []string{"threads/core", "total_threads", "measured_s(go)", "model_s(i7)"}}
+	for _, tpc := range []int{1, 4, 16, 64, 128, 256, 512, 1024} {
+		total := 8 * tpc
+		el, _, err := measure(eng, y, core.Options{Workers: total, SkipValidation: true})
+		if err != nil {
+			return nil, err
+		}
+		est, err := gpusim.SimulateCPUOversubscribed(gpusim.Corei7_2600(), gpusim.PaperWorkload(), 8, tpc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(tpc), fmt.Sprint(total), seconds(el), fmt.Sprintf("%.1f", est.Seconds))
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: a few percent improvement up to ~256 threads/core, diminishing beyond")
+	return t, nil
+}

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps measured runs fast: ~16-200 trials, small catalog.
+func tinyConfig() Config {
+	return Config{
+		Seed:          1,
+		Scale:         0.0002,
+		CatalogSize:   100_000,
+		RecordsPerELT: 2_000,
+	}
+}
+
+func TestNamesCoverAllFigures(t *testing.T) {
+	want := []string{"convergence", "eltrep", "fig2a", "fig2b", "fig2c", "fig2d",
+		"fig3a", "fig3b", "fig4", "fig5a", "fig5b", "fig6a", "fig6b", "pricing", "scale"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", tinyConfig()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestGet(t *testing.T) {
+	e, ok := Get("fig4")
+	if !ok || e.Name != "fig4" || e.Title == "" {
+		t.Fatalf("Get(fig4) = %+v, %v", e, ok)
+	}
+	if _, ok := Get("missing"); ok {
+		t.Fatal("Get(missing) succeeded")
+	}
+}
+
+// Every experiment must run at tiny scale and produce a well-formed table.
+func TestAllExperimentsRun(t *testing.T) {
+	cfg := tinyConfig()
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tab, err := Run(name, cfg)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", name, err)
+			}
+			if tab.Name != name {
+				t.Errorf("table name %q", tab.Name)
+			}
+			if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+				t.Fatalf("empty table: %+v", tab)
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("row %d has %d cells for %d columns", i, len(row), len(tab.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			tab.Fprint(&buf)
+			out := buf.String()
+			if !strings.Contains(out, name) || !strings.Contains(out, tab.Columns[0]) {
+				t.Errorf("rendered output missing header:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestScaledTrialsFloor(t *testing.T) {
+	cfg := Config{Scale: 1e-9}
+	cfg.setDefaults()
+	if got := cfg.scaledTrials(1_000_000); got != 16 {
+		t.Fatalf("scaledTrials floor = %d", got)
+	}
+	cfg.Scale = 0.5
+	if got := cfg.scaledTrials(1_000_000); got != 500_000 {
+		t.Fatalf("scaledTrials = %d", got)
+	}
+}
+
+func TestRunAllWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is covered per-experiment above")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(tinyConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(buf.String(), "== "+name) {
+			t.Errorf("RunAll output missing %s", name)
+		}
+	}
+}
+
+func TestTableFprintAlignment(t *testing.T) {
+	tab := &Table{Name: "x", Title: "t", Columns: []string{"a", "longcol"},
+		Rows: [][]string{{"1", "2"}, {"333", "4"}}, Notes: []string{"n1"}}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "note: n1") {
+		t.Error("note missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header, cols, sep, 2 rows, note
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/ralab/are/internal/gpusim"
+)
+
+// §IV capacity projections: whole-book roll-ups and the multi-GPU
+// requirement for 1M-trial portfolio analysis.
+
+func init() {
+	register("scale", "§IV capacity projections: whole-book roll-ups and multi-GPU requirement", scaleExp)
+}
+
+func scaleExp(cfg Config) (*Table, error) {
+	t := &Table{Name: "scale", Title: "projected wall time for whole-portfolio analysis (model)",
+		Columns: []string{"scenario", "platform", "hours"}}
+	cpu := gpusim.Corei7_2600()
+	gpu := gpusim.TeslaC2075()
+	const catalog = 2_000_000
+
+	weekly := gpusim.PortfolioScenario{Contracts: 5000, Trials: 50_000}
+	if h, err := gpusim.HoursOnCPU(cpu, weekly, 1); err == nil {
+		t.AddRow("5000 contracts x 50k trials", "CPU sequential", fmt.Sprintf("%.1f", h))
+	}
+	if h, err := gpusim.HoursOnCPU(cpu, weekly, 8); err == nil {
+		t.AddRow("5000 contracts x 50k trials", "CPU 8 cores", fmt.Sprintf("%.1f", h))
+	}
+	if h, err := gpusim.HoursOnGPUs(gpu, weekly, 1, catalog); err == nil {
+		t.AddRow("5000 contracts x 50k trials", "1 GPU (optimised)", fmt.Sprintf("%.1f", h))
+	}
+
+	big := gpusim.PortfolioScenario{Contracts: 5000, Trials: 1_000_000}
+	for _, n := range []int{1, 2, 4, 8} {
+		h, err := gpusim.HoursOnGPUs(gpu, big, n, catalog)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("5000 contracts x 1M trials", fmt.Sprintf("%d GPU(s)", n), fmt.Sprintf("%.1f", h))
+	}
+	if eff, err := gpusim.SpeedupEfficiency(gpu, gpusim.Workload{
+		Trials: 1_000_000, EventsPerTrial: 1000, ELTsPerLayer: 15, Layers: 5000,
+	}, gpusim.Kernel{ThreadsPerBlock: 64, ChunkSize: 4}, 8, catalog); err == nil {
+		t.Notes = append(t.Notes, fmt.Sprintf("8-GPU parallel efficiency: %.0f%%", eff*100))
+	}
+	t.Notes = append(t.Notes,
+		"paper §IV: 50k-trial book roll-ups support weekly portfolio updates;",
+		"1M-trial roll-ups \"would likely require a multi-GPU hardware platform\"")
+	return t, nil
+}

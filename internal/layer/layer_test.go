@@ -1,0 +1,228 @@
+package layer
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ralab/are/internal/elt"
+)
+
+func mustELT(t *testing.T, id uint32) *elt.Table {
+	t.Helper()
+	tbl, err := elt.Generate(id, elt.GenConfig{Seed: 1, NumRecords: 100, CatalogSize: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// Table I semantics: occurrence terms.
+func TestApplyOccTableI(t *testing.T) {
+	terms := Terms{OccRetention: 100, OccLimit: 500, AggRetention: 0, AggLimit: Unlimited}
+	cases := []struct{ in, want float64 }{
+		{0, 0},     // no loss
+		{50, 0},    // below retention: insured retains all
+		{100, 0},   // exactly retention
+		{300, 200}, // in layer: excess over retention
+		{600, 500}, // at limit
+		{5000, 500},
+	}
+	for _, c := range cases {
+		if got := terms.ApplyOcc(c.in); got != c.want {
+			t.Errorf("ApplyOcc(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Table I semantics: aggregate terms on the annual cumulative loss.
+func TestApplyAggTableI(t *testing.T) {
+	terms := Terms{OccRetention: 0, OccLimit: Unlimited, AggRetention: 1000, AggLimit: 2000}
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {500, 0}, {1000, 0}, {1500, 500}, {3000, 2000}, {99999, 2000},
+	}
+	for _, c := range cases {
+		if got := terms.ApplyAgg(c.in); got != c.want {
+			t.Errorf("ApplyAgg(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPassThrough(t *testing.T) {
+	pt := PassThrough()
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1, 1e12} {
+		if pt.ApplyOcc(v) != v || pt.ApplyAgg(v) != v {
+			t.Fatalf("pass-through altered %v", v)
+		}
+	}
+}
+
+func TestTermsValidate(t *testing.T) {
+	bad := []Terms{
+		{OccRetention: -1, OccLimit: 1, AggLimit: 1},
+		{OccRetention: math.NaN(), OccLimit: 1, AggLimit: 1},
+		{OccRetention: math.Inf(1), OccLimit: 1, AggLimit: 1},
+		{OccLimit: 0, AggLimit: 1},
+		{OccLimit: math.NaN(), AggLimit: 1},
+		{OccLimit: 1, AggRetention: -2, AggLimit: 1},
+		{OccLimit: 1, AggLimit: 0},
+	}
+	for i, terms := range bad {
+		if err := terms.Validate(); !errors.Is(err, ErrBadTerm) {
+			t.Errorf("case %d: Validate() = %v, want ErrBadTerm", i, err)
+		}
+	}
+	good := Terms{OccRetention: 0, OccLimit: Unlimited, AggRetention: 5, AggLimit: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good terms rejected: %v", err)
+	}
+}
+
+func TestNewLayer(t *testing.T) {
+	e1, e2 := mustELT(t, 1), mustELT(t, 2)
+	l, err := New(9, "cat-xl-9", []*elt.Table{e1, e2}, PassThrough())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ID != 9 || l.Name != "cat-xl-9" || len(l.ELTs) != 2 {
+		t.Fatalf("layer fields wrong: %+v", l)
+	}
+}
+
+func TestNewLayerErrors(t *testing.T) {
+	if _, err := New(1, "x", nil, PassThrough()); !errors.Is(err, ErrNoELTs) {
+		t.Errorf("no ELTs: %v", err)
+	}
+	if _, err := New(1, "x", []*elt.Table{nil}, PassThrough()); err == nil {
+		t.Error("nil ELT accepted")
+	}
+	e1 := mustELT(t, 1)
+	if _, err := New(1, "x", []*elt.Table{e1}, Terms{OccLimit: -1, AggLimit: 1}); err == nil {
+		t.Error("bad terms accepted")
+	}
+}
+
+func TestGeneratePortfolio(t *testing.T) {
+	p, err := GeneratePortfolio(GenConfig{
+		Seed: 3, NumLayers: 5, ELTsPerLayer: 4,
+		RecordsPerELT: 200, CatalogSize: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Layers) != 5 {
+		t.Fatalf("layers = %d", len(p.Layers))
+	}
+	if p.TotalELTs() != 20 {
+		t.Fatalf("TotalELTs = %d", p.TotalELTs())
+	}
+	for _, l := range p.Layers {
+		if len(l.ELTs) != 4 {
+			t.Fatalf("layer %d covers %d ELTs", l.ID, len(l.ELTs))
+		}
+		if err := l.LTerms.Validate(); err != nil {
+			t.Fatalf("layer %d terms invalid: %v", l.ID, err)
+		}
+		seen := map[*elt.Table]bool{}
+		for _, e := range l.ELTs {
+			if seen[e] {
+				t.Fatalf("layer %d references the same ELT twice", l.ID)
+			}
+			seen[e] = true
+			if err := e.Terms.Validate(); err != nil {
+				t.Fatalf("ELT %d terms invalid: %v", e.ID, err)
+			}
+		}
+	}
+}
+
+func TestGeneratePortfolioDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 4, NumLayers: 3, ELTsPerLayer: 3, RecordsPerELT: 100, CatalogSize: 2000}
+	a, err := GeneratePortfolio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePortfolio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Layers {
+		if a.Layers[i].LTerms != b.Layers[i].LTerms {
+			t.Fatalf("layer %d terms differ", i)
+		}
+		for j := range a.Layers[i].ELTs {
+			ar, br := a.Layers[i].ELTs[j].Records(), b.Layers[i].ELTs[j].Records()
+			if len(ar) != len(br) {
+				t.Fatalf("layer %d ELT %d sizes differ", i, j)
+			}
+			for k := range ar {
+				if ar[k] != br[k] {
+					t.Fatalf("layer %d ELT %d record %d differs", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratePortfolioErrors(t *testing.T) {
+	if _, err := GeneratePortfolio(GenConfig{NumLayers: 0, ELTsPerLayer: 1, RecordsPerELT: 1, CatalogSize: 10}); err == nil {
+		t.Error("zero layers accepted")
+	}
+	if _, err := GeneratePortfolio(GenConfig{NumLayers: 1, ELTsPerLayer: 1, RecordsPerELT: 0, CatalogSize: 10}); err == nil {
+		t.Error("zero records accepted")
+	}
+	if _, err := GeneratePortfolio(GenConfig{NumLayers: 1, ELTsPerLayer: 1, RecordsPerELT: 100, CatalogSize: 10}); err == nil {
+		t.Error("records > catalog accepted")
+	}
+}
+
+func TestGeneratePortfolioFixedTerms(t *testing.T) {
+	p, err := GeneratePortfolio(GenConfig{
+		Seed: 5, NumLayers: 2, ELTsPerLayer: 2,
+		RecordsPerELT: 50, CatalogSize: 1000,
+		OccRetention: 111, OccLimit: 222, AggRetention: 333, AggLimit: 444,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range p.Layers {
+		want := Terms{OccRetention: 111, OccLimit: 222, AggRetention: 333, AggLimit: 444}
+		if l.LTerms != want {
+			t.Fatalf("layer %d terms = %+v", l.ID, l.LTerms)
+		}
+	}
+}
+
+// Properties of the term operators, valid for any non-negative input.
+func TestQuickOccAggProperties(t *testing.T) {
+	terms := Terms{OccRetention: 50, OccLimit: 1000, AggRetention: 200, AggLimit: 5000}
+	f := func(raw float64) bool {
+		x := math.Abs(raw)
+		occ := terms.ApplyOcc(x)
+		agg := terms.ApplyAgg(x)
+		return occ >= 0 && occ <= 1000 && occ <= x &&
+			agg >= 0 && agg <= 5000 && agg <= x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ApplyAgg is monotone: more cumulative loss never means less payout.
+func TestQuickAggMonotone(t *testing.T) {
+	terms := Terms{OccRetention: 0, OccLimit: Unlimited, AggRetention: 100, AggLimit: 900}
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		return terms.ApplyAgg(a) <= terms.ApplyAgg(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

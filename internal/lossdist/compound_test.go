@@ -1,0 +1,185 @@
+package lossdist
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/ralab/are/internal/rng"
+	"github.com/ralab/are/internal/stats"
+)
+
+func TestCompoundPoissonMoments(t *testing.T) {
+	// Severity: uniform on {100, 200, 300}.
+	sev := mustDist(t, 100, []float64{0, 1.0 / 3, 1.0 / 3, 1.0 / 3})
+	lambda := 5.0
+	agg, err := CompoundPoisson(lambda, sev, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := CompoundMean(lambda, sev) // 5 * 200 = 1000
+	if math.Abs(wantMean-1000) > 1e-9 {
+		t.Fatalf("CompoundMean = %v", wantMean)
+	}
+	if math.Abs(agg.Mean()-wantMean)/wantMean > 0.005 {
+		t.Fatalf("aggregate mean = %v, want ~%v", agg.Mean(), wantMean)
+	}
+	wantVar := CompoundVariance(lambda, sev) // 5 * E[X^2]
+	if math.Abs(agg.Variance()-wantVar)/wantVar > 0.01 {
+		t.Fatalf("aggregate variance = %v, want ~%v", agg.Variance(), wantVar)
+	}
+}
+
+func TestCompoundPoissonZeroMass(t *testing.T) {
+	// P(S=0) = exp(-lambda*(1-f(0))).
+	sev := mustDist(t, 10, []float64{0.5, 0.5}) // f(0) = 0.5
+	lambda := 2.0
+	agg, err := CompoundPoisson(lambda, sev, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-lambda * 0.5)
+	if math.Abs(agg.PMF[0]-want) > 1e-9 {
+		t.Fatalf("P(S=0) = %v, want %v", agg.PMF[0], want)
+	}
+}
+
+func TestCompoundPoissonErrors(t *testing.T) {
+	sev := mustDist(t, 1, []float64{0.5, 0.5})
+	if _, err := CompoundPoisson(0, sev, 10); !errors.Is(err, ErrBadLambda) {
+		t.Errorf("lambda 0: %v", err)
+	}
+	if _, err := CompoundPoisson(math.Inf(1), sev, 10); !errors.Is(err, ErrBadLambda) {
+		t.Errorf("lambda inf: %v", err)
+	}
+	if _, err := CompoundPoisson(1, sev, 1); err == nil {
+		t.Error("single bucket accepted")
+	}
+}
+
+// The Panjer recursion must agree with brute-force Monte Carlo of the
+// same compound process — the analytical/simulation cross-validation.
+func TestCompoundPoissonMatchesMonteCarlo(t *testing.T) {
+	sev := mustDist(t, 50, []float64{0, 0.2, 0.3, 0.3, 0.1, 0.1}) // on {0..250}
+	lambda := 3.0
+	agg, err := CompoundPoisson(lambda, sev, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rng.New(42)
+	sevAlias, err := stats.NewAlias(sev.PMF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 200000
+	samples := make([]float64, trials)
+	for i := range samples {
+		n := stats.Poisson(r, lambda)
+		var s float64
+		for j := 0; j < n; j++ {
+			s += float64(sevAlias.Draw(r)) * sev.Step
+		}
+		samples[i] = s
+	}
+	sort.Float64s(samples)
+
+	// Compare quantiles.
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9, 0.99} {
+		mc := samples[int(q*float64(trials))]
+		an := agg.Quantile(q)
+		if math.Abs(mc-an) > 2*sev.Step {
+			t.Errorf("quantile %v: MC %v vs Panjer %v", q, mc, an)
+		}
+	}
+	// Compare means.
+	var mcMean float64
+	for _, s := range samples {
+		mcMean += s
+	}
+	mcMean /= trials
+	if math.Abs(mcMean-agg.Mean())/agg.Mean() > 0.02 {
+		t.Errorf("mean: MC %v vs Panjer %v", mcMean, agg.Mean())
+	}
+}
+
+// Layer terms on the analytical aggregate must agree with terms applied
+// inside the Monte Carlo loop.
+func TestCompoundWithLayerTermsMatchesMC(t *testing.T) {
+	sev := mustDist(t, 100, []float64{0, 0.5, 0.25, 0.15, 0.1})
+	lambda := 4.0
+	retention, limit := 300.0, 800.0
+
+	agg, err := CompoundPoisson(lambda, sev, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layered, err := ApplyLayerTerms(agg, retention, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rng.New(7)
+	alias, err := stats.NewAlias(sev.PMF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 300000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		n := stats.Poisson(r, lambda)
+		var s float64
+		for j := 0; j < n; j++ {
+			s += float64(alias.Draw(r)) * sev.Step
+		}
+		s = math.Min(math.Max(s-retention, 0), limit)
+		sum += s
+	}
+	mcMean := sum / trials
+	if math.Abs(mcMean-layered.Mean()) > 0.02*limit {
+		t.Fatalf("layered mean: MC %v vs analytical %v", mcMean, layered.Mean())
+	}
+}
+
+func TestCompoundPoissonLargeLambdaStable(t *testing.T) {
+	// lambda large enough that exp(-lambda) underflows: the recursion
+	// must still return a valid renormalised distribution.
+	sev := mustDist(t, 1000, []float64{0, 0.6, 0.3, 0.1})
+	agg, err := CompoundPoisson(900, sev, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range agg.PMF {
+		if p < 0 || math.IsNaN(p) {
+			t.Fatal("invalid mass in large-lambda aggregate")
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("total mass %v", total)
+	}
+	want := CompoundMean(900, sev)
+	if math.Abs(agg.Mean()-want)/want > 0.05 {
+		t.Fatalf("large-lambda mean %v, want ~%v", agg.Mean(), want)
+	}
+}
+
+func BenchmarkCompoundPoisson(b *testing.B) {
+	pmf := make([]float64, 256)
+	pmf[0] = 0.5
+	for i := 1; i < len(pmf); i++ {
+		pmf[i] = 0.5 / 255
+	}
+	sev, err := New(100, pmf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompoundPoisson(10, sev, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

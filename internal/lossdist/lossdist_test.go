@@ -1,0 +1,358 @@
+package lossdist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ralab/are/internal/rng"
+)
+
+func mustDist(t testing.TB, step float64, pmf []float64) *Dist {
+	t.Helper()
+	d, err := New(step, pmf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, []float64{1}); !errors.Is(err, ErrBadStep) {
+		t.Errorf("zero step: %v", err)
+	}
+	if _, err := New(math.Inf(1), []float64{1}); !errors.Is(err, ErrBadStep) {
+		t.Errorf("inf step: %v", err)
+	}
+	if _, err := New(1, nil); !errors.Is(err, ErrBadPMF) {
+		t.Errorf("empty pmf: %v", err)
+	}
+	if _, err := New(1, []float64{0.5, -0.1, 0.6}); !errors.Is(err, ErrBadPMF) {
+		t.Errorf("negative mass: %v", err)
+	}
+	if _, err := New(1, []float64{0.2, 0.2}); !errors.Is(err, ErrBadPMF) {
+		t.Errorf("mass sums to 0.4: %v", err)
+	}
+	if _, err := New(1, []float64{math.NaN()}); !errors.Is(err, ErrBadPMF) {
+		t.Errorf("NaN mass: %v", err)
+	}
+}
+
+func TestNewNormalises(t *testing.T) {
+	d := mustDist(t, 1, []float64{0.5, 0.5000001})
+	var sum float64
+	for _, p := range d.PMF {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("PMF sums to %v after normalisation", sum)
+	}
+}
+
+func TestPoint(t *testing.T) {
+	d, err := Point(100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean() != 1000 || d.Variance() != 0 {
+		t.Fatalf("Point mean %v var %v", d.Mean(), d.Variance())
+	}
+	if _, err := Point(0, 1); err == nil {
+		t.Error("bad step accepted")
+	}
+	if _, err := Point(1, -1); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestMoments(t *testing.T) {
+	// Two-point: 0 w.p. 0.5, 10 w.p. 0.5 -> mean 5, var 25.
+	d := mustDist(t, 10, []float64{0.5, 0.5})
+	if d.Mean() != 5 {
+		t.Errorf("Mean = %v", d.Mean())
+	}
+	if d.Variance() != 25 {
+		t.Errorf("Variance = %v", d.Variance())
+	}
+}
+
+func TestQuantileAndExceedance(t *testing.T) {
+	d := mustDist(t, 1, []float64{0.25, 0.25, 0.25, 0.25}) // uniform on {0,1,2,3}
+	cases := map[float64]float64{0.25: 0, 0.5: 1, 0.75: 2, 1.0: 3}
+	for q, want := range cases {
+		if got := d.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if got := d.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if p := d.ExceedanceProb(1.5); p != 0.5 {
+		t.Errorf("ExceedanceProb(1.5) = %v", p)
+	}
+	if p := d.ExceedanceProb(3); p != 0 {
+		t.Errorf("ExceedanceProb(3) = %v", p)
+	}
+}
+
+func TestDiscretiseExponential(t *testing.T) {
+	rate := 1.0 / 500
+	cdf := func(x float64) float64 { return 1 - math.Exp(-rate*x) }
+	d, err := Discretise(10, 10000, cdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-500)/500 > 0.03 {
+		t.Fatalf("discretised exponential mean %v, want ~500", d.Mean())
+	}
+}
+
+func TestDiscretiseErrors(t *testing.T) {
+	if _, err := Discretise(0, 100, func(float64) float64 { return 1 }); err == nil {
+		t.Error("bad step accepted")
+	}
+	if _, err := Discretise(1, 0, func(float64) float64 { return 1 }); err == nil {
+		t.Error("bad max accepted")
+	}
+}
+
+func TestConvolveKnown(t *testing.T) {
+	// Sum of two fair coins {0,1}: {0:0.25, 1:0.5, 2:0.25}.
+	coin := mustDist(t, 1, []float64{0.5, 0.5})
+	sum, err := Convolve(coin, coin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 0.25}
+	for i, p := range want {
+		if math.Abs(sum.PMF[i]-p) > 1e-12 {
+			t.Fatalf("PMF[%d] = %v, want %v", i, sum.PMF[i], p)
+		}
+	}
+}
+
+func TestConvolveStepMismatch(t *testing.T) {
+	a := mustDist(t, 1, []float64{1})
+	b := mustDist(t, 2, []float64{1})
+	if _, err := Convolve(a, b); !errors.Is(err, ErrStepMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConvolveMeansAdd(t *testing.T) {
+	r := rng.New(1)
+	mk := func(n int) *Dist {
+		pmf := make([]float64, n)
+		var tot float64
+		for i := range pmf {
+			pmf[i] = r.Float64()
+			tot += pmf[i]
+		}
+		for i := range pmf {
+			pmf[i] /= tot
+		}
+		return mustDist(t, 100, pmf)
+	}
+	a, b := mk(50), mk(80)
+	sum, err := Convolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Mean()-(a.Mean()+b.Mean())) > 1e-6 {
+		t.Fatalf("means: %v + %v != %v", a.Mean(), b.Mean(), sum.Mean())
+	}
+	if math.Abs(sum.Variance()-(a.Variance()+b.Variance())) > 1e-4 {
+		t.Fatalf("variances: %v + %v != %v", a.Variance(), b.Variance(), sum.Variance())
+	}
+}
+
+// The FFT path must agree with direct convolution.
+func TestFFTMatchesDirect(t *testing.T) {
+	r := rng.New(2)
+	n := 300 // n*n > directThreshold forces FFT in Convolve
+	pmfA := make([]float64, n)
+	pmfB := make([]float64, n)
+	var ta, tb float64
+	for i := 0; i < n; i++ {
+		pmfA[i] = r.Float64()
+		pmfB[i] = r.Float64()
+		ta += pmfA[i]
+		tb += pmfB[i]
+	}
+	for i := 0; i < n; i++ {
+		pmfA[i] /= ta
+		pmfB[i] /= tb
+	}
+	direct := convolveDirect(pmfA, pmfB)
+	viaFFT := convolveFFT(pmfA, pmfB)
+	for i := range direct {
+		if math.Abs(direct[i]-viaFFT[i]) > 1e-10 {
+			t.Fatalf("FFT diverges from direct at %d: %v vs %v", i, viaFFT[i], direct[i])
+		}
+	}
+}
+
+func TestConvolveNFoldsAndErrors(t *testing.T) {
+	coin := mustDist(t, 1, []float64{0.5, 0.5})
+	sum, err := ConvolveN(coin, coin, coin, coin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binomial(4, 0.5): P(2) = 6/16.
+	if math.Abs(sum.PMF[2]-0.375) > 1e-12 {
+		t.Fatalf("binomial centre mass = %v", sum.PMF[2])
+	}
+	if _, err := ConvolveN(); err == nil {
+		t.Error("empty ConvolveN accepted")
+	}
+	if one, err := ConvolveN(coin); err != nil || one != coin {
+		t.Error("single-argument ConvolveN should return the input")
+	}
+}
+
+func TestApplyLayerTerms(t *testing.T) {
+	// Uniform on {0,100,...,900}, retention 300, limit 400.
+	pmf := make([]float64, 10)
+	for i := range pmf {
+		pmf[i] = 0.1
+	}
+	d := mustDist(t, 100, pmf)
+	out, err := ApplyLayerTerms(d, 300, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mass at 0: X in {0..300} -> 0.4. Mass at 400: X in {700..900} -> 0.3.
+	if math.Abs(out.PMF[0]-0.4) > 1e-12 {
+		t.Errorf("mass at 0 = %v, want 0.4", out.PMF[0])
+	}
+	last := out.PMF[len(out.PMF)-1]
+	if math.Abs(last-0.3) > 1e-12 {
+		t.Errorf("mass at limit = %v, want 0.3", last)
+	}
+	if got := out.Mean(); math.Abs(got-(0.1*(100+200+300)+0.3*400)) > 1e-9 {
+		t.Errorf("mean after terms = %v", got)
+	}
+}
+
+func TestApplyLayerTermsUnlimited(t *testing.T) {
+	d := mustDist(t, 1, []float64{0.5, 0.25, 0.25})
+	out, err := ApplyLayerTerms(d, 1, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.PMF[0]-0.75) > 1e-12 {
+		t.Fatalf("mass at 0 = %v", out.PMF[0])
+	}
+}
+
+func TestApplyLayerTermsErrors(t *testing.T) {
+	d := mustDist(t, 1, []float64{1})
+	if _, err := ApplyLayerTerms(d, -1, 10); err == nil {
+		t.Error("negative retention accepted")
+	}
+	if _, err := ApplyLayerTerms(d, 0, 0); err == nil {
+		t.Error("zero limit accepted")
+	}
+	// Retention beyond support: all mass at zero.
+	out, err := ApplyLayerTerms(d, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PMF[0] != 1 {
+		t.Fatalf("over-retained distribution: %v", out.PMF)
+	}
+}
+
+// Property: convolution preserves total mass and non-negativity.
+func TestQuickConvolveIsDistribution(t *testing.T) {
+	f := func(seed uint64, na, nb uint8) bool {
+		r := rng.New(seed)
+		mk := func(n int) *Dist {
+			pmf := make([]float64, n)
+			var tot float64
+			for i := range pmf {
+				pmf[i] = r.Float64() + 1e-9
+				tot += pmf[i]
+			}
+			for i := range pmf {
+				pmf[i] /= tot
+			}
+			d, err := New(1, pmf)
+			if err != nil {
+				return nil
+			}
+			return d
+		}
+		a, b := mk(1+int(na)%64), mk(1+int(nb)%64)
+		if a == nil || b == nil {
+			return false
+		}
+		sum, err := Convolve(a, b)
+		if err != nil {
+			return false
+		}
+		var tot float64
+		for _, p := range sum.PMF {
+			if p < 0 {
+				return false
+			}
+			tot += p
+		}
+		return math.Abs(tot-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: layer terms never increase the mean (they only remove loss).
+func TestQuickLayerTermsReduceMean(t *testing.T) {
+	f := func(seed uint64, retention, limit uint16) bool {
+		r := rng.New(seed)
+		pmf := make([]float64, 32)
+		var tot float64
+		for i := range pmf {
+			pmf[i] = r.Float64()
+			tot += pmf[i]
+		}
+		for i := range pmf {
+			pmf[i] /= tot
+		}
+		d, err := New(10, pmf)
+		if err != nil {
+			return false
+		}
+		out, err := ApplyLayerTerms(d, float64(retention%200), 10+float64(limit%500))
+		if err != nil {
+			return false
+		}
+		return out.Mean() <= d.Mean()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Ablation: where does the FFT overtake direct convolution? The
+// directThreshold constant is justified by this benchmark.
+func BenchmarkConvolve(b *testing.B) {
+	for _, n := range []int{32, 128, 512, 2048} {
+		pmf := make([]float64, n)
+		for i := range pmf {
+			pmf[i] = 1 / float64(n)
+		}
+		d := &Dist{Step: 1, PMF: pmf}
+		b.Run(fmt.Sprintf("direct/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				convolveDirect(d.PMF, d.PMF)
+			}
+		})
+		b.Run(fmt.Sprintf("fft/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				convolveFFT(d.PMF, d.PMF)
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Capital allocation by co-TVaR: the stage-3 (enterprise risk
+// management) step of the paper's pipeline, where per-contract risks are
+// combined into a group view and tail capital is attributed back to the
+// contracts that drive it.
+//
+// For layers with YLTs X_i sharing the same trials, the group loss is
+// S_t = sum_i X_i,t. The co-TVaR allocation at confidence q is
+//
+//	A_i = E[ X_i | S >= VaR_q(S) ]
+//
+// which sums across layers to TVaR_q(S) — a full, additive attribution
+// of the group's tail risk.
+
+// Allocation errors.
+var (
+	ErrNoLayers     = errors.New("metrics: allocation requires at least one YLT")
+	ErrRaggedYLTs   = errors.New("metrics: all YLTs must share the same trial count")
+	ErrDegenerateQ  = errors.New("metrics: q must be in (0, 1)")
+	ErrNoTailTrials = errors.New("metrics: no trials at or beyond the VaR threshold")
+)
+
+// AllocateTVaR attributes the group's TVaR at confidence q to each layer
+// by co-TVaR. All YLTs must be indexed by the same trials (the shared-YET
+// property that makes the attribution meaningful).
+func AllocateTVaR(ylts [][]float64, q float64) ([]float64, error) {
+	if len(ylts) == 0 {
+		return nil, ErrNoLayers
+	}
+	if !(q > 0 && q < 1) {
+		return nil, ErrDegenerateQ
+	}
+	nt := len(ylts[0])
+	if nt == 0 {
+		return nil, ErrEmptyYLT
+	}
+	for _, y := range ylts {
+		if len(y) != nt {
+			return nil, ErrRaggedYLTs
+		}
+	}
+	group := make([]float64, nt)
+	for _, y := range ylts {
+		for t, v := range y {
+			group[t] += v
+		}
+	}
+	// VaR threshold of the group (order statistic, matching EPCurve.TVaR).
+	sorted := append([]float64(nil), group...)
+	sort.Float64s(sorted)
+	idx := int(math.Floor(q * float64(nt)))
+	if idx >= nt {
+		idx = nt - 1
+	}
+	threshold := sorted[idx]
+
+	alloc := make([]float64, len(ylts))
+	var tail int
+	for t, s := range group {
+		if s < threshold {
+			continue
+		}
+		tail++
+		for i, y := range ylts {
+			alloc[i] += y[t]
+		}
+	}
+	if tail == 0 {
+		return nil, ErrNoTailTrials
+	}
+	for i := range alloc {
+		alloc[i] /= float64(tail)
+	}
+	return alloc, nil
+}
+
+// DiversificationBenefit reports how much tail capital the group view
+// saves versus holding each layer's standalone TVaR: 1 - TVaR(S)/sum_i
+// TVaR(X_i). Zero means no benefit (perfectly comonotone books).
+func DiversificationBenefit(ylts [][]float64, q float64) (float64, error) {
+	if len(ylts) == 0 {
+		return 0, ErrNoLayers
+	}
+	var standalone float64
+	nt := len(ylts[0])
+	group := make([]float64, nt)
+	for _, y := range ylts {
+		if len(y) != nt {
+			return 0, ErrRaggedYLTs
+		}
+		c, err := NewEPCurve(y)
+		if err != nil {
+			return 0, err
+		}
+		tv, err := c.TVaR(q)
+		if err != nil {
+			return 0, err
+		}
+		standalone += tv
+		for t, v := range y {
+			group[t] += v
+		}
+	}
+	if standalone == 0 {
+		return 0, nil
+	}
+	gc, err := NewEPCurve(group)
+	if err != nil {
+		return 0, err
+	}
+	gt, err := gc.TVaR(q)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - gt/standalone, nil
+}

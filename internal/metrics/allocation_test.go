@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ralab/are/internal/rng"
+	"github.com/ralab/are/internal/stats"
+)
+
+func randomYLTs(seed uint64, layers, trials int) [][]float64 {
+	r := rng.New(seed)
+	ylts := make([][]float64, layers)
+	for i := range ylts {
+		ylts[i] = make([]float64, trials)
+		for t := range ylts[i] {
+			if r.Float64() < 0.25 {
+				ylts[i][t] = stats.LogNormalMeanCV(r, 1e6, 1.5)
+			}
+		}
+	}
+	return ylts
+}
+
+func TestAllocateTVaRSumsToGroupTVaR(t *testing.T) {
+	ylts := randomYLTs(1, 5, 20000)
+	q := 0.99
+	alloc, err := AllocateTVaR(ylts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc) != 5 {
+		t.Fatalf("allocations = %d", len(alloc))
+	}
+	group := make([]float64, len(ylts[0]))
+	for _, y := range ylts {
+		for i, v := range y {
+			group[i] += v
+		}
+	}
+	c, err := NewEPCurve(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := c.TVaR(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, a := range alloc {
+		if a < 0 {
+			t.Fatalf("negative allocation: %v", alloc)
+		}
+		sum += a
+	}
+	if math.Abs(sum-tv)/tv > 1e-9 {
+		t.Fatalf("allocations sum to %v, group TVaR %v", sum, tv)
+	}
+}
+
+func TestAllocateTVaRSingleLayerEqualsTVaR(t *testing.T) {
+	ylts := randomYLTs(2, 1, 10000)
+	alloc, err := AllocateTVaR(ylts, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewEPCurve(ylts[0])
+	tv, _ := c.TVaR(0.95)
+	if math.Abs(alloc[0]-tv)/tv > 1e-9 {
+		t.Fatalf("single-layer allocation %v != TVaR %v", alloc[0], tv)
+	}
+}
+
+func TestAllocateTVaRTailDriverGetsMore(t *testing.T) {
+	// Layer B only loses in the worst years of layer A's distribution:
+	// it must attract a disproportionate allocation relative to its AAL.
+	r := rng.New(3)
+	n := 20000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for t := range a {
+		a[t] = stats.LogNormalMeanCV(r, 1e6, 1.0)
+		if a[t] > 3e6 { // only in tail years
+			b[t] = a[t] / 2
+		}
+	}
+	alloc, err := AllocateTVaR([][]float64{a, b}, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanB := Mean(b)
+	meanA := Mean(a)
+	if alloc[1]/meanB <= alloc[0]/meanA {
+		t.Fatalf("tail-concentrated layer under-allocated: %v vs means (%v, %v)", alloc, meanA, meanB)
+	}
+}
+
+func Mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestAllocateTVaRErrors(t *testing.T) {
+	if _, err := AllocateTVaR(nil, 0.99); !errors.Is(err, ErrNoLayers) {
+		t.Errorf("no layers: %v", err)
+	}
+	if _, err := AllocateTVaR([][]float64{{1, 2}, {1}}, 0.99); !errors.Is(err, ErrRaggedYLTs) {
+		t.Errorf("ragged: %v", err)
+	}
+	if _, err := AllocateTVaR([][]float64{{1, 2}}, 0); !errors.Is(err, ErrDegenerateQ) {
+		t.Errorf("q=0: %v", err)
+	}
+	if _, err := AllocateTVaR([][]float64{{}}, 0.5); !errors.Is(err, ErrEmptyYLT) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestDiversificationBenefit(t *testing.T) {
+	// Independent layers diversify; identical layers do not.
+	ylts := randomYLTs(5, 4, 20000)
+	benefit, err := DiversificationBenefit(ylts, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benefit <= 0 || benefit >= 1 {
+		t.Fatalf("independent-layer benefit = %v, want in (0,1)", benefit)
+	}
+	same := [][]float64{ylts[0], ylts[0], ylts[0]}
+	none, err := DiversificationBenefit(same, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(none) > 1e-9 {
+		t.Fatalf("comonotone benefit = %v, want 0", none)
+	}
+}
+
+func TestDiversificationBenefitErrors(t *testing.T) {
+	if _, err := DiversificationBenefit(nil, 0.99); !errors.Is(err, ErrNoLayers) {
+		t.Errorf("no layers: %v", err)
+	}
+	if _, err := DiversificationBenefit([][]float64{{1}, {1, 2}}, 0.99); !errors.Is(err, ErrRaggedYLTs) {
+		t.Errorf("ragged: %v", err)
+	}
+	zero := [][]float64{{0, 0, 0}}
+	if b, err := DiversificationBenefit(zero, 0.5); err != nil || b != 0 {
+		t.Errorf("all-zero book: %v %v", b, err)
+	}
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/ralab/are/internal/rng"
+)
+
+// Monte Carlo convergence analysis: how many trials does a YLT need
+// before its risk metrics are stable? The paper asserts that "in many
+// applications 50K trials may be sufficient" (§IV); this module makes the
+// claim checkable by bootstrapping confidence intervals for PML and TVaR
+// estimates at any trial count.
+
+// ConvergencePoint reports the sampling uncertainty of a metric at one
+// trial count.
+type ConvergencePoint struct {
+	Trials   int
+	Estimate float64
+	StdErr   float64 // bootstrap standard error
+	CI95Low  float64
+	CI95High float64
+	RelErr   float64 // StdErr / Estimate (0 if Estimate is 0)
+}
+
+// Metric selects the statistic under study.
+type Metric func(curve *EPCurve) (float64, error)
+
+// PMLMetric returns a Metric computing PML at the given return period.
+func PMLMetric(returnPeriod float64) Metric {
+	return func(c *EPCurve) (float64, error) { return c.PML(returnPeriod) }
+}
+
+// TVaRMetric returns a Metric computing TVaR at confidence q.
+func TVaRMetric(q float64) Metric {
+	return func(c *EPCurve) (float64, error) { return c.TVaR(q) }
+}
+
+// MeanMetric computes the average annual loss.
+func MeanMetric() Metric {
+	return func(c *EPCurve) (float64, error) {
+		var s float64
+		for _, v := range c.sorted {
+			s += v
+		}
+		return s / float64(len(c.sorted)), nil
+	}
+}
+
+// Convergence errors.
+var (
+	ErrBadResamples = errors.New("metrics: resamples must be positive")
+	ErrBadSubsize   = errors.New("metrics: subsample sizes must be positive and <= len(ylt)")
+)
+
+// Convergence bootstraps the metric at each requested trial count: for
+// every n in sizes it draws `resamples` bootstrap subsamples of size n
+// from the YLT (with replacement) and reports the spread of the metric.
+// Deterministic in seed.
+func Convergence(ylt []float64, sizes []int, metric Metric, resamples int, seed uint64) ([]ConvergencePoint, error) {
+	if len(ylt) == 0 {
+		return nil, ErrEmptyYLT
+	}
+	if resamples <= 0 {
+		return nil, ErrBadResamples
+	}
+	points := make([]ConvergencePoint, 0, len(sizes))
+	for si, n := range sizes {
+		if n <= 0 || n > len(ylt) {
+			return nil, ErrBadSubsize
+		}
+		r := rng.At(seed, uint64(si))
+		estimates := make([]float64, 0, resamples)
+		sub := make([]float64, n)
+		for b := 0; b < resamples; b++ {
+			for i := range sub {
+				sub[i] = ylt[r.Intn(len(ylt))]
+			}
+			c, err := NewEPCurve(sub)
+			if err != nil {
+				return nil, err
+			}
+			v, err := metric(c)
+			if err != nil {
+				return nil, err
+			}
+			estimates = append(estimates, v)
+		}
+		sort.Float64s(estimates)
+		mean := 0.0
+		for _, v := range estimates {
+			mean += v
+		}
+		mean /= float64(len(estimates))
+		var ss float64
+		for _, v := range estimates {
+			d := v - mean
+			ss += d * d
+		}
+		se := math.Sqrt(ss / float64(len(estimates)))
+		pt := ConvergencePoint{
+			Trials:   n,
+			Estimate: mean,
+			StdErr:   se,
+			CI95Low:  estimates[int(0.025*float64(len(estimates)))],
+			CI95High: estimates[int(math.Min(0.975*float64(len(estimates)), float64(len(estimates)-1)))],
+		}
+		if mean != 0 {
+			pt.RelErr = se / math.Abs(mean)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

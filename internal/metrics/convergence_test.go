@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ralab/are/internal/rng"
+	"github.com/ralab/are/internal/stats"
+)
+
+func convergenceYLT(n int) []float64 {
+	r := rng.New(99)
+	ylt := make([]float64, n)
+	for i := range ylt {
+		if r.Float64() < 0.4 {
+			ylt[i] = stats.LogNormalMeanCV(r, 1e6, 1.2)
+		}
+	}
+	return ylt
+}
+
+func TestConvergenceErrorShrinksWithTrials(t *testing.T) {
+	ylt := convergenceYLT(50000)
+	pts, err := Convergence(ylt, []int{500, 5000, 50000}, PMLMetric(100), 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Monte Carlo error must fall roughly as 1/sqrt(n): 100x the trials
+	// should cut the relative error by well over 3x.
+	if !(pts[2].RelErr < pts[0].RelErr/3) {
+		t.Fatalf("rel err did not shrink: %v -> %v", pts[0].RelErr, pts[2].RelErr)
+	}
+	for _, p := range pts {
+		if p.CI95Low > p.Estimate || p.CI95High < p.Estimate {
+			t.Fatalf("CI does not bracket estimate: %+v", p)
+		}
+		if p.StdErr < 0 {
+			t.Fatalf("negative stderr: %+v", p)
+		}
+	}
+}
+
+func TestConvergenceDeterministic(t *testing.T) {
+	ylt := convergenceYLT(5000)
+	a, err := Convergence(ylt, []int{1000}, TVaRMetric(0.99), 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Convergence(ylt, []int{1000}, TVaRMetric(0.99), 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("not deterministic: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestConvergenceMeanMetric(t *testing.T) {
+	ylt := convergenceYLT(20000)
+	pts, err := Convergence(ylt, []int{20000}, MeanMetric(), 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := Summarise(ylt)
+	// Full-size bootstrap mean should be near the sample mean.
+	if rel := (pts[0].Estimate - s.Mean) / s.Mean; rel > 0.02 || rel < -0.02 {
+		t.Fatalf("bootstrap mean %v vs sample mean %v", pts[0].Estimate, s.Mean)
+	}
+}
+
+func TestConvergenceErrors(t *testing.T) {
+	ylt := convergenceYLT(100)
+	if _, err := Convergence(nil, []int{10}, MeanMetric(), 10, 1); !errors.Is(err, ErrEmptyYLT) {
+		t.Errorf("empty ylt: %v", err)
+	}
+	if _, err := Convergence(ylt, []int{10}, MeanMetric(), 0, 1); !errors.Is(err, ErrBadResamples) {
+		t.Errorf("zero resamples: %v", err)
+	}
+	if _, err := Convergence(ylt, []int{0}, MeanMetric(), 10, 1); !errors.Is(err, ErrBadSubsize) {
+		t.Errorf("zero size: %v", err)
+	}
+	if _, err := Convergence(ylt, []int{101}, MeanMetric(), 10, 1); !errors.Is(err, ErrBadSubsize) {
+		t.Errorf("oversize: %v", err)
+	}
+}

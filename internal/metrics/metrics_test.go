@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/ralab/are/internal/rng"
+	"github.com/ralab/are/internal/stats"
+)
+
+func TestSummarise(t *testing.T) {
+	s, err := Summarise([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 5 || s.StdDev != 2 || s.Min != 2 || s.Max != 9 || s.Trials != 8 {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+func TestSummariseEmpty(t *testing.T) {
+	if _, err := Summarise(nil); !errors.Is(err, ErrEmptyYLT) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewEPCurveEmpty(t *testing.T) {
+	if _, err := NewEPCurve(nil); !errors.Is(err, ErrEmptyYLT) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEPCurveDoesNotMutateInput(t *testing.T) {
+	in := []float64{5, 1, 3}
+	if _, err := NewEPCurve(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestPMLKnownDistribution(t *testing.T) {
+	// 1000 trials with losses 1..1000: the 10-year PML is the 90th
+	// percentile = ~900.
+	losses := make([]float64, 1000)
+	for i := range losses {
+		losses[i] = float64(i + 1)
+	}
+	c, err := NewEPCurve(losses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pml10, err := c.PML(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pml10-900) > 1.5 {
+		t.Fatalf("PML(10) = %v, want ~900", pml10)
+	}
+	pml100, _ := c.PML(100)
+	if math.Abs(pml100-990) > 1.5 {
+		t.Fatalf("PML(100) = %v, want ~990", pml100)
+	}
+}
+
+func TestPMLErrors(t *testing.T) {
+	c, _ := NewEPCurve([]float64{1, 2, 3})
+	for _, rp := range []float64{0, 1, -5, math.Inf(1), math.NaN()} {
+		if _, err := c.PML(rp); !errors.Is(err, ErrBadRP) {
+			t.Errorf("PML(%v) err = %v", rp, err)
+		}
+	}
+}
+
+func TestLossAtProbAndVaR(t *testing.T) {
+	losses := make([]float64, 100)
+	for i := range losses {
+		losses[i] = float64(i)
+	}
+	c, _ := NewEPCurve(losses)
+	// Loss exceeded with probability 0.1 == 90th percentile == VaR(0.9).
+	lap, err := c.LossAtProb(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.VaR(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lap != v {
+		t.Fatalf("LossAtProb(0.1)=%v != VaR(0.9)=%v", lap, v)
+	}
+	for _, p := range []float64{0, 1, -1, 2} {
+		if _, err := c.LossAtProb(p); !errors.Is(err, ErrBadProb) {
+			t.Errorf("LossAtProb(%v) err = %v", p, err)
+		}
+		if _, err := c.VaR(p); !errors.Is(err, ErrBadProb) {
+			t.Errorf("VaR(%v) err = %v", p, err)
+		}
+	}
+}
+
+func TestTVaRExceedsVaR(t *testing.T) {
+	r := rng.New(1)
+	losses := make([]float64, 20000)
+	for i := range losses {
+		losses[i] = stats.LogNormalMeanCV(r, 1e6, 2)
+	}
+	c, _ := NewEPCurve(losses)
+	for _, q := range []float64{0.9, 0.99, 0.995} {
+		v, _ := c.VaR(q)
+		tv, err := c.TVaR(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tv < v {
+			t.Fatalf("TVaR(%v)=%v < VaR(%v)=%v", q, tv, q, v)
+		}
+	}
+	if _, err := c.TVaR(0); !errors.Is(err, ErrBadProb) {
+		t.Errorf("TVaR(0) err = %v", err)
+	}
+}
+
+func TestTVaRKnown(t *testing.T) {
+	// Losses 1..10; TVaR(0.8) = mean of top 2 = 9.5.
+	losses := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	c, _ := NewEPCurve(losses)
+	tv, err := c.TVaR(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv != 9.5 {
+		t.Fatalf("TVaR(0.8) = %v, want 9.5", tv)
+	}
+}
+
+func TestSingleTrialCurve(t *testing.T) {
+	c, err := NewEPCurve([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.VaR(0.5); v != 42 {
+		t.Fatalf("VaR on singleton = %v", v)
+	}
+	if tv, _ := c.TVaR(0.5); tv != 42 {
+		t.Fatalf("TVaR on singleton = %v", tv)
+	}
+}
+
+func TestCurvePoints(t *testing.T) {
+	losses := make([]float64, 10000)
+	for i := range losses {
+		losses[i] = float64(i)
+	}
+	c, _ := NewEPCurve(losses)
+	pts := c.Curve(nil)
+	if len(pts) != len(StandardReturnPeriods) {
+		t.Fatalf("points = %d, want %d", len(pts), len(StandardReturnPeriods))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Loss < pts[i-1].Loss {
+			t.Fatalf("EP curve losses not monotone in return period: %+v", pts)
+		}
+		if pts[i].ReturnPeriod <= pts[i-1].ReturnPeriod {
+			t.Fatalf("return periods not increasing")
+		}
+	}
+	// Return periods beyond trial count are skipped.
+	short, _ := NewEPCurve([]float64{1, 2, 3, 4, 5})
+	pts = short.Curve(nil)
+	for _, p := range pts {
+		if p.ReturnPeriod > 5 {
+			t.Fatalf("return period %v beyond resolution of 5 trials", p.ReturnPeriod)
+		}
+	}
+}
+
+// Property: PML is monotone in return period.
+func TestQuickPMLMonotone(t *testing.T) {
+	r := rng.New(2)
+	losses := make([]float64, 5000)
+	for i := range losses {
+		losses[i] = stats.LogNormalMeanCV(r, 1000, 1.5)
+	}
+	c, _ := NewEPCurve(losses)
+	f := func(a, b float64) bool {
+		ra := 1.001 + math.Mod(math.Abs(a), 1000)
+		rb := 1.001 + math.Mod(math.Abs(b), 1000)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		pa, err1 := c.PML(ra)
+		pb, err2 := c.PML(rb)
+		return err1 == nil && err2 == nil && pa <= pb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles stay within [min, max] of the data.
+func TestQuickQuantileBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(100)
+		losses := make([]float64, n)
+		for i := range losses {
+			losses[i] = r.Float64() * 1e6
+		}
+		c, err := NewEPCurve(losses)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), losses...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.999} {
+			v, err := c.VaR(q)
+			if err != nil || v < sorted[0] || v > sorted[n-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

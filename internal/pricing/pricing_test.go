@@ -1,0 +1,208 @@
+package pricing
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ralab/are/internal/metrics"
+	"github.com/ralab/are/internal/rng"
+	"github.com/ralab/are/internal/stats"
+)
+
+func sampleYLT(n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	ylt := make([]float64, n)
+	for i := range ylt {
+		// Most years zero, some years losses — layer-like.
+		if r.Float64() < 0.3 {
+			ylt[i] = stats.LogNormalMeanCV(r, 5e6, 1.2)
+		}
+	}
+	return ylt
+}
+
+func TestPriceBasic(t *testing.T) {
+	ylt := sampleYLT(10000, 1)
+	q, err := Price(ylt, Config{OccLimit: 50e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ExpectedLoss <= 0 || q.StdDev <= 0 {
+		t.Fatalf("degenerate quote: %+v", q)
+	}
+	if q.RiskLoad <= 0 || math.Abs(q.RiskLoad-0.3*q.StdDev) > 1e-9 {
+		t.Fatalf("risk load %v, stddev %v", q.RiskLoad, q.StdDev)
+	}
+	if q.TechnicalPremium <= q.ExpectedLoss+q.RiskLoad {
+		t.Fatal("technical premium does not gross up expenses")
+	}
+	wantPremium := (q.ExpectedLoss + q.RiskLoad) / 0.9
+	if math.Abs(q.TechnicalPremium-wantPremium) > 1e-6 {
+		t.Fatalf("premium = %v, want %v", q.TechnicalPremium, wantPremium)
+	}
+	if math.Abs(q.ExpenseLoad-(q.TechnicalPremium-q.ExpectedLoss-q.RiskLoad)) > 1e-9 {
+		t.Fatal("expense load inconsistent")
+	}
+	if q.RateOnLine <= 0 || q.RateOnLine != q.TechnicalPremium/50e6 {
+		t.Fatalf("rate on line = %v", q.RateOnLine)
+	}
+	if q.PML100 <= 0 || q.TVaR99 < q.PML100 {
+		// TVaR99 averages the worst 1%, which must be at least the
+		// 100-year PML for this trial count.
+		t.Fatalf("PML100=%v TVaR99=%v", q.PML100, q.TVaR99)
+	}
+}
+
+func TestPriceUnlimitedOccLimit(t *testing.T) {
+	ylt := sampleYLT(1000, 2)
+	q, err := Price(ylt, Config{OccLimit: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.RateOnLine != 0 {
+		t.Fatalf("rate on line for unlimited = %v, want 0", q.RateOnLine)
+	}
+}
+
+func TestPriceCustomLoadings(t *testing.T) {
+	ylt := sampleYLT(1000, 3)
+	q, err := Price(ylt, Config{VolatilityMultiplier: 0.5, ExpenseRatio: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.RiskLoad-0.5*q.StdDev) > 1e-9 {
+		t.Fatalf("risk load %v", q.RiskLoad)
+	}
+	want := (q.ExpectedLoss + q.RiskLoad) / 0.8
+	if math.Abs(q.TechnicalPremium-want) > 1e-6 {
+		t.Fatalf("premium %v, want %v", q.TechnicalPremium, want)
+	}
+}
+
+func TestPriceErrors(t *testing.T) {
+	if _, err := Price(nil, Config{}); !errors.Is(err, metrics.ErrEmptyYLT) {
+		t.Errorf("empty YLT: %v", err)
+	}
+	if _, err := Price([]float64{1}, Config{ExpenseRatio: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("expense ratio 1: %v", err)
+	}
+}
+
+func TestPriceSmallYLTSkipsPML(t *testing.T) {
+	q, err := Price([]float64{1, 2, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PML100 != 0 {
+		t.Fatalf("PML100 on 3 trials = %v, want 0 (insufficient resolution)", q.PML100)
+	}
+}
+
+// Pricing must be monotone: a uniformly larger YLT never prices lower.
+func TestPriceMonotoneInLosses(t *testing.T) {
+	base := sampleYLT(5000, 4)
+	bigger := make([]float64, len(base))
+	for i, v := range base {
+		bigger[i] = v * 1.5
+	}
+	qa, err := Price(base, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := Price(bigger, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.TechnicalPremium <= qa.TechnicalPremium {
+		t.Fatalf("premium not monotone: %v vs %v", qa.TechnicalPremium, qb.TechnicalPremium)
+	}
+}
+
+func TestPriceReinstatableZeroEqualsBase(t *testing.T) {
+	ylt := sampleYLT(5000, 10)
+	cfg := Config{OccLimit: 20e6}
+	base, err := Price(ylt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := PriceReinstatable(ylt, 0, 1.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero reinstatements nothing can be reinstated: premium equals
+	// the base quote and no reinstatement income arises.
+	if math.Abs(q.TechnicalPremium-base.TechnicalPremium) > 1e-9 {
+		t.Fatalf("premium %v != base %v", q.TechnicalPremium, base.TechnicalPremium)
+	}
+	if q.ExpectedReinstPremium != 0 {
+		t.Fatalf("reinst income %v, want 0", q.ExpectedReinstPremium)
+	}
+	if q.AnnualCap != 20e6 {
+		t.Fatalf("annual cap %v", q.AnnualCap)
+	}
+}
+
+func TestPriceReinstatableLowersUpfrontPremium(t *testing.T) {
+	ylt := sampleYLT(5000, 11)
+	cfg := Config{OccLimit: 5e6}
+	base, err := Price(ylt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := PriceReinstatable(ylt, 2, 1.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q.TechnicalPremium < base.TechnicalPremium) {
+		t.Fatalf("reinstatement income did not reduce premium: %v vs %v",
+			q.TechnicalPremium, base.TechnicalPremium)
+	}
+	// Implicit premium equation: P*(1 + rate*r) = base premium.
+	if math.Abs(q.TechnicalPremium+q.ExpectedReinstPremium-base.TechnicalPremium) > 1e-6 {
+		t.Fatalf("premium identity violated: %v + %v != %v",
+			q.TechnicalPremium, q.ExpectedReinstPremium, base.TechnicalPremium)
+	}
+	if q.AnnualCap != 15e6 {
+		t.Fatalf("annual cap %v, want 15e6", q.AnnualCap)
+	}
+}
+
+func TestPriceReinstatableMoreReinstatementsMoreIncome(t *testing.T) {
+	ylt := sampleYLT(5000, 12)
+	cfg := Config{OccLimit: 3e6}
+	q1, err := PriceReinstatable(ylt, 1, 1.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, err := PriceReinstatable(ylt, 3, 1.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q3.ExpectedReinstPremium > q1.ExpectedReinstPremium) {
+		t.Fatalf("income not increasing in reinstatements: %v vs %v",
+			q1.ExpectedReinstPremium, q3.ExpectedReinstPremium)
+	}
+}
+
+func TestPriceReinstatableErrors(t *testing.T) {
+	ylt := sampleYLT(100, 13)
+	if _, err := PriceReinstatable(ylt, -1, 1, Config{OccLimit: 1e6}); !errors.Is(err, ErrBadReinstatements) {
+		t.Errorf("negative reinstatements: %v", err)
+	}
+	if _, err := PriceReinstatable(ylt, 1, -0.1, Config{OccLimit: 1e6}); !errors.Is(err, ErrBadReinstRate) {
+		t.Errorf("negative rate: %v", err)
+	}
+	if _, err := PriceReinstatable(ylt, 1, 3, Config{OccLimit: 1e6}); !errors.Is(err, ErrBadReinstRate) {
+		t.Errorf("huge rate: %v", err)
+	}
+	if _, err := PriceReinstatable(ylt, 1, 1, Config{}); !errors.Is(err, ErrNeedOccLimit) {
+		t.Errorf("no occ limit: %v", err)
+	}
+	if _, err := PriceReinstatable(ylt, 1, 1, Config{OccLimit: math.Inf(1)}); !errors.Is(err, ErrNeedOccLimit) {
+		t.Errorf("inf occ limit: %v", err)
+	}
+	if _, err := PriceReinstatable(nil, 1, 1, Config{OccLimit: 1e6}); err == nil {
+		t.Error("empty YLT accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package report renders a complete aggregate-analysis result as a
+// human-readable markdown document: per-layer risk metrics and quotes,
+// exceedance curves, and the group-wide (enterprise) roll-up with
+// capital allocation — the deliverable an analyst circulates after the
+// engine run.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/layer"
+	"github.com/ralab/are/internal/metrics"
+	"github.com/ralab/are/internal/pricing"
+)
+
+// Config controls report contents.
+type Config struct {
+	// Title heads the document; default "Aggregate Risk Analysis".
+	Title string
+
+	// ReturnPeriods for the EP-curve tables; nil means the standard set.
+	ReturnPeriods []float64
+
+	// AllocationQ is the confidence level for group TVaR allocation;
+	// default 0.99.
+	AllocationQ float64
+
+	// Elapsed, when non-zero, is reported as the analysis wall time.
+	Elapsed time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.Title == "" {
+		c.Title = "Aggregate Risk Analysis"
+	}
+	if c.AllocationQ <= 0 || c.AllocationQ >= 1 {
+		c.AllocationQ = 0.99
+	}
+}
+
+// Report errors.
+var (
+	ErrNilInputs = errors.New("report: portfolio and result must be non-nil")
+	ErrMismatch  = errors.New("report: result layer count does not match portfolio")
+)
+
+// Write renders the report for a portfolio and its engine result.
+func Write(w io.Writer, p *layer.Portfolio, res *core.Result, cfg Config) error {
+	if p == nil || res == nil {
+		return ErrNilInputs
+	}
+	if len(p.Layers) != len(res.AggLoss) {
+		return ErrMismatch
+	}
+	cfg.setDefaults()
+
+	trials := 0
+	if len(res.AggLoss) > 0 {
+		trials = len(res.AggLoss[0])
+	}
+	fmt.Fprintf(w, "# %s\n\n", cfg.Title)
+	fmt.Fprintf(w, "- layers: %d\n- trials: %d\n", len(p.Layers), trials)
+	if cfg.Elapsed > 0 {
+		fmt.Fprintf(w, "- analysis time: %v\n", cfg.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
+
+	// ---- per-layer metrics ----
+	fmt.Fprintln(w, "## Layers")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| layer | AAL | stddev | PML 100y | PML 250y | TVaR 99% | premium | RoL |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
+	for li, l := range p.Layers {
+		ylt := res.YLT(li)
+		sum, err := metrics.Summarise(ylt)
+		if err != nil {
+			return fmt.Errorf("report: layer %s: %w", l.Name, err)
+		}
+		curve, err := metrics.NewEPCurve(ylt)
+		if err != nil {
+			return fmt.Errorf("report: layer %s: %w", l.Name, err)
+		}
+		pml100, _ := curve.PML(100)
+		pml250, _ := curve.PML(250)
+		tvar, _ := curve.TVaR(0.99)
+		q, err := pricing.Price(ylt, pricing.Config{OccLimit: l.LTerms.OccLimit})
+		if err != nil {
+			return fmt.Errorf("report: layer %s: %w", l.Name, err)
+		}
+		fmt.Fprintf(w, "| %s | %.4g | %.4g | %.4g | %.4g | %.4g | %.4g | %.4f |\n",
+			l.Name, sum.Mean, sum.StdDev, pml100, pml250, tvar, q.TechnicalPremium, q.RateOnLine)
+	}
+	fmt.Fprintln(w)
+
+	// ---- group roll-up ----
+	group := make([]float64, trials)
+	for li := range p.Layers {
+		for t, v := range res.YLT(li) {
+			group[t] += v
+		}
+	}
+	gsum, err := metrics.Summarise(group)
+	if err != nil {
+		return fmt.Errorf("report: group: %w", err)
+	}
+	gcurve, err := metrics.NewEPCurve(group)
+	if err != nil {
+		return fmt.Errorf("report: group: %w", err)
+	}
+	fmt.Fprintln(w, "## Group roll-up")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "- expected annual loss: %.4g\n", gsum.Mean)
+	fmt.Fprintf(w, "- volatility: %.4g\n", gsum.StdDev)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| return period (y) | exceedance prob | group loss |")
+	fmt.Fprintln(w, "|---|---|---|")
+	for _, pt := range gcurve.Curve(cfg.ReturnPeriods) {
+		fmt.Fprintf(w, "| %.0f | %.4f | %.4g |\n", pt.ReturnPeriod, pt.Prob, pt.Loss)
+	}
+	fmt.Fprintln(w)
+
+	// ---- capital allocation (only meaningful for multi-layer books) ----
+	if len(p.Layers) > 1 {
+		alloc, err := metrics.AllocateTVaR(res.AggLoss, cfg.AllocationQ)
+		if err == nil {
+			var total float64
+			for _, a := range alloc {
+				total += a
+			}
+			fmt.Fprintf(w, "## Capital allocation (co-TVaR at %.0f%%)\n\n", cfg.AllocationQ*100)
+			fmt.Fprintln(w, "| layer | allocation | share |")
+			fmt.Fprintln(w, "|---|---|---|")
+			for li, l := range p.Layers {
+				share := 0.0
+				if total > 0 {
+					share = alloc[li] / total * 100
+				}
+				fmt.Fprintf(w, "| %s | %.4g | %.1f%% |\n", l.Name, alloc[li], share)
+			}
+			if benefit, err := metrics.DiversificationBenefit(res.AggLoss, cfg.AllocationQ); err == nil {
+				fmt.Fprintf(w, "\ndiversification benefit vs standalone TVaRs: %.1f%%\n", benefit*100)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}

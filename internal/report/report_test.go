@@ -1,0 +1,110 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/layer"
+	"github.com/ralab/are/internal/yet"
+)
+
+func analysed(t *testing.T, layers int) (*layer.Portfolio, *core.Result) {
+	t.Helper()
+	const catalogSize = 20000
+	p, err := layer.GeneratePortfolio(layer.GenConfig{
+		Seed: 1, NumLayers: layers, ELTsPerLayer: 3,
+		RecordsPerELT: 800, CatalogSize: catalogSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := yet.Generate(yet.UniformSource(catalogSize), yet.Config{
+		Seed: 2, Trials: 500, MeanEvents: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(p, catalogSize, core.LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(y, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res
+}
+
+func TestWriteMultiLayerReport(t *testing.T) {
+	p, res := analysed(t, 3)
+	var buf bytes.Buffer
+	err := Write(&buf, p, res, Config{Title: "Q2 Book", Elapsed: 123 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Q2 Book",
+		"- layers: 3",
+		"- trials: 500",
+		"analysis time: 123ms",
+		"## Layers",
+		"layer-0", "layer-1", "layer-2",
+		"## Group roll-up",
+		"## Capital allocation (co-TVaR at 99%)",
+		"diversification benefit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSingleLayerSkipsAllocation(t *testing.T) {
+	p, res := analysed(t, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, p, res, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "Capital allocation") {
+		t.Error("single-layer report should not allocate capital")
+	}
+	if !strings.Contains(out, "# Aggregate Risk Analysis") {
+		t.Error("default title missing")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	p, res := analysed(t, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, res, Config{}); !errors.Is(err, ErrNilInputs) {
+		t.Errorf("nil portfolio: %v", err)
+	}
+	if err := Write(&buf, p, nil, Config{}); !errors.Is(err, ErrNilInputs) {
+		t.Errorf("nil result: %v", err)
+	}
+	p2, _ := analysed(t, 2)
+	if err := Write(&buf, p2, res, Config{}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("mismatched: %v", err)
+	}
+}
+
+func TestWriteCustomReturnPeriods(t *testing.T) {
+	p, res := analysed(t, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, p, res, Config{ReturnPeriods: []float64{5, 50}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| 5 |") || !strings.Contains(out, "| 50 |") {
+		t.Errorf("custom return periods missing:\n%s", out)
+	}
+	if strings.Contains(out, "| 1000 |") {
+		t.Error("unexpected standard return period present")
+	}
+}

@@ -1,0 +1,206 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for reproducible parallel simulation.
+//
+// The aggregate risk pipeline must be exactly reproducible: the same seed
+// must yield the same event catalog, the same Year Event Table and the same
+// Year Loss Table regardless of how many workers participate in the
+// simulation. To achieve this the package provides
+//
+//   - splitmix64: a tiny, statistically solid generator used for seeding,
+//   - xoshiro256**: the workhorse generator used by all samplers, and
+//   - Split/At: derivation of independent child streams from a parent, so
+//     each trial, ELT or worker can own a private generator whose output
+//     is a pure function of (root seed, stream index).
+//
+// None of the generators in this package are cryptographically secure; they
+// are simulation-quality generators chosen for speed and reproducibility.
+package rng
+
+import "math/bits"
+
+// golden is the splitmix64 increment (2^64 / phi, odd).
+const golden = 0x9E3779B97F4A7C15
+
+// SplitMix64 is the seeding generator. Its zero value is a valid generator
+// seeded with 0. It is primarily used to expand a single 64-bit seed into
+// the 256-bit state required by xoshiro256**.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the sequence.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += golden
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the splitmix64 finalizer to x. It is a strong 64-bit mixing
+// function (bijective, full avalanche) used for stream derivation.
+func Mix64(x uint64) uint64 {
+	x += golden
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is NOT a valid
+// generator (xoshiro must not have all-zero state); use New or Seed.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a generator seeded from a single 64-bit seed. The 256-bit
+// state is expanded with splitmix64 as recommended by the xoshiro authors.
+func New(seed uint64) *Rand {
+	var r Rand
+	r.Seed(seed)
+	return &r
+}
+
+// Seed re-initialises the generator from a 64-bit seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := NewSplitMix64(seed)
+	r.s0 = sm.Uint64()
+	r.s1 = sm.Uint64()
+	r.s2 = sm.Uint64()
+	r.s3 = sm.Uint64()
+	// All-zero state would be absorbing; splitmix64 output of any seed is
+	// never all zeros across four draws, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = golden
+	}
+}
+
+// Uint64 returns the next 64-bit value (xoshiro256** scrambler).
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+
+	return result
+}
+
+// Split derives an independent child generator for the given stream index.
+// The child state is a pure function of the parent's seed material and the
+// index, so Split is safe to call concurrently from code that owns distinct
+// indices, and calling it does not advance the parent.
+func (r *Rand) Split(stream uint64) *Rand {
+	// Mix the stream index into each word of state through distinct
+	// tweaks so different streams share no obvious state correlation.
+	child := &Rand{
+		s0: Mix64(r.s0 ^ Mix64(stream)),
+		s1: Mix64(r.s1 ^ Mix64(stream^0xA5A5A5A5A5A5A5A5)),
+		s2: Mix64(r.s2 ^ Mix64(stream^0x5A5A5A5A5A5A5A5A)),
+		s3: Mix64(r.s3 ^ Mix64(stream^0x3C3C3C3C3C3C3C3C)),
+	}
+	if child.s0|child.s1|child.s2|child.s3 == 0 {
+		child.s0 = golden
+	}
+	return child
+}
+
+// At returns the child stream for index i of a root seed without
+// constructing the parent explicitly. At(seed, i) == New(seed).Split(i).
+func At(seed, stream uint64) *Rand {
+	return New(seed).Split(stream)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in (0, 1), never exactly zero. It is
+// used where a subsequent log() or 1/x must not receive 0.
+func (r *Rand) Float64Open() float64 {
+	for {
+		f := r.Float64()
+		if f > 0 {
+			return f
+		}
+	}
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the n elements addressed by swap in place.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to 2^128 calls to
+// Uint64. It can be used to create non-overlapping subsequences, an
+// alternative to Split when sequence-partition semantics are preferred.
+func (r *Rand) Jump() {
+	jump := [4]uint64{0x180EC6D33CFD0ABA, 0xD5A61266F0C9392C, 0xA9582618E03FC9AA, 0x39ABDC4529B1661C}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= r.s0
+				s1 ^= r.s1
+				s2 ^= r.s2
+				s3 ^= r.s3
+			}
+			r.Uint64()
+		}
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}

@@ -1,0 +1,288 @@
+// Package spec loads portfolio definitions from JSON, the adoption path
+// for running the engine on real contract structures instead of the
+// synthetic generators.
+//
+// A specification names the catalog size, the Event Loss Tables (either
+// inline event-loss records or synthetic-generation parameters), and the
+// layers covering them:
+//
+//	{
+//	  "catalogSize": 1000000,
+//	  "elts": [
+//	    {"id": 1,
+//	     "terms": {"fx": 1.0, "participation": 0.5},
+//	     "records": [[17, 1250000.0], [123, 890000.0]]},
+//	    {"id": 2,
+//	     "generate": {"seed": 7, "numRecords": 20000, "meanLoss": 250000}}
+//	  ],
+//	  "layers": [
+//	    {"id": 1, "name": "cat-xl-1", "elts": [1, 2],
+//	     "terms": {"occRetention": 1e6, "occLimit": 5e6,
+//	               "aggRetention": 0, "aggLimit": "unlimited"}}
+//	  ]
+//	}
+//
+// Limits accept a number or the string "unlimited"; omitted limits are
+// unlimited, omitted retentions zero. Unknown fields are rejected so
+// typos fail loudly.
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/elt"
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/layer"
+)
+
+// Limit is a JSON value that is either a number or "unlimited".
+type Limit float64
+
+// UnmarshalJSON accepts a number or the string "unlimited".
+func (l *Limit) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		if s == "unlimited" {
+			*l = Limit(math.Inf(1))
+			return nil
+		}
+		return fmt.Errorf("spec: limit string must be \"unlimited\", got %q", s)
+	}
+	var f float64
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("spec: limit must be a number or \"unlimited\": %w", err)
+	}
+	*l = Limit(f)
+	return nil
+}
+
+// File is the top-level document.
+type File struct {
+	CatalogSize int         `json:"catalogSize"`
+	ELTs        []ELTSpec   `json:"elts"`
+	Layers      []LayerSpec `json:"layers"`
+}
+
+// ELTSpec defines one Event Loss Table, from inline records or by
+// synthetic generation.
+type ELTSpec struct {
+	ID       uint32        `json:"id"`
+	Terms    *TermsSpec    `json:"terms,omitempty"`
+	Records  [][2]float64  `json:"records,omitempty"`
+	Generate *GenerateSpec `json:"generate,omitempty"`
+
+	// File loads the table from a binary ELT file written by
+	// (*elt.Table).WriteTo. The file's embedded id and terms are used;
+	// inline Terms must not be combined with File.
+	File string `json:"file,omitempty"`
+}
+
+// TermsSpec is the JSON form of financial.Terms; zero-valued fields take
+// pass-through defaults.
+type TermsSpec struct {
+	FX             float64 `json:"fx,omitempty"`
+	EventRetention float64 `json:"eventRetention,omitempty"`
+	EventLimit     *Limit  `json:"eventLimit,omitempty"`
+	Participation  float64 `json:"participation,omitempty"`
+}
+
+func (t *TermsSpec) toTerms() financial.Terms {
+	out := financial.Default()
+	if t == nil {
+		return out
+	}
+	if t.FX != 0 {
+		out.FX = t.FX
+	}
+	if t.EventRetention != 0 {
+		out.EventRetention = t.EventRetention
+	}
+	if t.EventLimit != nil {
+		out.EventLimit = float64(*t.EventLimit)
+	}
+	if t.Participation != 0 {
+		out.Participation = t.Participation
+	}
+	return out
+}
+
+// GenerateSpec mirrors elt.GenConfig for synthetic tables.
+type GenerateSpec struct {
+	Seed       uint64  `json:"seed"`
+	NumRecords int     `json:"numRecords"`
+	MeanLoss   float64 `json:"meanLoss,omitempty"`
+	LossCV     float64 `json:"lossCV,omitempty"`
+}
+
+// LayerSpec defines one layer over previously declared ELT IDs.
+type LayerSpec struct {
+	ID    uint32          `json:"id"`
+	Name  string          `json:"name,omitempty"`
+	ELTs  []uint32        `json:"elts"`
+	Terms *LayerTermsSpec `json:"terms,omitempty"`
+}
+
+// LayerTermsSpec is the JSON form of layer.Terms.
+type LayerTermsSpec struct {
+	OccRetention float64 `json:"occRetention,omitempty"`
+	OccLimit     *Limit  `json:"occLimit,omitempty"`
+	AggRetention float64 `json:"aggRetention,omitempty"`
+	AggLimit     *Limit  `json:"aggLimit,omitempty"`
+}
+
+func (t *LayerTermsSpec) toTerms() layer.Terms {
+	out := layer.PassThrough()
+	if t == nil {
+		return out
+	}
+	out.OccRetention = t.OccRetention
+	out.AggRetention = t.AggRetention
+	if t.OccLimit != nil {
+		out.OccLimit = float64(*t.OccLimit)
+	}
+	if t.AggLimit != nil {
+		out.AggLimit = float64(*t.AggLimit)
+	}
+	return out
+}
+
+// Spec errors.
+var (
+	ErrNoCatalog    = errors.New("spec: catalogSize must be positive")
+	ErrNoELTs       = errors.New("spec: at least one ELT required")
+	ErrNoLayers     = errors.New("spec: at least one layer required")
+	ErrDuplicateELT = errors.New("spec: duplicate ELT id")
+	ErrUnknownELT   = errors.New("spec: layer references unknown ELT id")
+	ErrELTSource    = errors.New("spec: ELT needs exactly one of records, generate or file")
+	ErrFileTerms    = errors.New("spec: file-loaded ELT cannot carry inline terms")
+	ErrNoOpener     = errors.New("spec: file references require ParseFiles")
+)
+
+// Opener resolves an ELT file reference from the spec into a reader.
+type Opener func(name string) (io.ReadCloser, error)
+
+// Parse reads and validates a specification, returning the portfolio and
+// the catalog size to compile against. Specs containing "file" ELT
+// references need ParseFiles instead.
+func Parse(r io.Reader) (*layer.Portfolio, int, error) {
+	return ParseFiles(r, nil)
+}
+
+// ParseFiles is Parse with an Opener for resolving "file" ELT references
+// (typically wrapping os.Open relative to the spec's directory).
+func ParseFiles(r io.Reader, open Opener) (*layer.Portfolio, int, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, 0, fmt.Errorf("spec: parse: %w", err)
+	}
+	return build(&f, open)
+}
+
+func build(f *File, open Opener) (*layer.Portfolio, int, error) {
+	if f.CatalogSize <= 0 {
+		return nil, 0, ErrNoCatalog
+	}
+	if len(f.ELTs) == 0 {
+		return nil, 0, ErrNoELTs
+	}
+	if len(f.Layers) == 0 {
+		return nil, 0, ErrNoLayers
+	}
+	tables := make(map[uint32]*elt.Table, len(f.ELTs))
+	for i := range f.ELTs {
+		es := &f.ELTs[i]
+		if _, dup := tables[es.ID]; dup {
+			return nil, 0, fmt.Errorf("%w: %d", ErrDuplicateELT, es.ID)
+		}
+		hasRecords := len(es.Records) > 0
+		hasGen := es.Generate != nil
+		hasFile := es.File != ""
+		sources := 0
+		for _, b := range []bool{hasRecords, hasGen, hasFile} {
+			if b {
+				sources++
+			}
+		}
+		if sources != 1 {
+			return nil, 0, fmt.Errorf("%w (elt %d)", ErrELTSource, es.ID)
+		}
+		var t *elt.Table
+		var err error
+		if hasFile {
+			if es.Terms != nil {
+				return nil, 0, fmt.Errorf("%w (elt %d)", ErrFileTerms, es.ID)
+			}
+			if open == nil {
+				return nil, 0, fmt.Errorf("%w (elt %d -> %q)", ErrNoOpener, es.ID, es.File)
+			}
+			rc, oerr := open(es.File)
+			if oerr != nil {
+				return nil, 0, fmt.Errorf("spec: elt %d: open %q: %w", es.ID, es.File, oerr)
+			}
+			t, err = elt.ReadTable(rc)
+			if cerr := rc.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+			if err == nil && int(t.MaxEvent()) >= f.CatalogSize {
+				err = fmt.Errorf("event %d outside catalog of %d", t.MaxEvent(), f.CatalogSize)
+			}
+		} else if hasRecords {
+			recs := make([]elt.Record, len(es.Records))
+			for j, pair := range es.Records {
+				ev := pair[0]
+				if ev < 0 || ev != math.Trunc(ev) || ev >= float64(f.CatalogSize) {
+					return nil, 0, fmt.Errorf("spec: elt %d record %d: event %v invalid for catalog %d",
+						es.ID, j, ev, f.CatalogSize)
+				}
+				recs[j] = elt.Record{Event: catalog.EventID(ev), Loss: pair[1]}
+			}
+			t, err = elt.New(es.ID, es.Terms.toTerms(), recs)
+		} else {
+			t, err = elt.Generate(es.ID, elt.GenConfig{
+				Seed:        es.Generate.Seed,
+				NumRecords:  es.Generate.NumRecords,
+				CatalogSize: f.CatalogSize,
+				MeanLoss:    es.Generate.MeanLoss,
+				LossCV:      es.Generate.LossCV,
+				Terms:       es.Terms.toTerms(),
+			})
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("spec: elt %d: %w", es.ID, err)
+		}
+		tables[es.ID] = t
+	}
+
+	p := &layer.Portfolio{}
+	for i := range f.Layers {
+		ls := &f.Layers[i]
+		if len(ls.ELTs) == 0 {
+			return nil, 0, fmt.Errorf("spec: layer %d covers no ELTs", ls.ID)
+		}
+		elts := make([]*elt.Table, len(ls.ELTs))
+		for j, id := range ls.ELTs {
+			t, ok := tables[id]
+			if !ok {
+				return nil, 0, fmt.Errorf("%w: layer %d -> elt %d", ErrUnknownELT, ls.ID, id)
+			}
+			elts[j] = t
+		}
+		name := ls.Name
+		if name == "" {
+			name = fmt.Sprintf("layer-%d", ls.ID)
+		}
+		l, err := layer.New(ls.ID, name, elts, ls.Terms.toTerms())
+		if err != nil {
+			return nil, 0, fmt.Errorf("spec: layer %d: %w", ls.ID, err)
+		}
+		p.Layers = append(p.Layers, l)
+	}
+	return p, f.CatalogSize, nil
+}

@@ -1,0 +1,241 @@
+package spec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/ralab/are/internal/elt"
+)
+
+const validSpec = `{
+  "catalogSize": 10000,
+  "elts": [
+    {"id": 1,
+     "terms": {"fx": 1.0, "participation": 0.5},
+     "records": [[17, 1250000.0], [123, 890000.0]]},
+    {"id": 2,
+     "generate": {"seed": 7, "numRecords": 500, "meanLoss": 250000}}
+  ],
+  "layers": [
+    {"id": 1, "name": "cat-xl-1", "elts": [1, 2],
+     "terms": {"occRetention": 1e6, "occLimit": 5e6,
+               "aggRetention": 0, "aggLimit": "unlimited"}}
+  ]
+}`
+
+func TestParseValid(t *testing.T) {
+	p, catalogSize, err := Parse(strings.NewReader(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if catalogSize != 10000 {
+		t.Fatalf("catalogSize = %d", catalogSize)
+	}
+	if len(p.Layers) != 1 {
+		t.Fatalf("layers = %d", len(p.Layers))
+	}
+	l := p.Layers[0]
+	if l.Name != "cat-xl-1" || len(l.ELTs) != 2 {
+		t.Fatalf("layer = %+v", l)
+	}
+	if l.LTerms.OccRetention != 1e6 || l.LTerms.OccLimit != 5e6 {
+		t.Fatalf("occ terms = %+v", l.LTerms)
+	}
+	if !math.IsInf(l.LTerms.AggLimit, 1) {
+		t.Fatalf("agg limit = %v, want +Inf", l.LTerms.AggLimit)
+	}
+	// Inline ELT: 2 records, participation carried.
+	inline := l.ELTs[0]
+	if inline.Len() != 2 || inline.Terms.Participation != 0.5 {
+		t.Fatalf("inline ELT = %+v", inline)
+	}
+	if inline.Records()[0].Event != 17 || inline.Records()[0].Loss != 1250000 {
+		t.Fatalf("records = %+v", inline.Records())
+	}
+	// Generated ELT: 500 records.
+	if l.ELTs[1].Len() != 500 {
+		t.Fatalf("generated ELT has %d records", l.ELTs[1].Len())
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	// Omitted terms are pass-through; omitted layer name synthesised.
+	doc := `{
+	  "catalogSize": 100,
+	  "elts": [{"id": 1, "records": [[5, 100.0]]}],
+	  "layers": [{"id": 3, "elts": [1]}]
+	}`
+	p, _, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.Layers[0]
+	if l.Name != "layer-3" {
+		t.Fatalf("name = %q", l.Name)
+	}
+	if l.LTerms.OccRetention != 0 || !math.IsInf(l.LTerms.OccLimit, 1) {
+		t.Fatalf("default terms = %+v", l.LTerms)
+	}
+	if l.ELTs[0].Terms != (financialDefault()) {
+		t.Fatalf("default financial terms = %+v", l.ELTs[0].Terms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want error
+	}{
+		{"no catalog", `{"elts":[{"id":1,"records":[[1,1]]}],"layers":[{"id":1,"elts":[1]}]}`, ErrNoCatalog},
+		{"no elts", `{"catalogSize":10,"layers":[{"id":1,"elts":[1]}]}`, ErrNoELTs},
+		{"no layers", `{"catalogSize":10,"elts":[{"id":1,"records":[[1,1]]}]}`, ErrNoLayers},
+		{"duplicate elt", `{"catalogSize":10,"elts":[{"id":1,"records":[[1,1]]},{"id":1,"records":[[2,1]]}],"layers":[{"id":1,"elts":[1]}]}`, ErrDuplicateELT},
+		{"unknown elt ref", `{"catalogSize":10,"elts":[{"id":1,"records":[[1,1]]}],"layers":[{"id":1,"elts":[9]}]}`, ErrUnknownELT},
+		{"both sources", `{"catalogSize":10,"elts":[{"id":1,"records":[[1,1]],"generate":{"seed":1,"numRecords":5}}],"layers":[{"id":1,"elts":[1]}]}`, ErrELTSource},
+		{"neither source", `{"catalogSize":10,"elts":[{"id":1}],"layers":[{"id":1,"elts":[1]}]}`, ErrELTSource},
+	}
+	for _, c := range cases {
+		if _, _, err := Parse(strings.NewReader(c.doc)); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseRejectsTypos(t *testing.T) {
+	doc := `{"catalogSize": 10, "eltz": []}`
+	if _, _, err := Parse(strings.NewReader(doc)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestParseRejectsBadEvents(t *testing.T) {
+	for _, rec := range []string{"[-1, 5]", "[1.5, 5]", "[100, 5]"} {
+		doc := `{"catalogSize":100,"elts":[{"id":1,"records":[` + rec + `]}],"layers":[{"id":1,"elts":[1]}]}`
+		if _, _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("record %s accepted", rec)
+		}
+	}
+}
+
+func TestParseRejectsBadLimitString(t *testing.T) {
+	doc := `{"catalogSize":10,
+	  "elts":[{"id":1,"records":[[1,1]]}],
+	  "layers":[{"id":1,"elts":[1],"terms":{"occLimit":"infinite"}}]}`
+	if _, _, err := Parse(strings.NewReader(doc)); err == nil {
+		t.Fatal("bad limit string accepted")
+	}
+}
+
+func TestParseRejectsLayerWithoutELTs(t *testing.T) {
+	doc := `{"catalogSize":10,"elts":[{"id":1,"records":[[1,1]]}],"layers":[{"id":1,"elts":[]}]}`
+	if _, _, err := Parse(strings.NewReader(doc)); err == nil {
+		t.Fatal("empty layer accepted")
+	}
+}
+
+func TestParseRejectsBadJSON(t *testing.T) {
+	if _, _, err := Parse(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestGeneratedELTDeterministic(t *testing.T) {
+	a, _, err := Parse(strings.NewReader(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Parse(strings.NewReader(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Layers[0].ELTs[1].Records(), b.Layers[0].ELTs[1].Records()
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("generated ELT differs at %d", i)
+		}
+	}
+}
+
+func financialDefault() (t struct {
+	FX             float64
+	EventRetention float64
+	EventLimit     float64
+	Participation  float64
+}) {
+	t.FX, t.EventRetention, t.EventLimit, t.Participation = 1, 0, math.Inf(1), 1
+	return
+}
+
+type nopCloser struct{ *strings.Reader }
+
+func (nopCloser) Close() error { return nil }
+
+func TestParseFilesLoadsELT(t *testing.T) {
+	tbl, err := elt.Generate(9, elt.GenConfig{Seed: 3, NumRecords: 50, CatalogSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if _, err := tbl.WriteTo(&bin); err != nil {
+		t.Fatal(err)
+	}
+	doc := `{
+	  "catalogSize": 1000,
+	  "elts": [{"id": 9, "file": "cedant.eltb"}],
+	  "layers": [{"id": 1, "elts": [9]}]
+	}`
+	opened := ""
+	open := func(name string) (io.ReadCloser, error) {
+		opened = name
+		return nopCloser{strings.NewReader(bin.String())}, nil
+	}
+	p, cs, err := ParseFiles(strings.NewReader(doc), open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened != "cedant.eltb" || cs != 1000 {
+		t.Fatalf("opened=%q cs=%d", opened, cs)
+	}
+	if p.Layers[0].ELTs[0].Len() != 50 {
+		t.Fatalf("loaded ELT has %d records", p.Layers[0].ELTs[0].Len())
+	}
+}
+
+func TestParseFilesErrors(t *testing.T) {
+	doc := `{"catalogSize":1000,"elts":[{"id":1,"file":"x"}],"layers":[{"id":1,"elts":[1]}]}`
+	if _, _, err := Parse(strings.NewReader(doc)); !errors.Is(err, ErrNoOpener) {
+		t.Errorf("no opener: %v", err)
+	}
+	withTerms := `{"catalogSize":1000,"elts":[{"id":1,"file":"x","terms":{"fx":2}}],"layers":[{"id":1,"elts":[1]}]}`
+	open := func(string) (io.ReadCloser, error) { return nopCloser{strings.NewReader("")}, nil }
+	if _, _, err := ParseFiles(strings.NewReader(withTerms), open); !errors.Is(err, ErrFileTerms) {
+		t.Errorf("file+terms: %v", err)
+	}
+	failing := func(string) (io.ReadCloser, error) { return nil, errors.New("boom") }
+	if _, _, err := ParseFiles(strings.NewReader(doc), failing); err == nil {
+		t.Error("open failure accepted")
+	}
+	garbage := func(string) (io.ReadCloser, error) { return nopCloser{strings.NewReader("junk")}, nil }
+	if _, _, err := ParseFiles(strings.NewReader(doc), garbage); err == nil {
+		t.Error("garbage ELT file accepted")
+	}
+	// File ELT whose events exceed the spec's catalog.
+	tbl, err := elt.Generate(1, elt.GenConfig{Seed: 3, NumRecords: 50, CatalogSize: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if _, err := tbl.WriteTo(&bin); err != nil {
+		t.Fatal(err)
+	}
+	tiny := `{"catalogSize":10,"elts":[{"id":1,"file":"x"}],"layers":[{"id":1,"elts":[1]}]}`
+	big := func(string) (io.ReadCloser, error) { return nopCloser{strings.NewReader(bin.String())}, nil }
+	if _, _, err := ParseFiles(strings.NewReader(tiny), big); err == nil {
+		t.Error("out-of-catalog file ELT accepted")
+	}
+}

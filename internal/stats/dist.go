@@ -1,0 +1,286 @@
+// Package stats provides the statistical samplers used throughout the
+// catastrophe-modelling pipeline: continuous severity distributions
+// (normal, lognormal, gamma, beta, Pareto, exponential), the Poisson
+// frequency distribution, and an O(1) discrete alias sampler used to draw
+// events from a catalog in proportion to their annual rates.
+//
+// All samplers draw from *rng.Rand so results are reproducible and
+// parallel-safe when each consumer owns a private stream.
+package stats
+
+import (
+	"errors"
+	"math"
+
+	"github.com/ralab/are/internal/rng"
+)
+
+// Normal returns a draw from N(mu, sigma^2) using the Marsaglia polar
+// method. sigma must be >= 0.
+func Normal(r *rng.Rand, mu, sigma float64) float64 {
+	return mu + sigma*StdNormal(r)
+}
+
+// StdNormal returns a draw from the standard normal distribution.
+func StdNormal(r *rng.Rand) float64 {
+	// Marsaglia polar method; rejection loop accepts ~78.5% of pairs.
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// LogNormal returns a draw from the lognormal distribution whose underlying
+// normal has mean mu and standard deviation sigma.
+func LogNormal(r *rng.Rand, mu, sigma float64) float64 {
+	return math.Exp(Normal(r, mu, sigma))
+}
+
+// LogNormalMeanCV returns a lognormal draw parameterised by its own mean m
+// and coefficient of variation cv (= sd/mean), the parameterisation used by
+// loss modellers. m must be > 0 and cv >= 0.
+func LogNormalMeanCV(r *rng.Rand, m, cv float64) float64 {
+	if cv == 0 {
+		return m
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(m) - sigma2/2
+	return LogNormal(r, mu, math.Sqrt(sigma2))
+}
+
+// Exponential returns a draw from Exp(rate). rate must be > 0.
+func Exponential(r *rng.Rand, rate float64) float64 {
+	return -math.Log(r.Float64Open()) / rate
+}
+
+// Pareto returns a draw from a Pareto distribution with scale xm > 0 and
+// shape alpha > 0 (heavy-tailed severity; P(X > x) = (xm/x)^alpha).
+func Pareto(r *rng.Rand, xm, alpha float64) float64 {
+	return xm / math.Pow(r.Float64Open(), 1/alpha)
+}
+
+// Gamma returns a draw from Gamma(shape k, scale theta) using the
+// Marsaglia–Tsang squeeze method, with the Ahrens-Dieter style boost for
+// k < 1. k and theta must be > 0.
+func Gamma(r *rng.Rand, k, theta float64) float64 {
+	if k < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) * U^(1/k)
+		u := r.Float64Open()
+		return Gamma(r, k+1, theta) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := StdNormal(r)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64Open()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * theta
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * theta
+		}
+	}
+}
+
+// Beta returns a draw from Beta(a, b) via two gamma draws. a, b must be > 0.
+// Beta draws are used for damage ratios, which live in [0, 1].
+func Beta(r *rng.Rand, a, b float64) float64 {
+	x := Gamma(r, a, 1)
+	y := Gamma(r, b, 1)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Poisson returns a draw from Poisson(lambda). lambda must be >= 0.
+// Knuth's product method is used for small lambda and the PTRS
+// transformed-rejection method of Hörmann for large lambda.
+func Poisson(r *rng.Rand, lambda float64) int {
+	switch {
+	case lambda < 0:
+		panic("stats: Poisson with negative lambda")
+	case lambda == 0:
+		return 0
+	case lambda < 30:
+		return poissonKnuth(r, lambda)
+	default:
+		return poissonPTRS(r, lambda)
+	}
+}
+
+func poissonKnuth(r *rng.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64Open()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// poissonPTRS implements Hörmann's PTRS algorithm (transformed rejection
+// with squeeze), valid for lambda >= 10; we use it for lambda >= 30.
+func poissonPTRS(r *rng.Rand, lambda float64) int {
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logLambda := math.Log(lambda)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64Open()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logLambda-lambda-lg {
+			return int(k)
+		}
+	}
+}
+
+// TruncNormal returns a draw from N(mu, sigma^2) truncated to [lo, hi] by
+// simple rejection. The caller must ensure the interval has non-negligible
+// mass; the sampler falls back to clamping after 1000 rejections.
+func TruncNormal(r *rng.Rand, mu, sigma, lo, hi float64) float64 {
+	for i := 0; i < 1000; i++ {
+		x := Normal(r, mu, sigma)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(math.Max(mu, lo), hi)
+}
+
+// ErrEmptyWeights is returned by NewAlias when no weights are supplied.
+var ErrEmptyWeights = errors.New("stats: alias table requires at least one weight")
+
+// ErrBadWeight is returned by NewAlias when a weight is negative, NaN or
+// infinite, or when all weights are zero.
+var ErrBadWeight = errors.New("stats: weights must be finite, non-negative, and not all zero")
+
+// Alias is a Walker/Vose alias table supporting O(1) sampling from an
+// arbitrary discrete distribution. It is immutable after construction and
+// safe for concurrent use by multiple goroutines (each with its own Rand).
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table from the given unnormalised weights.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrEmptyWeights
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, ErrBadWeight
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, ErrBadWeight
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Vose's algorithm with explicit small/large worklists.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		// Can only happen through floating point round-off.
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Draw returns an index in [0, Len()) distributed according to the weights.
+func (a *Alias) Draw(r *rng.Rand) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for len < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }

@@ -1,0 +1,357 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ralab/are/internal/rng"
+)
+
+const sampleN = 100000
+
+func sampleMoments(draw func(*rng.Rand) float64, seed uint64, n int) (mean, variance float64) {
+	r := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = draw(r)
+	}
+	return Mean(xs), Variance(xs)
+}
+
+func TestStdNormalMoments(t *testing.T) {
+	mean, v := sampleMoments(StdNormal, 1, sampleN)
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(v-1) > 0.03 {
+		t.Errorf("variance = %v, want ~1", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	mean, v := sampleMoments(func(r *rng.Rand) float64 { return Normal(r, 10, 3) }, 2, sampleN)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %v, want ~10", mean)
+	}
+	if math.Abs(v-9) > 0.3 {
+		t.Errorf("variance = %v, want ~9", v)
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	// E[X] = exp(mu + sigma^2/2)
+	mu, sigma := 1.0, 0.5
+	mean, _ := sampleMoments(func(r *rng.Rand) float64 { return LogNormal(r, mu, sigma) }, 3, sampleN)
+	want := math.Exp(mu + sigma*sigma/2)
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestLogNormalMeanCV(t *testing.T) {
+	m, cv := 250000.0, 1.5
+	mean, v := sampleMoments(func(r *rng.Rand) float64 { return LogNormalMeanCV(r, m, cv) }, 4, 400000)
+	if math.Abs(mean-m)/m > 0.03 {
+		t.Errorf("mean = %v, want ~%v", mean, m)
+	}
+	gotCV := math.Sqrt(v) / mean
+	if math.Abs(gotCV-cv)/cv > 0.10 {
+		t.Errorf("cv = %v, want ~%v", gotCV, cv)
+	}
+}
+
+func TestLogNormalMeanCVZeroCV(t *testing.T) {
+	r := rng.New(5)
+	for i := 0; i < 10; i++ {
+		if got := LogNormalMeanCV(r, 100, 0); got != 100 {
+			t.Fatalf("cv=0 draw = %v, want exactly 100", got)
+		}
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	rate := 2.5
+	mean, v := sampleMoments(func(r *rng.Rand) float64 { return Exponential(r, rate) }, 6, sampleN)
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("mean = %v, want ~%v", mean, 1/rate)
+	}
+	if math.Abs(v-1/(rate*rate)) > 0.02 {
+		t.Errorf("variance = %v, want ~%v", v, 1/(rate*rate))
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	xm, alpha := 2.0, 3.0
+	r := rng.New(7)
+	var sum float64
+	for i := 0; i < sampleN; i++ {
+		x := Pareto(r, xm, alpha)
+		if x < xm {
+			t.Fatalf("Pareto draw %v below scale %v", x, xm)
+		}
+		sum += x
+	}
+	mean := sum / sampleN
+	want := alpha * xm / (alpha - 1)
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	for _, tc := range []struct{ k, theta float64 }{
+		{0.5, 2.0}, {1.0, 1.0}, {2.5, 0.5}, {9.0, 3.0},
+	} {
+		mean, v := sampleMoments(func(r *rng.Rand) float64 { return Gamma(r, tc.k, tc.theta) }, 8, sampleN)
+		wantMean := tc.k * tc.theta
+		wantVar := tc.k * tc.theta * tc.theta
+		if math.Abs(mean-wantMean)/wantMean > 0.03 {
+			t.Errorf("Gamma(%v,%v) mean = %v, want ~%v", tc.k, tc.theta, mean, wantMean)
+		}
+		if math.Abs(v-wantVar)/wantVar > 0.08 {
+			t.Errorf("Gamma(%v,%v) var = %v, want ~%v", tc.k, tc.theta, v, wantVar)
+		}
+	}
+}
+
+func TestGammaPositive(t *testing.T) {
+	r := rng.New(9)
+	for i := 0; i < 10000; i++ {
+		if x := Gamma(r, 0.3, 1.0); x < 0 {
+			t.Fatalf("negative gamma draw: %v", x)
+		}
+	}
+}
+
+func TestBetaMomentsAndRange(t *testing.T) {
+	a, b := 2.0, 5.0
+	r := rng.New(10)
+	var sum float64
+	for i := 0; i < sampleN; i++ {
+		x := Beta(r, a, b)
+		if x < 0 || x > 1 {
+			t.Fatalf("Beta draw out of [0,1]: %v", x)
+		}
+		sum += x
+	}
+	mean := sum / sampleN
+	want := a / (a + b)
+	if math.Abs(mean-want) > 0.005 {
+		t.Errorf("Beta mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 12, 30, 100, 900} {
+		r := rng.New(uint64(11 + lambda))
+		n := 50000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			k := float64(Poisson(r, lambda))
+			sum += k
+			sumsq += k * k
+		}
+		mean := sum / float64(n)
+		v := sumsq/float64(n) - mean*mean
+		if math.Abs(mean-lambda)/lambda > 0.03 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+		if math.Abs(v-lambda)/lambda > 0.08 {
+			t.Errorf("Poisson(%v) variance = %v", lambda, v)
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	r := rng.New(12)
+	for i := 0; i < 100; i++ {
+		if k := Poisson(r, 0); k != 0 {
+			t.Fatalf("Poisson(0) = %d", k)
+		}
+	}
+}
+
+func TestPoissonNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Poisson(-1) did not panic")
+		}
+	}()
+	Poisson(rng.New(1), -1)
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	r := rng.New(13)
+	for i := 0; i < 10000; i++ {
+		x := TruncNormal(r, 0, 1, -0.5, 0.5)
+		if x < -0.5 || x > 0.5 {
+			t.Fatalf("TruncNormal out of bounds: %v", x)
+		}
+	}
+}
+
+func TestTruncNormalFallbackClamps(t *testing.T) {
+	// Interval far in the tail: rejection will exhaust and clamp.
+	r := rng.New(14)
+	x := TruncNormal(r, 0, 1e-9, 5, 6)
+	if x != 5 {
+		t.Fatalf("fallback clamp = %v, want 5", x)
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err != ErrEmptyWeights {
+		t.Errorf("nil weights: err = %v", err)
+	}
+	if _, err := NewAlias([]float64{1, -1}); err != ErrBadWeight {
+		t.Errorf("negative weight: err = %v", err)
+	}
+	if _, err := NewAlias([]float64{0, 0}); err != ErrBadWeight {
+		t.Errorf("all-zero weights: err = %v", err)
+	}
+	if _, err := NewAlias([]float64{math.NaN()}); err != ErrBadWeight {
+		t.Errorf("NaN weight: err = %v", err)
+	}
+	if _, err := NewAlias([]float64{math.Inf(1)}); err != ErrBadWeight {
+		t.Errorf("Inf weight: err = %v", err)
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{3.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(15)
+	for i := 0; i < 100; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("single-outcome alias drew nonzero index")
+		}
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(16)
+	counts := make([]int, len(weights))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[a.Draw(r)]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := float64(n) * w / total
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Errorf("outcome %d: count %d, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a, err := NewAlias([]float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	for i := 0; i < 100000; i++ {
+		d := a.Draw(r)
+		if d == 0 || d == 2 {
+			t.Fatalf("drew zero-weight outcome %d", d)
+		}
+	}
+}
+
+func TestAliasLargeUniform(t *testing.T) {
+	n := 10000
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != n {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	r := rng.New(18)
+	for i := 0; i < 1000; i++ {
+		if d := a.Draw(r); d < 0 || d >= n {
+			t.Fatalf("draw out of range: %d", d)
+		}
+	}
+}
+
+// Property: alias draws are always in range for arbitrary weight vectors.
+func TestQuickAliasInRange(t *testing.T) {
+	f := func(seed uint64, raw []float64) bool {
+		weights := make([]float64, 0, len(raw)+1)
+		for _, w := range raw {
+			weights = append(weights, math.Abs(math.Mod(w, 1000)))
+		}
+		weights = append(weights, 1) // ensure not all zero / non-empty
+		a, err := NewAlias(weights)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for i := 0; i < 50; i++ {
+			if d := a.Draw(r); d < 0 || d >= len(weights) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of singleton != 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	r := rng.New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += Poisson(r, 1000)
+	}
+	_ = sink
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	weights := make([]float64, 100000)
+	r0 := rng.New(2)
+	for i := range weights {
+		weights[i] = r0.Float64() + 0.001
+	}
+	a, _ := NewAlias(weights)
+	r := rng.New(3)
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += a.Draw(r)
+	}
+	_ = sink
+}

@@ -1,0 +1,48 @@
+package yet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the binary reader: it must reject or
+// accept without panicking, and anything it accepts must be structurally
+// sound (failure injection for the deserialiser).
+func FuzzRead(f *testing.F) {
+	// Seed with a valid table and a few mutations.
+	tab, err := Generate(UniformSource(100), Config{Seed: 1, Trials: 4, FixedEvents: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("YETB"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted tables must be self-consistent.
+		n := got.NumTrials()
+		total := 0
+		for i := 0; i < n; i++ {
+			trial := got.Trial(i) // must not panic
+			total += len(trial)
+			for _, o := range trial {
+				if o.Time < 0 || o.Time >= 1 {
+					t.Fatalf("accepted table has timestamp %v", o.Time)
+				}
+			}
+		}
+		if total != got.NumOccurrences() {
+			t.Fatalf("boundaries inconsistent: %d vs %d", total, got.NumOccurrences())
+		}
+	})
+}

@@ -1,0 +1,386 @@
+// Package yet implements the Year Event Table: the database of
+// pre-simulated years that gives aggregate analysis its consistent lens
+// (paper §II.A.1).
+//
+// Each trial Ti is an ordered sequence of (event ID, timestamp) pairs —
+// one alternative view of which events occur within a contractual year and
+// in which order. A production YET holds thousands to millions of trials
+// of roughly 800-1500 occurrences each.
+//
+// The in-memory layout mirrors the paper's basic implementation (§III.B.1):
+// a single flat vector of event occurrences plus a vector of trial
+// boundaries, so the engine streams trials with perfect locality and the
+// table can be memory-mapped or serialised wholesale.
+package yet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"unsafe"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/rng"
+	"github.com/ralab/are/internal/stats"
+)
+
+// Occurrence is one (event, timestamp) pair within a trial. Time is the
+// fraction of the contractual year elapsed, in [0, 1).
+type Occurrence struct {
+	Event catalog.EventID
+	_     uint32 // padding: keeps Time 8-byte aligned in the flat slice
+	Time  float64
+}
+
+// Table is a packed Year Event Table.
+type Table struct {
+	occ    []Occurrence // all trials, concatenated
+	bounds []uint64     // len = NumTrials+1; trial i is occ[bounds[i]:bounds[i+1]]
+}
+
+// Config controls YET generation.
+type Config struct {
+	Seed   uint64
+	Trials int
+
+	// MeanEvents is the expected number of occurrences per trial (the
+	// catalog-wide annual rate). Per-trial counts are Poisson around it.
+	// The paper's range is 800-1500.
+	MeanEvents float64
+
+	// FixedEvents, when > 0, forces every trial to exactly this many
+	// occurrences, which the performance figures use to control problem
+	// size precisely.
+	FixedEvents int
+
+	// Dispersion, when > 1, switches per-trial occurrence counts from
+	// Poisson to negative binomial with variance = Dispersion x mean,
+	// modelling the year-to-year clustering (active vs quiet seasons)
+	// real catalogs exhibit. 0 or 1 keeps Poisson counts.
+	Dispersion float64
+
+	// Seasonal, when true, draws timestamps from a peril-appropriate
+	// within-year distribution instead of uniform: occurrences bunch in
+	// season (e.g. hurricanes concentrated mid-year). Requires the
+	// EventSource to implement PerilSource; otherwise a single shared
+	// seasonal profile is used.
+	Seasonal bool
+}
+
+// Validation errors.
+var (
+	ErrNoTrials  = errors.New("yet: Trials must be positive")
+	ErrNoEvents  = errors.New("yet: MeanEvents or FixedEvents must be positive")
+	ErrNilSource = errors.New("yet: event source must be non-nil")
+)
+
+// EventSource abstracts "draw the next occurring event", normally a
+// *catalog.Catalog.
+type EventSource interface {
+	Draw(r *rng.Rand) catalog.EventID
+	NumEvents() int
+}
+
+// uniformSource draws event IDs uniformly from [0, n); used when sampling
+// should not be rate-weighted (synthetic benchmarks).
+type uniformSource struct{ n int }
+
+func (u uniformSource) Draw(r *rng.Rand) catalog.EventID {
+	return catalog.EventID(r.Intn(u.n))
+}
+func (u uniformSource) NumEvents() int { return u.n }
+
+// UniformSource returns an EventSource drawing uniformly from a catalog of
+// n events.
+func UniformSource(n int) EventSource { return uniformSource{n: n} }
+
+// Generate builds a YET by simulating Trials years. Each trial's
+// occurrence count is Poisson(MeanEvents) (or FixedEvents), events are
+// drawn from src, and timestamps are uniform over the year and sorted
+// ascending — the ordered-set structure the aggregate terms rely on.
+// Trial i is generated from rng stream (Seed, i), so the table content is
+// independent of generation order and may be parallelised.
+func Generate(src EventSource, cfg Config) (*Table, error) {
+	if src == nil {
+		return nil, ErrNilSource
+	}
+	if cfg.Trials <= 0 {
+		return nil, ErrNoTrials
+	}
+	if cfg.MeanEvents <= 0 && cfg.FixedEvents <= 0 {
+		return nil, ErrNoEvents
+	}
+	t := &Table{bounds: make([]uint64, 1, cfg.Trials+1)}
+	expect := cfg.MeanEvents
+	if cfg.FixedEvents > 0 {
+		expect = float64(cfg.FixedEvents)
+	}
+	t.occ = make([]Occurrence, 0, int(float64(cfg.Trials)*expect*11/10))
+	perils, _ := src.(PerilSource)
+	for i := 0; i < cfg.Trials; i++ {
+		r := rng.At(cfg.Seed, uint64(i))
+		n := cfg.FixedEvents
+		if n <= 0 {
+			if cfg.Dispersion > 1 {
+				n = negBinomial(r, cfg.MeanEvents, cfg.Dispersion)
+			} else {
+				n = stats.Poisson(r, cfg.MeanEvents)
+			}
+		}
+		start := len(t.occ)
+		for j := 0; j < n; j++ {
+			ev := src.Draw(r)
+			tm := r.Float64()
+			if cfg.Seasonal {
+				p := catalog.Hurricane
+				if perils != nil {
+					p = perils.PerilOf(ev)
+				}
+				tm = seasonalTime(r, p)
+			}
+			t.occ = append(t.occ, Occurrence{Event: ev, Time: tm})
+		}
+		trial := t.occ[start:]
+		sort.Slice(trial, func(a, b int) bool { return trial[a].Time < trial[b].Time })
+		t.bounds = append(t.bounds, uint64(len(t.occ)))
+	}
+	return t, nil
+}
+
+// PerilSource is optionally implemented by event sources that can report
+// an event's peril, enabling peril-specific seasonality.
+type PerilSource interface {
+	PerilOf(id catalog.EventID) catalog.Peril
+}
+
+// negBinomial draws a negative binomial count with the given mean and
+// variance-to-mean ratio d > 1, via the gamma-Poisson mixture:
+// lambda ~ Gamma(shape=mean/(d-1), scale=d-1), N ~ Poisson(lambda).
+func negBinomial(r *rng.Rand, mean, d float64) int {
+	shape := mean / (d - 1)
+	lambda := stats.Gamma(r, shape, d-1)
+	return stats.Poisson(r, lambda)
+}
+
+// seasonalTime draws a within-year timestamp from the peril's seasonal
+// profile: peaked mid-season for hurricanes and tornadoes, winter-peaked
+// for winter storms, broad for floods, uniform for earthquakes. The
+// result is clamped into [0, 1) to honour the table invariant.
+func seasonalTime(r *rng.Rand, p catalog.Peril) float64 {
+	t := rawSeasonalTime(r, p)
+	if t >= 1 {
+		t = math.Nextafter(1, 0)
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+func rawSeasonalTime(r *rng.Rand, p catalog.Peril) float64 {
+	switch p {
+	case catalog.Hurricane:
+		// Aug-Oct peak: Beta centred around 0.7 of the year.
+		return stats.Beta(r, 9, 4)
+	case catalog.Tornado:
+		// Spring peak.
+		return stats.Beta(r, 4, 7)
+	case catalog.WinterStorm:
+		// Bimodal at the year's edges: reflect a summer-peaked Beta.
+		x := stats.Beta(r, 6, 6)
+		x += 0.5
+		if x >= 1 {
+			x -= 1
+		}
+		return x
+	case catalog.Flood:
+		return stats.Beta(r, 2, 2)
+	default: // earthquakes and unknown perils have no season
+		return r.Float64()
+	}
+}
+
+// NumTrials returns the number of trials.
+func (t *Table) NumTrials() int { return len(t.bounds) - 1 }
+
+// NumOccurrences returns the total number of event occurrences.
+func (t *Table) NumOccurrences() int { return len(t.occ) }
+
+// Trial returns the occurrence slice for trial i (shared storage; callers
+// must not modify it).
+func (t *Table) Trial(i int) []Occurrence {
+	return t.occ[t.bounds[i]:t.bounds[i+1]]
+}
+
+// MeanTrialLen returns the average occurrences per trial.
+func (t *Table) MeanTrialLen() float64 {
+	if t.NumTrials() == 0 {
+		return 0
+	}
+	return float64(len(t.occ)) / float64(t.NumTrials())
+}
+
+// Slice returns a view containing trials [lo, hi) that shares storage with
+// t; used to partition work across engine workers.
+func (t *Table) Slice(lo, hi int) *Table {
+	if lo < 0 || hi > t.NumTrials() || lo > hi {
+		panic(fmt.Sprintf("yet: bad slice [%d,%d) of %d trials", lo, hi, t.NumTrials()))
+	}
+	base := t.bounds[lo]
+	bounds := make([]uint64, hi-lo+1)
+	for i := range bounds {
+		bounds[i] = t.bounds[lo+i] - base
+	}
+	return &Table{occ: t.occ[base:t.bounds[hi]], bounds: bounds}
+}
+
+// ---------------------------------------------------------------------------
+// Binary serialisation. Format:
+//
+//	magic  "YETB"            4 bytes
+//	version uint32           little endian
+//	numTrials uint64
+//	numOcc    uint64
+//	bounds    (numTrials+1) x uint64
+//	occ       numOcc x { event uint32, pad uint32, time float64 }
+
+const (
+	magic   = "YETB"
+	version = 1
+)
+
+// Serialisation errors.
+var (
+	ErrBadMagic   = errors.New("yet: bad magic (not a YET file)")
+	ErrBadVersion = errors.New("yet: unsupported version")
+	ErrCorrupt    = errors.New("yet: corrupt table data")
+)
+
+// WriteTo serialises the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(magic); err != nil {
+		return n, err
+	}
+	n += 4
+	if err := write(uint32(version)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(t.NumTrials())); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(t.occ))); err != nil {
+		return n, err
+	}
+	if err := write(t.bounds); err != nil {
+		return n, err
+	}
+	for i := range t.occ {
+		if err := write(uint32(t.occ[i].Event)); err != nil {
+			return n, err
+		}
+		if err := write(uint32(0)); err != nil {
+			return n, err
+		}
+		if err := write(math.Float64bits(t.occ[i].Time)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserialises a table written by WriteTo, validating structure.
+func Read(rd io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(rd, 1<<20)
+	var mg [4]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(mg[:]) != magic {
+		return nil, ErrBadMagic
+	}
+	var ver uint32
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if ver != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	var numTrials, numOcc uint64
+	if err := binary.Read(br, binary.LittleEndian, &numTrials); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &numOcc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	const maxReasonable = 1 << 40
+	if numTrials >= maxReasonable || numOcc >= maxReasonable {
+		return nil, fmt.Errorf("%w: implausible sizes trials=%d occ=%d", ErrCorrupt, numTrials, numOcc)
+	}
+	// Never trust the header for up-front allocation: grow buffers only
+	// as bytes actually arrive, so a corrupt or hostile header cannot
+	// trigger a huge allocation.
+	const preallocCap = 1 << 20
+	t := &Table{
+		bounds: make([]uint64, 0, min64(numTrials+1, preallocCap)),
+		occ:    make([]Occurrence, 0, min64(numOcc, preallocCap)),
+	}
+	var prev uint64
+	var b8 [8]byte
+	for i := uint64(0); i <= numTrials; i++ {
+		if _, err := io.ReadFull(br, b8[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated boundary %d: %v", ErrCorrupt, i, err)
+		}
+		v := binary.LittleEndian.Uint64(b8[:])
+		if i == 0 && v != 0 {
+			return nil, fmt.Errorf("%w: boundary vector endpoints", ErrCorrupt)
+		}
+		if v < prev {
+			return nil, fmt.Errorf("%w: boundaries not monotone at %d", ErrCorrupt, i)
+		}
+		if v > numOcc {
+			return nil, fmt.Errorf("%w: boundary %d exceeds occurrence count", ErrCorrupt, i)
+		}
+		t.bounds = append(t.bounds, v)
+		prev = v
+	}
+	if t.bounds[numTrials] != numOcc {
+		return nil, fmt.Errorf("%w: boundary vector endpoints", ErrCorrupt)
+	}
+	var rec [16]byte
+	for i := uint64(0); i < numOcc; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at occurrence %d: %v", ErrCorrupt, i, err)
+		}
+		ev := binary.LittleEndian.Uint32(rec[0:4])
+		tm := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16]))
+		if math.IsNaN(tm) || tm < 0 || tm >= 1 {
+			return nil, fmt.Errorf("%w: timestamp %v at occurrence %d", ErrCorrupt, tm, i)
+		}
+		t.occ = append(t.occ, Occurrence{Event: catalog.EventID(ev), Time: tm})
+	}
+	return t, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// occurrenceSize is the packed size of one Occurrence, asserted in tests
+// to guard the flat-layout memory math.
+const occurrenceSize = unsafe.Sizeof(Occurrence{})
