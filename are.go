@@ -220,6 +220,68 @@ func Reference(p *Portfolio, y *YET, catalogSize int) (*Result, error) {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming execution pipeline: sources, sinks, orchestrator.
+
+// Pipeline types, re-exported. Engine.RunPipeline(src, sink, opt) runs
+// any source against any sink; Engine.Run and Engine.RunStream are the
+// materialising convenience wrappers over it.
+type (
+	// TrialSource supplies trial batches to the engine's pipeline
+	// orchestrator, unifying loaded tables and serialised streams.
+	TrialSource = core.TrialSource
+	// TrialBatch is one unit of pipeline work.
+	TrialBatch = core.Batch
+	// Sink consumes per-trial (layer, trial, aggLoss, maxOcc) results
+	// as the pipeline produces them.
+	Sink = core.Sink
+	// FullYLTSink materialises every result into a classic Result.
+	FullYLTSink = core.FullYLT
+	// MultiSink fans results out to several sinks in one pass.
+	MultiSink = core.MultiSink
+	// SummarySink accumulates per-layer YLT moments online in O(1)
+	// memory per layer.
+	SummarySink = metrics.SummarySink
+	// EPSink estimates per-layer PML points at fixed return periods
+	// online via P² quantile sketches.
+	EPSink = metrics.EPSink
+)
+
+// The metrics sinks satisfy the engine's Sink interface structurally.
+var (
+	_ Sink = (*SummarySink)(nil)
+	_ Sink = (*EPSink)(nil)
+	_ Sink = (*FullYLTSink)(nil)
+	_ Sink = (MultiSink)(nil)
+)
+
+// NewTableSource adapts a loaded YET into a pipeline TrialSource.
+func NewTableSource(y *YET) TrialSource { return core.NewTableSource(y) }
+
+// NewStreamSource wraps a serialised YET (written by WriteYET) as a
+// prefetching TrialSource that decodes trials in batches of batchTrials,
+// overlapping decode with compute, without ever materialising the whole
+// table.
+func NewStreamSource(r io.Reader, batchTrials int) (TrialSource, error) {
+	return core.NewStreamSource(r, batchTrials)
+}
+
+// NewFullYLTSink returns the materialising sink (classic Run output,
+// bitwise identical).
+func NewFullYLTSink() *FullYLTSink { return core.NewFullYLT() }
+
+// NewSummarySink returns a streaming-moments sink: AAL, standard
+// deviation, min/max per layer with O(1) memory per layer. Mean and
+// StdDev match Summarise up to floating-point association (~1e-12
+// relative); Min/Max/Trials are exact.
+func NewSummarySink() *SummarySink { return metrics.NewSummarySink() }
+
+// NewEPSink returns an online exceedance-curve sink estimating PML at
+// the given return periods (nil means StandardReturnPeriods) via P²
+// quantile sketches — typically within a few percent of the exact
+// empirical quantile at moderate return periods.
+func NewEPSink(returnPeriods []float64) *EPSink { return metrics.NewEPSink(returnPeriods) }
+
+// ---------------------------------------------------------------------------
 // Stage 3: metrics and pricing.
 
 // Reporting types, re-exported.

@@ -346,3 +346,83 @@ func TestFacadeRunContext(t *testing.T) {
 		t.Fatalf("trials = %d", len(res.YLT(0)))
 	}
 }
+
+// TestFacadeStreamingSinks is the bounded-memory contract at the public
+// surface: a streamed run into online sinks matches Summarise and
+// NewEPCurve on the materialised YLT within the documented tolerances
+// (moments to floating-point association, PML to P² sketch accuracy).
+func TestFacadeStreamingSinks(t *testing.T) {
+	const catalogSize = 50_000
+	p, err := are.GeneratePortfolio(are.PortfolioConfig{
+		Seed: 41, NumLayers: 2, ELTsPerLayer: 5,
+		RecordsPerELT: 2000, CatalogSize: catalogSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := are.GenerateYET(are.UniformEvents(catalogSize), are.YETConfig{
+		Seed: 42, Trials: 5000, MeanEvents: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := are.NewEngine(p, catalogSize, are.LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := eng.Run(y, are.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := are.WriteYET(&buf, y); err != nil {
+		t.Fatal(err)
+	}
+	src, err := are.NewStreamSource(&buf, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := are.NewSummarySink()
+	ep := are.NewEPSink(nil)
+	if _, err := eng.RunPipeline(src, are.MultiSink{sum, ep}, are.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	for li := 0; li < eng.NumLayers(); li++ {
+		want, err := are.Summarise(exact.YLT(li))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sum.Summary(li)
+		if got.Trials != want.Trials || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("layer %d: exact summary fields differ: got %+v want %+v", li, got, want)
+		}
+		if math.Abs(got.Mean-want.Mean) > 1e-9*math.Abs(want.Mean) {
+			t.Errorf("layer %d: mean %v vs %v", li, got.Mean, want.Mean)
+		}
+		if math.Abs(got.StdDev-want.StdDev) > 1e-9*want.StdDev {
+			t.Errorf("layer %d: stddev %v vs %v", li, got.StdDev, want.StdDev)
+		}
+
+		curve, err := are.NewEPCurve(exact.YLT(li))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range ep.Points(li) {
+			want, err := curve.PML(pt.ReturnPeriod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Documented P² tolerance, scaled by the layer's loss
+			// range to absorb quantiles sitting on the YLT's zero mass.
+			tol := 0.05*math.Abs(want) + 0.05*got.Max/100
+			if pt.ReturnPeriod >= 250 {
+				tol = 0.15*math.Abs(want) + 0.05*got.Max/10
+			}
+			if math.Abs(pt.Loss-want) > tol {
+				t.Errorf("layer %d PML(%v): sketch %v vs exact %v", li, pt.ReturnPeriod, pt.Loss, want)
+			}
+		}
+	}
+}

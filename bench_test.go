@@ -15,6 +15,7 @@
 package are_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -277,6 +278,59 @@ func BenchmarkELTRepresentations(b *testing.B) {
 			b.ReportMetric(float64(eng.LookupMemory())/(1<<20), "table-MB")
 		})
 	}
+}
+
+// --- Streaming pipeline: loaded vs streamed sources, full vs online sinks ---
+
+// BenchmarkStreamingPipeline compares the three run shapes of the
+// pipeline on identical inputs. Run with -benchmem: B/op is the
+// measurable bounded-memory claim — the online-sink run allocates no
+// O(layers x trials) YLT, only decoded batches plus O(1) sink state —
+// and the "ylt-B/op" metric reports the materialised result footprint
+// each shape retains after the run.
+func BenchmarkStreamingPipeline(b *testing.B) {
+	const streamBatch = 64
+	in := benchSetup(b, benchShape{2, 15, benchTrials, benchEvents})
+	var buf bytes.Buffer
+	if _, err := are.WriteYET(&buf, in.yet); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	opt := are.Options{SkipValidation: true}
+	yltBytes := float64(in.engine.NumLayers() * in.yet.NumTrials() * 2 * 8)
+
+	b.Run("loaded-fullylt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := in.engine.Run(in.yet, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(yltBytes, "ylt-B/op")
+	})
+	b.Run("stream-fullylt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := in.engine.RunStream(bytes.NewReader(data), streamBatch, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(yltBytes, "ylt-B/op")
+	})
+	b.Run("stream-online", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src, err := are.NewStreamSource(bytes.NewReader(data), streamBatch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinks := are.MultiSink{are.NewSummarySink(), are.NewEPSink(nil)}
+			if _, err := in.engine.RunPipeline(src, sinks, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(0, "ylt-B/op")
+	})
 }
 
 // --- §IV: the real-time pricing path (analysis + quote) ---

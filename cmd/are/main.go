@@ -39,6 +39,7 @@ func main() {
 		lookup    = flag.String("lookup", "direct", "ELT representation: direct|sorted|hash|cuckoo|combined")
 		profile   = flag.Bool("profile", false, "report the phase breakdown (Fig 6b)")
 		stream    = flag.Int("stream", 0, "with -yet: stream the file in batches of this many trials instead of loading it")
+		online    = flag.Bool("online", false, "with -stream: low-memory mode — online moment/PML sinks instead of materialising Year Loss Tables (approximate PML, no TVaR/quote)")
 		report    = flag.String("report", "", "write a markdown analysis report to this file")
 	)
 	flag.Parse()
@@ -79,6 +80,12 @@ func main() {
 
 	var y *are.YET
 	streaming := *stream > 0 && *yetPath != ""
+	if *online && !streaming {
+		fail(fmt.Errorf("-online requires -yet and -stream"))
+	}
+	if *online && *report != "" {
+		fail(fmt.Errorf("-report requires the full Year Loss Tables; omit -online"))
+	}
 	if streaming {
 		fmt.Printf("streaming YET from %s in batches of %d trials\n", *yetPath, *stream)
 	} else if *yetPath != "" {
@@ -112,6 +119,12 @@ func main() {
 		float64(eng.LookupMemory())/(1<<20))
 
 	opt := are.Options{Workers: *workers, ChunkSize: *chunk, Profile: *profile}
+
+	if *online {
+		runOnline(eng, p, *yetPath, *stream, opt)
+		return
+	}
+
 	runStart := time.Now()
 	var res *are.Result
 	if streaming {
@@ -179,6 +192,62 @@ func main() {
 		}
 		fmt.Printf("\nwrote report to %s\n", *report)
 	}
+}
+
+// runOnline is the bounded-memory run path: the serialised YET streams
+// through the engine's pipeline into online sinks, so memory stays
+// O(batch + layers) no matter how many trials the file holds. PML
+// figures are P² sketch estimates (typically within a few percent);
+// TVaR and premium quotes need the full YLT and are omitted.
+func runOnline(eng *are.Engine, p *are.Portfolio, yetPath string, batch int, opt are.Options) {
+	f, err := os.Open(yetPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	src, err := are.NewStreamSource(f, batch)
+	if err != nil {
+		fail(err)
+	}
+	sum := are.NewSummarySink()
+	ep := are.NewEPSink(nil)
+	runStart := time.Now()
+	phases, err := eng.RunPipeline(src, are.MultiSink{sum, ep}, opt)
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(runStart)
+	trials := sum.Summary(0).Trials
+	fmt.Printf("online analysis: %d trials, %v total, %v per layer-trial (no YLT materialised)\n\n",
+		trials, elapsed.Round(time.Millisecond),
+		elapsed/time.Duration(max(1, trials*eng.NumLayers())))
+	if opt.Profile {
+		pct := phases.Percentages()
+		fmt.Printf("phase breakdown: event fetch %.1f%%, ELT lookup %.1f%%, financial terms %.1f%%, layer terms %.1f%%\n\n",
+			pct[0], pct[1], pct[2], pct[3])
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "layer\tAAL\tstddev\tmax\t~PML(100y)\t~PML(250y)")
+	for li, l := range p.Layers {
+		s := sum.Summary(li)
+		fmt.Fprintf(tw, "%s\t%.3g\t%.3g\t%.3g\t%s\t%s\n",
+			l.Name, s.Mean, s.StdDev, s.Max,
+			pointAt(ep.Points(li), 100), pointAt(ep.Points(li), 250))
+	}
+	tw.Flush()
+	fmt.Println("\nnote: ~PML are streaming P² estimates; TVaR and quotes require a full-YLT run")
+}
+
+// pointAt formats the loss at the given return period, or "n/a" when
+// the trial count could not resolve it.
+func pointAt(pts []are.EPPoint, rp float64) string {
+	for _, pt := range pts {
+		if pt.ReturnPeriod == rp {
+			return fmt.Sprintf("%.3g", pt.Loss)
+		}
+	}
+	return "n/a"
 }
 
 func parseLookup(s string) (are.LookupKind, error) {

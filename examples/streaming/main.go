@@ -1,0 +1,105 @@
+// Streaming pipeline: analyse a serialised Year Event Table without
+// ever holding it — or its Year Loss Tables — in memory.
+//
+// The paper's preprocessing stage loads the entire ~16 GB YET before
+// analysis; this example runs the same analysis through the engine's
+// streaming pipeline instead. A TrialSource decodes the serialised
+// table in small batches (prefetching ahead of compute) while online
+// sinks accumulate moments and P² exceedance sketches, so the working
+// set is O(batch + layers) no matter how many trials the stream holds.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	are "github.com/ralab/are"
+)
+
+func main() {
+	const (
+		catalogSize = 200_000
+		trials      = 20_000
+		batchTrials = 512
+	)
+
+	portfolio, err := are.GeneratePortfolio(are.PortfolioConfig{
+		Seed:          1,
+		NumLayers:     2,
+		ELTsPerLayer:  10,
+		RecordsPerELT: 10_000,
+		CatalogSize:   catalogSize,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pre-simulate a YET and serialise it — standing in for the
+	// multi-GB table a production system would read from disk.
+	yet, err := are.GenerateYET(are.UniformEvents(catalogSize), are.YETConfig{
+		Seed: 2, Trials: trials, MeanEvents: 1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var disk bytes.Buffer
+	if _, err := are.WriteYET(&disk, yet); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialised YET: %.1f MB, %d trials\n", float64(disk.Len())/(1<<20), trials)
+
+	engine, err := are.NewEngine(portfolio, catalogSize, are.LookupDirect)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The streamed run: source decodes ahead of compute, online sinks
+	// keep O(1) state per layer — no O(layers x trials) YLT exists.
+	source, err := are.NewStreamSource(bytes.NewReader(disk.Bytes()), batchTrials)
+	if err != nil {
+		log.Fatal(err)
+	}
+	summary := are.NewSummarySink()
+	curve := are.NewEPSink(nil)
+	start := time.Now()
+	if _, err := engine.RunPipeline(source, are.MultiSink{summary, curve}, are.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed analysis in %v (working set: %d-trial batches)\n\n",
+		time.Since(start).Round(time.Millisecond), batchTrials)
+
+	for li, l := range portfolio.Layers {
+		s := summary.Summary(li)
+		fmt.Printf("%s: AAL %.0f, stddev %.0f, worst year %.0f\n", l.Name, s.Mean, s.StdDev, s.Max)
+		fmt.Println("  return period   exceedance prob   ~loss (P² sketch)")
+		for _, pt := range curve.Points(li) {
+			fmt.Printf("  %9.0f y   %15.4f   %12.0f\n", pt.ReturnPeriod, pt.Prob, pt.Loss)
+		}
+	}
+
+	// Cross-check a sketched point against the exact loaded-table run.
+	result, err := engine.Run(yet, are.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := are.NewEPCurve(result.YLT(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pml100, err := exact.PML(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sketch100 float64
+	for _, pt := range curve.Points(0) {
+		if pt.ReturnPeriod == 100 {
+			sketch100 = pt.Loss
+		}
+	}
+	fmt.Printf("\nlayer 0 PML(100y): exact %.0f vs streamed sketch %.0f (%+.2f%%)\n",
+		pml100, sketch100, 100*(sketch100-pml100)/pml100)
+}

@@ -1,0 +1,3 @@
+module github.com/ralab/are
+
+go 1.22

@@ -2,18 +2,16 @@ package core
 
 import (
 	"context"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"github.com/ralab/are/internal/yet"
 )
 
 // RunContext is Run with cooperative cancellation: the underwriter's
 // real-time workflow abandons a quote the moment terms change, and batch
-// schedulers need clean shutdown. Workers poll the context between trial
-// spans (every few milliseconds of work), so cancellation is prompt
-// without per-occurrence overhead. On cancellation the partial result is
+// schedulers need clean shutdown. The pipeline orchestrator polls the
+// context between trial spans (and forces small dynamic spans when the
+// context is cancellable), so cancellation is prompt without
+// per-occurrence overhead. On cancellation the partial result is
 // discarded and ctx.Err() returned.
 func (e *Engine) RunContext(ctx context.Context, y *yet.Table, opt Options) (*Result, error) {
 	if y == nil {
@@ -28,69 +26,5 @@ func (e *Engine) RunContext(ctx context.Context, y *yet.Table, opt Options) (*Re
 		}
 		opt.SkipValidation = true
 	}
-	nt := y.NumTrials()
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > nt {
-		workers = maxInt(1, nt)
-	}
-
-	res := &Result{
-		LayerIDs:     make([]uint32, len(e.layers)),
-		AggLoss:      make([][]float64, len(e.layers)),
-		MaxOccLoss:   make([][]float64, len(e.layers)),
-		LookupMemory: e.lookupMem,
-	}
-	for i, cl := range e.layers {
-		res.LayerIDs[i] = cl.id
-		res.AggLoss[i] = make([]float64, nt)
-		res.MaxOccLoss[i] = make([]float64, nt)
-	}
-
-	// Dynamic span scheduling with a cancellation check per span.
-	const span = 64
-	var cursor atomic.Int64
-	var cancelled atomic.Bool
-	var wg sync.WaitGroup
-	workerPhases := make([]PhaseBreakdown, workers)
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			w := newWorker(e, opt, y.MeanTrialLen())
-			for {
-				if ctx.Err() != nil {
-					cancelled.Store(true)
-					return
-				}
-				lo := int(cursor.Add(span)) - span
-				if lo >= nt {
-					break
-				}
-				hi := lo + span
-				if hi > nt {
-					hi = nt
-				}
-				w.runRange(y, lo, hi, res)
-			}
-			workerPhases[wi] = w.phases
-		}(wi)
-	}
-	wg.Wait()
-	if cancelled.Load() || ctx.Err() != nil {
-		return nil, ctx.Err()
-	}
-	for _, p := range workerPhases {
-		res.Phases.add(p)
-	}
-	return res, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return e.runMaterialised(ctx, NewTableSource(y), opt)
 }

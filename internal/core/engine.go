@@ -1,10 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"github.com/ralab/are/internal/elt"
 	"github.com/ralab/are/internal/financial"
@@ -108,102 +106,23 @@ func (e *Engine) LookupKind() LookupKind { return e.kind }
 func (e *Engine) LookupMemory() int { return e.lookupMem }
 
 // Run executes the aggregate analysis of every compiled layer over every
-// trial of y and returns the Year Loss Tables.
+// trial of y and returns the Year Loss Tables. It is the materialising
+// entry point over the streaming pipeline: an in-memory TrialSource
+// feeds the orchestrator and a FullYLT sink collects every cell, so
+// results are bitwise identical under every scheduling policy.
 func (e *Engine) Run(y *yet.Table, opt Options) (*Result, error) {
 	if y == nil {
 		return nil, ErrNilYET
 	}
 	if !opt.SkipValidation {
+		// Whole-table validation up front preserves the classic
+		// contract: no partial work before the error surfaces.
 		if err := e.validate(y); err != nil {
 			return nil, err
 		}
+		opt.SkipValidation = true
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	nt := y.NumTrials()
-	if workers > nt {
-		workers = max(1, nt)
-	}
-
-	res := &Result{
-		LayerIDs:     make([]uint32, len(e.layers)),
-		AggLoss:      make([][]float64, len(e.layers)),
-		MaxOccLoss:   make([][]float64, len(e.layers)),
-		LookupMemory: e.lookupMem,
-	}
-	for i, cl := range e.layers {
-		res.LayerIDs[i] = cl.id
-		res.AggLoss[i] = make([]float64, nt)
-		res.MaxOccLoss[i] = make([]float64, nt)
-	}
-
-	if workers == 1 {
-		w := newWorker(e, opt, y.MeanTrialLen())
-		w.runRange(y, 0, nt, res)
-		res.Phases = w.phases
-		return res, nil
-	}
-
-	var wg sync.WaitGroup
-	workerPhases := make([]PhaseBreakdown, workers)
-	if opt.Dynamic {
-		// Dynamic scheduling: workers pull fixed-size spans of trials
-		// from a shared cursor, trading the static partition's perfect
-		// streaming locality for load balance when trial lengths are
-		// skewed. Output slots are disjoint either way, so results
-		// remain bitwise identical.
-		const span = 64
-		var cursor atomic.Int64
-		for wi := 0; wi < workers; wi++ {
-			wg.Add(1)
-			go func(wi int) {
-				defer wg.Done()
-				w := newWorker(e, opt, y.MeanTrialLen())
-				for {
-					lo := int(cursor.Add(span)) - span
-					if lo >= nt {
-						break
-					}
-					hi := lo + span
-					if hi > nt {
-						hi = nt
-					}
-					w.runRange(y, lo, hi, res)
-				}
-				workerPhases[wi] = w.phases
-			}(wi)
-		}
-		wg.Wait()
-		for _, p := range workerPhases {
-			res.Phases.add(p)
-		}
-		return res, nil
-	}
-
-	// Static partition of trials into one contiguous range per worker —
-	// the OpenMP-style decomposition. Contiguity keeps YET streaming
-	// sequential within each worker.
-	for wi := 0; wi < workers; wi++ {
-		lo := wi * nt / workers
-		hi := (wi + 1) * nt / workers
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(wi, lo, hi int) {
-			defer wg.Done()
-			w := newWorker(e, opt, y.MeanTrialLen())
-			w.runRange(y, lo, hi, res)
-			workerPhases[wi] = w.phases
-		}(wi, lo, hi)
-	}
-	wg.Wait()
-	for _, p := range workerPhases {
-		res.Phases.add(p)
-	}
-	return res, nil
+	return e.runMaterialised(context.Background(), NewTableSource(y), opt)
 }
 
 // validate scans the YET once, rejecting event IDs outside the catalog so
@@ -217,11 +136,4 @@ func (e *Engine) validate(y *yet.Table) error {
 		}
 	}
 	return nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

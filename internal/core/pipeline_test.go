@@ -1,0 +1,312 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/ralab/are/internal/yet"
+)
+
+// serialise writes y in the binary YET format.
+func serialise(t testing.TB, y *yet.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := y.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// collectSink records every emitted cell through the generic Emit path
+// (it is deliberately NOT a FullYLT, so the orchestrator cannot take the
+// special-cased store fast path).
+type collectSink struct {
+	mu     sync.Mutex
+	ids    []uint32
+	agg    [][]float64
+	maxOcc [][]float64
+	seen   [][]int
+}
+
+func (c *collectSink) Begin(layerIDs []uint32, numTrials int) error {
+	c.ids = append([]uint32(nil), layerIDs...)
+	c.agg = make([][]float64, len(layerIDs))
+	c.maxOcc = make([][]float64, len(layerIDs))
+	c.seen = make([][]int, len(layerIDs))
+	for i := range layerIDs {
+		c.agg[i] = make([]float64, numTrials)
+		c.maxOcc[i] = make([]float64, numTrials)
+		c.seen[i] = make([]int, numTrials)
+	}
+	return nil
+}
+
+func (c *collectSink) Emit(layer, trial int, aggLoss, maxOcc float64) {
+	c.mu.Lock()
+	c.agg[layer][trial] = aggLoss
+	c.maxOcc[layer][trial] = maxOcc
+	c.seen[layer][trial]++
+	c.mu.Unlock()
+}
+
+// TestPipelineEquivalence is the tentpole contract: a streamed source
+// with a FullYLT sink is bitwise identical to Run on the loaded table,
+// across scheduling policies, chunk sizes and every ELT representation.
+func TestPipelineEquivalence(t *testing.T) {
+	p := testPortfolio(t, 2, 4, 1500)
+	y := testYET(t, 300, 60)
+	data := serialise(t, y)
+
+	for _, kind := range []LookupKind{LookupDirect, LookupSorted, LookupHash, LookupCuckoo, LookupCombined} {
+		e, err := NewEngine(p, testCatalog, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := e.Run(y, Options{Workers: 1, Lookup: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dynamic := range []bool{false, true} {
+			for _, chunk := range []int{0, 8} {
+				for _, workers := range []int{1, 4} {
+					opt := Options{Workers: workers, Dynamic: dynamic, ChunkSize: chunk, Lookup: kind}
+
+					// Streamed source + FullYLT via RunStream.
+					got, err := e.RunStream(bytes.NewReader(data), 37, opt)
+					if err != nil {
+						t.Fatalf("%v/dyn=%v/chunk=%d/w=%d: %v", kind, dynamic, chunk, workers, err)
+					}
+					assertResultsEqual(t, got, want, "stream-fullylt")
+
+					// Loaded source through the explicit pipeline.
+					sink := NewFullYLT()
+					if _, err := e.RunPipeline(NewTableSource(y), sink, opt); err != nil {
+						t.Fatal(err)
+					}
+					assertResultsEqual(t, sink.Result(), want, "table-pipeline")
+				}
+			}
+		}
+	}
+}
+
+// The generic Emit path (any non-FullYLT sink) must deliver exactly the
+// same cells, each exactly once, from both source kinds.
+func TestPipelineEmitsEveryCellOnce(t *testing.T) {
+	p := testPortfolio(t, 2, 3, 1000)
+	y := testYET(t, 211, 40)
+	data := serialise(t, y)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Run(y, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mk := range map[string]func() TrialSource{
+		"table": func() TrialSource { return NewTableSource(y) },
+		"stream": func() TrialSource {
+			src, err := NewStreamSource(bytes.NewReader(data), 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return src
+		},
+	} {
+		sink := &collectSink{}
+		if _, err := e.RunPipeline(mk(), sink, Options{Workers: 4, Dynamic: true}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for l := range sink.agg {
+			for tr := range sink.agg[l] {
+				if sink.seen[l][tr] != 1 {
+					t.Fatalf("%s: cell (%d,%d) emitted %d times", name, l, tr, sink.seen[l][tr])
+				}
+				if sink.agg[l][tr] != want.AggLoss[l][tr] || sink.maxOcc[l][tr] != want.MaxOccLoss[l][tr] {
+					t.Fatalf("%s: cell (%d,%d) differs", name, l, tr)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 800)
+	y := testYET(t, 120, 40)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewFullYLT()
+	collect := &collectSink{}
+	if _, err := e.RunPipeline(NewTableSource(y), MultiSink{full, collect}, Options{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Run(y, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, full.Result(), want, "multisink-fullylt")
+	for l := range collect.agg {
+		for tr := range collect.agg[l] {
+			if collect.agg[l][tr] != want.AggLoss[l][tr] {
+				t.Fatalf("collect cell (%d,%d) differs", l, tr)
+			}
+		}
+	}
+}
+
+func TestPipelineNilArguments(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 500)
+	y := testYET(t, 20, 30)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunPipeline(nil, NewFullYLT(), Options{}); !errors.Is(err, ErrNilSource) {
+		t.Errorf("nil source: %v", err)
+	}
+	if _, err := e.RunPipeline(NewTableSource(y), nil, Options{}); !errors.Is(err, ErrNilSink) {
+		t.Errorf("nil sink: %v", err)
+	}
+	if _, err := NewStreamSource(nil, 8); !errors.Is(err, ErrNilYET) {
+		t.Errorf("nil reader: %v", err)
+	}
+	if _, err := NewStreamSource(bytes.NewReader(serialise(t, y)), 0); err == nil {
+		t.Error("zero batch size accepted")
+	}
+}
+
+func TestPipelineContextCancellation(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 500)
+	y := testYET(t, 200, 40)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunPipelineContext(ctx, NewTableSource(y), NewFullYLT(), Options{Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A mid-stream decode error must abort all workers and surface the
+// error even when some spans were already processed.
+func TestPipelineStreamErrorAborts(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 500)
+	y := testYET(t, 150, 40)
+	data := serialise(t, y)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewStreamSource(bytes.NewReader(data[:len(data)-16]), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunPipeline(src, NewFullYLT(), Options{Workers: 4}); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestStreamSourceReportsShape(t *testing.T) {
+	y := testYET(t, 64, 30)
+	src, err := NewStreamSource(bytes.NewReader(serialise(t, y)), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if src.NumTrials() != y.NumTrials() {
+		t.Fatalf("NumTrials = %d, want %d", src.NumTrials(), y.NumTrials())
+	}
+	if src.MeanTrialLen() != y.MeanTrialLen() {
+		t.Fatalf("MeanTrialLen = %v, want %v", src.MeanTrialLen(), y.MeanTrialLen())
+	}
+}
+
+func TestTableSourceDrainsExactly(t *testing.T) {
+	y := testYET(t, 100, 20)
+	src := NewTableSource(y)
+	covered := make([]int, y.NumTrials())
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tr := b.Lo; tr < b.Hi; tr++ {
+			covered[b.Offset+tr]++
+		}
+	}
+	for tr, n := range covered {
+		if n != 1 {
+			t.Fatalf("trial %d handed out %d times", tr, n)
+		}
+	}
+}
+
+// Closing a stream source mid-run must not deadlock the prefetcher.
+func TestStreamSourceCloseUnblocksPrefetch(t *testing.T) {
+	y := testYET(t, 500, 30)
+	src, err := NewStreamSource(bytes.NewReader(serialise(t, y)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	// Drain whatever was buffered; must terminate.
+	for {
+		if _, err := src.Next(); err != nil {
+			break
+		}
+	}
+}
+
+// A FullYLT passed directly to the public pipeline must yield a fully
+// stamped Result, same as Run.
+func TestPipelineStampsFullYLTResult(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 500)
+	y := testYET(t, 60, 30)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewFullYLT()
+	if _, err := e.RunPipeline(NewTableSource(y), sink, Options{Workers: 2, Profile: true}); err != nil {
+		t.Fatal(err)
+	}
+	res := sink.Result()
+	if res.LookupMemory != e.LookupMemory() {
+		t.Fatalf("LookupMemory = %d, want %d", res.LookupMemory, e.LookupMemory())
+	}
+	if res.Phases.Total() <= 0 {
+		t.Fatal("profiled pipeline run did not stamp phases")
+	}
+}
+
+func TestNilTableSourceErrs(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 500)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunPipeline(NewTableSource(nil), NewFullYLT(), Options{}); !errors.Is(err, ErrNilYET) {
+		t.Fatalf("nil table source: err = %v, want ErrNilYET", err)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+// Sink consumes per-trial engine output as it is produced, decoupling
+// what the run computes from what it keeps. A sink that retains O(1)
+// state per layer (streaming moments, quantile sketches) lets a
+// streamed run finish without ever allocating the O(layers x trials)
+// Year Loss Tables that otherwise cap trial counts.
+type Sink interface {
+	// Begin is called exactly once, before any Emit, with the compiled
+	// layer IDs (in layer index order) and the total trial count of the
+	// run.
+	Begin(layerIDs []uint32, numTrials int) error
+
+	// Emit delivers the result of one (layer, trial) cell: the trial's
+	// aggregate loss (its Year Loss Table entry) and its maximum
+	// single-occurrence loss. Emit must be safe for concurrent use by
+	// multiple workers; each (layer, trial) pair is emitted exactly
+	// once, with trials arriving in no particular order.
+	Emit(layer, trial int, aggLoss, maxOcc float64)
+}
+
+// FullYLT is the materialising sink: it stores every per-trial result
+// into a Result, reproducing the engine's classic output bitwise.
+// Writes are lock-free because every (layer, trial) cell is owned by
+// exactly one worker.
+type FullYLT struct {
+	res *Result
+}
+
+// NewFullYLT returns an empty materialising sink; Result becomes valid
+// once a run over the sink completes.
+func NewFullYLT() *FullYLT { return &FullYLT{} }
+
+// Begin allocates the per-layer loss tables.
+func (s *FullYLT) Begin(layerIDs []uint32, numTrials int) error {
+	res := &Result{
+		LayerIDs:   append([]uint32(nil), layerIDs...),
+		AggLoss:    make([][]float64, len(layerIDs)),
+		MaxOccLoss: make([][]float64, len(layerIDs)),
+	}
+	for i := range layerIDs {
+		res.AggLoss[i] = make([]float64, numTrials)
+		res.MaxOccLoss[i] = make([]float64, numTrials)
+	}
+	s.res = res
+	return nil
+}
+
+// Emit stores one cell.
+func (s *FullYLT) Emit(layer, trial int, aggLoss, maxOcc float64) {
+	s.res.AggLoss[layer][trial] = aggLoss
+	s.res.MaxOccLoss[layer][trial] = maxOcc
+}
+
+// Result returns the materialised result; call it only after the run
+// has completed. The pipeline stamps Phases and LookupMemory when this
+// sink is passed to it directly (wrapped inside a MultiSink those two
+// engine-owned fields stay zero).
+func (s *FullYLT) Result() *Result { return s.res }
+
+// MultiSink fans every callback out to each member in order, so one run
+// can feed several online consumers (e.g. moments plus exceedance
+// sketches) in a single pass over the trials.
+type MultiSink []Sink
+
+// Begin forwards to every member, stopping at the first error.
+func (m MultiSink) Begin(layerIDs []uint32, numTrials int) error {
+	for _, s := range m {
+		if err := s.Begin(layerIDs, numTrials); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Emit forwards one cell to every member.
+func (m MultiSink) Emit(layer, trial int, aggLoss, maxOcc float64) {
+	for _, s := range m {
+		s.Emit(layer, trial, aggLoss, maxOcc)
+	}
+}

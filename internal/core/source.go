@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ralab/are/internal/yet"
+)
+
+// Batch is one unit of engine work: the contiguous trials [Lo, Hi) of
+// Table, where trial t of Table is global trial Offset+t. For an
+// in-memory source Table is the whole YET and Offset is 0; for a
+// streaming source Table is one decoded batch and Offset anchors it in
+// the full table.
+type Batch struct {
+	Table  *yet.Table
+	Lo, Hi int
+	Offset int
+}
+
+// TrialSource supplies trial batches to the pipeline orchestrator,
+// unifying the in-memory yet.Table and the serialised yet.Reader behind
+// one pull interface. Sources own their scheduling granularity: Next
+// hands out spans sized for the run shape, so workers stay busy across
+// batch boundaries instead of joining per batch.
+type TrialSource interface {
+	// NumTrials is the total number of trials the source will yield
+	// (known up front for both in-memory tables and serialised streams,
+	// whose header carries the count).
+	NumTrials() int
+
+	// MeanTrialLen estimates occurrences per trial, used to size worker
+	// scratch buffers.
+	MeanTrialLen() float64
+
+	// Next returns the next batch of work, blocking until one is
+	// available, and io.EOF once the source is exhausted. It must be
+	// safe for concurrent use by many workers.
+	Next() (Batch, error)
+
+	// Close releases source resources (stops prefetching). It must be
+	// safe to call more than once and concurrently with Next; after
+	// Close, Next drains already-decoded batches and then returns
+	// io.EOF.
+	Close() error
+}
+
+// spanPlanner is implemented by sources whose work-unit size depends on
+// the run shape; the orchestrator calls it exactly once, before any
+// worker calls Next.
+type spanPlanner interface {
+	planSpans(workers int, dynamic bool)
+}
+
+// dynamicSpan is the span-stealing granularity of dynamic scheduling:
+// small enough to balance skewed trial lengths, large enough that the
+// shared-cursor traffic is noise.
+const dynamicSpan = 64
+
+// ---------------------------------------------------------------------------
+// In-memory source.
+
+// tableSource hands out spans of a loaded Table through a shared atomic
+// cursor. Static scheduling sizes spans so each worker claims one
+// contiguous range (the OpenMP-style decomposition); dynamic scheduling
+// uses small fixed spans for load balance. Output cells are disjoint
+// either way, so results are bitwise identical under both policies.
+type tableSource struct {
+	y      *yet.Table
+	span   int
+	cursor atomic.Int64
+}
+
+// NewTableSource adapts a loaded Year Event Table into a TrialSource.
+// A nil table yields a source whose Next reports ErrNilYET, matching
+// the error the materialising entry points return.
+func NewTableSource(y *yet.Table) TrialSource {
+	return &tableSource{y: y, span: dynamicSpan}
+}
+
+func (s *tableSource) NumTrials() int {
+	if s.y == nil {
+		return 0
+	}
+	return s.y.NumTrials()
+}
+
+func (s *tableSource) MeanTrialLen() float64 {
+	if s.y == nil {
+		return 0
+	}
+	return s.y.MeanTrialLen()
+}
+
+func (s *tableSource) Close() error { return nil }
+
+func (s *tableSource) planSpans(workers int, dynamic bool) {
+	if dynamic {
+		s.span = dynamicSpan
+		return
+	}
+	s.span = (s.NumTrials() + workers - 1) / workers
+	if s.span < 1 {
+		s.span = 1
+	}
+}
+
+func (s *tableSource) Next() (Batch, error) {
+	if s.y == nil {
+		return Batch{}, ErrNilYET
+	}
+	nt := s.y.NumTrials()
+	lo := int(s.cursor.Add(int64(s.span))) - s.span
+	if lo >= nt {
+		return Batch{}, io.EOF
+	}
+	return Batch{Table: s.y, Lo: lo, Hi: min(lo+s.span, nt)}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming source.
+
+// streamSource decodes a serialised YET batch by batch on a dedicated
+// prefetch goroutine and hands out spans of each decoded batch. The
+// span channel holds one full batch, so decode of batch N+1 overlaps
+// compute of batch N (double buffering): at most two decoded batches
+// are resident, keeping memory bounded at O(batchTrials) regardless of
+// table size.
+type streamSource struct {
+	sr    *yet.Reader
+	nt    int
+	mean  float64
+	batch int
+	span  int
+
+	start sync.Once
+	ch    chan Batch
+	stop  chan struct{}
+	halt  sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewStreamSource wraps a serialised YET (written by Table.WriteTo) as a
+// TrialSource that never materialises the whole table: the header and
+// boundary vector are parsed eagerly, trial payloads are decoded in
+// batches of batchTrials by a prefetcher that runs ahead of compute.
+func NewStreamSource(r io.Reader, batchTrials int) (TrialSource, error) {
+	if r == nil {
+		return nil, ErrNilYET
+	}
+	if batchTrials <= 0 {
+		return nil, errors.New("core: batchTrials must be positive")
+	}
+	sr, err := yet.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: stream header: %w", err)
+	}
+	return &streamSource{
+		sr:    sr,
+		nt:    sr.NumTrials(),
+		mean:  sr.MeanTrialLen(),
+		batch: batchTrials,
+		span:  dynamicSpan,
+		stop:  make(chan struct{}),
+	}, nil
+}
+
+func (s *streamSource) NumTrials() int        { return s.nt }
+func (s *streamSource) MeanTrialLen() float64 { return s.mean }
+
+func (s *streamSource) planSpans(workers int, dynamic bool) {
+	if dynamic {
+		s.span = dynamicSpan
+	} else {
+		s.span = s.batch / workers
+	}
+	if s.span < 1 {
+		s.span = 1
+	}
+	if s.span > s.batch {
+		s.span = s.batch
+	}
+}
+
+func (s *streamSource) Next() (Batch, error) {
+	s.start.Do(func() {
+		s.ch = make(chan Batch, (s.batch+s.span-1)/s.span)
+		go s.prefetch()
+	})
+	b, ok := <-s.ch
+	if !ok {
+		if err := s.firstErr(); err != nil {
+			return Batch{}, err
+		}
+		return Batch{}, io.EOF
+	}
+	return b, nil
+}
+
+// Close stops the prefetcher; safe to call repeatedly and concurrently
+// with Next.
+func (s *streamSource) Close() error {
+	s.halt.Do(func() { close(s.stop) })
+	return nil
+}
+
+func (s *streamSource) prefetch() {
+	defer close(s.ch)
+	for !s.sr.Done() {
+		offset := s.sr.Offset()
+		tbl, err := s.sr.ReadBatch(s.batch)
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			s.setErr(fmt.Errorf("core: stream batch at trial %d: %w", offset, err))
+			return
+		}
+		n := tbl.NumTrials()
+		for lo := 0; lo < n; lo += s.span {
+			select {
+			case s.ch <- Batch{Table: tbl, Lo: lo, Hi: min(lo+s.span, n), Offset: offset}:
+			case <-s.stop:
+				return
+			}
+		}
+	}
+}
+
+func (s *streamSource) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *streamSource) firstErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -1,59 +1,22 @@
 package core
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"io"
-
-	"github.com/ralab/are/internal/yet"
 )
 
-// RunStream analyses a serialised YET without materialising it: trials
-// are read in batches of batchTrials and analysed with the engine's
-// normal kernels, so tables far larger than memory (a paper-size YET is
-// ~16 GB) stream through a bounded working set. Results are identical to
-// Run on the fully loaded table.
+// RunStream analyses a serialised YET without materialising it: a
+// StreamSource decodes trials in batches of batchTrials on a prefetch
+// goroutine (decode overlapping compute) while the pipeline's workers
+// pull spans continuously — no per-batch join — so tables far larger
+// than memory (a paper-size YET is ~16 GB) stream through a bounded
+// working set. Results are bitwise identical to Run on the fully loaded
+// table. For runs whose consumers are online sinks (and therefore need
+// no O(layers x trials) tables at all), use RunPipeline directly.
 func (e *Engine) RunStream(r io.Reader, batchTrials int, opt Options) (*Result, error) {
-	if r == nil {
-		return nil, ErrNilYET
-	}
-	if batchTrials <= 0 {
-		return nil, errors.New("core: batchTrials must be positive")
-	}
-	sr, err := yet.NewReader(r)
+	src, err := NewStreamSource(r, batchTrials)
 	if err != nil {
-		return nil, fmt.Errorf("core: stream header: %w", err)
+		return nil, err
 	}
-	nt := sr.NumTrials()
-	res := &Result{
-		LayerIDs:     make([]uint32, len(e.layers)),
-		AggLoss:      make([][]float64, len(e.layers)),
-		MaxOccLoss:   make([][]float64, len(e.layers)),
-		LookupMemory: e.lookupMem,
-	}
-	for i, cl := range e.layers {
-		res.LayerIDs[i] = cl.id
-		res.AggLoss[i] = make([]float64, nt)
-		res.MaxOccLoss[i] = make([]float64, nt)
-	}
-	for !sr.Done() {
-		offset := sr.Offset()
-		batch, err := sr.ReadBatch(batchTrials)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: stream batch at trial %d: %w", offset, err)
-		}
-		br, err := e.Run(batch, opt)
-		if err != nil {
-			return nil, err
-		}
-		for l := range e.layers {
-			copy(res.AggLoss[l][offset:], br.AggLoss[l])
-			copy(res.MaxOccLoss[l][offset:], br.MaxOccLoss[l])
-		}
-		res.Phases.add(br.Phases)
-	}
-	return res, nil
+	return e.runMaterialised(context.Background(), src, opt)
 }

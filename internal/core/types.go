@@ -206,4 +206,6 @@ var (
 	ErrEventOutside  = errors.New("core: YET references event outside catalog")
 	ErrNilYET        = errors.New("core: YET must be non-nil")
 	ErrUnknownLookup = errors.New("core: unknown lookup kind")
+	ErrNilSource     = errors.New("core: trial source must be non-nil")
+	ErrNilSink       = errors.New("core: sink must be non-nil")
 )

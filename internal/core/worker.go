@@ -45,15 +45,22 @@ func newWorker(e *Engine, opt Options, meanTrialLen float64) *worker {
 	return w
 }
 
-// runRange evaluates trials [lo, hi) for every layer, writing results into
-// res (disjoint slices per range, so no synchronisation is needed).
-func (w *worker) runRange(y *yet.Table, lo, hi int, res *Result) {
+// runSpan evaluates one batch of trials for every layer, delivering each
+// (layer, trial) cell to the sink. The FullYLT sink is special-cased to
+// plain slice stores — its cells are disjoint per worker, needing no
+// synchronisation — which keeps the hot materialising path free of an
+// interface call per cell.
+func (w *worker) runSpan(b Batch, sink Sink) {
+	full, _ := sink.(*FullYLT)
 	for li := range w.e.layers {
 		cl := &w.e.layers[li]
-		agg := res.AggLoss[li]
-		maxOcc := res.MaxOccLoss[li]
-		for t := lo; t < hi; t++ {
-			trial := y.Trial(t)
+		var agg, maxOcc []float64
+		if full != nil {
+			agg = full.res.AggLoss[li]
+			maxOcc = full.res.MaxOccLoss[li]
+		}
+		for t := b.Lo; t < b.Hi; t++ {
+			trial := b.Table.Trial(t)
 			var a, m float64
 			switch {
 			case w.opt.Profile:
@@ -63,8 +70,12 @@ func (w *worker) runRange(y *yet.Table, lo, hi int, res *Result) {
 			default:
 				a, m = w.trialBasic(cl, trial)
 			}
-			agg[t] = a
-			maxOcc[t] = m
+			if full != nil {
+				agg[b.Offset+t] = a
+				maxOcc[b.Offset+t] = m
+			} else {
+				sink.Emit(li, b.Offset+t, a, m)
+			}
 		}
 	}
 }

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/metrics"
+)
+
+// Streaming pipeline experiment: the run path of the refactored engine
+// — loaded table vs serialised stream, materialising FullYLT sink vs
+// bounded-memory online sinks — measured for wall time, materialised
+// result size and total heap allocation. The paper's preprocessing
+// stage loads the entire ~16 GB Year Event Table before analysis; this
+// table shows the same analysis with an O(batch) working set.
+
+func init() {
+	register("streaming",
+		"streaming pipeline: loaded vs streamed run path, full-YLT vs online sinks (bounded memory)",
+		streamingExp)
+}
+
+func streamingExp(cfg Config) (*Table, error) {
+	const layers, eltsPerLayer, eventsPerTrial = 2, 10, 1000
+	trials := cfg.scaledTrials(1_000_000)
+	p, y, err := buildInputs(cfg, layers, eltsPerLayer, trials, eventsPerTrial)
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.NewEngine(p, cfg.CatalogSize, core.LookupDirect)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := y.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	data := buf.Bytes()
+	opt := core.Options{Workers: cfg.Workers, SkipValidation: true}
+	const batch = 1024
+
+	t := &Table{Name: "streaming", Title: "one orchestrator, three run shapes",
+		Columns: []string{"source", "sink", "seconds", "resident-result-MB", "alloc-MB"}}
+
+	yltMB := float64(layers*trials*2*8) / (1 << 20)
+
+	// Loaded table, materialising sink: the classic Run.
+	sec, alloc, err := measureAlloc(func() error {
+		_, err := e.Run(y, opt)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("loaded table", "FullYLT", seconds(sec), fmt.Sprintf("%.2f", yltMB), fmt.Sprintf("%.1f", alloc))
+
+	// Streamed, materialising sink: bitwise identical to Run.
+	sec, alloc, err = measureAlloc(func() error {
+		_, err := e.RunStream(bytes.NewReader(data), batch, opt)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("stream", "FullYLT", seconds(sec), fmt.Sprintf("%.2f", yltMB), fmt.Sprintf("%.1f", alloc))
+
+	// Streamed, online sinks: no O(layers x trials) allocation at all.
+	var sum *metrics.SummarySink
+	sec, alloc, err = measureAlloc(func() error {
+		src, err := core.NewStreamSource(bytes.NewReader(data), batch)
+		if err != nil {
+			return err
+		}
+		sum = metrics.NewSummarySink()
+		ep := metrics.NewEPSink(nil)
+		_, err = e.RunPipeline(src, core.MultiSink{sum, ep}, opt)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("stream", "Summary+EP (online)", seconds(sec), "~0", fmt.Sprintf("%.1f", alloc))
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d trials x %d layers; stream batch %d trials; YET %.1f MB serialised",
+			trials, layers, batch, float64(len(data))/(1<<20)),
+		fmt.Sprintf("online AAL layer 0: %.4g (sketched PML within a few %% of exact)", sum.Summary(0).Mean),
+		"streamed working set is O(batch), independent of total trials")
+	return t, nil
+}
+
+// measureAlloc runs f once, returning wall time and the heap allocated
+// during the run in MB (total bytes allocated, the measurable proxy for
+// the bounded-memory claim).
+func measureAlloc(f func() error) (time.Duration, float64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := f()
+	el := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return el, float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20), err
+}

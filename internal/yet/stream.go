@@ -76,6 +76,20 @@ func NewReader(r io.Reader) (*Reader, error) {
 // NumTrials returns the total trial count declared by the stream.
 func (r *Reader) NumTrials() int { return len(r.bounds) - 1 }
 
+// NumOccurrences returns the total occurrence count declared by the
+// stream (the validated endpoint of the boundary vector).
+func (r *Reader) NumOccurrences() int { return int(r.bounds[len(r.bounds)-1]) }
+
+// MeanTrialLen returns the average occurrences per trial declared by
+// the stream header, available before any trial payload is decoded —
+// the engine uses it to size worker scratch buffers.
+func (r *Reader) MeanTrialLen() float64 {
+	if r.NumTrials() == 0 {
+		return 0
+	}
+	return float64(r.NumOccurrences()) / float64(r.NumTrials())
+}
+
 // Done reports whether all trials have been read.
 func (r *Reader) Done() bool { return r.next >= r.NumTrials() }
 
