@@ -276,7 +276,7 @@ func NewFullYLTSink() *FullYLTSink { return core.NewFullYLT() }
 func NewSummarySink() *SummarySink { return metrics.NewSummarySink() }
 
 // NewEPSink returns an online exceedance-curve sink estimating PML at
-// the given return periods (nil means StandardReturnPeriods) via P²
+// the given return periods (nil or empty means StandardReturnPeriods) via P²
 // quantile sketches — typically within a few percent of the exact
 // empirical quantile at moderate return periods.
 func NewEPSink(returnPeriods []float64) *EPSink { return metrics.NewEPSink(returnPeriods) }
@@ -418,3 +418,29 @@ func WriteELT(w io.Writer, t *ELT) (int64, error) { return t.WriteTo(w) }
 
 // ReadELT deserialises a binary Event Loss Table.
 func ReadELT(r io.Reader) (*ELT, error) { return elt.ReadTable(r) }
+
+// ---------------------------------------------------------------------------
+// Analysis service (ared) job specifications.
+
+// Job-request types, re-exported for clients of the ared HTTP service
+// (cmd/ared, docs/api.md) and for programs that want to replay a job
+// through the library directly.
+type (
+	// JobSpec is one analysis request: an inline portfolio spec, a YET
+	// spec, and the metrics wanted back — the body of POST /v1/jobs.
+	JobSpec = spec.Job
+	// JobYETSpec is the job's Year Event Table description; together
+	// with the portfolio's catalog size it is the table's cache
+	// identity on the server.
+	JobYETSpec = spec.YETSpec
+	// JobMetricsSpec selects the metrics a job reports.
+	JobMetricsSpec = spec.MetricsSpec
+	// PortfolioSpec is the JSON document form of a portfolio (the
+	// schema ParsePortfolioSpec reads, and a job's "portfolio" field).
+	PortfolioSpec = spec.File
+)
+
+// ParseJobSpec decodes and validates one ared job request; unknown
+// fields and structurally invalid specs are rejected with the same
+// errors the service's 400 responses carry.
+func ParseJobSpec(r io.Reader) (*JobSpec, error) { return spec.ParseJob(r) }

@@ -1,0 +1,71 @@
+// Command ared is the aggregate risk engine as a service: a long-running
+// HTTP daemon that accepts analysis jobs over a JSON API, runs them
+// concurrently on a bounded worker pool through the engine's streaming
+// pipeline, and serves results, job status, health and metrics.
+//
+// Usage:
+//
+//	ared -addr :8321
+//	ared -addr :8321 -job-workers 4 -engine-workers 2 -queue 128 -max-trials 2000000
+//
+// Endpoints (see docs/api.md for the full contract):
+//
+//	POST   /v1/jobs             submit an analysis job
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status and progress
+//	GET    /v1/jobs/{id}/result completed results
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /healthz             liveness probe
+//	GET    /metrics             Prometheus text metrics
+//
+// SIGINT/SIGTERM trigger graceful shutdown: intake stops (submissions
+// get 503), queued and running jobs drain within -grace, then whatever
+// remains is cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ralab/are/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8321", "listen address")
+		jobs      = flag.Int("job-workers", 2, "jobs run concurrently")
+		engineW   = flag.Int("engine-workers", 0, "engine workers per job (0 = GOMAXPROCS/job-workers)")
+		queue     = flag.Int("queue", 64, "queued jobs before submissions get 503")
+		maxTrials = flag.Int("max-trials", 0, "per-job yet.trials cap (0 = uncapped)")
+		cache     = flag.Int("cache", 64, "shared-artifact cache entries")
+		retain    = flag.Int("retain", 1000, "finished jobs kept before the oldest are evicted")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain period before jobs are cancelled")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Addr:            *addr,
+		JobWorkers:      *jobs,
+		QueueDepth:      *queue,
+		EngineWorkers:   *engineW,
+		MaxTrials:       *maxTrials,
+		CacheEntries:    *cache,
+		MaxJobsRetained: *retain,
+		ShutdownGrace:   *grace,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("ared: listening on %s (%d job workers, queue %d)\n", *addr, *jobs, *queue)
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ared:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ared: drained, bye")
+}

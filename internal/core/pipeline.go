@@ -53,6 +53,15 @@ func (e *Engine) RunPipelineContext(ctx context.Context, src TrialSource, sink S
 		return zero, err
 	}
 
+	// done counts finished trials across all workers for the Progress
+	// hook; spans report their size as they complete.
+	var done atomic.Int64
+	report := func(n int) {
+		if opt.Progress != nil {
+			opt.Progress(int(done.Add(int64(n))), nt)
+		}
+	}
+
 	if workers == 1 {
 		// Sequential runs stay on the calling goroutine (streaming
 		// decode still overlaps compute via the source's prefetcher).
@@ -74,6 +83,7 @@ func (e *Engine) RunPipelineContext(ctx context.Context, src TrialSource, sink S
 				}
 			}
 			w.runSpan(b, sink)
+			report(b.Hi - b.Lo)
 		}
 		return e.finishPipeline(sink, w.phases), nil
 	}
@@ -115,6 +125,7 @@ func (e *Engine) RunPipelineContext(ctx context.Context, src TrialSource, sink S
 					}
 				}
 				w.runSpan(b, sink)
+				report(b.Hi - b.Lo)
 			}
 			phases[wi] = w.phases
 		}(wi)

@@ -310,3 +310,40 @@ func TestNilTableSourceErrs(t *testing.T) {
 		t.Fatalf("nil table source: err = %v, want ErrNilYET", err)
 	}
 }
+
+// The Progress hook must account for every trial exactly once, reach
+// the total, and report the correct total — under both the sequential
+// and the parallel paths.
+func TestPipelineProgress(t *testing.T) {
+	p := testPortfolio(t, 1, 3, 500)
+	y := testYET(t, 400, 30)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		var mu sync.Mutex
+		var sum, calls, lastTotal int
+		opt := Options{Workers: workers, Dynamic: true, Progress: func(done, total int) {
+			mu.Lock()
+			calls++
+			lastTotal = total
+			if done > sum {
+				sum = done
+			}
+			mu.Unlock()
+		}}
+		if _, err := e.RunPipeline(NewTableSource(y), NewFullYLT(), opt); err != nil {
+			t.Fatal(err)
+		}
+		if calls == 0 {
+			t.Fatalf("workers=%d: progress hook never called", workers)
+		}
+		if sum != y.NumTrials() {
+			t.Fatalf("workers=%d: max reported done = %d, want %d", workers, sum, y.NumTrials())
+		}
+		if lastTotal != y.NumTrials() {
+			t.Fatalf("workers=%d: reported total = %d, want %d", workers, lastTotal, y.NumTrials())
+		}
+	}
+}

@@ -17,6 +17,17 @@
 // per trial, so their Year Loss Tables are bitwise identical — enforced by
 // tests — and any strategy can be verified against the straightforward
 // reference implementation in reference.go.
+//
+// Execution is organised as a streaming pipeline (pipeline.go): workers
+// pull trial spans from a TrialSource (a loaded table or a serialised
+// stream, source.go) and deliver per-trial results to a Sink (the
+// materialising FullYLT or the online sinks in package metrics,
+// sink.go). Engine.RunPipelineContext adds cooperative cancellation —
+// workers poll the context between spans, which is what gives the ared
+// service prompt job cancellation and graceful shutdown — and
+// Options.Progress reports cumulative trials completed for live job
+// status. Run, RunContext and RunStream are thin wrappers over the one
+// orchestrator.
 package core
 
 import (
@@ -105,6 +116,17 @@ type Options struct {
 	// ID against the catalog size. Benchmarks that re-run the same
 	// validated table may set this.
 	SkipValidation bool
+
+	// Progress, when non-nil, is called by the pipeline after each trial
+	// span completes with the cumulative number of trials finished and
+	// the total trial count of the run. Calls may come from any worker
+	// goroutine concurrently and `done` values are not guaranteed to
+	// arrive in increasing order across goroutines — consumers that need
+	// monotonic progress should keep a running maximum. The callback is
+	// on the orchestration path (once per span, not per trial), so a
+	// cheap atomic store costs nothing measurable; a slow callback slows
+	// the run.
+	Progress func(done, total int)
 }
 
 // PhaseBreakdown records time spent in each algorithm phase across a run,

@@ -10,6 +10,13 @@
 // one memory access per lookup — over compact alternatives (sorted array
 // with binary search, hashing, cuckoo hashing). All four are implemented
 // here so the trade-off can be measured.
+//
+// Beyond the representations, the package provides synthetic generation
+// (gen.go; lognormal severities deterministic in the seed, matching the
+// statistical shape the paper reports for industrial ELTs) and a binary
+// serialisation format (io.go; Table.WriteTo / ReadTable) used by spec
+// "file" references, so real tables can be produced once and shared
+// between analyses.
 package elt
 
 import (

@@ -3,6 +3,20 @@
 // at return periods, Value at Risk, and Tail Value at Risk (TVaR). These
 // are the numbers a reinsurer reports to management, regulators and rating
 // agencies, and the inputs to the pricing stage.
+//
+// Every measure exists in two forms:
+//
+//   - Batch, over a materialised YLT: Summarise, EPCurve (exact empirical
+//     quantiles), AllocateTVaR and DiversificationBenefit for the group
+//     roll-up.
+//   - Streaming, as engine sinks consuming one trial at a time in O(1)
+//     memory per layer: SummarySink (Welford moments) and EPSink (P²
+//     quantile sketches), documented with their accuracy bounds in
+//     streaming.go. These are what let a run over millions of trials
+//     report AAL and PML without ever holding a Year Loss Table.
+//
+// Convergence diagnostics (convergence.go) quantify the Monte Carlo
+// error both forms inherit from the trial count.
 package metrics
 
 import (

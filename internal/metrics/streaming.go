@@ -170,9 +170,10 @@ type epLayer struct {
 }
 
 // NewEPSink returns a sink estimating PML at the given return periods
-// (nil means StandardReturnPeriods); periods <= 1 year are dropped.
+// (nil or empty means StandardReturnPeriods); periods <= 1 year are
+// dropped.
 func NewEPSink(rps []float64) *EPSink {
-	if rps == nil {
+	if len(rps) == 0 {
 		rps = StandardReturnPeriods
 	}
 	valid := make([]float64, 0, len(rps))

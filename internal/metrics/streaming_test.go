@@ -269,3 +269,15 @@ func TestEPSinkSkipsUnresolvableReturnPeriods(t *testing.T) {
 		t.Fatalf("points = %v, want only rp=2 at 10 trials", pts)
 	}
 }
+
+// An explicit empty slice must select the standard return periods, same
+// as nil — the ared API documents "omitted or empty means the standard
+// set" and a client sending [] must not silently get zero sketches.
+func TestNewEPSinkEmptyMeansStandard(t *testing.T) {
+	for _, rps := range [][]float64{nil, {}} {
+		if got := NewEPSink(rps).ReturnPeriods(); len(got) != len(StandardReturnPeriods) {
+			t.Fatalf("NewEPSink(%v) has %d return periods, want %d",
+				rps, len(got), len(StandardReturnPeriods))
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the shared-artifact store: expensive, immutable build
+// products (generated Year Event Tables, compiled engines) keyed by the
+// content hash of the specification that produces them. Because every
+// generator in the repo is deterministic in its spec, the spec's
+// canonical JSON is the artifact's identity — two jobs that describe the
+// same YET share one table, whichever arrives first.
+//
+// Get has singleflight semantics: concurrent requests for one key block
+// on a single build instead of duplicating it, which is what makes
+// "submit the same analysis twice" cost one generation. Failed builds
+// are not cached, so a transient failure does not poison the key.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed when val/err are set
+	done  bool          // guarded by Cache.mu; true once build finished
+	val   any
+	err   error
+}
+
+// NewCache returns a cache bounded to maxEntries completed artifacts
+// (<= 0 selects the default of 64). Eviction is arbitrary-completed:
+// artifacts are cheap to rebuild (deterministic generators), so the
+// bound exists to cap memory, not to optimise hit rate.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	return &Cache{max: maxEntries, entries: make(map[string]*cacheEntry)}
+}
+
+// Get returns the artifact for key, building it with build on the first
+// request. The second return reports whether this was a cache hit
+// (including "joined an in-flight build of the same key").
+func (c *Cache) Get(key string, build func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.val, true, e.err
+	}
+	c.evictLocked()
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.val, e.err = build()
+	c.mu.Lock()
+	if e.err != nil {
+		delete(c.entries, key) // don't cache failures
+	} else {
+		e.done = true
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return e.val, false, e.err
+}
+
+// evictLocked drops one completed entry when the cache is full. In-flight
+// builds are never evicted (waiters hold their entry pointers anyway).
+func (c *Cache) evictLocked() {
+	if len(c.entries) < c.max {
+		return
+	}
+	for k, e := range c.entries {
+		if e.done {
+			delete(c.entries, k)
+			return
+		}
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of resident entries (completed or in flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// contentKey derives the cache identity of a spec: a namespace prefix
+// plus the SHA-256 of its canonical JSON encoding. Go's encoding/json
+// marshals struct fields in declaration order, so equal specs produce
+// equal bytes.
+func contentKey(prefix string, v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("server: cache key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return prefix + ":" + hex.EncodeToString(sum[:]), nil
+}

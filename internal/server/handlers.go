@@ -1,0 +1,163 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/ralab/are/internal/spec"
+)
+
+// maxJobBody caps a job request body at 8 MiB — generous for inline
+// record lists, small enough that a stray upload cannot balloon memory.
+const maxJobBody = 8 << 20
+
+// routes assembles the API surface. Method-qualified patterns (Go 1.22
+// ServeMux) give us routing and 405s without a framework dependency.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	return s.countRequests(mux)
+}
+
+// countRequests is the one middleware: a request counter for /metrics.
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.httpRequests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// handleHealth reports liveness plus queue occupancy, cheap enough for
+// aggressive probe intervals.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"running": s.metrics.jobsRunning.Load(),
+		"queued":  len(s.sched.queue),
+	})
+}
+
+// handleMetrics renders Prometheus text exposition format (counters and
+// gauges only — no histogram buckets to keep the scrape allocation-free).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	write := func(name, kind string, v any) {
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", name, kind, name, v)
+	}
+	write("ared_uptime_seconds", "gauge", time.Since(s.metrics.start).Seconds())
+	write("ared_http_requests_total", "counter", s.metrics.httpRequests.Load())
+	write("ared_jobs_submitted_total", "counter", s.metrics.jobsSubmitted.Load())
+	write("ared_jobs_completed_total", "counter", s.metrics.jobsCompleted.Load())
+	write("ared_jobs_failed_total", "counter", s.metrics.jobsFailed.Load())
+	write("ared_jobs_cancelled_total", "counter", s.metrics.jobsCancelled.Load())
+	write("ared_jobs_running", "gauge", s.metrics.jobsRunning.Load())
+	write("ared_jobs_queued", "gauge", len(s.sched.queue))
+	write("ared_trials_processed_total", "counter", s.metrics.trialsProcessed.Load())
+	write("ared_cache_hits_total", "counter", hits)
+	write("ared_cache_misses_total", "counter", misses)
+	write("ared_cache_entries", "gauge", s.cache.Len())
+}
+
+// handleSubmit accepts one job: 202 with the queued job's status, 400 on
+// any validation failure, 503 when the queue is full or the server is
+// draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	j, err := spec.ParseJob(http.MaxBytesReader(w, r.Body, maxJobBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.cfg.MaxTrials > 0 && j.YET.Trials > s.cfg.MaxTrials {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("server: yet.trials %d exceeds the server cap of %d", j.YET.Trials, s.cfg.MaxTrials))
+		return
+	}
+	job, err := s.sched.submit(j)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleList returns every job's status in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.list()})
+}
+
+// handleStatus returns one job's status.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleResult returns a finished job's result: 200 when done, 409 while
+// queued or running, 410 for failed/cancelled jobs (the result is gone
+// and will never arrive), 404 for unknown IDs.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownJob)
+		return
+	}
+	j.mu.Lock()
+	state, res, jerr := j.state, j.result, j.err
+	j.mu.Unlock()
+	switch state {
+	case JobDone:
+		writeJSON(w, http.StatusOK, res)
+	case JobFailed:
+		writeError(w, http.StatusGone, fmt.Errorf("server: job %s failed: %s", j.ID, jerr))
+	case JobCancelled:
+		writeError(w, http.StatusGone, fmt.Errorf("server: job %s was cancelled", j.ID))
+	default:
+		writeError(w, http.StatusConflict, fmt.Errorf("server: job %s is %s", j.ID, state))
+	}
+}
+
+// handleCancel requests cancellation: 202 with the (possibly already
+// transitioned) status, 409 when the job had finished, 404 when unknown.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.sched.cancelJob(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrJobFinished):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusAccepted, j.Status())
+	}
+}

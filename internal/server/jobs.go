@@ -1,0 +1,568 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/layer"
+	"github.com/ralab/are/internal/metrics"
+	"github.com/ralab/are/internal/pricing"
+	"github.com/ralab/are/internal/spec"
+	"github.com/ralab/are/internal/yet"
+)
+
+// JobState is the lifecycle state of a submitted analysis.
+type JobState string
+
+// Job lifecycle: queued -> running -> done | failed | cancelled. A
+// queued job that is cancelled skips running entirely.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Scheduler errors.
+var (
+	ErrQueueFull    = errors.New("server: job queue full")
+	ErrShuttingDown = errors.New("server: shutting down")
+	ErrUnknownJob   = errors.New("server: unknown job")
+	ErrJobFinished  = errors.New("server: job already finished")
+)
+
+// Job is one submitted analysis and its run state. Mutable fields are
+// guarded by mu; progress uses an atomic so the hot Progress hook never
+// contends with status reads.
+type Job struct {
+	ID   string
+	Spec *spec.Job
+
+	mu        sync.Mutex
+	state     JobState
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *JobResult
+
+	total      int
+	trialsDone atomic.Int64
+
+	cancel context.CancelFunc
+	ctx    context.Context
+}
+
+// Status is the wire form of a job's state (GET /v1/jobs/{id}).
+type Status struct {
+	ID          string  `json:"id"`
+	State       string  `json:"state"`
+	SubmittedAt string  `json:"submittedAt"`
+	StartedAt   string  `json:"startedAt,omitempty"`
+	FinishedAt  string  `json:"finishedAt,omitempty"`
+	TrialsDone  int     `json:"trialsDone"`
+	TotalTrials int     `json:"totalTrials"`
+	Progress    float64 `json:"progress"` // 0..1, 1 exactly when finished
+	Error       string  `json:"error,omitempty"`
+}
+
+// JobResult is the wire form of a completed analysis
+// (GET /v1/jobs/{id}/result).
+type JobResult struct {
+	ID           string        `json:"id"`
+	Trials       int           `json:"trials"`
+	ElapsedMS    int64         `json:"elapsedMs"`
+	YETCached    bool          `json:"yetCached"`
+	EngineCached bool          `json:"engineCached"`
+	Layers       []LayerResult `json:"layers"`
+}
+
+// LayerResult carries one layer's metrics.
+type LayerResult struct {
+	ID         uint32      `json:"id"`
+	Name       string      `json:"name"`
+	Summary    SummaryJSON `json:"summary"`    // aggregate (YLT) moments
+	OccSummary SummaryJSON `json:"occSummary"` // per-trial max occurrence loss moments
+	EP         []PointJSON `json:"ep"`         // aggregate exceedance (AEP) points
+	OEP        []PointJSON `json:"oep"`        // occurrence exceedance (OEP) points
+	Quote      *QuoteJSON  `json:"quote,omitempty"`
+}
+
+// SummaryJSON mirrors metrics.Summary.
+type SummaryJSON struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stdDev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Trials int     `json:"trials"`
+}
+
+// PointJSON mirrors metrics.Point.
+type PointJSON struct {
+	ReturnPeriod float64 `json:"returnPeriod"`
+	Prob         float64 `json:"prob"`
+	Loss         float64 `json:"loss"`
+}
+
+// QuoteJSON mirrors pricing.Quote.
+type QuoteJSON struct {
+	ExpectedLoss     float64 `json:"expectedLoss"`
+	StdDev           float64 `json:"stdDev"`
+	RiskLoad         float64 `json:"riskLoad"`
+	ExpenseLoad      float64 `json:"expenseLoad"`
+	TechnicalPremium float64 `json:"technicalPremium"`
+	RateOnLine       float64 `json:"rateOnLine"`
+	PML100           float64 `json:"pml100"`
+	TVaR99           float64 `json:"tvar99"`
+}
+
+func summaryJSON(s metrics.Summary) SummaryJSON {
+	return SummaryJSON{Mean: s.Mean, StdDev: s.StdDev, Min: s.Min, Max: s.Max, Trials: s.Trials}
+}
+
+func pointsJSON(pts []metrics.Point) []PointJSON {
+	out := make([]PointJSON, len(pts))
+	for i, p := range pts {
+		out[i] = PointJSON{ReturnPeriod: p.ReturnPeriod, Prob: p.Prob, Loss: p.Loss}
+	}
+	return out
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.ID,
+		State:       string(j.state),
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+		TrialsDone:  int(j.trialsDone.Load()),
+		TotalTrials: j.total,
+		Error:       j.err,
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	switch {
+	case j.state == JobDone:
+		st.Progress = 1
+	case j.total > 0:
+		st.Progress = float64(st.TrialsDone) / float64(j.total)
+	}
+	return st
+}
+
+// scheduler runs submitted jobs on a bounded worker pool. Submissions
+// land in a buffered queue; jobWorkers goroutines drain it for the life
+// of the server. Artifacts (YETs, compiled engines) come from the shared
+// cache, so the pool's concurrency multiplies throughput without
+// multiplying generation work.
+type scheduler struct {
+	cfg     Config
+	cache   *Cache
+	metrics *serverMetrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu        sync.Mutex
+	accepting bool
+	seq       int
+	jobs      map[string]*Job
+	order     []string // submission order, for listing
+}
+
+func newScheduler(cfg Config, cache *Cache, m *serverMetrics) *scheduler {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &scheduler{
+		cfg:        cfg,
+		cache:      cache,
+		metrics:    m,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		accepting:  true,
+		jobs:       make(map[string]*Job),
+	}
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// submit enqueues a validated job and returns it, or ErrQueueFull /
+// ErrShuttingDown.
+func (s *scheduler) submit(js *spec.Job) (*Job, error) {
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID:        fmt.Sprintf("j-%06d", s.seq),
+		Spec:      js,
+		state:     JobQueued,
+		submitted: time.Now(),
+		total:     js.YET.Trials,
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.evictFinishedLocked()
+	s.mu.Unlock()
+	s.metrics.jobsSubmitted.Add(1)
+	return j, nil
+}
+
+// evictFinishedLocked drops the oldest terminal jobs (and their
+// results) once the registry exceeds cfg.MaxJobsRetained, so a
+// long-running daemon's memory is bounded by its retention window
+// rather than its lifetime traffic. Queued and running jobs are never
+// evicted. Caller holds s.mu.
+func (s *scheduler) evictFinishedLocked() {
+	excess := len(s.jobs) - s.cfg.MaxJobsRetained
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		evict := false
+		if excess > 0 {
+			j.mu.Lock()
+			switch j.state {
+			case JobDone, JobFailed, JobCancelled:
+				evict = true
+			}
+			j.mu.Unlock()
+		}
+		if evict {
+			delete(s.jobs, id)
+			excess--
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+}
+
+// get returns a job by ID.
+func (s *scheduler) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list snapshots all jobs in submission order.
+func (s *scheduler) list() []Status {
+	s.mu.Lock()
+	js := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(js))
+	for i, j := range js {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// cancelJob requests cancellation. Queued jobs are marked cancelled
+// immediately; running jobs get their context cancelled and transition
+// when the engine unwinds. Finished jobs return ErrJobFinished.
+func (s *scheduler) cancelJob(id string) (*Job, error) {
+	j, ok := s.get(id)
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	j.mu.Lock()
+	switch j.state {
+	case JobDone, JobFailed, JobCancelled:
+		j.mu.Unlock()
+		return j, ErrJobFinished
+	case JobQueued:
+		j.state = JobCancelled
+		j.finished = time.Now()
+		s.metrics.jobsCancelled.Add(1)
+	}
+	j.mu.Unlock()
+	j.cancel() // running worker unwinds via RunPipelineContext
+	return j, nil
+}
+
+// shutdown stops intake, drains the queue, and waits for workers. If ctx
+// expires before the drain completes, running jobs are force-cancelled
+// and the wait resumes (the pipeline polls its context, so this is
+// prompt).
+func (s *scheduler) shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	wasAccepting := s.accepting
+	s.accepting = false
+	s.mu.Unlock()
+	if wasAccepting {
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	// A forced stop leaves workers exiting via baseCtx without draining
+	// the (closed) queue; mark whatever is still in it cancelled so no
+	// job is stranded reporting "queued" forever.
+	if wasAccepting {
+		for j := range s.queue {
+			j.mu.Lock()
+			if j.state == JobQueued {
+				j.state = JobCancelled
+				j.finished = time.Now()
+				s.metrics.jobsCancelled.Add(1)
+			}
+			j.mu.Unlock()
+		}
+	}
+	return err
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// engineArtifact is the cached compile product of a portfolio spec: the
+// built portfolio plus the engine compiled from it.
+type engineArtifact struct {
+	p   *layer.Portfolio
+	eng *core.Engine
+}
+
+// engineKeySpec is the hashable identity of a compiled engine: the
+// portfolio spec plus the ELT representation it was compiled with.
+type engineKeySpec struct {
+	Portfolio *spec.File `json:"portfolio"`
+	Lookup    string     `json:"lookup"`
+}
+
+// yetKeySpec is the hashable identity of a generated YET. The catalog
+// size is part of it: generation draws events uniformly from
+// [0, catalogSize), so the same yet spec against a different catalog is
+// a different table.
+type yetKeySpec struct {
+	YET         spec.YETSpec `json:"yet"`
+	CatalogSize int          `json:"catalogSize"`
+}
+
+// runJob executes one job end to end: artifacts from the cache, the
+// streaming pipeline into online sinks (plus a materialising sink when
+// quotes were requested), and result assembly.
+func (s *scheduler) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != JobQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.metrics.jobsRunning.Add(1)
+	defer s.metrics.jobsRunning.Add(-1)
+
+	res, err := s.execute(j)
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = res
+		s.metrics.jobsCompleted.Add(1)
+		s.metrics.trialsProcessed.Add(int64(res.Trials))
+	case errors.Is(err, context.Canceled):
+		j.state = JobCancelled
+		s.metrics.jobsCancelled.Add(1)
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
+		s.metrics.jobsFailed.Add(1)
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+func (s *scheduler) execute(j *Job) (*JobResult, error) {
+	js := j.Spec
+
+	// Check before any artifact build: the cache builds are not
+	// ctx-aware, and a force-cancelled shutdown must not pay for
+	// engine compilation or YET generation of jobs it is abandoning.
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	ekey, err := contentKey("engine", engineKeySpec{Portfolio: js.Portfolio, Lookup: js.Lookup})
+	if err != nil {
+		return nil, err
+	}
+	ev, engineHit, err := s.cache.Get(ekey, func() (any, error) {
+		p, cs, err := js.BuildPortfolio()
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.NewEngine(p, cs, lookupKind(js.Lookup))
+		if err != nil {
+			return nil, err
+		}
+		return &engineArtifact{p: p, eng: eng}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: %w", err)
+	}
+	art := ev.(*engineArtifact)
+
+	catalogSize := js.Portfolio.CatalogSize
+	ykey, err := contentKey("yet", yetKeySpec{YET: js.YET, CatalogSize: catalogSize})
+	if err != nil {
+		return nil, err
+	}
+	yv, yetHit, err := s.cache.Get(ykey, func() (any, error) {
+		return yet.Generate(yet.UniformSource(catalogSize), js.YET.ToConfig())
+	})
+	if err != nil {
+		return nil, fmt.Errorf("yet: %w", err)
+	}
+	table := yv.(*yet.Table)
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sum := metrics.NewSummarySink()
+	rps := js.Metrics.ReturnPeriods
+	ep := metrics.NewEPSink(rps)
+	sinks := core.MultiSink{sum, ep}
+	var full *core.FullYLT
+	if js.Metrics.Quotes {
+		full = core.NewFullYLT()
+		sinks = append(sinks, full)
+	}
+
+	workers := js.Workers
+	if workers <= 0 {
+		workers = s.cfg.EngineWorkers
+	}
+	opt := core.Options{
+		Workers: workers,
+		Lookup:  lookupKind(js.Lookup),
+		Progress: func(done, total int) {
+			// Reports may arrive out of order across workers; keep the max.
+			for {
+				cur := j.trialsDone.Load()
+				if int64(done) <= cur || j.trialsDone.CompareAndSwap(cur, int64(done)) {
+					return
+				}
+			}
+		},
+	}
+	start := time.Now()
+	if _, err := art.eng.RunPipelineContext(j.ctx, core.NewTableSource(table), sinks, opt); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	res := &JobResult{
+		ID:           j.ID,
+		Trials:       table.NumTrials(),
+		ElapsedMS:    elapsed.Milliseconds(),
+		YETCached:    yetHit,
+		EngineCached: engineHit,
+	}
+	for li, l := range art.p.Layers {
+		lr := LayerResult{
+			ID:         l.ID,
+			Name:       l.Name,
+			Summary:    summaryJSON(sum.Summary(li)),
+			OccSummary: summaryJSON(sum.OccSummary(li)),
+			EP:         pointsJSON(ep.Points(li)),
+			OEP:        pointsJSON(ep.OccPoints(li)),
+		}
+		if full != nil {
+			q, err := pricing.Price(full.Result().YLT(li), pricing.Config{
+				VolatilityMultiplier: js.Metrics.VolatilityMultiplier,
+				ExpenseRatio:         js.Metrics.ExpenseRatio,
+				OccLimit:             l.LTerms.OccLimit,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("quote layer %d: %w", l.ID, err)
+			}
+			lr.Quote = &QuoteJSON{
+				ExpectedLoss:     q.ExpectedLoss,
+				StdDev:           q.StdDev,
+				RiskLoad:         q.RiskLoad,
+				ExpenseLoad:      q.ExpenseLoad,
+				TechnicalPremium: q.TechnicalPremium,
+				RateOnLine:       q.RateOnLine,
+				PML100:           q.PML100,
+				TVaR99:           q.TVaR99,
+			}
+		}
+		res.Layers = append(res.Layers, lr)
+	}
+	return res, nil
+}
+
+// lookupKind maps a validated job lookup name to the engine constant.
+func lookupKind(s string) core.LookupKind {
+	switch s {
+	case "sorted":
+		return core.LookupSorted
+	case "hash":
+		return core.LookupHash
+	case "cuckoo":
+		return core.LookupCuckoo
+	case "combined":
+		return core.LookupCombined
+	default:
+		return core.LookupDirect
+	}
+}

@@ -1,0 +1,182 @@
+// Package server implements ared, the analysis service layer over the
+// engine: a long-running HTTP daemon that multiplexes many concurrent
+// aggregate-risk analyses across one process.
+//
+// The paper frames the aggregate risk engine as the core of a production
+// analytics system that a reinsurer runs continuously — underwriters
+// re-quote layers in real time while portfolio managers roll up group
+// risk — and this package is that operational shell. Clients POST
+// analysis jobs (an inline portfolio spec, a Year Event Table spec, and
+// the metrics wanted back) to a JSON API; a bounded worker pool runs
+// each job through Engine.RunPipeline with the online metric sinks; job
+// status (including live trial-level progress), results, cancellation,
+// health and Prometheus-style metrics are all HTTP resources.
+//
+// Three design points carry the load:
+//
+//   - Shared-artifact caching (Cache): YET generation and portfolio
+//     compilation dominate small-job latency, and both are deterministic
+//     in their specs. Artifacts are therefore cached under the SHA-256
+//     of the spec's canonical JSON with singleflight semantics, so any
+//     number of concurrent jobs describing the same table or portfolio
+//     trigger exactly one build.
+//   - Bounded concurrency (scheduler): JobWorkers jobs run at once, each
+//     with its own engine worker pool; the rest queue (QueueDepth deep,
+//     then 503). Memory stays bounded because unquoted jobs run entirely
+//     on O(layers) online sinks.
+//   - Cooperative cancellation: every job owns a context. DELETE on a
+//     job, or server shutdown, cancels it; the engine's pipeline polls
+//     contexts between trial spans, so cancellation and shutdown are
+//     prompt without poisoning shared state.
+//
+// See docs/api.md for the wire contract and docs/architecture.md for
+// where the service sits in the system.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (e.g. ":8321").
+	Addr string
+
+	// JobWorkers is the number of jobs that run concurrently; 0 selects
+	// 2. Each job additionally runs EngineWorkers engine goroutines.
+	JobWorkers int
+
+	// QueueDepth is how many submitted jobs may wait behind the running
+	// ones before submissions are refused with 503; 0 selects 64.
+	QueueDepth int
+
+	// EngineWorkers is the default per-job engine worker count when the
+	// job does not name one; 0 selects GOMAXPROCS / JobWorkers (so a
+	// fully loaded pool saturates the machine without oversubscribing).
+	EngineWorkers int
+
+	// MaxTrials caps yet.trials per job at submission time; 0 means no
+	// cap.
+	MaxTrials int
+
+	// CacheEntries bounds the shared-artifact cache; 0 selects 64.
+	CacheEntries int
+
+	// MaxJobsRetained bounds the job registry: once exceeded, the
+	// oldest finished jobs (and their results) are evicted, so a
+	// long-running daemon's memory scales with its retention window,
+	// not its lifetime traffic. 0 selects 1000. Queued and running jobs
+	// are never evicted.
+	MaxJobsRetained int
+
+	// ShutdownGrace is how long Shutdown waits for queued and running
+	// jobs to drain before force-cancelling them; 0 selects 10s.
+	ShutdownGrace time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = max(1, runtime.GOMAXPROCS(0)/c.JobWorkers)
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.MaxJobsRetained <= 0 {
+		c.MaxJobsRetained = 1000
+	}
+}
+
+// serverMetrics are the atomic counters behind GET /metrics.
+type serverMetrics struct {
+	start           time.Time
+	httpRequests    atomic.Int64
+	jobsSubmitted   atomic.Int64
+	jobsCompleted   atomic.Int64
+	jobsFailed      atomic.Int64
+	jobsCancelled   atomic.Int64
+	jobsRunning     atomic.Int64
+	trialsProcessed atomic.Int64
+}
+
+// Server is the ared HTTP service: a scheduler plus its API surface.
+// Construct with New; serve either via ListenAndServe or by mounting
+// Handler on a listener of your own (httptest does the latter).
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	sched   *scheduler
+	metrics *serverMetrics
+	handler http.Handler
+}
+
+// New builds a server and starts its job workers. Callers must
+// eventually Shutdown to stop them.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	m := &serverMetrics{start: time.Now()}
+	cache := NewCache(cfg.CacheEntries)
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache,
+		sched:   newScheduler(cfg, cache, m),
+		metrics: m,
+	}
+	s.handler = s.routes()
+	return s
+}
+
+// Handler returns the full API surface, ready to mount on any listener.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Shutdown stops intake (submissions get 503), drains queued and
+// running jobs within ctx's deadline, then force-cancels whatever
+// remains. It returns nil on a clean drain and ctx's error if force
+// cancellation was needed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.sched.shutdown(ctx)
+}
+
+// ListenAndServe serves the API on cfg.Addr until ctx is cancelled, then
+// shuts down gracefully: the HTTP server stops accepting connections and
+// the scheduler drains within ShutdownGrace. The returned error is nil
+// on a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	hs := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	grace, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	httpErr := hs.Shutdown(grace)
+	jobErr := s.Shutdown(grace)
+	if httpErr != nil {
+		return httpErr
+	}
+	return jobErr
+}
+
+// Addr returns the configured listen address.
+func (s *Server) Addr() string { return s.cfg.Addr }

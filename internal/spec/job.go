@@ -1,0 +1,225 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/ralab/are/internal/layer"
+	"github.com/ralab/are/internal/yet"
+)
+
+// Job is one analysis request for the ared service: the portfolio to
+// evaluate, the Year Event Table to simulate it against, and the metrics
+// wanted back. It is the wire format of POST /v1/jobs.
+//
+//	{
+//	  "portfolio": { ...portfolio spec, see File... },
+//	  "yet": {"seed": 2, "trials": 20000, "meanEvents": 100},
+//	  "metrics": {"returnPeriods": [100, 250], "quotes": true},
+//	  "workers": 0,
+//	  "lookup": "direct"
+//	}
+//
+// Unlike spec files loaded from disk, a job's portfolio must be fully
+// inline: "file" ELT references are rejected, because the service has no
+// filesystem context to resolve them in.
+type Job struct {
+	// Portfolio is the inline portfolio specification (same schema as a
+	// spec file).
+	Portfolio *File `json:"portfolio"`
+
+	// YET describes the Year Event Table to generate (deterministic in
+	// its seed, so together with the portfolio's catalog size it is the
+	// cache identity of the table).
+	YET YETSpec `json:"yet"`
+
+	// Metrics selects what the job reports.
+	Metrics MetricsSpec `json:"metrics,omitempty"`
+
+	// Workers is the engine worker count for this job; 0 uses the
+	// server's default.
+	Workers int `json:"workers,omitempty"`
+
+	// Lookup names the ELT representation
+	// (direct|sorted|hash|cuckoo|combined); empty means direct.
+	Lookup string `json:"lookup,omitempty"`
+}
+
+// YETSpec mirrors yet.Config for job requests.
+type YETSpec struct {
+	Seed        uint64  `json:"seed"`
+	Trials      int     `json:"trials"`
+	MeanEvents  float64 `json:"meanEvents,omitempty"`
+	FixedEvents int     `json:"fixedEvents,omitempty"`
+	Dispersion  float64 `json:"dispersion,omitempty"`
+	Seasonal    bool    `json:"seasonal,omitempty"`
+}
+
+// ToConfig converts the wire form into the generator's config.
+func (y YETSpec) ToConfig() yet.Config {
+	return yet.Config{
+		Seed:        y.Seed,
+		Trials:      y.Trials,
+		MeanEvents:  y.MeanEvents,
+		FixedEvents: y.FixedEvents,
+		Dispersion:  y.Dispersion,
+		Seasonal:    y.Seasonal,
+	}
+}
+
+// MetricsSpec selects the metrics a job reports. The zero value asks for
+// summary moments plus EP points at the standard return periods.
+type MetricsSpec struct {
+	// ReturnPeriods lists the EP-curve return periods (years) to
+	// estimate; nil or empty means the standard set. Each must be a
+	// finite value > 1.
+	ReturnPeriods []float64 `json:"returnPeriods,omitempty"`
+
+	// Quotes asks for a premium quote per layer. Quoting needs the full
+	// Year Loss Table (exact quantiles and TVaR), so quoted jobs
+	// materialise O(layers x trials) memory where unquoted jobs stay on
+	// the online sinks.
+	Quotes bool `json:"quotes,omitempty"`
+
+	// VolatilityMultiplier and ExpenseRatio override the pricing
+	// loadings when Quotes is set. 0 (or omitted) selects the pricing
+	// defaults (0.3 and 0.1) — an explicit zero loading is not
+	// expressible.
+	VolatilityMultiplier float64 `json:"volatilityMultiplier,omitempty"`
+	ExpenseRatio         float64 `json:"expenseRatio,omitempty"`
+}
+
+// Job validation errors (each yields a 400 from the service).
+var (
+	ErrJobNoPortfolio  = errors.New("spec: job needs a portfolio")
+	ErrJobFileELT      = errors.New("spec: job portfolios cannot use file ELT references")
+	ErrJobTrials       = errors.New("spec: job yet.trials must be positive")
+	ErrJobEvents       = errors.New("spec: job yet needs meanEvents or fixedEvents > 0")
+	ErrJobReturnPeriod = errors.New("spec: job returnPeriods must be finite and > 1")
+	ErrJobExpense      = errors.New("spec: job expenseRatio must be in [0, 1)")
+	ErrJobVolatility   = errors.New("spec: job volatilityMultiplier must be >= 0")
+	ErrJobLookup       = errors.New("spec: job lookup must be one of direct|sorted|hash|cuckoo|combined")
+	ErrJobGenerate     = errors.New("spec: generated ELT needs numRecords > 0")
+)
+
+// validLookups are the ELT representation names a job may request,
+// matching core.LookupKind.String.
+var validLookups = map[string]bool{
+	"": true, "direct": true, "sorted": true, "hash": true,
+	"cuckoo": true, "combined": true,
+}
+
+// ParseJob decodes and validates one job request. Unknown fields are
+// rejected so client typos fail loudly at submission rather than
+// silently running a default.
+func ParseJob(r io.Reader) (*Job, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var j Job
+	if err := dec.Decode(&j); err != nil {
+		return nil, fmt.Errorf("spec: job parse: %w", err)
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Validate checks the request structurally — every condition a 400
+// should catch before the service spends any compute on the job. It
+// deliberately does not build the portfolio: generation cost belongs to
+// the worker pool, not the submission handler.
+func (j *Job) Validate() error {
+	if j.Portfolio == nil {
+		return ErrJobNoPortfolio
+	}
+	if err := j.Portfolio.check(); err != nil {
+		return err
+	}
+	if j.YET.Trials <= 0 {
+		return ErrJobTrials
+	}
+	if j.YET.MeanEvents <= 0 && j.YET.FixedEvents <= 0 {
+		return ErrJobEvents
+	}
+	for _, rp := range j.Metrics.ReturnPeriods {
+		if !(rp > 1) || math.IsInf(rp, 0) {
+			return fmt.Errorf("%w: %v", ErrJobReturnPeriod, rp)
+		}
+	}
+	if j.Metrics.ExpenseRatio < 0 || j.Metrics.ExpenseRatio >= 1 {
+		return fmt.Errorf("%w: %v", ErrJobExpense, j.Metrics.ExpenseRatio)
+	}
+	if j.Metrics.VolatilityMultiplier < 0 {
+		return fmt.Errorf("%w: %v", ErrJobVolatility, j.Metrics.VolatilityMultiplier)
+	}
+	if !validLookups[j.Lookup] {
+		return fmt.Errorf("%w: %q", ErrJobLookup, j.Lookup)
+	}
+	if j.Workers < 0 {
+		return fmt.Errorf("spec: job workers must be >= 0, got %d", j.Workers)
+	}
+	return nil
+}
+
+// BuildPortfolio constructs the job's portfolio, returning it with the
+// catalog size to compile against. Call only after Validate.
+func (j *Job) BuildPortfolio() (*layer.Portfolio, int, error) {
+	return build(j.Portfolio, nil)
+}
+
+// check performs the structural validation of a portfolio spec — the
+// same rules build enforces, minus the table construction, so a request
+// can be rejected before any generation work is scheduled.
+func (f *File) check() error {
+	if f.CatalogSize <= 0 {
+		return ErrNoCatalog
+	}
+	if len(f.ELTs) == 0 {
+		return ErrNoELTs
+	}
+	if len(f.Layers) == 0 {
+		return ErrNoLayers
+	}
+	seen := make(map[uint32]bool, len(f.ELTs))
+	for i := range f.ELTs {
+		es := &f.ELTs[i]
+		if seen[es.ID] {
+			return fmt.Errorf("%w: %d", ErrDuplicateELT, es.ID)
+		}
+		seen[es.ID] = true
+		if es.File != "" {
+			return fmt.Errorf("%w (elt %d)", ErrJobFileELT, es.ID)
+		}
+		hasRecords := len(es.Records) > 0
+		hasGen := es.Generate != nil
+		if hasRecords == hasGen {
+			return fmt.Errorf("%w (elt %d)", ErrELTSource, es.ID)
+		}
+		if hasGen && es.Generate.NumRecords <= 0 {
+			return fmt.Errorf("%w (elt %d)", ErrJobGenerate, es.ID)
+		}
+		for k, pair := range es.Records {
+			ev := pair[0]
+			if ev < 0 || ev != math.Trunc(ev) || ev >= float64(f.CatalogSize) {
+				return fmt.Errorf("spec: elt %d record %d: event %v invalid for catalog %d",
+					es.ID, k, ev, f.CatalogSize)
+			}
+		}
+	}
+	for i := range f.Layers {
+		ls := &f.Layers[i]
+		if len(ls.ELTs) == 0 {
+			return fmt.Errorf("spec: layer %d covers no ELTs", ls.ID)
+		}
+		for _, id := range ls.ELTs {
+			if !seen[id] {
+				return fmt.Errorf("%w: layer %d -> elt %d", ErrUnknownELT, ls.ID, id)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// validJob is a minimal well-formed job request.
+const validJob = `{
+  "portfolio": {
+    "catalogSize": 10000,
+    "elts": [{"id": 1, "generate": {"seed": 7, "numRecords": 500}}],
+    "layers": [{"id": 1, "elts": [1]}]
+  },
+  "yet": {"seed": 2, "trials": 100, "meanEvents": 10}
+}`
+
+func TestParseJobValid(t *testing.T) {
+	j, err := ParseJob(strings.NewReader(validJob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.YET.Trials != 100 {
+		t.Fatalf("Trials = %d, want 100", j.YET.Trials)
+	}
+	p, cs, err := j.BuildPortfolio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs != 10000 || len(p.Layers) != 1 {
+		t.Fatalf("built portfolio: catalog %d, %d layers", cs, len(p.Layers))
+	}
+	cfg := j.YET.ToConfig()
+	if cfg.Seed != 2 || cfg.Trials != 100 || cfg.MeanEvents != 10 {
+		t.Fatalf("ToConfig = %+v", cfg)
+	}
+}
+
+func TestParseJobErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want error
+	}{
+		{"no portfolio", `{"yet": {"trials": 10, "meanEvents": 5}}`, ErrJobNoPortfolio},
+		{"zero trials", `{
+			"portfolio": {"catalogSize": 100,
+				"elts": [{"id": 1, "generate": {"seed": 1, "numRecords": 10}}],
+				"layers": [{"id": 1, "elts": [1]}]},
+			"yet": {"meanEvents": 5}}`, ErrJobTrials},
+		{"no events", `{
+			"portfolio": {"catalogSize": 100,
+				"elts": [{"id": 1, "generate": {"seed": 1, "numRecords": 10}}],
+				"layers": [{"id": 1, "elts": [1]}]},
+			"yet": {"trials": 10}}`, ErrJobEvents},
+		{"file elt", `{
+			"portfolio": {"catalogSize": 100,
+				"elts": [{"id": 1, "file": "elt.bin"}],
+				"layers": [{"id": 1, "elts": [1]}]},
+			"yet": {"trials": 10, "meanEvents": 5}}`, ErrJobFileELT},
+		{"bad return period", `{
+			"portfolio": {"catalogSize": 100,
+				"elts": [{"id": 1, "generate": {"seed": 1, "numRecords": 10}}],
+				"layers": [{"id": 1, "elts": [1]}]},
+			"yet": {"trials": 10, "meanEvents": 5},
+			"metrics": {"returnPeriods": [0.5]}}`, ErrJobReturnPeriod},
+		{"bad expense ratio", `{
+			"portfolio": {"catalogSize": 100,
+				"elts": [{"id": 1, "generate": {"seed": 1, "numRecords": 10}}],
+				"layers": [{"id": 1, "elts": [1]}]},
+			"yet": {"trials": 10, "meanEvents": 5},
+			"metrics": {"expenseRatio": 1.5}}`, ErrJobExpense},
+		{"bad lookup", `{
+			"portfolio": {"catalogSize": 100,
+				"elts": [{"id": 1, "generate": {"seed": 1, "numRecords": 10}}],
+				"layers": [{"id": 1, "elts": [1]}]},
+			"yet": {"trials": 10, "meanEvents": 5},
+			"lookup": "quantum"}`, ErrJobLookup},
+		{"unknown elt", `{
+			"portfolio": {"catalogSize": 100,
+				"elts": [{"id": 1, "generate": {"seed": 1, "numRecords": 10}}],
+				"layers": [{"id": 1, "elts": [2]}]},
+			"yet": {"trials": 10, "meanEvents": 5}}`, ErrUnknownELT},
+		{"generate without records", `{
+			"portfolio": {"catalogSize": 100,
+				"elts": [{"id": 1, "generate": {"seed": 1}}],
+				"layers": [{"id": 1, "elts": [1]}]},
+			"yet": {"trials": 10, "meanEvents": 5}}`, ErrJobGenerate},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseJob(strings.NewReader(tc.body))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// Unknown top-level or nested fields must fail, not silently default.
+func TestParseJobUnknownField(t *testing.T) {
+	body := strings.Replace(validJob, `"yet"`, `"yeti"`, 1)
+	if _, err := ParseJob(strings.NewReader(body)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// A structurally valid spec must pass check and then also build; the two
+// must agree so submission-time 400s never hide build-time failures.
+func TestJobCheckMatchesBuild(t *testing.T) {
+	j, err := ParseJob(strings.NewReader(validJob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.BuildPortfolio(); err != nil {
+		t.Fatalf("validated job failed to build: %v", err)
+	}
+}

@@ -11,6 +11,20 @@
 // a single flat vector of event occurrences plus a vector of trial
 // boundaries, so the engine streams trials with perfect locality and the
 // table can be memory-mapped or serialised wholesale.
+//
+// The package covers the table's full lifecycle:
+//
+//   - Generate builds synthetic tables (Poisson or negative-binomial
+//     occurrence counts, optional seasonal timestamps), deterministic in
+//     the seed — trial i always comes from rng stream (seed, i), so a
+//     table's Config doubles as its content identity (the ared service
+//     caches generated tables under a hash of it).
+//   - Table.WriteTo / Read serialise a table in the package's binary
+//     format.
+//   - Reader decodes that format incrementally — header and trial
+//     boundaries eagerly, payloads in caller-sized batches — which is
+//     what lets the engine's streaming pipeline analyse tables far
+//     larger than memory (see stream.go and core.NewStreamSource).
 package yet
 
 import (
