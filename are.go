@@ -242,7 +242,7 @@ type (
 	// memory per layer.
 	SummarySink = metrics.SummarySink
 	// EPSink estimates per-layer PML points at fixed return periods
-	// online via P² quantile sketches.
+	// online via mergeable compacting quantile sketches.
 	EPSink = metrics.EPSink
 )
 
@@ -276,9 +276,12 @@ func NewFullYLTSink() *FullYLTSink { return core.NewFullYLT() }
 func NewSummarySink() *SummarySink { return metrics.NewSummarySink() }
 
 // NewEPSink returns an online exceedance-curve sink estimating PML at
-// the given return periods (nil or empty means StandardReturnPeriods) via P²
-// quantile sketches — typically within a few percent of the exact
-// empirical quantile at moderate return periods.
+// the given return periods (nil or empty means StandardReturnPeriods)
+// via mergeable compacting quantile sketches: deep-tail points (return
+// period above trials/1024) are exact, the rest carry a guaranteed
+// sub-percent rank-error bound. Sink states merge across shards (see
+// metrics.EPSink.State/Merge), which is what the distributed
+// coordinator uses to combine partial runs.
 func NewEPSink(returnPeriods []float64) *EPSink { return metrics.NewEPSink(returnPeriods) }
 
 // ---------------------------------------------------------------------------

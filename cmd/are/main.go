@@ -197,7 +197,8 @@ func main() {
 // runOnline is the bounded-memory run path: the serialised YET streams
 // through the engine's pipeline into online sinks, so memory stays
 // O(batch + layers) no matter how many trials the file holds. PML
-// figures are P² sketch estimates (typically within a few percent);
+// figures are quantile-sketch estimates (deep-tail points exact,
+// sub-percent rank error elsewhere);
 // TVaR and premium quotes need the full YLT and are omitted.
 func runOnline(eng *are.Engine, p *are.Portfolio, yetPath string, batch int, opt are.Options) {
 	f, err := os.Open(yetPath)
@@ -236,7 +237,7 @@ func runOnline(eng *are.Engine, p *are.Portfolio, yetPath string, batch int, opt
 			pointAt(ep.Points(li), 100), pointAt(ep.Points(li), 250))
 	}
 	tw.Flush()
-	fmt.Println("\nnote: ~PML are streaming P² estimates; TVaR and quotes require a full-YLT run")
+	fmt.Println("\nnote: ~PML are streaming sketch estimates; TVaR and quotes require a full-YLT run")
 }
 
 // pointAt formats the loss at the given return period, or "n/a" when

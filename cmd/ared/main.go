@@ -1,32 +1,46 @@
 // Command ared is the aggregate risk engine as a service: a long-running
 // HTTP daemon that accepts analysis jobs over a JSON API, runs them
 // concurrently on a bounded worker pool through the engine's streaming
-// pipeline, and serves results, job status, health and metrics.
+// pipeline, and serves results, job status, health and metrics. With a
+// role flag one binary also forms a cluster: workers execute trial
+// shards, a coordinator fans each job out across them and merges the
+// partial results exactly.
 //
 // Usage:
 //
 //	ared -addr :8321
 //	ared -addr :8321 -job-workers 4 -engine-workers 2 -queue 128 -max-trials 2000000
 //
-// Endpoints (see docs/api.md for the full contract):
+//	# a three-node cluster on one machine:
+//	ared -addr :8321 -role coordinator -shard-trials 50000
+//	ared -addr :8322 -role worker -coordinator http://127.0.0.1:8321 -advertise http://127.0.0.1:8322
+//	ared -addr :8323 -role worker -coordinator http://127.0.0.1:8321 -advertise http://127.0.0.1:8323
+//
+// Endpoints (see docs/api.md and docs/distributed.md for the full
+// contract):
 //
 //	POST   /v1/jobs             submit an analysis job
-//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs             list jobs (?state= filter, per-state counts)
 //	GET    /v1/jobs/{id}        job status and progress
 //	GET    /v1/jobs/{id}/result completed results
 //	DELETE /v1/jobs/{id}        cancel a job
-//	GET    /healthz             liveness probe
+//	GET    /healthz             liveness probe (503 "draining" during shutdown)
 //	GET    /metrics             Prometheus text metrics
+//	POST   /v1/shards           execute one trial shard   (worker role)
+//	GET    /v1/cluster          worker registry           (coordinator role)
+//	POST   /v1/cluster/workers  register a worker         (coordinator role)
 //
 // SIGINT/SIGTERM trigger graceful shutdown: intake stops (submissions
-// get 503), queued and running jobs drain within -grace, then whatever
-// remains is cancelled.
+// get 503, /healthz reports draining), queued and running jobs drain
+// within -grace, then whatever remains is cancelled; the drained versus
+// force-cancelled counts are logged.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,31 +52,49 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8321", "listen address")
-		jobs      = flag.Int("job-workers", 2, "jobs run concurrently")
+		jobs      = flag.Int("job-workers", 2, "jobs (or shards) run concurrently")
 		engineW   = flag.Int("engine-workers", 0, "engine workers per job (0 = GOMAXPROCS/job-workers)")
 		queue     = flag.Int("queue", 64, "queued jobs before submissions get 503")
 		maxTrials = flag.Int("max-trials", 0, "per-job yet.trials cap (0 = uncapped)")
 		cache     = flag.Int("cache", 64, "shared-artifact cache entries")
 		retain    = flag.Int("retain", 1000, "finished jobs kept before the oldest are evicted")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain period before jobs are cancelled")
+
+		role        = flag.String("role", "single", "process role: single, worker or coordinator")
+		coordinator = flag.String("coordinator", "", "coordinator base URL to register with (worker role)")
+		advertise   = flag.String("advertise", "", "base URL this worker advertises for shard dispatch (worker role)")
+		shardTrials = flag.Int("shard-trials", 0, "target trials per shard (coordinator role, 0 = 25000)")
+		shardTries  = flag.Int("shard-attempts", 0, "workers one shard may be tried on (coordinator role, 0 = 3)")
+		workerTTL   = flag.Duration("worker-ttl", 0, "heartbeat lease before a worker is skipped (coordinator role, 0 = 15s)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
-		Addr:            *addr,
-		JobWorkers:      *jobs,
-		QueueDepth:      *queue,
-		EngineWorkers:   *engineW,
-		MaxTrials:       *maxTrials,
-		CacheEntries:    *cache,
-		MaxJobsRetained: *retain,
-		ShutdownGrace:   *grace,
+	srv, err := server.New(server.Config{
+		Addr:             *addr,
+		Role:             *role,
+		CoordinatorURL:   *coordinator,
+		AdvertiseURL:     *advertise,
+		ShardTrials:      *shardTrials,
+		MaxShardAttempts: *shardTries,
+		WorkerTTL:        *workerTTL,
+		JobWorkers:       *jobs,
+		QueueDepth:       *queue,
+		EngineWorkers:    *engineW,
+		MaxTrials:        *maxTrials,
+		CacheEntries:     *cache,
+		MaxJobsRetained:  *retain,
+		ShutdownGrace:    *grace,
+		Logf:             log.Printf,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ared:", err)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("ared: listening on %s (%d job workers, queue %d)\n", *addr, *jobs, *queue)
+	fmt.Printf("ared: listening on %s as %s (%d job workers, queue %d)\n", *addr, *role, *jobs, *queue)
 	if err := srv.ListenAndServe(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "ared:", err)
 		os.Exit(1)

@@ -61,7 +61,10 @@ func main() {
 
 	base := *addr
 	if base == "" {
-		srv := server.New(server.Config{JobWorkers: 2})
+		srv, err := server.New(server.Config{JobWorkers: 2})
+		if err != nil {
+			panic(err)
+		}
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		base = ts.URL

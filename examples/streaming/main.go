@@ -5,7 +5,7 @@
 // analysis; this example runs the same analysis through the engine's
 // streaming pipeline instead. A TrialSource decodes the serialised
 // table in small batches (prefetching ahead of compute) while online
-// sinks accumulate moments and P² exceedance sketches, so the working
+// sinks accumulate moments and compacting exceedance sketches, so the working
 // set is O(batch + layers) no matter how many trials the stream holds.
 //
 //	go run ./examples/streaming
@@ -75,7 +75,7 @@ func main() {
 	for li, l := range portfolio.Layers {
 		s := summary.Summary(li)
 		fmt.Printf("%s: AAL %.0f, stddev %.0f, worst year %.0f\n", l.Name, s.Mean, s.StdDev, s.Max)
-		fmt.Println("  return period   exceedance prob   ~loss (P² sketch)")
+		fmt.Println("  return period   exceedance prob   ~loss (sketch)")
 		for _, pt := range curve.Points(li) {
 			fmt.Printf("  %9.0f y   %15.4f   %12.0f\n", pt.ReturnPeriod, pt.Prob, pt.Loss)
 		}

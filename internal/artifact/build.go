@@ -1,0 +1,155 @@
+package artifact
+
+import (
+	"fmt"
+
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/layer"
+	"github.com/ralab/are/internal/spec"
+	"github.com/ralab/are/internal/yet"
+)
+
+// Portfolio is the cached build product of a portfolio spec: the built
+// layer set plus the catalog size it compiles against.
+type Portfolio struct {
+	P           *layer.Portfolio
+	CatalogSize int
+}
+
+// Engine is the cached compile product of a portfolio spec under one
+// ELT representation.
+type Engine struct {
+	P   *Portfolio
+	Eng *core.Engine
+}
+
+// portfolioKeySpec is the hashable identity of a built portfolio.
+type portfolioKeySpec struct {
+	Portfolio *spec.File `json:"portfolio"`
+}
+
+// engineKeySpec is the hashable identity of a compiled engine: the
+// portfolio spec plus the ELT representation it was compiled with.
+type engineKeySpec struct {
+	Portfolio *spec.File `json:"portfolio"`
+	Lookup    string     `json:"lookup"`
+}
+
+// yetKeySpec is the hashable identity of a generated YET shard. The
+// catalog size is part of it: generation draws events uniformly from
+// [0, catalogSize), so the same yet spec against a different catalog is
+// a different table. Lo/Hi make each trial shard its own artifact —
+// trial-seeded generation means a shard is the corresponding slice of
+// the full table, so shards of one job never collide and a re-dispatched
+// shard is a cache hit.
+type yetKeySpec struct {
+	YET         spec.YETSpec `json:"yet"`
+	CatalogSize int          `json:"catalogSize"`
+	Lo          int          `json:"lo"`
+	Hi          int          `json:"hi"`
+}
+
+// PortfolioFor returns the job's built portfolio, cached under the
+// portfolio spec's content hash. The bool reports a cache hit.
+func PortfolioFor(c *Cache, js *spec.Job) (*Portfolio, bool, error) {
+	key, err := ContentKey("portfolio", portfolioKeySpec{Portfolio: js.Portfolio})
+	if err != nil {
+		return nil, false, err
+	}
+	v, hit, err := c.Get(key, func() (any, error) {
+		p, cs, err := js.BuildPortfolio()
+		if err != nil {
+			return nil, err
+		}
+		return &Portfolio{P: p, CatalogSize: cs}, nil
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("portfolio: %w", err)
+	}
+	return v.(*Portfolio), hit, nil
+}
+
+// EngineFor returns the job's compiled engine (building the portfolio
+// first, via its own cache entry). The bool reports an engine cache hit.
+func EngineFor(c *Cache, js *spec.Job) (*Engine, bool, error) {
+	key, err := ContentKey("engine", engineKeySpec{Portfolio: js.Portfolio, Lookup: js.Lookup})
+	if err != nil {
+		return nil, false, err
+	}
+	v, hit, err := c.Get(key, func() (any, error) {
+		p, _, err := PortfolioFor(c, js)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.NewEngine(p.P, p.CatalogSize, LookupKind(js.Lookup))
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{P: p, Eng: eng}, nil
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: %w", err)
+	}
+	return v.(*Engine), hit, nil
+}
+
+// TableFor returns the job's full generated Year Event Table, cached.
+func TableFor(c *Cache, js *spec.Job) (*yet.Table, bool, error) {
+	return ShardFor(c, js, 0, js.YET.Trials)
+}
+
+// CachedTable returns the job's full table only if it is already
+// resident (a direct job or an earlier TableFor built it), without
+// triggering generation. Shard executors prefer this over generating
+// their range: serving trials [lo, hi) of a resident table costs
+// nothing (core.NewTableRangeSource), where even a cached shard build
+// costs its first generation.
+func CachedTable(c *Cache, js *spec.Job) (*yet.Table, bool) {
+	key, err := ContentKey("yet", yetKeySpec{
+		YET:         js.YET,
+		CatalogSize: js.Portfolio.CatalogSize,
+		Lo:          0,
+		Hi:          js.YET.Trials,
+	})
+	if err != nil {
+		return nil, false
+	}
+	v, ok := c.Peek(key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*yet.Table), true
+}
+
+// ShardFor returns trials [lo, hi) of the job's Year Event Table,
+// cached per range: a distributed worker materialises only its shard.
+func ShardFor(c *Cache, js *spec.Job, lo, hi int) (*yet.Table, bool, error) {
+	catalogSize := js.Portfolio.CatalogSize
+	key, err := ContentKey("yet", yetKeySpec{YET: js.YET, CatalogSize: catalogSize, Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, false, err
+	}
+	v, hit, err := c.Get(key, func() (any, error) {
+		return yet.GenerateRange(yet.UniformSource(catalogSize), js.YET.ToConfig(), lo, hi)
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("yet: %w", err)
+	}
+	return v.(*yet.Table), hit, nil
+}
+
+// LookupKind maps a validated job lookup name to the engine constant.
+func LookupKind(s string) core.LookupKind {
+	switch s {
+	case "sorted":
+		return core.LookupSorted
+	case "hash":
+		return core.LookupHash
+	case "cuckoo":
+		return core.LookupCuckoo
+	case "combined":
+		return core.LookupCombined
+	default:
+		return core.LookupDirect
+	}
+}

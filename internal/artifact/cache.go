@@ -1,4 +1,11 @@
-package server
+// Package artifact is the shared store of expensive, immutable build
+// products — generated Year Event Tables (full or trial-sharded),
+// built portfolios and compiled engines — keyed by the content hash of
+// the specification that produces them. Both the ared job scheduler and
+// the distributed shard executor draw from one Cache, so a worker that
+// serves shards of the same job repeatedly, or mixes direct jobs with
+// shard work, generates and compiles each artifact once.
+package artifact
 
 import (
 	"crypto/sha256"
@@ -90,6 +97,19 @@ func (c *Cache) evictLocked() {
 	}
 }
 
+// Peek returns the completed artifact for key, without building,
+// blocking on an in-flight build, or touching the hit/miss stats — an
+// opportunistic read for callers that can use an already-built artifact
+// but would otherwise build something cheaper.
+func (c *Cache) Peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && e.done {
+		return e.val, true
+	}
+	return nil, false
+}
+
 // Stats returns cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
@@ -102,14 +122,14 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// contentKey derives the cache identity of a spec: a namespace prefix
+// ContentKey derives the cache identity of a spec: a namespace prefix
 // plus the SHA-256 of its canonical JSON encoding. Go's encoding/json
 // marshals struct fields in declaration order, so equal specs produce
 // equal bytes.
-func contentKey(prefix string, v any) (string, error) {
+func ContentKey(prefix string, v any) (string, error) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		return "", fmt.Errorf("server: cache key: %w", err)
+		return "", fmt.Errorf("artifact: cache key: %w", err)
 	}
 	sum := sha256.Sum256(b)
 	return prefix + ":" + hex.EncodeToString(sum[:]), nil

@@ -137,3 +137,7 @@ func (e *Engine) validate(y *yet.Table) error {
 	}
 	return nil
 }
+
+// LayerIDs returns the compiled layer IDs in layer index order — the
+// order sinks index layers by and the identity shard results carry.
+func (e *Engine) LayerIDs() []uint32 { return e.layerIDs() }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// runFullYLT pipelines src into a fresh FullYLT and returns its result.
+func runFullYLT(t *testing.T, e *Engine, src TrialSource, opt Options) *Result {
+	t.Helper()
+	sink := NewFullYLT()
+	if _, err := e.RunPipeline(src, sink, opt); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Result()
+}
+
+// TestRangeSourceMatchesFullRun is the shard-range contract: running
+// trials [lo, hi) through a range source produces exactly rows [lo, hi)
+// of the full-table run, for every scheduling policy.
+func TestRangeSourceMatchesFullRun(t *testing.T) {
+	p := testPortfolio(t, 2, 3, 1200)
+	y := testYET(t, 400, 50)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := runFullYLT(t, e, NewTableSource(y), Options{Workers: 2})
+
+	for _, r := range [][2]int{{0, 400}, {0, 150}, {137, 259}, {399, 400}} {
+		lo, hi := r[0], r[1]
+		for _, workers := range []int{1, 3} {
+			src, err := NewTableRangeSource(y, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runFullYLT(t, e, src, Options{Workers: workers, Dynamic: workers > 1})
+			for l := range got.AggLoss {
+				if len(got.AggLoss[l]) != hi-lo {
+					t.Fatalf("[%d,%d) workers=%d: %d rows, want %d", lo, hi, workers, len(got.AggLoss[l]), hi-lo)
+				}
+				for i := 0; i < hi-lo; i++ {
+					if got.AggLoss[l][i] != full.AggLoss[l][lo+i] || got.MaxOccLoss[l][i] != full.MaxOccLoss[l][lo+i] {
+						t.Fatalf("[%d,%d) workers=%d layer %d trial %d: (%v,%v) != full (%v,%v)",
+							lo, hi, workers, l, i,
+							got.AggLoss[l][i], got.MaxOccLoss[l][i],
+							full.AggLoss[l][lo+i], full.MaxOccLoss[l][lo+i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTableRangeSourceRejectsBadBounds(t *testing.T) {
+	y := testYET(t, 10, 20)
+	for _, r := range [][2]int{{-1, 5}, {5, 11}, {7, 7}, {8, 2}} {
+		if _, err := NewTableRangeSource(y, r[0], r[1]); !errors.Is(err, ErrBadTrialRange) {
+			t.Errorf("[%d,%d): err = %v, want ErrBadTrialRange", r[0], r[1], err)
+		}
+	}
+	if _, err := NewTableRangeSource(nil, 0, 1); !errors.Is(err, ErrNilYET) {
+		t.Errorf("nil table: err = %v, want ErrNilYET", err)
+	}
+}
+
+// TestAssembleResultBitwise shards a run three ways (through a JSON
+// round trip, as the distributed protocol does) and asserts the
+// assembled Result is bitwise identical to the single-node run.
+func TestAssembleResultBitwise(t *testing.T) {
+	p := testPortfolio(t, 3, 2, 1500)
+	y := testYET(t, 301, 45) // odd count: shards are uneven
+	e, err := NewEngine(p, testCatalog, LookupCombined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := runFullYLT(t, e, NewTableSource(y), Options{Workers: 2, Lookup: LookupCombined})
+
+	bounds := []int{0, 100, 200, 301}
+	var shards []ShardYLT
+	for s := 0; s+1 < len(bounds); s++ {
+		src, err := NewTableRangeSource(y, bounds[s], bounds[s+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := NewFullYLT()
+		if _, err := e.RunPipeline(src, sink, Options{Workers: 2, Lookup: LookupCombined}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := sink.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back YLTState
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, ShardYLT{Lo: bounds[s], State: back})
+	}
+	// Assembly must not depend on arrival order.
+	shards[0], shards[2] = shards[2], shards[0]
+
+	got, err := AssembleResult(301, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range full.AggLoss {
+		for i := range full.AggLoss[l] {
+			if got.AggLoss[l][i] != full.AggLoss[l][i] || got.MaxOccLoss[l][i] != full.MaxOccLoss[l][i] {
+				t.Fatalf("layer %d trial %d differs after assembly", l, i)
+			}
+		}
+	}
+}
+
+func TestAssembleResultRejectsBadTilings(t *testing.T) {
+	mk := func(lo, n int) ShardYLT {
+		return ShardYLT{Lo: lo, State: YLTState{
+			LayerIDs:   []uint32{1},
+			NumTrials:  n,
+			AggLoss:    [][]float64{make([]float64, n)},
+			MaxOccLoss: [][]float64{make([]float64, n)},
+		}}
+	}
+	cases := map[string][]ShardYLT{
+		"empty":   {},
+		"gap":     {mk(0, 5), mk(6, 4)},
+		"overlap": {mk(0, 6), mk(5, 5)},
+		"short":   {mk(0, 5)},
+		"long":    {mk(0, 5), mk(5, 6)},
+	}
+	for name, shards := range cases {
+		if _, err := AssembleResult(10, shards); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := AssembleResult(10, []ShardYLT{mk(0, 5), mk(5, 5)}); err != nil {
+		t.Errorf("valid tiling rejected: %v", err)
+	}
+}
+
+func TestFullYLTStateBeforeRun(t *testing.T) {
+	if _, err := NewFullYLT().State(); err == nil {
+		t.Fatal("State on an unused sink should error")
+	}
+}

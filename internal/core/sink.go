@@ -1,5 +1,11 @@
 package core
 
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
 // Sink consumes per-trial engine output as it is produced, decoupling
 // what the run computes from what it keeps. A sink that retains O(1)
 // state per layer (streaming moments, quantile sketches) lets a
@@ -57,6 +63,99 @@ func (s *FullYLT) Emit(layer, trial int, aggLoss, maxOcc float64) {
 // sink is passed to it directly (wrapped inside a MultiSink those two
 // engine-owned fields stay zero).
 func (s *FullYLT) Result() *Result { return s.res }
+
+// YLTState is the serialisable content of a FullYLT sink — the wire
+// form of one shard's materialised Year Loss Tables in the distributed
+// protocol. JSON round-trips float64 bit-exactly for finite values, so
+// shipping a shard's YLT does not perturb it.
+type YLTState struct {
+	LayerIDs   []uint32    `json:"layerIds"`
+	NumTrials  int         `json:"numTrials"`
+	AggLoss    [][]float64 `json:"aggLoss"`
+	MaxOccLoss [][]float64 `json:"maxOccLoss"`
+}
+
+// State snapshots the sink's tables; call it only after a run over the
+// sink has completed.
+func (s *FullYLT) State() (YLTState, error) {
+	if s.res == nil {
+		return YLTState{}, errors.New("core: FullYLT has no completed run to export")
+	}
+	n := 0
+	if len(s.res.AggLoss) > 0 {
+		n = len(s.res.AggLoss[0])
+	}
+	return YLTState{
+		LayerIDs:   s.res.LayerIDs,
+		NumTrials:  n,
+		AggLoss:    s.res.AggLoss,
+		MaxOccLoss: s.res.MaxOccLoss,
+	}, nil
+}
+
+// ShardYLT anchors one shard's exported tables at its global trial
+// offset.
+type ShardYLT struct {
+	Lo    int
+	State YLTState
+}
+
+// AssembleResult stitches per-shard FullYLT states into the Result a
+// single run over all numTrials trials would materialise. Because every
+// (layer, trial) cell is a pure function of the trial's events, the
+// assembled tables are bitwise identical to the single-node run's —
+// the determinism guarantee the distributed path is tested against.
+// Shards must tile [0, numTrials) exactly and agree on layer IDs.
+func AssembleResult(numTrials int, shards []ShardYLT) (*Result, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("core: no shards to assemble")
+	}
+	ordered := append([]ShardYLT(nil), shards...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Lo < ordered[j].Lo })
+	first := ordered[0].State
+	res := &Result{
+		LayerIDs:   append([]uint32(nil), first.LayerIDs...),
+		AggLoss:    make([][]float64, len(first.LayerIDs)),
+		MaxOccLoss: make([][]float64, len(first.LayerIDs)),
+	}
+	for l := range res.AggLoss {
+		res.AggLoss[l] = make([]float64, numTrials)
+		res.MaxOccLoss[l] = make([]float64, numTrials)
+	}
+	next := 0
+	for _, sh := range ordered {
+		st := sh.State
+		if sh.Lo != next {
+			return nil, fmt.Errorf("core: shard assembly: gap or overlap at trial %d (shard starts at %d)", next, sh.Lo)
+		}
+		if len(st.LayerIDs) != len(res.LayerIDs) {
+			return nil, fmt.Errorf("core: shard assembly: layer count mismatch at trial %d", sh.Lo)
+		}
+		for l, id := range st.LayerIDs {
+			if id != res.LayerIDs[l] {
+				return nil, fmt.Errorf("core: shard assembly: layer ID mismatch at trial %d", sh.Lo)
+			}
+		}
+		if len(st.AggLoss) != len(res.LayerIDs) || len(st.MaxOccLoss) != len(res.LayerIDs) {
+			return nil, fmt.Errorf("core: shard assembly: table shape mismatch at trial %d", sh.Lo)
+		}
+		for l := range st.AggLoss {
+			if len(st.AggLoss[l]) != st.NumTrials || len(st.MaxOccLoss[l]) != st.NumTrials {
+				return nil, fmt.Errorf("core: shard assembly: ragged tables at trial %d", sh.Lo)
+			}
+			if sh.Lo+st.NumTrials > numTrials {
+				return nil, fmt.Errorf("core: shard assembly: shard at %d exceeds %d trials", sh.Lo, numTrials)
+			}
+			copy(res.AggLoss[l][sh.Lo:], st.AggLoss[l])
+			copy(res.MaxOccLoss[l][sh.Lo:], st.MaxOccLoss[l])
+		}
+		next = sh.Lo + st.NumTrials
+	}
+	if next != numTrials {
+		return nil, fmt.Errorf("core: shard assembly: shards cover %d of %d trials", next, numTrials)
+	}
+	return res, nil
+}
 
 // MultiSink fans every callback out to each member in order, so one run
 // can feed several online consumers (e.g. moments plus exceedance

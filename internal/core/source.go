@@ -63,13 +63,20 @@ const dynamicSpan = 64
 // ---------------------------------------------------------------------------
 // In-memory source.
 
-// tableSource hands out spans of a loaded Table through a shared atomic
-// cursor. Static scheduling sizes spans so each worker claims one
-// contiguous range (the OpenMP-style decomposition); dynamic scheduling
-// uses small fixed spans for load balance. Output cells are disjoint
-// either way, so results are bitwise identical under both policies.
+// tableSource hands out spans of trials [lo, hi) of a loaded Table
+// through a shared atomic cursor. Static scheduling sizes spans so each
+// worker claims one contiguous range (the OpenMP-style decomposition);
+// dynamic scheduling uses small fixed spans for load balance. Output
+// cells are disjoint either way, so results are bitwise identical under
+// both policies.
+//
+// Batches carry Offset = -lo, so sinks see shard-local trial indices
+// [0, hi-lo) — a range source looks exactly like a smaller table, which
+// is what lets a distributed worker run one shard of a job against a
+// fully cached YET without touching trial bookkeeping anywhere else.
 type tableSource struct {
 	y      *yet.Table
+	lo, hi int
 	span   int
 	cursor atomic.Int64
 }
@@ -78,15 +85,31 @@ type tableSource struct {
 // A nil table yields a source whose Next reports ErrNilYET, matching
 // the error the materialising entry points return.
 func NewTableSource(y *yet.Table) TrialSource {
-	return &tableSource{y: y, span: dynamicSpan}
+	s := &tableSource{y: y, span: dynamicSpan}
+	if y != nil {
+		s.hi = y.NumTrials()
+	}
+	return s
 }
 
-func (s *tableSource) NumTrials() int {
-	if s.y == nil {
-		return 0
+// ErrBadTrialRange rejects shard bounds outside the table.
+var ErrBadTrialRange = errors.New("core: trial range outside table")
+
+// NewTableRangeSource adapts trials [lo, hi) of a loaded Year Event
+// Table into a TrialSource: sinks observe a run of hi-lo trials indexed
+// from zero, bitwise identical to running the full table and keeping
+// rows [lo, hi). This is the engine's shard-range execution path.
+func NewTableRangeSource(y *yet.Table, lo, hi int) (TrialSource, error) {
+	if y == nil {
+		return nil, ErrNilYET
 	}
-	return s.y.NumTrials()
+	if lo < 0 || hi > y.NumTrials() || lo >= hi {
+		return nil, fmt.Errorf("%w: [%d, %d) of %d", ErrBadTrialRange, lo, hi, y.NumTrials())
+	}
+	return &tableSource{y: y, lo: lo, hi: hi, span: dynamicSpan}, nil
 }
+
+func (s *tableSource) NumTrials() int { return s.hi - s.lo }
 
 func (s *tableSource) MeanTrialLen() float64 {
 	if s.y == nil {
@@ -112,12 +135,11 @@ func (s *tableSource) Next() (Batch, error) {
 	if s.y == nil {
 		return Batch{}, ErrNilYET
 	}
-	nt := s.y.NumTrials()
-	lo := int(s.cursor.Add(int64(s.span))) - s.span
-	if lo >= nt {
+	lo := s.lo + int(s.cursor.Add(int64(s.span))) - s.span
+	if lo >= s.hi {
 		return Batch{}, io.EOF
 	}
-	return Batch{Table: s.y, Lo: lo, Hi: min(lo+s.span, nt)}, nil
+	return Batch{Table: s.y, Lo: lo, Hi: min(lo+s.span, s.hi), Offset: -s.lo}, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,103 @@
+package dist_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/ralab/are/internal/dist"
+	"github.com/ralab/are/internal/server"
+)
+
+// BenchmarkDistributedPipeline measures one job's wall time as the
+// shard count (= worker count) grows, all workers in-process over
+// httptest. Every configuration produces the same merged numbers (the
+// YLT path is bitwise deterministic), so the sweep isolates
+// coordination cost versus fan-out win.
+//
+// When BENCH_DIST_OUT is set (the CI bench smoke step sets it to
+// BENCH_dist.json), the shards-vs-wall-time table is written there as
+// JSON, seeding the perf trajectory record.
+func BenchmarkDistributedPipeline(b *testing.B) {
+	const trials = 40_000
+	js := e2eJob(b, trials, false)
+
+	// One shared worker pool; each shard count gets its own coordinator
+	// wired to the first `shards` workers.
+	const maxWorkers = 8
+	urls := make([]string, maxWorkers)
+	for i := range urls {
+		srv, err := server.New(server.Config{Role: server.RoleWorker, JobWorkers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		b.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+		urls[i] = ts.URL
+	}
+
+	type row struct {
+		Shards  int     `json:"shards"`
+		Trials  int     `json:"trials"`
+		NsPerOp int64   `json:"nsPerOp"`
+		MsPerOp float64 `json:"msPerOp"`
+	}
+	// Keyed by shard count: the benchmark framework may invoke each
+	// sub-benchmark several times while calibrating b.N, and only the
+	// final (measured) invocation should survive.
+	byShards := make(map[int]row)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		c := dist.NewCoordinator(dist.Config{ShardTrials: (trials + shards - 1) / shards})
+		for i := 0; i < shards; i++ {
+			if _, err := c.Register(dist.RegisterRequest{URL: urls[i]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				m, err := c.RunJob(context.Background(), js, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Trials != trials {
+					b.Fatalf("merged %d trials", m.Trials)
+				}
+			}
+			per := time.Since(start) / time.Duration(b.N)
+			byShards[shards] = row{
+				Shards:  shards,
+				Trials:  trials,
+				NsPerOp: per.Nanoseconds(),
+				MsPerOp: float64(per.Microseconds()) / 1000,
+			}
+		})
+	}
+
+	if out := os.Getenv("BENCH_DIST_OUT"); out != "" {
+		rows := make([]row, 0, len(byShards))
+		for _, shards := range []int{1, 2, 4, 8} {
+			if r, ok := byShards[shards]; ok {
+				rows = append(rows, r)
+			}
+		}
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", out)
+	}
+}

@@ -1,0 +1,318 @@
+package dist_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/ralab/are/internal/artifact"
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/dist"
+	"github.com/ralab/are/internal/metrics"
+	"github.com/ralab/are/internal/server"
+	"github.com/ralab/are/internal/spec"
+)
+
+// e2eJob builds a two-layer job spec.
+func e2eJob(t testing.TB, trials int, quotes bool) *spec.Job {
+	t.Helper()
+	body := fmt.Sprintf(`{
+	  "portfolio": {
+	    "catalogSize": 15000,
+	    "elts": [
+	      {"id": 1, "generate": {"seed": 21, "numRecords": 1500}},
+	      {"id": 2, "generate": {"seed": 22, "numRecords": 1500}}
+	    ],
+	    "layers": [
+	      {"id": 1, "name": "cat-a", "elts": [1, 2],
+	       "terms": {"occRetention": 1e5, "occLimit": 4e6}},
+	      {"id": 2, "name": "cat-b", "elts": [2],
+	       "terms": {"occRetention": 5e4, "occLimit": 2e6, "aggRetention": 1e5}}
+	    ]
+	  },
+	  "yet": {"seed": 77, "trials": %d, "meanEvents": 30},
+	  "metrics": {"quotes": %v},
+	  "workers": 1
+	}`, trials, quotes)
+	j, err := spec.ParseJob(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// singleNode runs the job locally and returns the materialised result
+// plus online sinks fed by the same sequential pass.
+func singleNode(t testing.TB, js *spec.Job) (*core.Result, *metrics.SummarySink, *metrics.EPSink) {
+	t.Helper()
+	cache := artifact.NewCache(8)
+	eng, _, err := artifact.EngineFor(cache, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _, err := artifact.TableFor(cache, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := metrics.NewSummarySink()
+	ep := metrics.NewEPSink(js.Metrics.ReturnPeriods)
+	full := core.NewFullYLT()
+	opt := core.Options{Workers: 1, Lookup: artifact.LookupKind(js.Lookup)}
+	if _, err := eng.Eng.RunPipeline(core.NewTableSource(table), core.MultiSink{sum, ep, full}, opt); err != nil {
+		t.Fatal(err)
+	}
+	return full.Result(), sum, ep
+}
+
+// startWorkers spins n in-process ared workers over httptest and
+// registers them with the coordinator. wrap (optional) decorates each
+// worker's handler, for failure injection.
+func startWorkers(t testing.TB, c *dist.Coordinator, n int, wrap func(i int, h http.Handler) http.Handler) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		srv, err := server.New(server.Config{Role: server.RoleWorker, JobWorkers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Handler()
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5e9)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+		if _, err := c.Register(dist.RegisterRequest{URL: ts.URL, Capacity: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// assertMatchesSingleNode checks a Merged against the single-node run:
+// YLTs bitwise, summaries exact-in-the-exact-fields and ~1e-12 in the
+// merged moments, EP points within the documented sketch tolerance of
+// the exact empirical curve.
+func assertMatchesSingleNode(t *testing.T, js *spec.Job, m *dist.Merged) {
+	t.Helper()
+	fullRes, sum, _ := singleNode(t, js)
+	trials := js.YET.Trials
+
+	if m.Result == nil {
+		t.Fatal("merged result missing YLTs")
+	}
+	for l := range fullRes.AggLoss {
+		for i := range fullRes.AggLoss[l] {
+			if m.Result.AggLoss[l][i] != fullRes.AggLoss[l][i] ||
+				m.Result.MaxOccLoss[l][i] != fullRes.MaxOccLoss[l][i] {
+				t.Fatalf("layer %d trial %d: distributed YLT differs from single node", l, i)
+			}
+		}
+	}
+
+	for l := 0; l < sum.NumLayers(); l++ {
+		got, want := m.Summary.Summary(l), sum.Summary(l)
+		if got.Trials != want.Trials || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("layer %d summary exact fields: got %+v want %+v", l, got, want)
+		}
+		if want.Mean != 0 && math.Abs(got.Mean-want.Mean)/math.Abs(want.Mean) > 1e-12 {
+			t.Fatalf("layer %d mean: %v vs %v", l, got.Mean, want.Mean)
+		}
+
+		// EP points: within the sketch's rank-error bound of the exact
+		// empirical quantile of the reassembled YLT.
+		losses := append([]float64(nil), fullRes.AggLoss[l]...)
+		sort.Float64s(losses)
+		slack := int(math.Ceil(m.EP.ErrorBound(l)*float64(trials))) + 1
+		for _, p := range m.EP.Points(l) {
+			rank := int(math.Ceil((1 - 1/p.ReturnPeriod) * float64(trials)))
+			lo, hi := rank-slack, rank+slack
+			if lo < 1 {
+				lo = 1
+			}
+			if hi > trials {
+				hi = trials
+			}
+			if p.Loss < losses[lo-1] || p.Loss > losses[hi-1] {
+				t.Fatalf("layer %d rp=%v: merged EP %v outside exact rank window [%v, %v]",
+					l, p.ReturnPeriod, p.Loss, losses[lo-1], losses[hi-1])
+			}
+		}
+	}
+}
+
+// TestDistributedMatchesSingleNode is the acceptance-criteria test: one
+// job sharded across 3 in-process workers reproduces the single-node
+// FullYLT bitwise and the online metrics within documented tolerance.
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	js := e2eJob(t, 2000, true)
+	c := dist.NewCoordinator(dist.Config{ShardTrials: 250})
+	startWorkers(t, c, 3, nil)
+
+	var lastDone atomic.Int64
+	m, err := c.RunJob(context.Background(), js, func(done, total int) {
+		lastDone.Store(int64(done))
+		if total != 2000 {
+			t.Errorf("progress total %d", total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 8 {
+		t.Fatalf("planned %d shards, want 8", m.Shards)
+	}
+	if m.WorkersUsed < 2 {
+		t.Fatalf("only %d workers used", m.WorkersUsed)
+	}
+	if lastDone.Load() != 2000 {
+		t.Fatalf("progress reached %d of 2000", lastDone.Load())
+	}
+	assertMatchesSingleNode(t, js, m)
+}
+
+// flakyHandler serves okBefore shard requests normally, then fails every
+// subsequent one — a worker dying mid-job.
+func flakyHandler(next http.Handler, okBefore int64) http.Handler {
+	var served atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/shards") && served.Add(1) > okBefore {
+			http.Error(w, "injected worker failure", http.StatusInternalServerError)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// TestDistributedSurvivesWorkerFailure kills one of three workers after
+// its first shard; the job must complete on the survivors with an
+// identical (still bitwise) result, recording the retries.
+func TestDistributedSurvivesWorkerFailure(t *testing.T) {
+	// Default MaxAttempts: attempts count distinct workers, so one dead
+	// worker burns a single attempt per shard however often it fails.
+	js := e2eJob(t, 2000, true)
+	c := dist.NewCoordinator(dist.Config{ShardTrials: 200})
+	startWorkers(t, c, 3, func(i int, h http.Handler) http.Handler {
+		if i == 0 {
+			return flakyHandler(h, 1)
+		}
+		return h
+	})
+
+	m, err := c.RunJob(context.Background(), js, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retried == 0 {
+		t.Fatal("expected at least one retried shard")
+	}
+	assertMatchesSingleNode(t, js, m)
+
+	st := c.Status()
+	var failed int64
+	for _, w := range st.Workers {
+		failed += w.ShardsFailed
+	}
+	if failed == 0 {
+		t.Fatal("cluster status records no failed shards")
+	}
+}
+
+// TestDistributedAllWorkersDead: when every worker fails persistently
+// the job must fail with a useful error, not hang.
+func TestDistributedAllWorkersDead(t *testing.T) {
+	js := e2eJob(t, 500, false)
+	c := dist.NewCoordinator(dist.Config{ShardTrials: 100, MaxAttempts: 10})
+	startWorkers(t, c, 2, func(i int, h http.Handler) http.Handler {
+		return flakyHandler(h, 0)
+	})
+	if _, err := c.RunJob(context.Background(), js, nil); err == nil {
+		t.Fatal("job succeeded with no working workers")
+	}
+}
+
+func TestRunJobNoWorkers(t *testing.T) {
+	c := dist.NewCoordinator(dist.Config{})
+	if _, err := c.RunJob(context.Background(), e2eJob(t, 100, false), nil); err != dist.ErrNoWorkers {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestRunJobCancellation(t *testing.T) {
+	js := e2eJob(t, 5000, false)
+	c := dist.NewCoordinator(dist.Config{ShardTrials: 100})
+	startWorkers(t, c, 2, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunJob(ctx, js, nil); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExecShardDirect exercises the worker-side executor in process:
+// the shard result round-trips and re-execution is cached.
+func TestExecShardDirect(t *testing.T) {
+	js := e2eJob(t, 300, false)
+	cache := artifact.NewCache(8)
+	req := dist.ShardRequest{Job: js, Lo: 100, Hi: 200, WantYLT: true}
+	res, err := dist.ExecShard(context.Background(), cache, req, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lo != 100 || res.Hi != 200 || res.YLT == nil || res.YLT.NumTrials != 100 {
+		t.Fatalf("shard result %+v", res)
+	}
+	if res.YETCached || res.EngineCached {
+		t.Fatal("first execution reported cached artifacts")
+	}
+	again, err := dist.ExecShard(context.Background(), cache, req, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.YETCached || !again.EngineCached {
+		t.Fatal("re-execution did not hit the artifact cache")
+	}
+	for l := range res.YLT.AggLoss {
+		for i := range res.YLT.AggLoss[l] {
+			if res.YLT.AggLoss[l][i] != again.YLT.AggLoss[l][i] {
+				t.Fatal("re-executed shard differs")
+			}
+		}
+	}
+	// Bad ranges are rejected before any work.
+	for _, r := range [][2]int{{-1, 10}, {200, 100}, {0, 301}} {
+		bad := dist.ShardRequest{Job: js, Lo: r[0], Hi: r[1]}
+		if _, err := dist.ExecShard(context.Background(), cache, bad, 1); err == nil {
+			t.Errorf("range [%d, %d) accepted", r[0], r[1])
+		}
+	}
+
+	// A worker holding the job's full table (e.g. from a direct job)
+	// serves shards as ranges of it — no shard generation, same bits.
+	cache2 := artifact.NewCache(8)
+	if _, _, err := artifact.TableFor(cache2, js); err != nil {
+		t.Fatal(err)
+	}
+	viaRange, err := dist.ExecShard(context.Background(), cache2, req, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viaRange.YETCached {
+		t.Fatal("resident full table not reused for shard execution")
+	}
+	for l := range res.YLT.AggLoss {
+		for i := range res.YLT.AggLoss[l] {
+			if res.YLT.AggLoss[l][i] != viaRange.YLT.AggLoss[l][i] {
+				t.Fatal("range-source shard differs from generated shard")
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"context"
+	"time"
+
+	"github.com/ralab/are/internal/artifact"
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/metrics"
+)
+
+// ExecShard runs one shard request on this process — the worker side of
+// the protocol, also used directly by in-process tests. It serves the
+// shard's trials from a resident full table when one is cached
+// (core.NewTableRangeSource) and otherwise materialises only the shard
+// (artifact.ShardFor → yet.GenerateRange), compiles the engine through
+// the same cache the worker's direct jobs use, and streams the shard
+// through fresh online sinks whose exported states are the response.
+//
+// The returned YLT (when requested) and the summary moments are exact;
+// the EP sketch states carry the documented QuantileSketch bound. All
+// of it is bitwise reproducible: re-executing the same shard anywhere
+// yields the same response body.
+func ExecShard(ctx context.Context, cache *artifact.Cache, req ShardRequest, defaultWorkers int) (*ShardResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	js := req.Job
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eng, engineHit, err := artifact.EngineFor(cache, js)
+	if err != nil {
+		return nil, err
+	}
+	// Prefer a resident full table (this worker may also have run the
+	// job directly): shard-range execution over it costs nothing, where
+	// generating the shard costs its first build.
+	var src core.TrialSource
+	yetHit := false
+	if full, ok := artifact.CachedTable(cache, js); ok {
+		if src, err = core.NewTableRangeSource(full, req.Lo, req.Hi); err != nil {
+			return nil, err
+		}
+		yetHit = true
+	} else {
+		table, hit, err := artifact.ShardFor(cache, js, req.Lo, req.Hi)
+		if err != nil {
+			return nil, err
+		}
+		src = core.NewTableSource(table)
+		yetHit = hit
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sum := metrics.NewSummarySink()
+	ep := metrics.NewEPSink(js.Metrics.ReturnPeriods)
+	sinks := core.MultiSink{sum, ep}
+	var full *core.FullYLT
+	if req.WantYLT {
+		full = core.NewFullYLT()
+		sinks = append(sinks, full)
+	}
+
+	workers := js.Workers
+	if workers <= 0 {
+		workers = defaultWorkers
+	}
+	opt := core.Options{Workers: workers, Lookup: artifact.LookupKind(js.Lookup)}
+	start := time.Now()
+	if _, err := eng.Eng.RunPipelineContext(ctx, src, sinks, opt); err != nil {
+		return nil, err
+	}
+
+	res := &ShardResult{
+		Lo:           req.Lo,
+		Hi:           req.Hi,
+		LayerIDs:     eng.Eng.LayerIDs(),
+		Summary:      sum.State(),
+		EP:           ep.State(),
+		ElapsedMS:    time.Since(start).Milliseconds(),
+		YETCached:    yetHit,
+		EngineCached: engineHit,
+	}
+	if full != nil {
+		st, err := full.State()
+		if err != nil {
+			return nil, err
+		}
+		res.YLT = &st
+	}
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/metrics"
+	"github.com/ralab/are/internal/spec"
+)
+
+// ShardRequest asks a worker to execute trials [Lo, Hi) of a job
+// (POST /v1/shards). The job spec travels with every shard: workers are
+// stateless between requests, and the spec is also the cache identity
+// under which the worker reuses its generated shard and compiled
+// engine.
+type ShardRequest struct {
+	Job *spec.Job `json:"job"`
+	Lo  int       `json:"lo"`
+	Hi  int       `json:"hi"`
+
+	// WantYLT asks for the shard's materialised Year Loss Tables in
+	// addition to the online sink states — needed when the coordinator
+	// must price quotes (exact quantiles) or reproduce the single-node
+	// Result bitwise.
+	WantYLT bool `json:"wantYlt,omitempty"`
+}
+
+// Validate checks the request structurally.
+func (r *ShardRequest) Validate() error {
+	if r.Job == nil {
+		return fmt.Errorf("dist: shard request needs a job")
+	}
+	if err := r.Job.Validate(); err != nil {
+		return err
+	}
+	if r.Lo < 0 || r.Hi > r.Job.YET.Trials || r.Lo >= r.Hi {
+		return fmt.Errorf("dist: shard range [%d, %d) outside job's %d trials", r.Lo, r.Hi, r.Job.YET.Trials)
+	}
+	return nil
+}
+
+// ShardResult is one executed shard's partial state: serialisable
+// snapshots of the online sinks, plus the materialised tables when the
+// request asked for them.
+type ShardResult struct {
+	Lo       int      `json:"lo"`
+	Hi       int      `json:"hi"`
+	LayerIDs []uint32 `json:"layerIds"`
+
+	Summary metrics.SummarySinkState `json:"summary"`
+	EP      metrics.EPState          `json:"ep"`
+	YLT     *core.YLTState           `json:"ylt,omitempty"`
+
+	ElapsedMS    int64 `json:"elapsedMs"`
+	YETCached    bool  `json:"yetCached"`
+	EngineCached bool  `json:"engineCached"`
+}
+
+// RegisterRequest announces a worker to the coordinator
+// (POST /v1/cluster/workers). URL is the base the coordinator will
+// dial for shard requests; Capacity is how many shards the worker
+// accepts concurrently (<= 0 means 1).
+type RegisterRequest struct {
+	URL      string `json:"url"`
+	Capacity int    `json:"capacity,omitempty"`
+}
+
+// RegisterResponse acknowledges registration with the worker's assigned
+// ID and the heartbeat interval the coordinator expects.
+type RegisterResponse struct {
+	ID          string `json:"id"`
+	HeartbeatMS int64  `json:"heartbeatMs"`
+}
+
+// WorkerStatus is one worker's row in GET /v1/cluster.
+type WorkerStatus struct {
+	ID           string `json:"id"`
+	URL          string `json:"url"`
+	Capacity     int    `json:"capacity"`
+	Alive        bool   `json:"alive"`
+	RegisteredAt string `json:"registeredAt"`
+	LastSeen     string `json:"lastSeen"`
+	ShardsDone   int64  `json:"shardsDone"`
+	ShardsFailed int64  `json:"shardsFailed"`
+}
+
+// ClusterStatus is the coordinator's introspection surface
+// (GET /v1/cluster).
+type ClusterStatus struct {
+	Workers        []WorkerStatus `json:"workers"`
+	Alive          int            `json:"alive"`
+	WorkerTTLMS    int64          `json:"workerTtlMs"`
+	ShardTrials    int            `json:"shardTrials"`
+	MaxAttempts    int            `json:"maxAttempts"`
+	JobsDispatched int64          `json:"jobsDispatched"`
+	ShardsDone     int64          `json:"shardsDone"`
+	ShardsRetried  int64          `json:"shardsRetried"`
+}
+
+// postJSON is the protocol's one HTTP verb: POST in as JSON, decode a
+// 2xx response into out (when non-nil), surface non-2xx bodies as
+// errors.
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("dist: encode %s: %w", url, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dist: request %s: %w", url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: post %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &StatusError{Code: resp.StatusCode, URL: url, Body: strings.TrimSpace(string(msg))}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("dist: decode %s: %w", url, err)
+	}
+	return nil
+}
+
+// StatusError is a non-2xx protocol reply.
+type StatusError struct {
+	Code int
+	URL  string
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("dist: %s returned %d: %s", e.URL, e.Code, e.Body)
+}
+
+// RegisterWorker announces a worker to a coordinator, returning the
+// assigned ID and expected heartbeat cadence. The worker role's
+// registration loop calls this at startup and again whenever a
+// heartbeat reports the coordinator no longer knows it (restart).
+func RegisterWorker(ctx context.Context, client *http.Client, coordinatorURL string, req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := postJSON(ctx, client, strings.TrimRight(coordinatorURL, "/")+"/v1/cluster/workers", req, &resp)
+	return resp, err
+}
+
+// HeartbeatWorker refreshes a worker's liveness lease on the
+// coordinator. A 404 (wrapped as *StatusError) means the coordinator
+// forgot the worker and it must re-register.
+func HeartbeatWorker(ctx context.Context, client *http.Client, coordinatorURL, id string) error {
+	url := strings.TrimRight(coordinatorURL, "/") + "/v1/cluster/workers/" + id + "/heartbeat"
+	return postJSON(ctx, client, url, struct{}{}, nil)
+}

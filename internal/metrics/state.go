@@ -1,0 +1,191 @@
+// Serialisable, mergeable snapshots of the online sinks. These are the
+// units of the distributed protocol: a worker runs its trial shard
+// through SummarySink + EPSink, exports their states, and the
+// coordinator folds the states back together — in shard order, so the
+// merged result is independent of which worker ran what and of
+// completion order. JSON round-trips float64 bit-exactly for finite
+// values, so shipping states over the wire does not perturb them.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State snapshots the accumulator for transfer; Merge on another
+// OnlineSummary folds it back in via SummaryFromState.
+func (o *OnlineSummary) State() SummaryState {
+	return SummaryState{N: o.n, Mean: o.mean, M2: o.m2, Min: o.min, Max: o.max}
+}
+
+// SummaryState is the wire form of an OnlineSummary (Welford moments).
+type SummaryState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// SummaryFromState reconstructs the accumulator a State call snapshotted.
+func SummaryFromState(st SummaryState) OnlineSummary {
+	return OnlineSummary{n: st.N, mean: st.Mean, m2: st.M2, min: st.Min, max: st.Max}
+}
+
+// SummarySinkState is the wire form of a SummarySink: per-layer moment
+// pairs for the aggregate (AEP) and max-occurrence (OEP) sequences.
+type SummarySinkState struct {
+	Layers []SummaryLayerState `json:"layers"`
+}
+
+// SummaryLayerState carries one layer's two accumulators.
+type SummaryLayerState struct {
+	Agg SummaryState `json:"agg"`
+	Occ SummaryState `json:"occ"`
+}
+
+// State snapshots every layer of the sink.
+func (s *SummarySink) State() SummarySinkState {
+	st := SummarySinkState{Layers: make([]SummaryLayerState, len(s.layers))}
+	for i := range s.layers {
+		l := &s.layers[i]
+		l.mu.Lock()
+		st.Layers[i] = SummaryLayerState{Agg: l.agg.State(), Occ: l.occ.State()}
+		l.mu.Unlock()
+	}
+	return st
+}
+
+// ErrStateShape rejects merging states whose layer sets do not line up.
+var ErrStateShape = errors.New("metrics: state layer count mismatch")
+
+// Merge folds a shard's snapshot into the sink (Chan et al. pairwise
+// moment combination per layer). Layer counts must match.
+func (s *SummarySink) Merge(st SummarySinkState) error {
+	if len(st.Layers) != len(s.layers) {
+		return fmt.Errorf("%w: sink has %d, state has %d", ErrStateShape, len(s.layers), len(st.Layers))
+	}
+	for i := range s.layers {
+		l := &s.layers[i]
+		l.mu.Lock()
+		l.agg.Merge(SummaryFromState(st.Layers[i].Agg))
+		l.occ.Merge(SummaryFromState(st.Layers[i].Occ))
+		l.mu.Unlock()
+	}
+	return nil
+}
+
+// SummarySinkFromState reconstructs a sink from a snapshot; merging
+// further shard states into it continues from there.
+func SummarySinkFromState(st SummarySinkState) *SummarySink {
+	s := &SummarySink{layers: make([]summaryLayer, len(st.Layers))}
+	for i := range st.Layers {
+		s.layers[i].agg = SummaryFromState(st.Layers[i].Agg)
+		s.layers[i].occ = SummaryFromState(st.Layers[i].Occ)
+	}
+	return s
+}
+
+// EPState is the wire form of an EPSink: the return-period set it
+// answers, the sketch capacity, and one sketch pair per layer.
+type EPState struct {
+	RPs    []float64      `json:"returnPeriods"`
+	K      int            `json:"k"`
+	Layers []EPLayerState `json:"layers"`
+}
+
+// EPLayerState carries one layer's trial count and sketch pair.
+type EPLayerState struct {
+	N   int         `json:"n"`
+	Agg SketchState `json:"agg"`
+	Occ SketchState `json:"occ"`
+}
+
+// State snapshots every layer of the sink.
+func (s *EPSink) State() EPState {
+	st := EPState{
+		RPs:    append([]float64(nil), s.rps...),
+		K:      s.k,
+		Layers: make([]EPLayerState, len(s.layers)),
+	}
+	for i := range s.layers {
+		l := &s.layers[i]
+		l.mu.Lock()
+		st.Layers[i] = EPLayerState{N: l.n, Agg: l.agg.State(), Occ: l.occ.State()}
+		l.mu.Unlock()
+	}
+	return st
+}
+
+// Merge folds a shard's snapshot into the sink. Layer counts, sketch
+// capacity and return-period sets must match — they all derive from the
+// same job spec, so a mismatch means the shards were not one job.
+func (s *EPSink) Merge(st EPState) error {
+	if len(st.Layers) != len(s.layers) {
+		return fmt.Errorf("%w: sink has %d, state has %d", ErrStateShape, len(s.layers), len(st.Layers))
+	}
+	if st.K != s.k {
+		return fmt.Errorf("metrics: EP merge: sketch k mismatch (%d vs %d)", s.k, st.K)
+	}
+	if len(st.RPs) != len(s.rps) {
+		return fmt.Errorf("metrics: EP merge: return-period sets differ")
+	}
+	for i, rp := range s.rps {
+		if st.RPs[i] != rp {
+			return fmt.Errorf("metrics: EP merge: return-period sets differ")
+		}
+	}
+	for i := range s.layers {
+		other, err := sketchPairFromState(st.Layers[i], st.K)
+		if err != nil {
+			return err
+		}
+		l := &s.layers[i]
+		l.mu.Lock()
+		err1 := l.agg.Merge(other.agg)
+		err2 := l.occ.Merge(other.occ)
+		l.n += st.Layers[i].N
+		l.mu.Unlock()
+		if err1 != nil {
+			return err1
+		}
+		if err2 != nil {
+			return err2
+		}
+	}
+	return nil
+}
+
+// EPSinkFromState reconstructs a sink from a snapshot; merging further
+// shard states into it continues from there.
+func EPSinkFromState(st EPState) (*EPSink, error) {
+	s := &EPSink{rps: append([]float64(nil), st.RPs...), k: st.K}
+	s.layers = make([]epLayer, len(st.Layers))
+	for i := range st.Layers {
+		pair, err := sketchPairFromState(st.Layers[i], st.K)
+		if err != nil {
+			return nil, err
+		}
+		s.layers[i].n = st.Layers[i].N
+		s.layers[i].agg = pair.agg
+		s.layers[i].occ = pair.occ
+	}
+	return s, nil
+}
+
+type sketchPair struct{ agg, occ *QuantileSketch }
+
+func sketchPairFromState(st EPLayerState, k int) (sketchPair, error) {
+	if st.Agg.K != k || st.Occ.K != k {
+		return sketchPair{}, fmt.Errorf("metrics: EP layer state: sketch k mismatch")
+	}
+	agg, err := SketchFromState(st.Agg)
+	if err != nil {
+		return sketchPair{}, err
+	}
+	occ, err := SketchFromState(st.Occ)
+	if err != nil {
+		return sketchPair{}, err
+	}
+	return sketchPair{agg: agg, occ: occ}, nil
+}

@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// shardedSample builds a layered loss sample plus its shard boundaries.
+func shardedSample(trials, shards int, seed int64) (agg, occ []float64, bounds []int) {
+	r := rand.New(rand.NewSource(seed))
+	agg = make([]float64, trials)
+	occ = make([]float64, trials)
+	for i := range agg {
+		agg[i] = math.Exp(1.2*r.NormFloat64() + 8)
+		occ[i] = agg[i] * (0.3 + 0.7*r.Float64())
+	}
+	bounds = []int{0}
+	for s := 1; s < shards; s++ {
+		bounds = append(bounds, s*trials/shards)
+	}
+	bounds = append(bounds, trials)
+	return agg, occ, bounds
+}
+
+func TestSummarySinkMergeMatchesWhole(t *testing.T) {
+	const trials, shards = 30_000, 5
+	agg, occ, bounds := shardedSample(trials, shards, 17)
+
+	whole := NewSummarySink()
+	if err := whole.Begin([]uint32{1}, trials); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trials; i++ {
+		whole.Emit(0, i, agg[i], occ[i])
+	}
+
+	merged := NewSummarySink()
+	if err := merged.Begin([]uint32{1}, trials); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < shards; s++ {
+		part := NewSummarySink()
+		if err := part.Begin([]uint32{1}, bounds[s+1]-bounds[s]); err != nil {
+			t.Fatal(err)
+		}
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			part.Emit(0, i-bounds[s], agg[i], occ[i])
+		}
+		// Round-trip through JSON, as the wire does.
+		b, err := json.Marshal(part.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st SummarySinkState
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Merge(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, want := merged.Summary(0), whole.Summary(0)
+	if got.Trials != want.Trials || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("exact fields differ: got %+v want %+v", got, want)
+	}
+	if e := relErr(got.Mean, want.Mean); e > 1e-12 {
+		t.Errorf("mean rel err %v", e)
+	}
+	if e := relErr(got.StdDev, want.StdDev); e > 1e-9 {
+		t.Errorf("stddev rel err %v", e)
+	}
+	og, ow := merged.OccSummary(0), whole.OccSummary(0)
+	if og.Trials != ow.Trials || og.Min != ow.Min || og.Max != ow.Max {
+		t.Fatalf("occ exact fields differ: got %+v want %+v", og, ow)
+	}
+}
+
+func TestSummarySinkMergeShapeMismatch(t *testing.T) {
+	a := NewSummarySink()
+	_ = a.Begin([]uint32{1, 2}, 10)
+	b := NewSummarySink()
+	_ = b.Begin([]uint32{1}, 10)
+	if err := a.Merge(b.State()); err == nil {
+		t.Fatal("layer-count mismatch accepted")
+	}
+}
+
+// TestEPSinkShardedMatchesSingleNode is the satellite regression test:
+// EP curves assembled by merging per-shard sink states must match the
+// single-node streamed curve within the documented sketch tolerance,
+// and both must bracket the exact empirical curve.
+func TestEPSinkShardedMatchesSingleNode(t *testing.T) {
+	const trials, shards = 40_000, 4
+	agg, occ, bounds := shardedSample(trials, shards, 3)
+
+	single := NewEPSink(nil)
+	if err := single.Begin([]uint32{7}, trials); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trials; i++ {
+		single.Emit(0, i, agg[i], occ[i])
+	}
+
+	var merged *EPSink
+	for s := 0; s < shards; s++ {
+		part := NewEPSink(nil)
+		if err := part.Begin([]uint32{7}, bounds[s+1]-bounds[s]); err != nil {
+			t.Fatal(err)
+		}
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			part.Emit(0, i-bounds[s], agg[i], occ[i])
+		}
+		b, err := json.Marshal(part.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st EPState
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		if s == 0 {
+			if merged, err = EPSinkFromState(st); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := merged.Merge(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	exactAgg, err := NewEPCurve(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactOcc, err := NewEPCurve(occ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(got, want []Point, exact *EPCurve, label string) {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d points vs %d single-node", label, len(got), len(want))
+		}
+		// The documented tolerance: both curves carry at most the sketch
+		// rank-error bound, so their values must each sit within the
+		// exact curve's rank window; deep-tail points (rank in the top
+		// k) are exact and must agree bitwise.
+		slack := int(math.Ceil(merged.ErrorBound(0) * trials))
+		for i, p := range got {
+			q := 1 - 1/p.ReturnPeriod
+			if p.ReturnPeriod > float64(trials)/DefaultSketchK {
+				// Rank lands in the exact tail reserve: the sharded and
+				// single-node answers are both the exact order statistic
+				// at rank ceil(q*n) and must agree bitwise.
+				if p.Loss != want[i].Loss {
+					t.Errorf("%s rp=%v: tail point %v != single-node %v (should be exact)",
+						label, p.ReturnPeriod, p.Loss, want[i].Loss)
+				}
+				if wantV := exact.sorted[int(math.Ceil(q*trials))-1]; p.Loss != wantV {
+					t.Errorf("%s rp=%v: tail point %v != exact %v", label, p.ReturnPeriod, p.Loss, wantV)
+				}
+				continue
+			}
+			lo, hi := exactRankWindow(exact.sorted, q, slack)
+			if p.Loss < lo || p.Loss > hi {
+				t.Errorf("%s rp=%v: sharded %v outside exact rank window [%v, %v]",
+					label, p.ReturnPeriod, p.Loss, lo, hi)
+			}
+		}
+	}
+	check(merged.Points(0), single.Points(0), exactAgg, "AEP")
+	check(merged.OccPoints(0), single.OccPoints(0), exactOcc, "OEP")
+}
+
+func TestEPSinkMergeRejectsMismatch(t *testing.T) {
+	a := NewEPSink([]float64{10, 100})
+	_ = a.Begin([]uint32{1}, 10)
+	b := NewEPSink([]float64{10, 250})
+	_ = b.Begin([]uint32{1}, 10)
+	if err := a.Merge(b.State()); err == nil {
+		t.Fatal("return-period mismatch accepted")
+	}
+	c := NewEPSinkSize([]float64{10, 100}, 64)
+	_ = c.Begin([]uint32{1}, 10)
+	if err := a.Merge(c.State()); err == nil {
+		t.Fatal("sketch-k mismatch accepted")
+	}
+	d := NewEPSink([]float64{10, 100})
+	_ = d.Begin([]uint32{1, 2}, 10)
+	if err := a.Merge(d.State()); err == nil {
+		t.Fatal("layer-count mismatch accepted")
+	}
+}

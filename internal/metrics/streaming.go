@@ -11,9 +11,19 @@
 //     Welford's update, which differs from the two-pass Summarise only
 //     in floating-point association — relative error is ~1e-12 for
 //     well-conditioned YLTs.
-//   - EPSink: each point is a P² quantile sketch (see PSquare); expect
-//     a few percent of relative error at moderate return periods, more
-//     where the return period approaches the trial count.
+//   - EPSink: each layer's curve is answered by a mergeable compacting
+//     quantile sketch (see QuantileSketch) with a guaranteed rank-error
+//     bound of about log2(n/k)/k — under 1% at the default capacity for
+//     a million trials, with observed error typically far smaller.
+//     Tail points whose return period approaches the trial count carry
+//     Monte Carlo noise of the same order as the sketch error.
+//
+// Both sinks export serialisable state (state.go) that merges exactly
+// (moments) or within the sketch bound (quantiles), which is what lets
+// the distributed coordinator combine per-shard partial results into
+// one curve. The single-quantile P² estimator (PSquare) remains for
+// callers tracking one quantile in truly O(1) memory, but EPSink no
+// longer uses it: P² marker state cannot be merged.
 package metrics
 
 import (
@@ -146,35 +156,45 @@ func (s *SummarySink) OccSummary(l int) Summary {
 }
 
 // EPSink estimates per-layer exceedance-curve points at fixed return
-// periods online: one P² quantile sketch per (layer, return period,
-// AEP/OEP) triple, so memory is O(layers x return periods) regardless
-// of trial count. It satisfies the engine's Sink interface and is safe
-// for concurrent Emit.
+// periods online: one mergeable quantile sketch per (layer, AEP/OEP)
+// pair answers every return period, so memory is O(layers x k log n)
+// regardless of trial count. It satisfies the engine's Sink interface
+// and is safe for concurrent Emit.
 //
-// Concurrency trade-off: P² sketches cannot be merged, so Emit updates
-// every sketch of the layer under one per-layer mutex. With many
-// workers funnelling into few layers those critical sections can bound
-// scaling — acceptable for the sink's purpose (bounded memory on runs
-// too large to materialise), but throughput-critical runs that fit in
+// Emit updates the layer's two sketches under one per-layer mutex. With
+// many workers funnelling into few layers those critical sections can
+// bound scaling — acceptable for the sink's purpose (bounded memory on
+// runs too large to materialise); throughput-critical runs that fit in
 // memory should prefer the lock-free FullYLT path plus batch metrics.
+// Distributed runs avoid the contention entirely: each shard feeds its
+// own sink and the coordinator merges states (see Merge).
 type EPSink struct {
 	rps    []float64
+	k      int
 	layers []epLayer
 }
 
 type epLayer struct {
 	mu  sync.Mutex
 	n   int
-	agg []*PSquare
-	occ []*PSquare
+	agg *QuantileSketch
+	occ *QuantileSketch
 }
 
 // NewEPSink returns a sink estimating PML at the given return periods
 // (nil or empty means StandardReturnPeriods); periods <= 1 year are
-// dropped.
-func NewEPSink(rps []float64) *EPSink {
+// dropped. The quantile sketches use DefaultSketchK.
+func NewEPSink(rps []float64) *EPSink { return NewEPSinkSize(rps, 0) }
+
+// NewEPSinkSize is NewEPSink with an explicit sketch capacity k
+// (<= 0 selects DefaultSketchK): larger k tightens the quantile error
+// bound at proportional memory cost.
+func NewEPSinkSize(rps []float64, k int) *EPSink {
 	if len(rps) == 0 {
 		rps = StandardReturnPeriods
+	}
+	if k <= 0 {
+		k = DefaultSketchK
 	}
 	valid := make([]float64, 0, len(rps))
 	for _, rp := range rps {
@@ -182,42 +202,35 @@ func NewEPSink(rps []float64) *EPSink {
 			valid = append(valid, rp)
 		}
 	}
-	return &EPSink{rps: valid}
+	return &EPSink{rps: valid, k: k}
 }
 
 // ReturnPeriods returns the sink's accepted return periods.
 func (s *EPSink) ReturnPeriods() []float64 { return append([]float64(nil), s.rps...) }
 
-// Begin builds the per-layer sketch sets.
+// Begin builds the per-layer sketch pairs.
 func (s *EPSink) Begin(layerIDs []uint32, numTrials int) error {
 	s.layers = make([]epLayer, len(layerIDs))
 	for i := range s.layers {
 		l := &s.layers[i]
-		l.agg = make([]*PSquare, len(s.rps))
-		l.occ = make([]*PSquare, len(s.rps))
-		for j, rp := range s.rps {
-			q := 1 - 1/rp
-			var err error
-			if l.agg[j], err = NewPSquare(q); err != nil {
-				return err
-			}
-			if l.occ[j], err = NewPSquare(q); err != nil {
-				return err
-			}
+		var err error
+		if l.agg, err = NewQuantileSketch(s.k); err != nil {
+			return err
+		}
+		if l.occ, err = NewQuantileSketch(s.k); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// Emit folds one trial into every sketch of the layer.
+// Emit folds one trial into the layer's sketch pair.
 func (s *EPSink) Emit(layer, trial int, aggLoss, maxOcc float64) {
 	l := &s.layers[layer]
 	l.mu.Lock()
 	l.n++
-	for j := range s.rps {
-		l.agg[j].Add(aggLoss)
-		l.occ[j].Add(maxOcc)
-	}
+	l.agg.Add(aggLoss)
+	l.occ.Add(maxOcc)
 	l.mu.Unlock()
 }
 
@@ -236,16 +249,30 @@ func (s *EPSink) points(layer int, occ bool) []Point {
 	l := &s.layers[layer]
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	sk := l.agg
+	if occ {
+		sk = l.occ
+	}
 	pts := make([]Point, 0, len(s.rps))
-	for j, rp := range s.rps {
+	for _, rp := range s.rps {
 		if rp > float64(l.n) {
 			continue
 		}
-		sk := l.agg[j]
-		if occ {
-			sk = l.occ[j]
-		}
-		pts = append(pts, Point{ReturnPeriod: rp, Prob: 1 / rp, Loss: sk.Quantile()})
+		pts = append(pts, Point{ReturnPeriod: rp, Prob: 1 / rp, Loss: sk.Quantile(1 - 1/rp)})
 	}
 	return pts
+}
+
+// ErrorBound reports the layer's guaranteed sketch rank-error fraction
+// (see QuantileSketch.ErrorBound) — the documented tolerance for
+// comparing sharded EP curves against single-node ones.
+func (s *EPSink) ErrorBound(layer int) float64 {
+	l := &s.layers[layer]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.agg.ErrorBound()
+	if ob := l.occ.ErrorBound(); ob > b {
+		b = ob
+	}
+	return b
 }

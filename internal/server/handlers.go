@@ -1,21 +1,27 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
+	"github.com/ralab/are/internal/dist"
 	"github.com/ralab/are/internal/spec"
 )
 
-// maxJobBody caps a job request body at 8 MiB — generous for inline
-// record lists, small enough that a stray upload cannot balloon memory.
+// maxJobBody caps a job (or shard) request body at 8 MiB — generous for
+// inline record lists, small enough that a stray upload cannot balloon
+// memory.
 const maxJobBody = 8 << 20
 
 // routes assembles the API surface. Method-qualified patterns (Go 1.22
 // ServeMux) give us routing and 405s without a framework dependency.
+// The job API is served in every role — a worker or coordinator still
+// accepts direct jobs — while the shard endpoint is worker-only and the
+// cluster endpoints coordinator-only.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -25,6 +31,14 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	if s.cfg.Role == RoleWorker {
+		mux.HandleFunc("POST /v1/shards", s.handleShard)
+	}
+	if s.coord != nil {
+		mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+		mux.HandleFunc("POST /v1/cluster/workers", s.handleRegister)
+		mux.HandleFunc("POST /v1/cluster/workers/{id}/heartbeat", s.handleHeartbeat)
+	}
 	return s.countRequests(mux)
 }
 
@@ -54,10 +68,17 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // handleHealth reports liveness plus queue occupancy, cheap enough for
-// aggressive probe intervals.
+// aggressive probe intervals. During shutdown it flips to 503 with
+// status "draining", so load balancers stop routing to a process that
+// is finishing its last jobs.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
+	status, code := "ok", http.StatusOK
+	if s.sched.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
+		"role":    s.cfg.Role,
 		"running": s.metrics.jobsRunning.Load(),
 		"queued":  len(s.sched.queue),
 	})
@@ -83,6 +104,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("ared_cache_hits_total", "counter", hits)
 	write("ared_cache_misses_total", "counter", misses)
 	write("ared_cache_entries", "gauge", s.cache.Len())
+	if s.cfg.Role == RoleWorker {
+		write("ared_shards_served_total", "counter", s.metrics.shardsServed.Load())
+		write("ared_shards_failed_total", "counter", s.metrics.shardsFailed.Load())
+	}
+	if s.coord != nil {
+		cs := s.coord.Status()
+		write("ared_cluster_workers", "gauge", len(cs.Workers))
+		write("ared_cluster_workers_alive", "gauge", cs.Alive)
+		write("ared_cluster_shards_done_total", "counter", cs.ShardsDone)
+		write("ared_cluster_shards_retried_total", "counter", cs.ShardsRetried)
+	}
 }
 
 // handleSubmit accepts one job: 202 with the queued job's status, 400 on
@@ -109,9 +141,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
-// handleList returns every job's status in submission order.
+// validJobStates are the ?state= filter values handleList accepts.
+var validJobStates = map[string]bool{
+	string(JobQueued): true, string(JobRunning): true, string(JobDone): true,
+	string(JobFailed): true, string(JobCancelled): true,
+}
+
+// handleList returns job statuses in submission order. ?state=running
+// filters to one lifecycle state; the counts object always covers every
+// retained job, so a filtered listing still shows the whole picture.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.list()})
+	filter := r.URL.Query().Get("state")
+	if filter != "" && !validJobStates[filter] {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("server: unknown state %q (want queued, running, done, failed or cancelled)", filter))
+		return
+	}
+	all := s.sched.list()
+	counts := map[string]int{"total": len(all)}
+	jobs := make([]Status, 0, len(all))
+	for _, st := range all {
+		counts[st.State]++
+		if filter == "" || st.State == filter {
+			jobs = append(jobs, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "counts": counts})
 }
 
 // handleStatus returns one job's status.
@@ -160,4 +215,84 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusAccepted, j.Status())
 	}
+}
+
+// handleShard executes one trial shard synchronously (worker role).
+// Concurrency is bounded by the execution semaphore shared with direct
+// jobs — excess requests queue here, keeping the coordinator's dispatch
+// simple — and a draining worker refuses new shards so shutdown stays
+// prompt.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if s.sched.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, ErrShuttingDown)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+	dec.DisallowUnknownFields()
+	var req dist.ShardRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: shard parse: %w", err))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.cfg.MaxTrials > 0 && req.Job.YET.Trials > s.cfg.MaxTrials {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("server: yet.trials %d exceeds the server cap of %d", req.Job.YET.Trials, s.cfg.MaxTrials))
+		return
+	}
+	select {
+	case s.sched.execSem <- struct{}{}:
+		defer func() { <-s.sched.execSem }()
+	case <-r.Context().Done():
+		return // caller gave up while queued
+	}
+	res, err := dist.ExecShard(r.Context(), s.cache, req, s.cfg.EngineWorkers)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return // caller gave up mid-run; nothing useful to say
+		}
+		s.metrics.shardsFailed.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.metrics.shardsServed.Add(1)
+	s.metrics.trialsProcessed.Add(int64(res.Hi - res.Lo))
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleCluster reports the worker registry and dispatch counters
+// (coordinator role).
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.coord.Status())
+}
+
+// handleRegister admits or refreshes a worker (coordinator role).
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	var req dist.RegisterRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: register parse: %w", err))
+		return
+	}
+	resp, err := s.coord.Register(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHeartbeat refreshes a worker's lease (coordinator role); 404
+// tells a worker the coordinator no longer knows it.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if err := s.coord.Heartbeat(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

@@ -8,12 +8,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ralab/are/internal/artifact"
 	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/dist"
 	"github.com/ralab/are/internal/layer"
 	"github.com/ralab/are/internal/metrics"
 	"github.com/ralab/are/internal/pricing"
 	"github.com/ralab/are/internal/spec"
-	"github.com/ralab/are/internal/yet"
 )
 
 // JobState is the lifecycle state of a submitted analysis.
@@ -73,13 +74,17 @@ type Status struct {
 }
 
 // JobResult is the wire form of a completed analysis
-// (GET /v1/jobs/{id}/result).
+// (GET /v1/jobs/{id}/result). Shards, Retried and WorkersUsed are
+// populated only for jobs a coordinator fanned out across the cluster.
 type JobResult struct {
 	ID           string        `json:"id"`
 	Trials       int           `json:"trials"`
 	ElapsedMS    int64         `json:"elapsedMs"`
 	YETCached    bool          `json:"yetCached"`
 	EngineCached bool          `json:"engineCached"`
+	Shards       int           `json:"shards,omitempty"`
+	Retried      int           `json:"retried,omitempty"`
+	WorkersUsed  int           `json:"workersUsed,omitempty"`
 	Layers       []LayerResult `json:"layers"`
 }
 
@@ -168,13 +173,22 @@ func (j *Job) Status() Status {
 // multiplying generation work.
 type scheduler struct {
 	cfg     Config
-	cache   *Cache
+	cache   *artifact.Cache
 	metrics *serverMetrics
+	coord   *dist.Coordinator // non-nil in coordinator role: jobs fan out to the cluster
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	queue      chan *Job
 	wg         sync.WaitGroup
+
+	// execSem bounds concurrent engine executions across BOTH direct
+	// jobs and shard requests (worker role): `-job-workers` is the one
+	// knob an operator sizes the machine with, so mixed traffic must
+	// not stack two separate pools on top of it.
+	execSem chan struct{}
+
+	draining atomic.Bool // set once shutdown begins; /healthz reports it
 
 	mu        sync.Mutex
 	accepting bool
@@ -183,15 +197,26 @@ type scheduler struct {
 	order     []string // submission order, for listing
 }
 
-func newScheduler(cfg Config, cache *Cache, m *serverMetrics) *scheduler {
+// DrainStats is shutdown's accounting: of the jobs that were queued or
+// running when shutdown began, how many finished their work (drained)
+// versus were cancelled (force-cancelled, including queued jobs that
+// never started).
+type DrainStats struct {
+	Drained        int
+	ForceCancelled int
+}
+
+func newScheduler(cfg Config, cache *artifact.Cache, coord *dist.Coordinator, m *serverMetrics) *scheduler {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &scheduler{
 		cfg:        cfg,
 		cache:      cache,
 		metrics:    m,
+		coord:      coord,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *Job, cfg.QueueDepth),
+		execSem:    make(chan struct{}, cfg.JobWorkers),
 		accepting:  true,
 		jobs:       make(map[string]*Job),
 	}
@@ -317,11 +342,22 @@ func (s *scheduler) cancelJob(id string) (*Job, error) {
 // shutdown stops intake, drains the queue, and waits for workers. If ctx
 // expires before the drain completes, running jobs are force-cancelled
 // and the wait resumes (the pipeline polls its context, so this is
-// prompt).
-func (s *scheduler) shutdown(ctx context.Context) error {
+// prompt). The returned stats classify every job that was still open
+// when shutdown began: finished normally (drained) or cancelled.
+func (s *scheduler) shutdown(ctx context.Context) (DrainStats, error) {
+	s.draining.Store(true)
 	s.mu.Lock()
 	wasAccepting := s.accepting
 	s.accepting = false
+	// Snapshot the jobs shutdown must dispose of, for the drain report.
+	var open []*Job
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == JobQueued || j.state == JobRunning {
+			open = append(open, j)
+		}
+		j.mu.Unlock()
+	}
 	s.mu.Unlock()
 	if wasAccepting {
 		close(s.queue)
@@ -354,7 +390,18 @@ func (s *scheduler) shutdown(ctx context.Context) error {
 			j.mu.Unlock()
 		}
 	}
-	return err
+	var stats DrainStats
+	for _, j := range open {
+		j.mu.Lock()
+		switch j.state {
+		case JobDone, JobFailed:
+			stats.Drained++
+		default:
+			stats.ForceCancelled++
+		}
+		j.mu.Unlock()
+	}
+	return stats, err
 }
 
 func (s *scheduler) worker() {
@@ -372,32 +419,11 @@ func (s *scheduler) worker() {
 	}
 }
 
-// engineArtifact is the cached compile product of a portfolio spec: the
-// built portfolio plus the engine compiled from it.
-type engineArtifact struct {
-	p   *layer.Portfolio
-	eng *core.Engine
-}
-
-// engineKeySpec is the hashable identity of a compiled engine: the
-// portfolio spec plus the ELT representation it was compiled with.
-type engineKeySpec struct {
-	Portfolio *spec.File `json:"portfolio"`
-	Lookup    string     `json:"lookup"`
-}
-
-// yetKeySpec is the hashable identity of a generated YET. The catalog
-// size is part of it: generation draws events uniformly from
-// [0, catalogSize), so the same yet spec against a different catalog is
-// a different table.
-type yetKeySpec struct {
-	YET         spec.YETSpec `json:"yet"`
-	CatalogSize int          `json:"catalogSize"`
-}
-
 // runJob executes one job end to end: artifacts from the cache, the
 // streaming pipeline into online sinks (plus a materialising sink when
-// quotes were requested), and result assembly.
+// quotes were requested), and result assembly. In the coordinator role
+// the pipeline runs on the cluster instead (executeDistributed), but
+// the job lifecycle around it is identical.
 func (s *scheduler) runJob(j *Job) {
 	j.mu.Lock()
 	if j.state != JobQueued { // cancelled while queued
@@ -410,7 +436,22 @@ func (s *scheduler) runJob(j *Job) {
 	s.metrics.jobsRunning.Add(1)
 	defer s.metrics.jobsRunning.Add(-1)
 
-	res, err := s.execute(j)
+	// Take an execution slot shared with the shard endpoint, so a
+	// worker node never runs more than JobWorkers engine executions at
+	// once however the traffic is mixed.
+	select {
+	case s.execSem <- struct{}{}:
+		defer func() { <-s.execSem }()
+	case <-j.ctx.Done():
+	}
+
+	var res *JobResult
+	var err error
+	if s.coord != nil {
+		res, err = s.executeDistributed(j)
+	} else {
+		res, err = s.execute(j)
+	}
 	j.mu.Lock()
 	j.finished = time.Now()
 	switch {
@@ -441,45 +482,20 @@ func (s *scheduler) execute(j *Job) (*JobResult, error) {
 		return nil, err
 	}
 
-	ekey, err := contentKey("engine", engineKeySpec{Portfolio: js.Portfolio, Lookup: js.Lookup})
+	art, engineHit, err := artifact.EngineFor(s.cache, js)
 	if err != nil {
 		return nil, err
 	}
-	ev, engineHit, err := s.cache.Get(ekey, func() (any, error) {
-		p, cs, err := js.BuildPortfolio()
-		if err != nil {
-			return nil, err
-		}
-		eng, err := core.NewEngine(p, cs, lookupKind(js.Lookup))
-		if err != nil {
-			return nil, err
-		}
-		return &engineArtifact{p: p, eng: eng}, nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("portfolio: %w", err)
-	}
-	art := ev.(*engineArtifact)
-
-	catalogSize := js.Portfolio.CatalogSize
-	ykey, err := contentKey("yet", yetKeySpec{YET: js.YET, CatalogSize: catalogSize})
+	table, yetHit, err := artifact.TableFor(s.cache, js)
 	if err != nil {
 		return nil, err
 	}
-	yv, yetHit, err := s.cache.Get(ykey, func() (any, error) {
-		return yet.Generate(yet.UniformSource(catalogSize), js.YET.ToConfig())
-	})
-	if err != nil {
-		return nil, fmt.Errorf("yet: %w", err)
-	}
-	table := yv.(*yet.Table)
 	if err := j.ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	sum := metrics.NewSummarySink()
-	rps := js.Metrics.ReturnPeriods
-	ep := metrics.NewEPSink(rps)
+	ep := metrics.NewEPSink(js.Metrics.ReturnPeriods)
 	sinks := core.MultiSink{sum, ep}
 	var full *core.FullYLT
 	if js.Metrics.Quotes {
@@ -492,32 +508,83 @@ func (s *scheduler) execute(j *Job) (*JobResult, error) {
 		workers = s.cfg.EngineWorkers
 	}
 	opt := core.Options{
-		Workers: workers,
-		Lookup:  lookupKind(js.Lookup),
-		Progress: func(done, total int) {
-			// Reports may arrive out of order across workers; keep the max.
-			for {
-				cur := j.trialsDone.Load()
-				if int64(done) <= cur || j.trialsDone.CompareAndSwap(cur, int64(done)) {
-					return
-				}
-			}
-		},
+		Workers:  workers,
+		Lookup:   artifact.LookupKind(js.Lookup),
+		Progress: j.progress(),
 	}
 	start := time.Now()
-	if _, err := art.eng.RunPipelineContext(j.ctx, core.NewTableSource(table), sinks, opt); err != nil {
+	if _, err := art.Eng.RunPipelineContext(j.ctx, core.NewTableSource(table), sinks, opt); err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
 
-	res := &JobResult{
-		ID:           j.ID,
-		Trials:       table.NumTrials(),
-		ElapsedMS:    elapsed.Milliseconds(),
-		YETCached:    yetHit,
-		EngineCached: engineHit,
+	var fullRes *core.Result
+	if full != nil {
+		fullRes = full.Result()
 	}
-	for li, l := range art.p.Layers {
+	res, err := assembleJobResult(j.ID, js, art.P.P, sum, ep, fullRes, elapsed)
+	if err != nil {
+		return nil, err
+	}
+	res.YETCached = yetHit
+	res.EngineCached = engineHit
+	return res, nil
+}
+
+// executeDistributed fans the job out across the registered workers and
+// merges their partial sink states; quotes, when requested, are priced
+// on the coordinator from the reassembled (bitwise-identical) YLTs.
+func (s *scheduler) executeDistributed(j *Job) (*JobResult, error) {
+	js := j.Spec
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The coordinator needs layer metadata (names, occurrence limits for
+	// pricing) but never runs the engine, so it builds the portfolio
+	// only.
+	p, _, err := artifact.PortfolioFor(s.cache, js)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m, err := s.coord.RunJob(j.ctx, js, j.progress())
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	res, err := assembleJobResult(j.ID, js, p.P, m.Summary, m.EP, m.Result, elapsed)
+	if err != nil {
+		return nil, err
+	}
+	res.Shards = m.Shards
+	res.Retried = m.Retried
+	res.WorkersUsed = m.WorkersUsed
+	return res, nil
+}
+
+// progress returns the job's trial-progress hook. Reports may arrive
+// out of order across workers; keep the max.
+func (j *Job) progress() func(done, total int) {
+	return func(done, total int) {
+		for {
+			cur := j.trialsDone.Load()
+			if int64(done) <= cur || j.trialsDone.CompareAndSwap(cur, int64(done)) {
+				return
+			}
+		}
+	}
+}
+
+// assembleJobResult renders merged sink output as the wire result —
+// one code path whether the sinks were fed by a local pipeline or
+// reassembled from cluster shards.
+func assembleJobResult(id string, js *spec.Job, p *layer.Portfolio, sum *metrics.SummarySink, ep *metrics.EPSink, full *core.Result, elapsed time.Duration) (*JobResult, error) {
+	res := &JobResult{
+		ID:        id,
+		Trials:    js.YET.Trials,
+		ElapsedMS: elapsed.Milliseconds(),
+	}
+	for li, l := range p.Layers {
 		lr := LayerResult{
 			ID:         l.ID,
 			Name:       l.Name,
@@ -527,7 +594,7 @@ func (s *scheduler) execute(j *Job) (*JobResult, error) {
 			OEP:        pointsJSON(ep.OccPoints(li)),
 		}
 		if full != nil {
-			q, err := pricing.Price(full.Result().YLT(li), pricing.Config{
+			q, err := pricing.Price(full.YLT(li), pricing.Config{
 				VolatilityMultiplier: js.Metrics.VolatilityMultiplier,
 				ExpenseRatio:         js.Metrics.ExpenseRatio,
 				OccLimit:             l.LTerms.OccLimit,
@@ -549,20 +616,4 @@ func (s *scheduler) execute(j *Job) (*JobResult, error) {
 		res.Layers = append(res.Layers, lr)
 	}
 	return res, nil
-}
-
-// lookupKind maps a validated job lookup name to the engine constant.
-func lookupKind(s string) core.LookupKind {
-	switch s {
-	case "sorted":
-		return core.LookupSorted
-	case "hash":
-		return core.LookupHash
-	case "cuckoo":
-		return core.LookupCuckoo
-	case "combined":
-		return core.LookupCombined
-	default:
-		return core.LookupDirect
-	}
 }

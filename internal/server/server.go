@@ -1,6 +1,7 @@
 // Package server implements ared, the analysis service layer over the
 // engine: a long-running HTTP daemon that multiplexes many concurrent
-// aggregate-risk analyses across one process.
+// aggregate-risk analyses across one process — and, in its cluster
+// roles, across many processes.
 //
 // The paper frames the aggregate risk engine as the core of a production
 // analytics system that a reinsurer runs continuously — underwriters
@@ -14,12 +15,12 @@
 //
 // Three design points carry the load:
 //
-//   - Shared-artifact caching (Cache): YET generation and portfolio
-//     compilation dominate small-job latency, and both are deterministic
-//     in their specs. Artifacts are therefore cached under the SHA-256
-//     of the spec's canonical JSON with singleflight semantics, so any
-//     number of concurrent jobs describing the same table or portfolio
-//     trigger exactly one build.
+//   - Shared-artifact caching (artifact.Cache): YET generation and
+//     portfolio compilation dominate small-job latency, and both are
+//     deterministic in their specs. Artifacts are therefore cached under
+//     the SHA-256 of the spec's canonical JSON with singleflight
+//     semantics, so any number of concurrent jobs describing the same
+//     table or portfolio trigger exactly one build.
 //   - Bounded concurrency (scheduler): JobWorkers jobs run at once, each
 //     with its own engine worker pool; the rest queue (QueueDepth deep,
 //     then 503). Memory stays bounded because unquoted jobs run entirely
@@ -29,8 +30,16 @@
 //     contexts between trial spans, so cancellation and shutdown are
 //     prompt without poisoning shared state.
 //
-// See docs/api.md for the wire contract and docs/architecture.md for
-// where the service sits in the system.
+// Cluster roles (internal/dist holds the machinery): a worker serves
+// POST /v1/shards — one trial shard of a job, executed through the same
+// artifact cache as direct jobs — and keeps itself registered with its
+// coordinator; a coordinator accepts ordinary job submissions but fans
+// each job's trial range out across the registered workers and merges
+// the partial sink states, exposing the registry at GET /v1/cluster.
+//
+// See docs/api.md for the wire contract, docs/architecture.md for where
+// the service sits in the system, and docs/distributed.md for the
+// cluster protocol.
 package server
 
 import (
@@ -41,6 +50,16 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"github.com/ralab/are/internal/artifact"
+	"github.com/ralab/are/internal/dist"
+)
+
+// Roles a server process can play.
+const (
+	RoleSingle      = "single"
+	RoleWorker      = "worker"
+	RoleCoordinator = "coordinator"
 )
 
 // Config sizes the service.
@@ -48,8 +67,38 @@ type Config struct {
 	// Addr is the listen address for ListenAndServe (e.g. ":8321").
 	Addr string
 
+	// Role selects the process's cluster position: "" or "single" (the
+	// default) runs jobs locally; "worker" additionally serves
+	// POST /v1/shards and keeps itself registered with CoordinatorURL;
+	// "coordinator" fans submitted jobs out across registered workers
+	// and serves GET /v1/cluster.
+	Role string
+
+	// CoordinatorURL is the coordinator base URL a worker registers
+	// with (worker role; empty skips self-registration, for clusters
+	// whose operator registers workers out of band).
+	CoordinatorURL string
+
+	// AdvertiseURL is the base URL a worker announces for shard
+	// dispatch — how the coordinator reaches it, which may differ from
+	// Addr behind NAT or a service mesh.
+	AdvertiseURL string
+
+	// ShardTrials is the coordinator's target trials per shard; 0
+	// selects the dist default (25000).
+	ShardTrials int
+
+	// MaxShardAttempts is how many workers one shard may be tried on
+	// before the job fails; 0 selects the dist default (3).
+	MaxShardAttempts int
+
+	// WorkerTTL is how long past its last heartbeat the coordinator
+	// still dispatches to a worker; 0 selects the dist default (15s).
+	WorkerTTL time.Duration
+
 	// JobWorkers is the number of jobs that run concurrently; 0 selects
-	// 2. Each job additionally runs EngineWorkers engine goroutines.
+	// 2. Each job additionally runs EngineWorkers engine goroutines. In
+	// the worker role it also bounds concurrently executing shards.
 	JobWorkers int
 
 	// QueueDepth is how many submitted jobs may wait behind the running
@@ -78,9 +127,23 @@ type Config struct {
 	// ShutdownGrace is how long Shutdown waits for queued and running
 	// jobs to drain before force-cancelling them; 0 selects 10s.
 	ShutdownGrace time.Duration
+
+	// Logf, when non-nil, receives operational log lines (registration
+	// failures, shutdown drain accounting). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
-func (c *Config) setDefaults() {
+func (c *Config) setDefaults() error {
+	switch c.Role {
+	case "", RoleSingle:
+		c.Role = RoleSingle
+	case RoleWorker, RoleCoordinator:
+	default:
+		return fmt.Errorf("server: unknown role %q (want single, worker or coordinator)", c.Role)
+	}
+	if c.Role == RoleWorker && c.CoordinatorURL != "" && c.AdvertiseURL == "" {
+		return fmt.Errorf("server: worker role with a coordinator needs AdvertiseURL")
+	}
 	if c.JobWorkers <= 0 {
 		c.JobWorkers = 2
 	}
@@ -96,6 +159,7 @@ func (c *Config) setDefaults() {
 	if c.MaxJobsRetained <= 0 {
 		c.MaxJobsRetained = 1000
 	}
+	return nil
 }
 
 // serverMetrics are the atomic counters behind GET /metrics.
@@ -108,6 +172,8 @@ type serverMetrics struct {
 	jobsCancelled   atomic.Int64
 	jobsRunning     atomic.Int64
 	trialsProcessed atomic.Int64
+	shardsServed    atomic.Int64
+	shardsFailed    atomic.Int64
 }
 
 // Server is the ared HTTP service: a scheduler plus its API surface.
@@ -115,37 +181,106 @@ type serverMetrics struct {
 // Handler on a listener of your own (httptest does the latter).
 type Server struct {
 	cfg     Config
-	cache   *Cache
+	cache   *artifact.Cache
 	sched   *scheduler
+	coord   *dist.Coordinator // non-nil in the coordinator role
 	metrics *serverMetrics
 	handler http.Handler
 }
 
-// New builds a server and starts its job workers. Callers must
+// New builds a server and starts its job workers (and, for a worker
+// with a CoordinatorURL, its registration loop). Callers must
 // eventually Shutdown to stop them.
-func New(cfg Config) *Server {
-	cfg.setDefaults()
+func New(cfg Config) (*Server, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
 	m := &serverMetrics{start: time.Now()}
-	cache := NewCache(cfg.CacheEntries)
+	cache := artifact.NewCache(cfg.CacheEntries)
+	var coord *dist.Coordinator
+	if cfg.Role == RoleCoordinator {
+		coord = dist.NewCoordinator(dist.Config{
+			ShardTrials: cfg.ShardTrials,
+			MaxAttempts: cfg.MaxShardAttempts,
+			WorkerTTL:   cfg.WorkerTTL,
+		})
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
-		sched:   newScheduler(cfg, cache, m),
+		coord:   coord,
 		metrics: m,
 	}
+	s.sched = newScheduler(cfg, cache, coord, m)
 	s.handler = s.routes()
-	return s
+	if cfg.Role == RoleWorker && cfg.CoordinatorURL != "" {
+		go s.registerLoop()
+	}
+	return s, nil
 }
+
+// logf writes one operational log line if a logger was configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// registerLoop keeps the worker registered with its coordinator for the
+// life of the server: register, heartbeat at the coordinator's cadence,
+// and re-register whenever the coordinator stops recognising us (a
+// restart wipes its registry). Runs until the scheduler shuts down.
+func (s *Server) registerLoop() {
+	ctx := s.sched.baseCtx
+	client := &http.Client{Timeout: 10 * time.Second}
+	var id string
+	every := 5 * time.Second
+	for {
+		if id == "" {
+			resp, err := dist.RegisterWorker(ctx, client, s.cfg.CoordinatorURL, dist.RegisterRequest{
+				URL:      s.cfg.AdvertiseURL,
+				Capacity: s.cfg.JobWorkers,
+			})
+			if err != nil {
+				s.logf("ared: worker registration with %s failed: %v", s.cfg.CoordinatorURL, err)
+			} else {
+				id = resp.ID
+				if resp.HeartbeatMS > 0 {
+					every = time.Duration(resp.HeartbeatMS) * time.Millisecond
+				}
+				s.logf("ared: registered with %s as %s (heartbeat %v)", s.cfg.CoordinatorURL, id, every)
+			}
+		} else if err := dist.HeartbeatWorker(ctx, client, s.cfg.CoordinatorURL, id); err != nil {
+			s.logf("ared: heartbeat as %s failed: %v", id, err)
+			if se, ok := err.(*dist.StatusError); ok && se.Code == http.StatusNotFound {
+				id = "" // coordinator restarted; re-register next tick
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(every):
+		}
+	}
+}
+
+// Coordinator exposes the cluster registry in the coordinator role
+// (nil otherwise); tests and embedders register in-process workers
+// through it.
+func (s *Server) Coordinator() *dist.Coordinator { return s.coord }
 
 // Handler returns the full API surface, ready to mount on any listener.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Shutdown stops intake (submissions get 503), drains queued and
-// running jobs within ctx's deadline, then force-cancels whatever
-// remains. It returns nil on a clean drain and ctx's error if force
-// cancellation was needed.
+// Shutdown stops intake (submissions get 503 and /healthz reports
+// draining), drains queued and running jobs within ctx's deadline, then
+// force-cancels whatever remains. It returns nil on a clean drain and
+// ctx's error if force cancellation was needed; either way the drained
+// versus force-cancelled job counts are logged through Config.Logf.
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.sched.shutdown(ctx)
+	stats, err := s.sched.shutdown(ctx)
+	s.logf("ared: shutdown: %d jobs drained, %d force-cancelled", stats.Drained, stats.ForceCancelled)
+	return err
 }
 
 // ListenAndServe serves the API on cfg.Addr until ctx is cancelled, then

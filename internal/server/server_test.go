@@ -26,7 +26,10 @@ import (
 // test.
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -248,10 +251,12 @@ func TestParallelSubmissionSharedYET(t *testing.T) {
 		}
 	}
 	hits, misses := s.cache.Stats()
-	// Two artifacts (engine, yet) and n identical jobs: exactly 2 misses
-	// total, everything else joined the cache.
-	if misses != 2 {
-		t.Fatalf("cache misses = %d, want 2 (hits %d)", misses, hits)
+	// Three artifacts (portfolio, engine, yet) and n identical jobs:
+	// exactly 3 misses total, everything else joined the cache. Only the
+	// engine and yet entries are read per job (the portfolio is folded
+	// into the cached engine), so hits come from those two keys.
+	if misses != 3 {
+		t.Fatalf("cache misses = %d, want 3 (hits %d)", misses, hits)
 	}
 	if hits != 2*(n-1) {
 		t.Fatalf("cache hits = %d, want %d", hits, 2*(n-1))
@@ -435,7 +440,7 @@ func TestHealthAndMetrics(t *testing.T) {
 	for _, want := range []string{
 		"ared_jobs_submitted_total 1",
 		"ared_jobs_completed_total 1",
-		"ared_cache_misses_total 2",
+		"ared_cache_misses_total 3",
 		"ared_trials_processed_total 200",
 		"ared_http_requests_total",
 		"ared_uptime_seconds",
@@ -478,7 +483,10 @@ func TestListJobs(t *testing.T) {
 // Shutdown must drain cleanly: running jobs finish, new submissions get
 // 503, and a second shutdown is a no-op.
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Config{JobWorkers: 1})
+	s, err := New(Config{JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	st, _ := postJob(t, ts, jobBody(71, 2000, 50, false))

@@ -119,6 +119,20 @@ func UniformSource(n int) EventSource { return uniformSource{n: n} }
 // Trial i is generated from rng stream (Seed, i), so the table content is
 // independent of generation order and may be parallelised.
 func Generate(src EventSource, cfg Config) (*Table, error) {
+	return GenerateRange(src, cfg, 0, cfg.Trials)
+}
+
+// ErrBadRange rejects shard bounds outside [0, Trials].
+var ErrBadRange = errors.New("yet: generation range outside [0, Trials]")
+
+// GenerateRange builds only trials [lo, hi) of the table Generate would
+// build from the same config: because trial i is a pure function of
+// (Seed, i), the shard's trial t is bitwise identical to trial lo+t of
+// the full table. This is what lets a distributed worker materialise
+// exactly its shard of a job's YET — O(hi-lo) memory and work, no
+// coordination — while the cluster's merged result still reproduces the
+// single-node run exactly.
+func GenerateRange(src EventSource, cfg Config, lo, hi int) (*Table, error) {
 	if src == nil {
 		return nil, ErrNilSource
 	}
@@ -128,14 +142,18 @@ func Generate(src EventSource, cfg Config) (*Table, error) {
 	if cfg.MeanEvents <= 0 && cfg.FixedEvents <= 0 {
 		return nil, ErrNoEvents
 	}
-	t := &Table{bounds: make([]uint64, 1, cfg.Trials+1)}
+	if lo < 0 || hi > cfg.Trials || lo >= hi {
+		return nil, fmt.Errorf("%w: [%d, %d) of %d", ErrBadRange, lo, hi, cfg.Trials)
+	}
+	n := hi - lo
+	t := &Table{bounds: make([]uint64, 1, n+1)}
 	expect := cfg.MeanEvents
 	if cfg.FixedEvents > 0 {
 		expect = float64(cfg.FixedEvents)
 	}
-	t.occ = make([]Occurrence, 0, int(float64(cfg.Trials)*expect*11/10))
+	t.occ = make([]Occurrence, 0, int(float64(n)*expect*11/10))
 	perils, _ := src.(PerilSource)
-	for i := 0; i < cfg.Trials; i++ {
+	for i := lo; i < hi; i++ {
 		r := rng.At(cfg.Seed, uint64(i))
 		n := cfg.FixedEvents
 		if n <= 0 {

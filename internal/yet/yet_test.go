@@ -430,3 +430,44 @@ func TestSeasonalCoversAllPerilProfiles(t *testing.T) {
 		}
 	}
 }
+
+func TestGenerateRangeMatchesFullTableSlice(t *testing.T) {
+	cfg := Config{Seed: 99, Trials: 500, MeanEvents: 40, Dispersion: 2, Seasonal: true}
+	src := UniformSource(1000)
+	full, err := Generate(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{0, 500}, {0, 100}, {123, 289}, {499, 500}} {
+		lo, hi := r[0], r[1]
+		shard, err := GenerateRange(src, cfg, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full.Slice(lo, hi)
+		if shard.NumTrials() != want.NumTrials() {
+			t.Fatalf("[%d,%d): %d trials, want %d", lo, hi, shard.NumTrials(), want.NumTrials())
+		}
+		for i := 0; i < shard.NumTrials(); i++ {
+			got, exp := shard.Trial(i), want.Trial(i)
+			if len(got) != len(exp) {
+				t.Fatalf("[%d,%d) trial %d: %d occurrences, want %d", lo, hi, i, len(got), len(exp))
+			}
+			for j := range got {
+				if got[j].Event != exp[j].Event || got[j].Time != exp[j].Time {
+					t.Fatalf("[%d,%d) trial %d occ %d: %+v != %+v", lo, hi, i, j, got[j], exp[j])
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateRangeRejectsBadBounds(t *testing.T) {
+	cfg := Config{Seed: 1, Trials: 10, MeanEvents: 5}
+	src := UniformSource(10)
+	for _, r := range [][2]int{{-1, 5}, {5, 11}, {7, 7}, {8, 2}} {
+		if _, err := GenerateRange(src, cfg, r[0], r[1]); !errors.Is(err, ErrBadRange) {
+			t.Errorf("[%d,%d): err = %v, want ErrBadRange", r[0], r[1], err)
+		}
+	}
+}
