@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"github.com/ralab/are/internal/elt"
-	"github.com/ralab/are/internal/financial"
 	"github.com/ralab/are/internal/layer"
 	"github.com/ralab/are/internal/yet"
 )
@@ -39,7 +38,7 @@ func NewEngine(p *layer.Portfolio, catalogSize int, kind LookupKind) (*Engine, e
 					combined[rec.Event] += t.Terms.Apply(rec.Loss)
 				}
 			}
-			cl.combined = combined
+			cl.steps = []gatherStep{{kind: stepCombined, combined: combined}}
 			e.lookupMem += 8 * catalogSize
 			e.layers = append(e.layers, cl)
 			continue
@@ -49,11 +48,16 @@ func NewEngine(p *layer.Portfolio, catalogSize int, kind LookupKind) (*Engine, e
 			if err != nil {
 				return nil, fmt.Errorf("core: layer %d: %w", l.ID, err)
 			}
-			cl.direct = ld
+			cl.steps = make([]gatherStep, ld.NumELTs())
+			for i := range cl.steps {
+				cl.steps[i] = gatherStep{
+					kind: stepDense, dense: ld, eltIdx: i,
+					prog: ld.Terms(i).Compile(),
+				}
+			}
 			e.lookupMem += ld.MemoryBytes()
 		} else {
-			cl.lookups = make([]elt.Lookup, len(l.ELTs))
-			cl.terms = make([]financial.Terms, 0, len(l.ELTs))
+			cl.steps = make([]gatherStep, len(l.ELTs))
 			for i, t := range l.ELTs {
 				if int(t.MaxEvent()) >= catalogSize {
 					return nil, fmt.Errorf("core: layer %d: event %d outside catalog of %d",
@@ -69,8 +73,11 @@ func NewEngine(p *layer.Portfolio, catalogSize int, kind LookupKind) (*Engine, e
 					cache[t] = look
 					e.lookupMem += look.MemoryBytes()
 				}
-				cl.lookups[i] = look
-				cl.terms = append(cl.terms, t.Terms)
+				step, err := planStep(look, t.Terms.Compile())
+				if err != nil {
+					return nil, fmt.Errorf("core: layer %d: %w", l.ID, err)
+				}
+				cl.steps[i] = step
 			}
 		}
 		e.layers = append(e.layers, cl)
@@ -125,13 +132,14 @@ func (e *Engine) Run(y *yet.Table, opt Options) (*Result, error) {
 	return e.runMaterialised(context.Background(), NewTableSource(y), opt)
 }
 
-// validate scans the YET once, rejecting event IDs outside the catalog so
-// the direct-table kernels can index without bounds anxiety.
+// validate scans the YET's event column once, rejecting event IDs
+// outside the catalog so the direct-table kernels can index without
+// bounds anxiety.
 func (e *Engine) validate(y *yet.Table) error {
 	for t := 0; t < y.NumTrials(); t++ {
-		for _, occ := range y.Trial(t) {
-			if int(occ.Event) >= e.catalogSize {
-				return fmt.Errorf("%w: event %d, catalog %d", ErrEventOutside, occ.Event, e.catalogSize)
+		for _, ev := range y.TrialEvents(t) {
+			if int(ev) >= e.catalogSize {
+				return fmt.Errorf("%w: event %d, catalog %d", ErrEventOutside, ev, e.catalogSize)
 			}
 		}
 	}

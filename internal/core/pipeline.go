@@ -177,9 +177,9 @@ func (e *Engine) layerIDs() []uint32 {
 // sources are validated span by span as data arrives.
 func (e *Engine) validateBatch(b Batch) error {
 	for t := b.Lo; t < b.Hi; t++ {
-		for _, occ := range b.Table.Trial(t) {
-			if int(occ.Event) >= e.catalogSize {
-				return fmt.Errorf("%w: event %d, catalog %d", ErrEventOutside, occ.Event, e.catalogSize)
+		for _, ev := range b.Table.TrialEvents(t) {
+			if int(ev) >= e.catalogSize {
+				return fmt.Errorf("%w: event %d, catalog %d", ErrEventOutside, ev, e.catalogSize)
 			}
 		}
 	}

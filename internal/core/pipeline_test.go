@@ -53,6 +53,16 @@ func (c *collectSink) Emit(layer, trial int, aggLoss, maxOcc float64) {
 	c.mu.Unlock()
 }
 
+func (c *collectSink) EmitBatch(layer, trialLo int, aggLoss, maxOcc []float64) {
+	c.mu.Lock()
+	for i := range aggLoss {
+		c.agg[layer][trialLo+i] = aggLoss[i]
+		c.maxOcc[layer][trialLo+i] = maxOcc[i]
+		c.seen[layer][trialLo+i]++
+	}
+	c.mu.Unlock()
+}
+
 // TestPipelineEquivalence is the tentpole contract: a streamed source
 // with a FullYLT sink is bitwise identical to Run on the loaded table,
 // across scheduling policies, chunk sizes and every ELT representation.

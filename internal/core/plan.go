@@ -1,0 +1,127 @@
+package core
+
+// Execution plans: the compile step's flat, interface-free lowering of
+// a layer.
+//
+// The engine used to walk []elt.Lookup and pay a dynamic dispatch plus
+// a financial.Terms branch cascade per occurrence per ELT — exactly the
+// per-element overhead the paper's memory-bound analysis (§III) says
+// dominates the kernel. A plan replaces that with one gatherStep per
+// ELT: a small tagged union holding the concrete representation pointer
+// and the ELT's precompiled financial program. The kernels dispatch
+// once per (ELT, trial) — a switch on a one-byte tag — and the batch
+// kernels in package elt run monomorphic inner loops over the trial's
+// event-ID column. Results stay bitwise identical to the classic path:
+// the step order is the layer's ELT order, and both the gather kernels
+// and financial.Program preserve the exact floating-point operation
+// sequence of Lookup.Loss + Terms.Apply.
+
+import (
+	"github.com/ralab/are/internal/elt"
+	"github.com/ralab/are/internal/financial"
+)
+
+// stepKind tags the concrete representation a gatherStep drives.
+type stepKind uint8
+
+const (
+	// stepCombined is a whole layer folded into one direct table at
+	// compile time (LookupCombined): financial terms and the cross-ELT
+	// sum are already applied, so the gather is a pure add.
+	stepCombined stepKind = iota
+	// stepDense is one row of the layer's packed flat loss vector
+	// (LookupDirect; the paper's §III.B.1 layout).
+	stepDense
+	// stepDirect, stepSorted, stepHash, stepCuckoo drive the standalone
+	// representations of the paper's data-structure study.
+	stepDirect
+	stepSorted
+	stepHash
+	stepCuckoo
+)
+
+// gatherStep is one ELT's slot in a layer's execution plan. Exactly one
+// representation pointer (matching kind) is non-nil; prog is the ELT's
+// compiled financial terms (unused for stepCombined, which folded them
+// at compile time).
+type gatherStep struct {
+	kind stepKind
+	prog financial.Program
+
+	combined []float64 // stepCombined: loss per event, net of terms, summed over ELTs
+	dense    *elt.LayerDense
+	eltIdx   int // stepDense: row within dense
+	direct   *elt.Direct
+	sorted   *elt.Sorted
+	hash     *elt.Hash
+	cuckoo   *elt.Cuckoo
+}
+
+// gather accumulates this ELT's terms-transformed losses for the
+// trial's event column into dst — algorithm lines 5-9 for one ELT, one
+// static dispatch per batch.
+func (s *gatherStep) gather(dst []float64, events []uint32) {
+	switch s.kind {
+	case stepCombined:
+		tbl := s.combined
+		for i, ev := range events {
+			dst[i] += tbl[ev]
+		}
+	case stepDense:
+		s.dense.GatherELTInto(s.eltIdx, dst, events, s.prog)
+	case stepDirect:
+		s.direct.GatherInto(dst, events, s.prog)
+	case stepSorted:
+		s.sorted.GatherInto(dst, events, s.prog)
+	case stepHash:
+		s.hash.GatherInto(dst, events, s.prog)
+	default:
+		s.cuckoo.GatherInto(dst, events, s.prog)
+	}
+}
+
+// losses stores this ELT's raw losses (zeros included, no financial
+// terms) into dst — the profiled kernel's phase-separated lookup pass.
+// For stepCombined the stored values are the folded per-event layer
+// losses, which already include terms by construction.
+func (s *gatherStep) losses(dst []float64, events []uint32) {
+	switch s.kind {
+	case stepCombined:
+		tbl := s.combined
+		for i, ev := range events {
+			dst[i] = tbl[ev]
+		}
+	case stepDense:
+		s.dense.LossesELTInto(s.eltIdx, dst, events)
+	case stepDirect:
+		s.direct.LossesInto(dst, events)
+	case stepSorted:
+		s.sorted.LossesInto(dst, events)
+	case stepHash:
+		s.hash.LossesInto(dst, events)
+	default:
+		s.cuckoo.LossesInto(dst, events)
+	}
+}
+
+// planStep lowers one built lookup representation into its plan step.
+func planStep(look elt.Lookup, prog financial.Program) (gatherStep, error) {
+	switch l := look.(type) {
+	case *elt.Direct:
+		return gatherStep{kind: stepDirect, direct: l, prog: prog}, nil
+	case *elt.Sorted:
+		return gatherStep{kind: stepSorted, sorted: l, prog: prog}, nil
+	case *elt.Hash:
+		return gatherStep{kind: stepHash, hash: l, prog: prog}, nil
+	case *elt.Cuckoo:
+		return gatherStep{kind: stepCuckoo, cuckoo: l, prog: prog}, nil
+	default:
+		return gatherStep{}, ErrUnknownLookup
+	}
+}
+
+// isCombined reports whether the layer compiled to a single folded
+// table (LookupCombined), whose lookup pass subsumes the financial one.
+func (cl *compiledLayer) isCombined() bool {
+	return len(cl.steps) == 1 && cl.steps[0].kind == stepCombined
+}

@@ -23,6 +23,17 @@ type Sink interface {
 	// multiple workers; each (layer, trial) pair is emitted exactly
 	// once, with trials arriving in no particular order.
 	Emit(layer, trial int, aggLoss, maxOcc float64)
+
+	// EmitBatch delivers a contiguous span of one layer's cells:
+	// aggLoss[i] and maxOcc[i] are the results of trial trialLo+i. The
+	// pipeline's workers deliver span-at-a-time — one EmitBatch per
+	// (layer, span) instead of an interface call per cell — so online
+	// sinks can take their synchronisation once per span. The slices
+	// are worker scratch, valid only for the duration of the call;
+	// retaining sinks must copy. Like Emit, EmitBatch must be safe for
+	// concurrent use, and each (layer, trial) cell arrives exactly once
+	// across all Emit/EmitBatch calls.
+	EmitBatch(layer, trialLo int, aggLoss, maxOcc []float64)
 }
 
 // FullYLT is the materialising sink: it stores every per-trial result
@@ -56,6 +67,14 @@ func (s *FullYLT) Begin(layerIDs []uint32, numTrials int) error {
 func (s *FullYLT) Emit(layer, trial int, aggLoss, maxOcc float64) {
 	s.res.AggLoss[layer][trial] = aggLoss
 	s.res.MaxOccLoss[layer][trial] = maxOcc
+}
+
+// EmitBatch stores one span of a layer's cells. (The pipeline's workers
+// bypass even this and store into the tables directly; the method keeps
+// FullYLT usable behind MultiSink and other composing sinks.)
+func (s *FullYLT) EmitBatch(layer, trialLo int, aggLoss, maxOcc []float64) {
+	copy(s.res.AggLoss[layer][trialLo:], aggLoss)
+	copy(s.res.MaxOccLoss[layer][trialLo:], maxOcc)
 }
 
 // Result returns the materialised result; call it only after the run
@@ -176,5 +195,12 @@ func (m MultiSink) Begin(layerIDs []uint32, numTrials int) error {
 func (m MultiSink) Emit(layer, trial int, aggLoss, maxOcc float64) {
 	for _, s := range m {
 		s.Emit(layer, trial, aggLoss, maxOcc)
+	}
+}
+
+// EmitBatch forwards one span to every member.
+func (m MultiSink) EmitBatch(layer, trialLo int, aggLoss, maxOcc []float64) {
+	for _, s := range m {
+		s.EmitBatch(layer, trialLo, aggLoss, maxOcc)
 	}
 }

@@ -18,6 +18,14 @@
 // tests — and any strategy can be verified against the straightforward
 // reference implementation in reference.go.
 //
+// The compile step lowers each layer into a flat, interface-free
+// execution plan (plan.go): one batch-gather step per ELT, holding the
+// concrete representation and the ELT's precompiled financial program.
+// Kernels consume the YET's columnar event stream (yet.TrialEvents) and
+// dispatch once per (ELT, trial) batch, so the per-occurrence path has
+// no dynamic calls — the data-layout discipline the paper's optimised
+// implementation applies on the GPU, here in Go.
+//
 // Execution is organised as a streaming pipeline (pipeline.go): workers
 // pull trial spans from a TrialSource (a loaded table or a serialised
 // stream, source.go) and deliver per-trial results to a Sink (the
@@ -35,8 +43,6 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/ralab/are/internal/elt"
-	"github.com/ralab/are/internal/financial"
 	"github.com/ralab/are/internal/layer"
 )
 
@@ -192,23 +198,16 @@ type Result struct {
 // YLT returns the year-loss vector of layer index l.
 func (r *Result) YLT(l int) []float64 { return r.AggLoss[l] }
 
-// compiledLayer is a layer lowered into the representation-specific form
-// the kernels consume.
+// compiledLayer is a layer lowered into the flat execution plan the
+// kernels consume: one gatherStep per ELT (a single folded step for
+// LookupCombined) in the layer's ELT order, plus the layer terms. The
+// steps are interface-free — each holds a concrete representation and
+// a precompiled financial program — so the hot loops stay monomorphic
+// (see plan.go).
 type compiledLayer struct {
-	id      uint32
-	lookups []elt.Lookup
-	terms   []financial.Terms
-	lterms  layer.Terms
-
-	// direct is non-nil when the layer was compiled with LookupDirect;
-	// kernels then use the packed flat vector exactly as the paper's
-	// implementation does, avoiding an interface call per lookup.
-	direct *elt.LayerDense
-
-	// combined is non-nil when the layer was compiled with
-	// LookupCombined: combined[event] is the layer's total loss for the
-	// event net of each ELT's financial terms, folded at compile time.
-	combined []float64
+	id     uint32
+	steps  []gatherStep
+	lterms layer.Terms
 }
 
 // Engine is a portfolio compiled against a catalog size, ready to run

@@ -2,21 +2,14 @@ package core
 
 import (
 	"time"
-
-	"github.com/ralab/are/internal/catalog"
-	"github.com/ralab/are/internal/financial"
-	"github.com/ralab/are/internal/yet"
 )
 
-// termsT shortens signatures inside the kernels.
-type termsT = financial.Terms
-
-// yetEvent converts a fetched raw event ID back to the catalog ID type.
-func yetEvent(id uint32) catalog.EventID { return catalog.EventID(id) }
-
 // worker holds the per-goroutine scratch state for the kernels: the lox
-// occurrence-loss buffer of the paper's algorithm plus, in chunked mode,
-// the fixed-size chunk buffer standing in for GPU shared memory.
+// occurrence-loss buffer of the paper's algorithm, the fixed-size chunk
+// buffer standing in for GPU shared memory (chunked mode), span-sized
+// result buffers for batched sink delivery, and the profiled kernel's
+// ids/raw vectors. Everything is allocated once per worker and reused
+// across trials, so the steady-state hot path performs no allocation.
 type worker struct {
 	e   *Engine
 	opt Options
@@ -28,6 +21,17 @@ type worker struct {
 	// chunk is the ChunkSize-long local buffer used by the optimised
 	// kernel.
 	chunk []float64
+
+	// aggBuf/occBuf collect one span's per-trial results for a single
+	// EmitBatch call per (layer, span) — replacing an interface call
+	// per cell for non-materialising sinks.
+	aggBuf, occBuf []float64
+
+	// ids and raw are the profiled kernel's phase vectors (fetched
+	// event IDs; per-ELT raw losses), hoisted here so profiling does
+	// not allocate per trial.
+	ids []uint32
+	raw []float64
 
 	phases PhaseBreakdown
 }
@@ -45,80 +49,67 @@ func newWorker(e *Engine, opt Options, meanTrialLen float64) *worker {
 	return w
 }
 
-// runSpan evaluates one batch of trials for every layer, delivering each
-// (layer, trial) cell to the sink. The FullYLT sink is special-cased to
-// plain slice stores — its cells are disjoint per worker, needing no
-// synchronisation — which keeps the hot materialising path free of an
-// interface call per cell.
+// runSpan evaluates one batch of trials for every layer, delivering
+// results span-at-a-time. The FullYLT sink is special-cased to plain
+// slice stores — its cells are disjoint per worker, needing no
+// synchronisation; every other sink receives one EmitBatch call per
+// (layer, span), so no per-cell interface dispatch survives on the hot
+// path either way.
 func (w *worker) runSpan(b Batch, sink Sink) {
 	full, _ := sink.(*FullYLT)
+	span := b.Hi - b.Lo
+	if full == nil && cap(w.aggBuf) < span {
+		w.aggBuf = make([]float64, span)
+		w.occBuf = make([]float64, span)
+	}
 	for li := range w.e.layers {
 		cl := &w.e.layers[li]
 		var agg, maxOcc []float64
 		if full != nil {
 			agg = full.res.AggLoss[li]
 			maxOcc = full.res.MaxOccLoss[li]
+		} else {
+			agg = w.aggBuf[:span]
+			maxOcc = w.occBuf[:span]
 		}
 		for t := b.Lo; t < b.Hi; t++ {
-			trial := b.Table.Trial(t)
+			events := b.Table.TrialEvents(t)
 			var a, m float64
 			switch {
 			case w.opt.Profile:
-				a, m = w.trialProfiled(cl, trial)
+				a, m = w.trialProfiled(cl, events)
 			case w.opt.ChunkSize > 0:
-				a, m = w.trialChunked(cl, trial)
+				a, m = w.trialChunked(cl, events)
 			default:
-				a, m = w.trialBasic(cl, trial)
+				a, m = w.trialBasic(cl, events)
 			}
 			if full != nil {
 				agg[b.Offset+t] = a
 				maxOcc[b.Offset+t] = m
 			} else {
-				sink.Emit(li, b.Offset+t, a, m)
+				agg[t-b.Lo] = a
+				maxOcc[t-b.Lo] = m
 			}
+		}
+		if full == nil {
+			sink.EmitBatch(li, b.Offset+b.Lo, agg, maxOcc)
 		}
 	}
 }
 
 // trialBasic is the paper's basic kernel: for one trial and one layer,
-// steps 1-4 of §II.B over the whole event sequence at once.
-func (w *worker) trialBasic(cl *compiledLayer, trial []yet.Occurrence) (aggLoss, maxOcc float64) {
-	n := len(trial)
+// steps 1-4 of §II.B over the whole event column at once. Each plan
+// step is one batch gather — ELT-major, matching the packed
+// flat-vector layout — with a monomorphic inner loop (see plan.go).
+func (w *worker) trialBasic(cl *compiledLayer, events []uint32) (aggLoss, maxOcc float64) {
+	n := len(events)
 	if n == 0 {
 		return 0, 0
 	}
 	lox := w.buf(n)
-
-	// Steps 1+2: per-occurrence ELT lookup, financial terms, cross-ELT
-	// accumulation. Iterating ELT-major matches the packed flat-vector
-	// layout (one direct-access table after another).
-	if cl.combined != nil {
-		for d := 0; d < n; d++ {
-			lox[d] = cl.combined[trial[d].Event]
-		}
-		return w.layerTerms(cl, lox)
+	for i := range cl.steps {
+		cl.steps[i].gather(lox, events)
 	}
-	if cl.direct != nil {
-		ld := cl.direct
-		for e := 0; e < ld.NumELTs(); e++ {
-			terms := ld.Terms(e)
-			for d := 0; d < n; d++ {
-				if raw := ld.Loss(e, trial[d].Event); raw != 0 {
-					lox[d] += terms.Apply(raw)
-				}
-			}
-		}
-	} else {
-		for e, look := range cl.lookups {
-			terms := cl.terms[e]
-			for d := 0; d < n; d++ {
-				if raw := look.Loss(trial[d].Event); raw != 0 {
-					lox[d] += terms.Apply(raw)
-				}
-			}
-		}
-	}
-
 	return w.layerTerms(cl, lox)
 }
 
@@ -127,8 +118,8 @@ func (w *worker) trialBasic(cl *compiledLayer, trial []yet.Occurrence) (aggLoss,
 // ChunkSize values (the GPU shared-memory discipline). The floating-point
 // operation sequence per occurrence is unchanged, so results are bitwise
 // identical to trialBasic.
-func (w *worker) trialChunked(cl *compiledLayer, trial []yet.Occurrence) (aggLoss, maxOcc float64) {
-	n := len(trial)
+func (w *worker) trialChunked(cl *compiledLayer, events []uint32) (aggLoss, maxOcc float64) {
+	n := len(events)
 	if n == 0 {
 		return 0, 0
 	}
@@ -141,32 +132,9 @@ func (w *worker) trialChunked(cl *compiledLayer, trial []yet.Occurrence) (aggLos
 			end = n
 		}
 		chunk := w.chunk[:end-base]
-		for i := range chunk {
-			chunk[i] = 0
-		}
-		if cl.combined != nil {
-			for i := range chunk {
-				chunk[i] = cl.combined[trial[base+i].Event]
-			}
-		} else if cl.direct != nil {
-			ld := cl.direct
-			for e := 0; e < ld.NumELTs(); e++ {
-				terms := ld.Terms(e)
-				for i := range chunk {
-					if raw := ld.Loss(e, trial[base+i].Event); raw != 0 {
-						chunk[i] += terms.Apply(raw)
-					}
-				}
-			}
-		} else {
-			for e, look := range cl.lookups {
-				terms := cl.terms[e]
-				for i := range chunk {
-					if raw := look.Loss(trial[base+i].Event); raw != 0 {
-						chunk[i] += terms.Apply(raw)
-					}
-				}
-			}
+		clear(chunk)
+		for i := range cl.steps {
+			cl.steps[i].gather(chunk, events[base:end])
 		}
 		copy(lox[base:end], chunk)
 	}
@@ -179,29 +147,32 @@ func (w *worker) trialChunked(cl *compiledLayer, trial []yet.Occurrence) (aggLos
 // Figure 6b breakdown. It is arithmetically equivalent but NOT guaranteed
 // bitwise-identical to the fused kernels (the raw-loss pass accumulates in
 // the same ELT order, so in practice it matches; tests assert equality).
-func (w *worker) trialProfiled(cl *compiledLayer, trial []yet.Occurrence) (aggLoss, maxOcc float64) {
-	n := len(trial)
+func (w *worker) trialProfiled(cl *compiledLayer, events []uint32) (aggLoss, maxOcc float64) {
+	n := len(events)
 	if n == 0 {
 		return 0, 0
 	}
 	lox := w.buf(n)
 
 	// Phase (a): fetch events from the YET into a local vector
-	// (lines 3-4: walking Et in b).
+	// (lines 3-4: walking Et in b) — a straight copy of the event
+	// column into worker scratch.
 	t0 := time.Now()
-	ids := make([]uint32, n)
-	for d := 0; d < n; d++ {
-		ids[d] = uint32(trial[d].Event)
+	if cap(w.ids) < n {
+		w.ids = make([]uint32, n)
 	}
+	ids := w.ids[:n]
+	copy(ids, events)
 	t1 := time.Now()
 	w.phases.EventFetch += t1.Sub(t0)
 
-	if cl.combined != nil {
+	if cl.isCombined() {
 		// Phase (b): the single combined lookup replaces both the
 		// per-ELT lookups and the financial-terms pass (folded at
 		// compile time), so all of it is attributed to lookup.
-		for d := 0; d < n; d++ {
-			lox[d] = cl.combined[ids[d]]
+		tbl := cl.steps[0].combined
+		for d, ev := range ids {
+			lox[d] = tbl[ev]
 		}
 		t2 := time.Now()
 		w.phases.ELTLookup += t2.Sub(t1)
@@ -210,37 +181,28 @@ func (w *worker) trialProfiled(cl *compiledLayer, trial []yet.Occurrence) (aggLo
 		return aggLoss, maxOcc
 	}
 
-	// Phase (b): ELT lookups (line 5), raw losses gathered per ELT.
-	numELTs := w.numELTs(cl)
-	raw := make([]float64, numELTs*n)
-	if cl.direct != nil {
-		ld := cl.direct
-		for e := 0; e < numELTs; e++ {
-			row := raw[e*n : (e+1)*n]
-			for d := 0; d < n; d++ {
-				row[d] = ld.Loss(e, yetEvent(ids[d]))
-			}
-		}
-	} else {
-		for e := 0; e < numELTs; e++ {
-			row := raw[e*n : (e+1)*n]
-			look := cl.lookups[e]
-			for d := 0; d < n; d++ {
-				row[d] = look.Loss(yetEvent(ids[d]))
-			}
-		}
+	// Phase (b): ELT lookups (line 5), raw losses gathered per ELT
+	// into the hoisted scratch matrix.
+	numELTs := len(cl.steps)
+	if cap(w.raw) < numELTs*n {
+		w.raw = make([]float64, numELTs*n)
+	}
+	raw := w.raw[:numELTs*n]
+	for e := range cl.steps {
+		cl.steps[e].losses(raw[e*n:(e+1)*n], ids)
 	}
 	t2 := time.Now()
 	w.phases.ELTLookup += t2.Sub(t1)
 
 	// Phase (c): financial terms and cross-ELT accumulation
-	// (lines 6-9).
-	for e := 0; e < numELTs; e++ {
-		terms := w.termsOf(cl, e)
+	// (lines 6-9), via each step's compiled program (bitwise-identical
+	// to Terms.Apply).
+	for e := range cl.steps {
+		prog := cl.steps[e].prog
 		row := raw[e*n : (e+1)*n]
 		for d := 0; d < n; d++ {
 			if row[d] != 0 {
-				lox[d] += terms.Apply(row[d])
+				lox[d] += prog.Apply(row[d])
 			}
 		}
 	}
@@ -280,24 +242,9 @@ func (w *worker) layerTerms(cl *compiledLayer, lox []float64) (aggLoss, maxOcc f
 func (w *worker) buf(n int) []float64 {
 	if cap(w.lox) < n {
 		w.lox = make([]float64, n)
+		return w.lox
 	}
 	w.lox = w.lox[:n]
-	for i := range w.lox {
-		w.lox[i] = 0
-	}
+	clear(w.lox)
 	return w.lox
-}
-
-func (w *worker) numELTs(cl *compiledLayer) int {
-	if cl.direct != nil {
-		return cl.direct.NumELTs()
-	}
-	return len(cl.lookups)
-}
-
-func (w *worker) termsOf(cl *compiledLayer, e int) termsT {
-	if cl.direct != nil {
-		return cl.direct.Terms(e)
-	}
-	return cl.terms[e]
 }

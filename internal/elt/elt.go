@@ -11,6 +11,18 @@
 // with binary search, hashing, cuckoo hashing). All four are implemented
 // here so the trade-off can be measured.
 //
+// Every representation exposes two access paths. The Lookup interface
+// (Loss per event) is the convenient one for cold paths and tests. The
+// hot path is the batch-gather contract (gather.go): each concrete
+// type implements GatherInto(dst, events, program) — accumulate the
+// compiled-terms-transformed losses of a whole trial's event column in
+// one monomorphic loop — and LossesInto(dst, events) — store raw
+// losses, zeros included, for phase-separated profiling. The engine's
+// execution plans call these once per (ELT, trial), so no dynamic
+// dispatch is paid per occurrence; the loop bodies replicate the exact
+// floating-point sequence of Loss + Terms.Apply, keeping batch results
+// bitwise identical to the per-occurrence path.
+//
 // Beyond the representations, the package provides synthetic generation
 // (gen.go; lognormal severities deterministic in the seed, matching the
 // statistical shape the paper reports for industrial ELTs) and a binary

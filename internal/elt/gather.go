@@ -1,0 +1,276 @@
+package elt
+
+// Batch gather kernels: the devirtualised hot path of the engine.
+//
+// The classic Lookup interface costs a dynamic dispatch per occurrence
+// per ELT — exactly the per-element overhead the paper's memory-bound
+// analysis says the kernel cannot afford. Each representation therefore
+// also provides two concrete batch kernels over a trial's event-ID
+// column:
+//
+//   - GatherInto applies the ELT's compiled financial program to every
+//     present loss and accumulates into dst (algorithm lines 5-9 for
+//     one ELT): dst[i] += program(loss(events[i])) for non-zero losses.
+//   - LossesInto stores the raw losses, zeros included (line 5 alone):
+//     dst[i] = loss(events[i]) — the phase-separated profiled kernel's
+//     lookup pass.
+//
+// The engine's execution plan calls one kernel per (ELT, trial), so
+// dispatch cost is amortised over the whole event column and every
+// inner loop below is monomorphic — the lookup is inlined and the
+// financial program is specialised by its operation class outside the
+// loop (see financial.Program). The loop bodies replicate the exact
+// floating-point operation sequence of Terms.Apply, which keeps batch
+// results bitwise identical to the per-occurrence path.
+
+import (
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/financial"
+)
+
+// eventID converts a raw column value back to the catalog's key type
+// for the representations keyed by it.
+type eventID = catalog.EventID
+
+// gatherDense is the shared kernel body for dense direct-access
+// gathers: losses is a flat vector indexed by event ID (a whole-catalog
+// array for Direct, one LayerDense row for the packed layout).
+func gatherDense(dst []float64, events []uint32, losses []float64, p financial.Program) {
+	switch p.Op {
+	case financial.OpIdentity:
+		for i, ev := range events {
+			if raw := losses[ev]; raw != 0 {
+				dst[i] += raw
+			}
+		}
+	case financial.OpScale:
+		fx, part := p.FX, p.Participation
+		for i, ev := range events {
+			if raw := losses[ev]; raw != 0 {
+				dst[i] += (raw * fx) * part
+			}
+		}
+	case financial.OpNoLimit:
+		fx, ret, part := p.FX, p.Retention, p.Participation
+		for i, ev := range events {
+			if raw := losses[ev]; raw != 0 {
+				if l := raw*fx - ret; l > 0 {
+					dst[i] += l * part
+				}
+			}
+		}
+	default:
+		fx, ret, lim, part := p.FX, p.Retention, p.Limit, p.Participation
+		for i, ev := range events {
+			if raw := losses[ev]; raw != 0 {
+				if l := raw*fx - ret; l > 0 {
+					if l > lim {
+						l = lim
+					}
+					dst[i] += l * part
+				}
+			}
+		}
+	}
+}
+
+// GatherInto accumulates the program-transformed losses of the given
+// events into dst (one dense array read per occurrence).
+func (d *Direct) GatherInto(dst []float64, events []uint32, p financial.Program) {
+	gatherDense(dst, events, d.losses, p)
+}
+
+// LossesInto stores the raw loss of each event into dst, zeros included.
+func (d *Direct) LossesInto(dst []float64, events []uint32) {
+	for i, ev := range events {
+		dst[i] = d.losses[ev]
+	}
+}
+
+// GatherELTInto is GatherInto for packed table index elt of the layer's
+// flat loss vector.
+func (ld *LayerDense) GatherELTInto(elt int, dst []float64, events []uint32, p financial.Program) {
+	base := elt * ld.stride
+	gatherDense(dst, events, ld.losses[base:base+ld.stride], p)
+}
+
+// LossesELTInto is LossesInto for packed table index elt.
+func (ld *LayerDense) LossesELTInto(elt int, dst []float64, events []uint32) {
+	row := ld.losses[elt*ld.stride : (elt+1)*ld.stride]
+	for i, ev := range events {
+		dst[i] = row[ev]
+	}
+}
+
+// lossRaw is the inlined binary search of Sorted.Loss.
+func (s *Sorted) lossRaw(id uint32) float64 {
+	lo, hi := 0, len(s.events)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if uint32(s.events[mid]) < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.events) && uint32(s.events[lo]) == id {
+		return s.losses[lo]
+	}
+	return 0
+}
+
+// GatherInto accumulates program-transformed losses via binary search
+// per occurrence (O(log n) probes, no dynamic dispatch).
+func (s *Sorted) GatherInto(dst []float64, events []uint32, p financial.Program) {
+	switch p.Op {
+	case financial.OpIdentity:
+		for i, ev := range events {
+			if raw := s.lossRaw(ev); raw != 0 {
+				dst[i] += raw
+			}
+		}
+	case financial.OpScale:
+		fx, part := p.FX, p.Participation
+		for i, ev := range events {
+			if raw := s.lossRaw(ev); raw != 0 {
+				dst[i] += (raw * fx) * part
+			}
+		}
+	case financial.OpNoLimit:
+		fx, ret, part := p.FX, p.Retention, p.Participation
+		for i, ev := range events {
+			if raw := s.lossRaw(ev); raw != 0 {
+				if l := raw*fx - ret; l > 0 {
+					dst[i] += l * part
+				}
+			}
+		}
+	default:
+		fx, ret, lim, part := p.FX, p.Retention, p.Limit, p.Participation
+		for i, ev := range events {
+			if raw := s.lossRaw(ev); raw != 0 {
+				if l := raw*fx - ret; l > 0 {
+					if l > lim {
+						l = lim
+					}
+					dst[i] += l * part
+				}
+			}
+		}
+	}
+}
+
+// LossesInto stores raw losses by binary search, zeros included.
+func (s *Sorted) LossesInto(dst []float64, events []uint32) {
+	for i, ev := range events {
+		dst[i] = s.lossRaw(ev)
+	}
+}
+
+// GatherInto accumulates program-transformed losses via the map
+// representation (one map probe per occurrence, no dynamic dispatch).
+func (h *Hash) GatherInto(dst []float64, events []uint32, p financial.Program) {
+	m := h.m
+	switch p.Op {
+	case financial.OpIdentity:
+		for i, ev := range events {
+			if raw := m[eventID(ev)]; raw != 0 {
+				dst[i] += raw
+			}
+		}
+	case financial.OpScale:
+		fx, part := p.FX, p.Participation
+		for i, ev := range events {
+			if raw := m[eventID(ev)]; raw != 0 {
+				dst[i] += (raw * fx) * part
+			}
+		}
+	case financial.OpNoLimit:
+		fx, ret, part := p.FX, p.Retention, p.Participation
+		for i, ev := range events {
+			if raw := m[eventID(ev)]; raw != 0 {
+				if l := raw*fx - ret; l > 0 {
+					dst[i] += l * part
+				}
+			}
+		}
+	default:
+		fx, ret, lim, part := p.FX, p.Retention, p.Limit, p.Participation
+		for i, ev := range events {
+			if raw := m[eventID(ev)]; raw != 0 {
+				if l := raw*fx - ret; l > 0 {
+					if l > lim {
+						l = lim
+					}
+					dst[i] += l * part
+				}
+			}
+		}
+	}
+}
+
+// LossesInto stores raw losses from the map, zeros included.
+func (h *Hash) LossesInto(dst []float64, events []uint32) {
+	for i, ev := range events {
+		dst[i] = h.m[eventID(ev)]
+	}
+}
+
+// lossRaw is the inlined two-probe lookup of Cuckoo.Loss.
+func (c *Cuckoo) lossRaw(k uint32) float64 {
+	if p := c.h1(k); c.keys1[p] == k {
+		return c.vals1[p]
+	}
+	if p := c.h2(k); c.keys2[p] == k {
+		return c.vals2[p]
+	}
+	return 0
+}
+
+// GatherInto accumulates program-transformed losses via at most two
+// hash probes per occurrence, no dynamic dispatch.
+func (c *Cuckoo) GatherInto(dst []float64, events []uint32, p financial.Program) {
+	switch p.Op {
+	case financial.OpIdentity:
+		for i, ev := range events {
+			if raw := c.lossRaw(ev); raw != 0 {
+				dst[i] += raw
+			}
+		}
+	case financial.OpScale:
+		fx, part := p.FX, p.Participation
+		for i, ev := range events {
+			if raw := c.lossRaw(ev); raw != 0 {
+				dst[i] += (raw * fx) * part
+			}
+		}
+	case financial.OpNoLimit:
+		fx, ret, part := p.FX, p.Retention, p.Participation
+		for i, ev := range events {
+			if raw := c.lossRaw(ev); raw != 0 {
+				if l := raw*fx - ret; l > 0 {
+					dst[i] += l * part
+				}
+			}
+		}
+	default:
+		fx, ret, lim, part := p.FX, p.Retention, p.Limit, p.Participation
+		for i, ev := range events {
+			if raw := c.lossRaw(ev); raw != 0 {
+				if l := raw*fx - ret; l > 0 {
+					if l > lim {
+						l = lim
+					}
+					dst[i] += l * part
+				}
+			}
+		}
+	}
+}
+
+// LossesInto stores raw losses via cuckoo probes, zeros included.
+func (c *Cuckoo) LossesInto(dst []float64, events []uint32) {
+	for i, ev := range events {
+		dst[i] = c.lossRaw(ev)
+	}
+}

@@ -1,0 +1,149 @@
+package elt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/rng"
+)
+
+// gatherTerms spans every financial.Program op class.
+var gatherTerms = []financial.Terms{
+	financial.Default(), // identity
+	{FX: 1.2, EventLimit: financial.Unlimited, Participation: 0.4},             // scale
+	{FX: 1, EventRetention: 900, EventLimit: financial.Unlimited, Participation: 1},  // no-limit
+	{FX: 0.9, EventRetention: 500, EventLimit: 40_000, Participation: 0.75},          // general
+}
+
+func gatherTable(t *testing.T, terms financial.Terms, catalogSize int) *Table {
+	t.Helper()
+	tab, err := Generate(7, GenConfig{
+		Seed: 11, NumRecords: 400, CatalogSize: catalogSize, MeanLoss: 1e4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := append([]Record(nil), tab.Records()...)
+	// Include an explicit zero-loss record: present in the table but
+	// contributing nothing, the edge the != 0 skip must preserve.
+	recs[0].Loss = 0
+	tab, err = New(7, terms, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestGatherMatchesLookup is the kernels' contract: every batch gather
+// accumulates bitwise-identically to the per-occurrence
+// Loss + Terms.Apply sequence it replaces, and every LossesInto matches
+// Loss, zeros included.
+func TestGatherMatchesLookup(t *testing.T) {
+	const catalogSize = 5_000
+	r := rng.New(3)
+	events := make([]uint32, 2_000)
+	for i := range events {
+		events[i] = uint32(r.Intn(catalogSize))
+	}
+
+	for _, terms := range gatherTerms {
+		tab := gatherTable(t, terms, catalogSize)
+		prog := terms.Compile()
+
+		direct, err := NewDirect(tab, catalogSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := BuildLayerDense([]*Table{tab, tab}, catalogSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		type batchKernel interface {
+			Lookup
+			GatherInto(dst []float64, events []uint32, p financial.Program)
+			LossesInto(dst []float64, events []uint32)
+		}
+		kernels := map[string]batchKernel{
+			"direct": direct,
+			"sorted": NewSorted(tab),
+			"hash":   NewHash(tab),
+			"cuckoo": NewCuckoo(tab),
+		}
+
+		want := make([]float64, len(events))
+		for i, ev := range events {
+			if raw := direct.Loss(catalog.EventID(ev)); raw != 0 {
+				want[i] += terms.Apply(raw)
+			}
+		}
+		wantRaw := make([]float64, len(events))
+		for i, ev := range events {
+			wantRaw[i] = direct.Loss(catalog.EventID(ev))
+		}
+
+		for name, k := range kernels {
+			got := make([]float64, len(events))
+			k.GatherInto(got, events, prog)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s/%v: GatherInto[%d] = %x, want %x",
+						name, prog.Op, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+			raw := make([]float64, len(events))
+			k.LossesInto(raw, events)
+			for i := range raw {
+				if math.Float64bits(raw[i]) != math.Float64bits(wantRaw[i]) {
+					t.Fatalf("%s: LossesInto[%d] = %v, want %v", name, i, raw[i], wantRaw[i])
+				}
+			}
+		}
+
+		// LayerDense: each packed row gathers like the standalone direct
+		// table, and accumulation across rows composes.
+		for e := 0; e < dense.NumELTs(); e++ {
+			got := make([]float64, len(events))
+			dense.GatherELTInto(e, got, events, prog)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("dense elt %d/%v: [%d] = %v, want %v", e, prog.Op, i, got[i], want[i])
+				}
+			}
+			raw := make([]float64, len(events))
+			dense.LossesELTInto(e, raw, events)
+			for i := range raw {
+				if math.Float64bits(raw[i]) != math.Float64bits(wantRaw[i]) {
+					t.Fatalf("dense elt %d: LossesELTInto[%d] = %v, want %v", e, i, raw[i], wantRaw[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGatherAccumulates checks += semantics: gathering twice doubles in
+// the same order a two-ELT layer would accumulate.
+func TestGatherAccumulates(t *testing.T) {
+	const catalogSize = 1_000
+	terms := gatherTerms[3]
+	tab := gatherTable(t, terms, catalogSize)
+	prog := terms.Compile()
+	direct, err := NewDirect(tab, catalogSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []uint32{0, 1, 2, 500, 999}
+	once := make([]float64, len(events))
+	direct.GatherInto(once, events, prog)
+	twice := make([]float64, len(events))
+	direct.GatherInto(twice, events, prog)
+	direct.GatherInto(twice, events, prog)
+	for i := range events {
+		want := once[i] + once[i]
+		if math.Float64bits(twice[i]) != math.Float64bits(want) {
+			t.Fatalf("accumulation differs at %d: %v vs %v", i, twice[i], want)
+		}
+	}
+}

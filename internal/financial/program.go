@@ -1,0 +1,115 @@
+package financial
+
+// Program is Terms precompiled for the engine's batch-gather kernels: a
+// closure-free tagged form that classifies the terms once at compile
+// time so the per-occurrence hot loop neither branches on degenerate
+// fields nor calls through an interface. The engine's gather kernels
+// switch on Op outside their inner loop and run a loop body specialised
+// to the class; Apply exists for the cold paths and is bitwise
+// identical to Terms.Apply for every positive finite loss — the
+// kernels' whole domain, since they skip absent (zero) losses.
+//
+// The classification never reassociates floating-point arithmetic — a
+// fast path is taken only when dropping an operation is bitwise exact
+// (x*1 == x, x-0 == x for x >= 0, x > +Inf is never true) — which is
+// what keeps every kernel's Year Loss Tables bitwise identical to the
+// reference semantics.
+type Program struct {
+	// Op selects the specialised loop body.
+	Op ProgramOp
+
+	// FX, Retention, Limit, Participation mirror the compiled Terms.
+	// Kernels read only the fields their Op class uses.
+	FX            float64
+	Retention     float64
+	Limit         float64
+	Participation float64
+}
+
+// ProgramOp classifies compiled terms by which operations survive.
+type ProgramOp uint8
+
+const (
+	// OpIdentity passes losses through untouched: FX 1, no retention,
+	// no limit, full participation. The kernel loop is a pure gather.
+	OpIdentity ProgramOp = iota
+	// OpScale multiplies by FX then Participation (no retention, no
+	// limit) — two multiplies, no comparisons.
+	OpScale
+	// OpNoLimit applies FX, retention and participation but skips the
+	// never-taken limit comparison (Limit is +Inf).
+	OpNoLimit
+	// OpGeneral is the full min(max(l*FX-R, 0), L)*P sequence.
+	OpGeneral
+)
+
+// String names the op class.
+func (op ProgramOp) String() string {
+	switch op {
+	case OpIdentity:
+		return "identity"
+	case OpScale:
+		return "scale"
+	case OpNoLimit:
+		return "no-limit"
+	default:
+		return "general"
+	}
+}
+
+// Compile classifies t into its cheapest bitwise-exact program. Callers
+// are expected to have validated t (the engine compiles only validated
+// tables); unvalidated terms still compile, conservatively, to
+// OpGeneral or their exact class.
+func (t Terms) Compile() Program {
+	p := Program{
+		Op:            OpGeneral,
+		FX:            t.FX,
+		Retention:     t.EventRetention,
+		Limit:         t.EventLimit,
+		Participation: t.Participation,
+	}
+	noRetention := t.EventRetention == 0
+	noLimit := t.EventLimit > maxFinite // only +Inf
+	switch {
+	case noRetention && noLimit && t.FX == 1 && t.Participation == 1:
+		p.Op = OpIdentity
+	case noRetention && noLimit:
+		p.Op = OpScale
+	case noLimit:
+		p.Op = OpNoLimit
+	}
+	return p
+}
+
+// maxFinite is the largest finite float64; anything above it is +Inf
+// (NaN fails the > comparison and stays OpGeneral).
+const maxFinite = 0x1.fffffffffffffp1023
+
+// Apply transforms one event loss exactly as Terms.Apply would — the
+// cold-path counterpart of the kernels' specialised loops, used by the
+// profiled kernel's phase-separated financial pass and asserted
+// bitwise-equal to Terms.Apply in tests.
+func (p Program) Apply(loss float64) float64 {
+	switch p.Op {
+	case OpIdentity:
+		return loss
+	case OpScale:
+		return (loss * p.FX) * p.Participation
+	case OpNoLimit:
+		l := loss*p.FX - p.Retention
+		if l <= 0 {
+			return 0
+		}
+		return l * p.Participation
+	default:
+		l := loss*p.FX - p.Retention
+		if l <= 0 {
+			return 0
+		}
+		if l > p.Limit {
+			l = p.Limit
+		}
+		return l * p.Participation
+	}
+}

@@ -1,0 +1,91 @@
+package financial
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompileClassification(t *testing.T) {
+	cases := []struct {
+		name  string
+		terms Terms
+		want  ProgramOp
+	}{
+		{"identity", Default(), OpIdentity},
+		{"scale-fx", Terms{FX: 1.1, EventLimit: Unlimited, Participation: 1}, OpScale},
+		{"scale-part", Terms{FX: 1, EventLimit: Unlimited, Participation: 0.5}, OpScale},
+		{"no-limit", Terms{FX: 1, EventRetention: 100, EventLimit: Unlimited, Participation: 1}, OpNoLimit},
+		{"general", Terms{FX: 1, EventRetention: 100, EventLimit: 1e6, Participation: 1}, OpGeneral},
+		{"limit-only", Terms{FX: 1, EventLimit: 1e6, Participation: 1}, OpGeneral},
+	}
+	for _, c := range cases {
+		if got := c.terms.Compile().Op; got != c.want {
+			t.Errorf("%s: Op = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestProgramBitwiseIdentical is the contract the gather kernels rely
+// on: for every positive finite loss (their whole domain — absent
+// events are skipped), the compiled program reproduces Terms.Apply bit
+// for bit, including each specialised fast path's dropped operations.
+func TestProgramBitwiseIdentical(t *testing.T) {
+	terms := []Terms{
+		Default(),
+		{FX: 1.25, EventLimit: Unlimited, Participation: 1},
+		{FX: 1, EventLimit: Unlimited, Participation: 0.35},
+		{FX: 0.8, EventLimit: Unlimited, Participation: 0.6},
+		{FX: 1, EventRetention: 5_000, EventLimit: Unlimited, Participation: 1},
+		{FX: 1.1, EventRetention: 12_345.678, EventLimit: Unlimited, Participation: 0.42},
+		{FX: 1, EventRetention: 0, EventLimit: 250_000, Participation: 1},
+		{FX: 0.93, EventRetention: 10_000, EventLimit: 1e6, Participation: 0.77},
+	}
+	losses := []float64{
+		math.SmallestNonzeroFloat64, 1e-300, 0.001, 1, 3.1415,
+		4_999.999, 5_000, 5_000.0000001, 250_000, 1e6, 1e12, 1e300,
+	}
+	for _, tm := range terms {
+		p := tm.Compile()
+		for _, l := range losses {
+			want, got := tm.Apply(l), p.Apply(l)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("terms %+v (op %v) loss %v: Terms.Apply=%x Program.Apply=%x",
+					tm, p.Op, l, math.Float64bits(want), math.Float64bits(got))
+			}
+		}
+	}
+}
+
+func TestProgramBitwiseProperty(t *testing.T) {
+	f := func(fxRaw, retRaw, limRaw, partRaw, lossRaw uint16, unlimited bool) bool {
+		tm := Terms{
+			FX:             0.5 + float64(fxRaw)/65536*2,
+			EventRetention: float64(retRaw),
+			EventLimit:     1 + float64(limRaw),
+			Participation:  (1 + float64(partRaw)) / 65536,
+		}
+		if unlimited {
+			tm.EventLimit = Unlimited
+		}
+		if tm.Validate() != nil {
+			return true
+		}
+		loss := math.SmallestNonzeroFloat64 + float64(lossRaw)*17.3
+		p := tm.Compile()
+		return math.Float64bits(tm.Apply(loss)) == math.Float64bits(p.Apply(loss))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramOpString(t *testing.T) {
+	for op, want := range map[ProgramOp]string{
+		OpIdentity: "identity", OpScale: "scale", OpNoLimit: "no-limit", OpGeneral: "general",
+	} {
+		if op.String() != want {
+			t.Errorf("op %d String = %q, want %q", op, op.String(), want)
+		}
+	}
+}

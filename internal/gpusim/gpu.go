@@ -73,6 +73,12 @@ type Kernel struct {
 	// processed in blocks of this size through shared memory. 0 runs
 	// the basic kernel with intermediates in global memory.
 	ChunkSize int
+	// ColumnarFetch models the engine's SoA trial layout: the kernel
+	// streams the 4-byte event-ID column instead of 16-byte interleaved
+	// occurrence records, so a warp's coalesced fetch touches a quarter
+	// of the memory segments. False reproduces the paper's AoS layout
+	// (and the published calibration).
+	ColumnarFetch bool
 }
 
 // Estimate is the model output.
@@ -157,7 +163,15 @@ func SimulateGPU(d Device, w Workload, k Kernel) (Estimate, error) {
 		randIssue /= 1 + 0.33*(1-1/batch)
 	}
 	lookupIssue := ops.lookup * randIssue
-	fetchIssue := ops.fetch * d.CoalIssue
+	// Columnar trials stream 4 of the 16 bytes per occurrence: a
+	// warp-wide fetch spans a quarter of the coalesced segments.
+	fetchCost := d.CoalIssue
+	fetchLatDiv := 8.0
+	if k.ColumnarFetch {
+		fetchCost = d.CoalIssue / 4
+		fetchLatDiv = 32
+	}
+	fetchIssue := ops.fetch * fetchCost
 	sharedIssue := sharedOps * d.SharedIssue
 	computeIssue := ops.compute
 	overheadIssue := 0.0
@@ -178,7 +192,8 @@ func SimulateGPU(d Device, w Workload, k Kernel) (Estimate, error) {
 		}
 	}
 	latChain := layers * (ops.lookup*d.GlobalLatency/mlp +
-		(ops.fetch+globalIntOps)*d.GlobalLatency/8 + // streamed, prefetch-friendly
+		ops.fetch*d.GlobalLatency/fetchLatDiv + // streamed, prefetch-friendly
+		globalIntOps*d.GlobalLatency/8 +
 		sharedOps*d.SharedLatency)
 
 	// ----- schedule ---------------------------------------------------

@@ -335,3 +335,38 @@ func TestQuickEstimatesPositive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestColumnarFetchReducesModelledTime: streaming the 4-byte event
+// column instead of 16-byte AoS records must strictly help both kernel
+// shapes, without disturbing the dominant-lookup structure the paper
+// reports (fetch is a minor term; lookup stays the bottleneck).
+func TestColumnarFetchReducesModelledTime(t *testing.T) {
+	d, w := TeslaC2075(), PaperWorkload()
+	for _, k := range []Kernel{
+		{ThreadsPerBlock: 256},
+		{ThreadsPerBlock: 64, ChunkSize: 4},
+	} {
+		aos, err := SimulateGPU(d, w, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kc := k
+		kc.ColumnarFetch = true
+		col, err := SimulateGPU(d, w, kc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if col.Seconds >= aos.Seconds {
+			t.Fatalf("chunk=%d: columnar fetch %.3fs not faster than AoS %.3fs",
+				k.ChunkSize, col.Seconds, aos.Seconds)
+		}
+		// Fetch is ~1/|ELT| of lookup traffic: the gain must be real
+		// but bounded (well under the lookup share).
+		if gain := 1 - col.Seconds/aos.Seconds; gain > 0.25 {
+			t.Fatalf("chunk=%d: columnar fetch gain %.1f%% implausibly large", k.ChunkSize, gain*100)
+		}
+		if col.LookupShare <= col.FetchShare {
+			t.Fatalf("chunk=%d: lookup no longer dominates fetch in the columnar model", k.ChunkSize)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/ralab/are/internal/core"
+)
+
+// The gather study extends the paper's §III.B lookup comparison to the
+// engine's columnar batch-gather kernels: every kernel (basic, chunked,
+// profiled) is timed against every ELT representation and reported as
+// nanoseconds per occurrence per ELT lookup — the unit the paper's
+// memory-bound argument is made in.
+
+func init() {
+	register("gather", "batch-gather kernels: ns/occurrence by kernel x ELT representation", gatherExp)
+}
+
+func gatherExp(cfg Config) (*Table, error) {
+	trials := cfg.scaledTrials(100_000)
+	const eltsPerLayer, eventsPerTrial = 15, 1000
+	p, y, err := buildInputs(cfg, 1, eltsPerLayer, trials, eventsPerTrial)
+	if err != nil {
+		return nil, err
+	}
+	occ := float64(y.NumOccurrences())
+
+	kinds := []core.LookupKind{core.LookupDirect, core.LookupSorted, core.LookupHash, core.LookupCuckoo, core.LookupCombined}
+	kernels := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"basic", core.Options{}},
+		{"chunked", core.Options{ChunkSize: 8}},
+		{"profiled", core.Options{Profile: true}},
+	}
+
+	cols := []string{"kernel"}
+	for _, k := range kinds {
+		cols = append(cols, k.String()+"_ns/occ")
+	}
+	t := &Table{Name: "gather", Title: "columnar batch-gather kernels: ns per occurrence",
+		Columns: cols}
+
+	for _, kn := range kernels {
+		row := []string{kn.name}
+		for _, kind := range kinds {
+			eng, err := core.NewEngine(p, cfg.CatalogSize, kind)
+			if err != nil {
+				return nil, err
+			}
+			opt := kn.opt
+			opt.Workers = 1
+			opt.Lookup = kind
+			opt.SkipValidation = true
+			el, _, err := measure(eng, y, opt)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", float64(el.Nanoseconds())/occ))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"each cell: single-worker wall time / total occurrences; lower is better;",
+		"every (kernel, representation) pair is bitwise identical to the reference oracle (core tests);",
+		"'combined' performs one lookup per occurrence regardless of ELT count, so its ns/occ",
+		fmt.Sprintf("is roughly the direct column divided by the %d ELTs of this layer", eltsPerLayer))
+	return t, nil
+}

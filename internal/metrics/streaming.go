@@ -136,6 +136,19 @@ func (s *SummarySink) Emit(layer, trial int, aggLoss, maxOcc float64) {
 	l.mu.Unlock()
 }
 
+// EmitBatch folds one span of trials under a single lock acquisition —
+// the batched delivery path of the engine's pipeline, which turns the
+// per-cell lock-and-dispatch overhead into a per-span one.
+func (s *SummarySink) EmitBatch(layer, trialLo int, aggLoss, maxOcc []float64) {
+	l := &s.layers[layer]
+	l.mu.Lock()
+	for i, v := range aggLoss {
+		l.agg.Add(v)
+		l.occ.Add(maxOcc[i])
+	}
+	l.mu.Unlock()
+}
+
 // NumLayers returns the number of layers the sink was sized for.
 func (s *SummarySink) NumLayers() int { return len(s.layers) }
 
@@ -231,6 +244,19 @@ func (s *EPSink) Emit(layer, trial int, aggLoss, maxOcc float64) {
 	l.n++
 	l.agg.Add(aggLoss)
 	l.occ.Add(maxOcc)
+	l.mu.Unlock()
+}
+
+// EmitBatch folds one span of trials into the layer's sketch pair under
+// a single lock acquisition (see SummarySink.EmitBatch).
+func (s *EPSink) EmitBatch(layer, trialLo int, aggLoss, maxOcc []float64) {
+	l := &s.layers[layer]
+	l.mu.Lock()
+	l.n += len(aggLoss)
+	for i, v := range aggLoss {
+		l.agg.Add(v)
+		l.occ.Add(maxOcc[i])
+	}
 	l.mu.Unlock()
 }
 

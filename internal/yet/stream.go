@@ -2,76 +2,41 @@ package yet
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
-
-	"github.com/ralab/are/internal/catalog"
 )
 
 // Reader streams a serialised YET trial-by-trial without materialising
-// the whole table: a paper-size YET (1M trials x 1000 events) is ~16 GB
-// on disk, which the paper's preprocessing stage loads wholesale; the
-// streaming reader lets the engine analyse tables larger than memory in
-// bounded batches.
+// the whole table: a paper-size YET (1M trials x 1000 events) is ~12 GB
+// on disk in the v2 columnar format (~16 GB in v1), which the paper's
+// preprocessing stage loads wholesale; the streaming reader lets the
+// engine analyse tables larger than memory in bounded batches. Both
+// format versions stream: v2 groups each trial's event and time columns
+// so a batch decodes straight into the columnar in-memory layout.
 type Reader struct {
-	br     *bufio.Reader
+	dec    payloadDecoder
 	bounds []uint64 // full boundary vector (8 bytes/trial; ~8 MB for 1M trials)
 	next   int      // next trial index to read
 }
 
 // NewReader parses the header and boundary vector and positions the
-// stream at the first trial.
+// stream at the first trial. Both format versions (v2 columnar, v1
+// interleaved) are accepted.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	var mg [4]byte
-	if _, err := io.ReadFull(br, mg[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
 	}
-	if string(mg[:]) != magic {
-		return nil, ErrBadMagic
+	bounds, err := readBounds(br, h)
+	if err != nil {
+		return nil, err
 	}
-	var ver uint32
-	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	if ver != version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
-	}
-	var numTrials, numOcc uint64
-	if err := binary.Read(br, binary.LittleEndian, &numTrials); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &numOcc); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	const maxReasonable = 1 << 40
-	if numTrials >= maxReasonable || numOcc >= maxReasonable {
-		return nil, fmt.Errorf("%w: implausible sizes trials=%d occ=%d", ErrCorrupt, numTrials, numOcc)
-	}
-	rd := &Reader{br: br, bounds: make([]uint64, 0, min64(numTrials+1, 1<<20))}
-	var prev uint64
-	var b8 [8]byte
-	for i := uint64(0); i <= numTrials; i++ {
-		if _, err := io.ReadFull(br, b8[:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated boundary %d: %v", ErrCorrupt, i, err)
-		}
-		v := binary.LittleEndian.Uint64(b8[:])
-		if i == 0 && v != 0 {
-			return nil, fmt.Errorf("%w: boundary vector endpoints", ErrCorrupt)
-		}
-		if v < prev || v > numOcc {
-			return nil, fmt.Errorf("%w: boundary %d invalid", ErrCorrupt, i)
-		}
-		rd.bounds = append(rd.bounds, v)
-		prev = v
-	}
-	if rd.bounds[numTrials] != numOcc {
-		return nil, fmt.Errorf("%w: boundary vector endpoints", ErrCorrupt)
-	}
-	return rd, nil
+	return &Reader{dec: payloadDecoder{br: br, version: h.version}, bounds: bounds}, nil
 }
+
+// Version reports the format version of the underlying stream.
+func (r *Reader) Version() int { return int(r.dec.version) }
 
 // NumTrials returns the total trial count declared by the stream.
 func (r *Reader) NumTrials() int { return len(r.bounds) - 1 }
@@ -113,23 +78,18 @@ func (r *Reader) ReadBatch(maxTrials int) (*Table, error) {
 	base := r.bounds[lo]
 	count := r.bounds[hi] - base
 	t := &Table{
-		occ:    make([]Occurrence, 0, count),
+		events: make([]uint32, 0, count),
+		times:  make([]float64, 0, count),
 		bounds: make([]uint64, hi-lo+1),
 	}
 	for i := range t.bounds {
 		t.bounds[i] = r.bounds[lo+i] - base
 	}
-	var rec [16]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(r.br, rec[:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated at occurrence %d: %v", ErrCorrupt, base+i, err)
+	for i := lo; i < hi; i++ {
+		n := r.bounds[i+1] - r.bounds[i]
+		if err := r.dec.readTrial(t, n, r.bounds[i]); err != nil {
+			return nil, err
 		}
-		ev := binary.LittleEndian.Uint32(rec[0:4])
-		tm := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16]))
-		if math.IsNaN(tm) || tm < 0 || tm >= 1 {
-			return nil, fmt.Errorf("%w: timestamp %v at occurrence %d", ErrCorrupt, tm, base+i)
-		}
-		t.occ = append(t.occ, Occurrence{Event: catalog.EventID(ev), Time: tm})
 	}
 	r.next = hi
 	return t, nil

@@ -7,10 +7,15 @@
 // in which order. A production YET holds thousands to millions of trials
 // of roughly 800-1500 occurrences each.
 //
-// The in-memory layout mirrors the paper's basic implementation (§III.B.1):
-// a single flat vector of event occurrences plus a vector of trial
-// boundaries, so the engine streams trials with perfect locality and the
-// table can be memory-mapped or serialised wholesale.
+// The in-memory layout is columnar (struct of arrays): event IDs and
+// timestamps live in two flat vectors sliced by a shared trial-boundary
+// vector. The engine's kernels stream only the 4-byte event column
+// (TrialEvents) — the access the paper identifies as memory-bound —
+// instead of pulling 16-byte interleaved occurrence structs through the
+// cache to read 4-byte IDs; timestamps stay resident but untouched until
+// a consumer actually needs them (TrialTimes). The flat vectors mirror
+// the paper's basic implementation (§III.B.1) and keep the table
+// trivially serialisable and memory-mappable.
 //
 // The package covers the table's full lifecycle:
 //
@@ -20,7 +25,8 @@
 //     table's Config doubles as its content identity (the ared service
 //     caches generated tables under a hash of it).
 //   - Table.WriteTo / Read serialise a table in the package's binary
-//     format.
+//     format (version 2, trial-grouped columnar; version 1 files are
+//     still read).
 //   - Reader decodes that format incrementally — header and trial
 //     boundaries eagerly, payloads in caller-sized batches — which is
 //     what lets the engine's streaming pipeline analyse tables far
@@ -43,17 +49,20 @@ import (
 )
 
 // Occurrence is one (event, timestamp) pair within a trial. Time is the
-// fraction of the contractual year elapsed, in [0, 1).
+// fraction of the contractual year elapsed, in [0, 1). It remains the
+// record type of the row-oriented views (Trial, generation scratch);
+// the table itself stores columns.
 type Occurrence struct {
 	Event catalog.EventID
-	_     uint32 // padding: keeps Time 8-byte aligned in the flat slice
+	_     uint32 // padding: keeps Time 8-byte aligned in []Occurrence views
 	Time  float64
 }
 
-// Table is a packed Year Event Table.
+// Table is a packed Year Event Table in columnar (SoA) layout.
 type Table struct {
-	occ    []Occurrence // all trials, concatenated
-	bounds []uint64     // len = NumTrials+1; trial i is occ[bounds[i]:bounds[i+1]]
+	events []uint32  // all trials' event IDs, concatenated
+	times  []float64 // all trials' timestamps, parallel to events
+	bounds []uint64  // len = NumTrials+1; trial i spans [bounds[i], bounds[i+1])
 }
 
 // Config controls YET generation.
@@ -132,6 +141,10 @@ var ErrBadRange = errors.New("yet: generation range outside [0, Trials]")
 // exactly its shard of a job's YET — O(hi-lo) memory and work, no
 // coordination — while the cluster's merged result still reproduces the
 // single-node run exactly.
+//
+// Each trial is drawn and time-sorted in a small row-oriented scratch
+// (the same draw order and sort call as every prior format version, so
+// content stays bitwise identical) and then appended to the columns.
 func GenerateRange(src EventSource, cfg Config, lo, hi int) (*Table, error) {
 	if src == nil {
 		return nil, ErrNilSource
@@ -151,8 +164,11 @@ func GenerateRange(src EventSource, cfg Config, lo, hi int) (*Table, error) {
 	if cfg.FixedEvents > 0 {
 		expect = float64(cfg.FixedEvents)
 	}
-	t.occ = make([]Occurrence, 0, int(float64(n)*expect*11/10))
+	capHint := int(float64(n) * expect * 11 / 10)
+	t.events = make([]uint32, 0, capHint)
+	t.times = make([]float64, 0, capHint)
 	perils, _ := src.(PerilSource)
+	var scratch []Occurrence
 	for i := lo; i < hi; i++ {
 		r := rng.At(cfg.Seed, uint64(i))
 		n := cfg.FixedEvents
@@ -163,7 +179,10 @@ func GenerateRange(src EventSource, cfg Config, lo, hi int) (*Table, error) {
 				n = stats.Poisson(r, cfg.MeanEvents)
 			}
 		}
-		start := len(t.occ)
+		if cap(scratch) < n {
+			scratch = make([]Occurrence, n)
+		}
+		trial := scratch[:n]
 		for j := 0; j < n; j++ {
 			ev := src.Draw(r)
 			tm := r.Float64()
@@ -174,11 +193,14 @@ func GenerateRange(src EventSource, cfg Config, lo, hi int) (*Table, error) {
 				}
 				tm = seasonalTime(r, p)
 			}
-			t.occ = append(t.occ, Occurrence{Event: ev, Time: tm})
+			trial[j] = Occurrence{Event: ev, Time: tm}
 		}
-		trial := t.occ[start:]
 		sort.Slice(trial, func(a, b int) bool { return trial[a].Time < trial[b].Time })
-		t.bounds = append(t.bounds, uint64(len(t.occ)))
+		for j := range trial {
+			t.events = append(t.events, uint32(trial[j].Event))
+			t.times = append(t.times, trial[j].Time)
+		}
+		t.bounds = append(t.bounds, uint64(len(t.events)))
 	}
 	return t, nil
 }
@@ -240,12 +262,37 @@ func rawSeasonalTime(r *rng.Rand, p catalog.Peril) float64 {
 func (t *Table) NumTrials() int { return len(t.bounds) - 1 }
 
 // NumOccurrences returns the total number of event occurrences.
-func (t *Table) NumOccurrences() int { return len(t.occ) }
+func (t *Table) NumOccurrences() int { return len(t.events) }
 
-// Trial returns the occurrence slice for trial i (shared storage; callers
-// must not modify it).
+// TrialEvents returns the event-ID column of trial i (shared storage;
+// callers must not modify it). This is the engine kernels' hot accessor:
+// 4 bytes streamed per occurrence, nothing else touched.
+func (t *Table) TrialEvents(i int) []uint32 {
+	return t.events[t.bounds[i]:t.bounds[i+1]]
+}
+
+// TrialTimes returns the timestamp column of trial i (shared storage;
+// callers must not modify it), parallel to TrialEvents(i).
+func (t *Table) TrialTimes(i int) []float64 {
+	return t.times[t.bounds[i]:t.bounds[i+1]]
+}
+
+// TrialLen returns the occurrence count of trial i without touching
+// either column.
+func (t *Table) TrialLen(i int) int {
+	return int(t.bounds[i+1] - t.bounds[i])
+}
+
+// Trial materialises trial i as a row-oriented occurrence slice. It
+// allocates per call — a convenience for oracles, tests and report code;
+// hot paths should read the columns (TrialEvents/TrialTimes) directly.
 func (t *Table) Trial(i int) []Occurrence {
-	return t.occ[t.bounds[i]:t.bounds[i+1]]
+	lo, hi := t.bounds[i], t.bounds[i+1]
+	occ := make([]Occurrence, hi-lo)
+	for j := range occ {
+		occ[j] = Occurrence{Event: catalog.EventID(t.events[lo+uint64(j)]), Time: t.times[lo+uint64(j)]}
+	}
+	return occ
 }
 
 // MeanTrialLen returns the average occurrences per trial.
@@ -253,11 +300,11 @@ func (t *Table) MeanTrialLen() float64 {
 	if t.NumTrials() == 0 {
 		return 0
 	}
-	return float64(len(t.occ)) / float64(t.NumTrials())
+	return float64(len(t.events)) / float64(t.NumTrials())
 }
 
-// Slice returns a view containing trials [lo, hi) that shares storage with
-// t; used to partition work across engine workers.
+// Slice returns a view containing trials [lo, hi) that shares column
+// storage with t; used to partition work across engine workers.
 func (t *Table) Slice(lo, hi int) *Table {
 	if lo < 0 || hi > t.NumTrials() || lo > hi {
 		panic(fmt.Sprintf("yet: bad slice [%d,%d) of %d trials", lo, hi, t.NumTrials()))
@@ -267,22 +314,36 @@ func (t *Table) Slice(lo, hi int) *Table {
 	for i := range bounds {
 		bounds[i] = t.bounds[lo+i] - base
 	}
-	return &Table{occ: t.occ[base:t.bounds[hi]], bounds: bounds}
+	return &Table{
+		events: t.events[base:t.bounds[hi]],
+		times:  t.times[base:t.bounds[hi]],
+		bounds: bounds,
+	}
 }
 
 // ---------------------------------------------------------------------------
-// Binary serialisation. Format:
+// Binary serialisation.
+//
+// Version 2 (written), trial-grouped columnar:
 //
 //	magic  "YETB"            4 bytes
-//	version uint32           little endian
+//	version uint32           little endian (2)
 //	numTrials uint64
 //	numOcc    uint64
 //	bounds    (numTrials+1) x uint64
-//	occ       numOcc x { event uint32, pad uint32, time float64 }
+//	payload   per trial: events (n_i x uint32), then times (n_i x float64)
+//
+// Version 1 (still read) interleaved each occurrence as
+// { event uint32, pad uint32, time float64 }; v2 drops the padding —
+// 12 bytes per occurrence instead of 16 — and groups each trial's
+// columns so both the whole-table reader and the streaming reader
+// decode straight into the in-memory column layout.
 
 const (
 	magic   = "YETB"
-	version = 1
+	version = 2 // written; readers also accept 1
+
+	versionAoS = 1 // interleaved 16-byte occurrence records
 )
 
 // Serialisation errors.
@@ -292,7 +353,8 @@ var (
 	ErrCorrupt    = errors.New("yet: corrupt table data")
 )
 
-// WriteTo serialises the table. It implements io.WriterTo.
+// WriteTo serialises the table in the current (v2) format. It implements
+// io.WriterTo.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var n int64
@@ -313,65 +375,77 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	if err := write(uint64(t.NumTrials())); err != nil {
 		return n, err
 	}
-	if err := write(uint64(len(t.occ))); err != nil {
+	if err := write(uint64(len(t.events))); err != nil {
 		return n, err
 	}
 	if err := write(t.bounds); err != nil {
 		return n, err
 	}
-	for i := range t.occ {
-		if err := write(uint32(t.occ[i].Event)); err != nil {
-			return n, err
+	var rec [8]byte
+	for i := 0; i < t.NumTrials(); i++ {
+		lo, hi := t.bounds[i], t.bounds[i+1]
+		for _, ev := range t.events[lo:hi] {
+			binary.LittleEndian.PutUint32(rec[:4], ev)
+			if _, err := bw.Write(rec[:4]); err != nil {
+				return n, err
+			}
+			n += 4
 		}
-		if err := write(uint32(0)); err != nil {
-			return n, err
-		}
-		if err := write(math.Float64bits(t.occ[i].Time)); err != nil {
-			return n, err
+		for _, tm := range t.times[lo:hi] {
+			binary.LittleEndian.PutUint64(rec[:8], math.Float64bits(tm))
+			if _, err := bw.Write(rec[:8]); err != nil {
+				return n, err
+			}
+			n += 8
 		}
 	}
 	return n, bw.Flush()
 }
 
-// Read deserialises a table written by WriteTo, validating structure.
-func Read(rd io.Reader) (*Table, error) {
-	br := bufio.NewReaderSize(rd, 1<<20)
+// header is the parsed fixed-size prefix shared by the whole-table
+// reader and the streaming reader.
+type header struct {
+	version   uint32
+	numTrials uint64
+	numOcc    uint64
+}
+
+// readHeader parses magic, version and the table dimensions.
+func readHeader(br *bufio.Reader) (header, error) {
+	var h header
 	var mg [4]byte
 	if _, err := io.ReadFull(br, mg[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+		return h, fmt.Errorf("%w: %v", ErrBadMagic, err)
 	}
 	if string(mg[:]) != magic {
-		return nil, ErrBadMagic
+		return h, ErrBadMagic
 	}
-	var ver uint32
-	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	if err := binary.Read(br, binary.LittleEndian, &h.version); err != nil {
+		return h, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if ver != version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	if h.version != version && h.version != versionAoS {
+		return h, fmt.Errorf("%w: %d", ErrBadVersion, h.version)
 	}
-	var numTrials, numOcc uint64
-	if err := binary.Read(br, binary.LittleEndian, &numTrials); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	if err := binary.Read(br, binary.LittleEndian, &h.numTrials); err != nil {
+		return h, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &numOcc); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	if err := binary.Read(br, binary.LittleEndian, &h.numOcc); err != nil {
+		return h, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	const maxReasonable = 1 << 40
-	if numTrials >= maxReasonable || numOcc >= maxReasonable {
-		return nil, fmt.Errorf("%w: implausible sizes trials=%d occ=%d", ErrCorrupt, numTrials, numOcc)
+	if h.numTrials >= maxReasonable || h.numOcc >= maxReasonable {
+		return h, fmt.Errorf("%w: implausible sizes trials=%d occ=%d", ErrCorrupt, h.numTrials, h.numOcc)
 	}
-	// Never trust the header for up-front allocation: grow buffers only
-	// as bytes actually arrive, so a corrupt or hostile header cannot
-	// trigger a huge allocation.
+	return h, nil
+}
+
+// readBounds parses and validates the monotone boundary vector.
+func readBounds(br *bufio.Reader, h header) ([]uint64, error) {
 	const preallocCap = 1 << 20
-	t := &Table{
-		bounds: make([]uint64, 0, min64(numTrials+1, preallocCap)),
-		occ:    make([]Occurrence, 0, min64(numOcc, preallocCap)),
-	}
+	bounds := make([]uint64, 0, min64(h.numTrials+1, preallocCap))
 	var prev uint64
 	var b8 [8]byte
-	for i := uint64(0); i <= numTrials; i++ {
+	for i := uint64(0); i <= h.numTrials; i++ {
 		if _, err := io.ReadFull(br, b8[:]); err != nil {
 			return nil, fmt.Errorf("%w: truncated boundary %d: %v", ErrCorrupt, i, err)
 		}
@@ -382,26 +456,117 @@ func Read(rd io.Reader) (*Table, error) {
 		if v < prev {
 			return nil, fmt.Errorf("%w: boundaries not monotone at %d", ErrCorrupt, i)
 		}
-		if v > numOcc {
+		if v > h.numOcc {
 			return nil, fmt.Errorf("%w: boundary %d exceeds occurrence count", ErrCorrupt, i)
 		}
-		t.bounds = append(t.bounds, v)
+		bounds = append(bounds, v)
 		prev = v
 	}
-	if t.bounds[numTrials] != numOcc {
+	if bounds[h.numTrials] != h.numOcc {
 		return nil, fmt.Errorf("%w: boundary vector endpoints", ErrCorrupt)
 	}
-	var rec [16]byte
-	for i := uint64(0); i < numOcc; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated at occurrence %d: %v", ErrCorrupt, i, err)
+	return bounds, nil
+}
+
+// payloadDecoder appends trial payloads of one format version to a
+// table's columns, validating timestamps as they arrive.
+type payloadDecoder struct {
+	br      *bufio.Reader
+	version uint32
+	scratch []byte
+}
+
+// checkTime enforces the table invariant on one decoded timestamp.
+func checkTime(tm float64, occ uint64) error {
+	if math.IsNaN(tm) || tm < 0 || tm >= 1 {
+		return fmt.Errorf("%w: timestamp %v at occurrence %d", ErrCorrupt, tm, occ)
+	}
+	return nil
+}
+
+// readTrial decodes the next trial's n occurrences (numbered from base
+// in error messages) and appends them to t's columns.
+func (d *payloadDecoder) readTrial(t *Table, n uint64, base uint64) error {
+	if d.version == versionAoS {
+		var rec [16]byte
+		for i := uint64(0); i < n; i++ {
+			if _, err := io.ReadFull(d.br, rec[:]); err != nil {
+				return fmt.Errorf("%w: truncated at occurrence %d: %v", ErrCorrupt, base+i, err)
+			}
+			tm := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16]))
+			if err := checkTime(tm, base+i); err != nil {
+				return err
+			}
+			t.events = append(t.events, binary.LittleEndian.Uint32(rec[0:4]))
+			t.times = append(t.times, tm)
 		}
-		ev := binary.LittleEndian.Uint32(rec[0:4])
-		tm := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16]))
-		if math.IsNaN(tm) || tm < 0 || tm >= 1 {
-			return nil, fmt.Errorf("%w: timestamp %v at occurrence %d", ErrCorrupt, tm, i)
+		return nil
+	}
+	// v2: the trial's event column, then its time column. Decoding is
+	// chunked so a hostile header cannot force a large allocation
+	// before its bytes actually arrive.
+	const chunkOcc = 1 << 16
+	for done := uint64(0); done < n; {
+		c := min64(n-done, chunkOcc)
+		if cap(d.scratch) < int(c*4) {
+			d.scratch = make([]byte, c*4)
 		}
-		t.occ = append(t.occ, Occurrence{Event: catalog.EventID(ev), Time: tm})
+		buf := d.scratch[:c*4]
+		if _, err := io.ReadFull(d.br, buf); err != nil {
+			return fmt.Errorf("%w: truncated events at occurrence %d: %v", ErrCorrupt, base+done, err)
+		}
+		for i := uint64(0); i < c; i++ {
+			t.events = append(t.events, binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		done += c
+	}
+	for done := uint64(0); done < n; {
+		c := min64(n-done, chunkOcc)
+		if cap(d.scratch) < int(c*8) {
+			d.scratch = make([]byte, c*8)
+		}
+		buf := d.scratch[:c*8]
+		if _, err := io.ReadFull(d.br, buf); err != nil {
+			return fmt.Errorf("%w: truncated times at occurrence %d: %v", ErrCorrupt, base+done, err)
+		}
+		for i := uint64(0); i < c; i++ {
+			tm := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+			if err := checkTime(tm, base+done+i); err != nil {
+				return err
+			}
+			t.times = append(t.times, tm)
+		}
+		done += c
+	}
+	return nil
+}
+
+// Read deserialises a table written by WriteTo (current or v1 format),
+// validating structure.
+func Read(rd io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(rd, 1<<20)
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := readBounds(br, h)
+	if err != nil {
+		return nil, err
+	}
+	// Never trust the header for up-front allocation: grow buffers only
+	// as bytes actually arrive, so a corrupt or hostile header cannot
+	// trigger a huge allocation.
+	const preallocCap = 1 << 20
+	t := &Table{
+		bounds: bounds,
+		events: make([]uint32, 0, min64(h.numOcc, preallocCap)),
+		times:  make([]float64, 0, min64(h.numOcc, preallocCap)),
+	}
+	dec := &payloadDecoder{br: br, version: h.version}
+	for i := uint64(0); i < h.numTrials; i++ {
+		if err := dec.readTrial(t, bounds[i+1]-bounds[i], bounds[i]); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }
@@ -413,6 +578,6 @@ func min64(a, b uint64) uint64 {
 	return b
 }
 
-// occurrenceSize is the packed size of one Occurrence, asserted in tests
-// to guard the flat-layout memory math.
+// occurrenceSize is the packed size of one row-view Occurrence, asserted
+// in tests to guard the memory math of row-oriented consumers.
 const occurrenceSize = unsafe.Sizeof(Occurrence{})

@@ -84,8 +84,8 @@ func TestGenerateDeterministic(t *testing.T) {
 	if a.NumOccurrences() != b.NumOccurrences() {
 		t.Fatal("sizes differ")
 	}
-	for i := range a.occ {
-		if a.occ[i] != b.occ[i] {
+	for i := range a.events {
+		if a.events[i] != b.events[i] || a.times[i] != b.times[i] {
 			t.Fatalf("occurrence %d differs", i)
 		}
 	}
