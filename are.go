@@ -285,6 +285,34 @@ func NewSummarySink() *SummarySink { return metrics.NewSummarySink() }
 func NewEPSink(returnPeriods []float64) *EPSink { return metrics.NewEPSink(returnPeriods) }
 
 // ---------------------------------------------------------------------------
+// Scenario sweeps: K candidate structures, one fused pass.
+
+// Sweep types, re-exported. A sweep prices K term/share variants of one
+// portfolio in a single pass over the trials, paying the memory-bound
+// event gather once; variant 0 with an empty delta is bitwise identical
+// to a plain Engine.Run.
+type (
+	// SweepEngine evaluates a compiled variant set in one fused pass.
+	SweepEngine = core.SweepEngine
+	// SweepVariant describes one candidate structure as deltas on the
+	// base portfolio (layer-term overrides + participation scale).
+	SweepVariant = core.Variant
+	// VariantSinks demultiplexes a sweep's result stream into one
+	// ordinary Sink per variant.
+	VariantSinks = core.VariantSinks
+)
+
+// NewSweepEngine compiles a portfolio and K variants for fused
+// evaluation; SweepEngine.Run materialises one Result per variant.
+func NewSweepEngine(p *Portfolio, catalogSize int, kind LookupKind, variants []SweepVariant) (*SweepEngine, error) {
+	return core.NewSweepEngine(p, catalogSize, kind, variants)
+}
+
+// NewVariantSinks wraps one sink per sweep variant, in variant order,
+// for SweepEngine.RunPipeline.
+func NewVariantSinks(sinks ...Sink) *VariantSinks { return core.NewVariantSinks(sinks...) }
+
+// ---------------------------------------------------------------------------
 // Stage 3: metrics and pricing.
 
 // Reporting types, re-exported.

@@ -1,0 +1,143 @@
+package main
+
+// The comparator behind the CI perf-regression gate.
+//
+// Raw ns/occ numbers are not comparable across runner hardware — a CI
+// fleet mixes machine generations freely — so the gate compares each
+// kernel's cost RELATIVE to the seed-AoS baseline measured in the same
+// process on the same machine (the "seed-aos" rows BenchmarkGatherKernels
+// always emits). That ratio cancels the machine out: columnar-basic
+// being 0.8x the seed on the baseline machine and 1.1x on a CI runner
+// is a real regression no matter how fast either box is. Rows without a
+// seed anchor fall back to absolute comparison (useful for ad-hoc
+// files), and the steady-state zero-allocation property is gated
+// absolutely: a kernel that allocated 0/op at baseline must still
+// allocate 0/op.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// row mirrors gatherBenchRow in internal/core's bench JSON.
+type row struct {
+	Kernel      string  `json:"kernel"`
+	Lookup      string  `json:"lookup"`
+	NsPerOcc    float64 `json:"nsPerOcc"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
+// anchorKernel is the same-machine reference every other kernel is
+// normalised against.
+const anchorKernel = "seed-aos"
+
+// readRows loads one bench JSON file.
+func readRows(path string) ([]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no bench rows", path)
+	}
+	return rows, nil
+}
+
+// index keys rows by kernel/lookup, keeping the last measurement of a
+// duplicated key (matching the bench writer's keep-last rule).
+func index(rows []row) map[string]row {
+	m := make(map[string]row, len(rows))
+	for _, r := range rows {
+		m[r.Kernel+"/"+r.Lookup] = r
+	}
+	return m
+}
+
+// anchors extracts each lookup's seed-AoS ns/occ.
+func anchors(m map[string]row) map[string]float64 {
+	a := map[string]float64{}
+	for _, r := range m {
+		if r.Kernel == anchorKernel && r.NsPerOcc > 0 {
+			a[r.Lookup] = r.NsPerOcc
+		}
+	}
+	return a
+}
+
+// compare gates current against baseline: a regression is a normalised
+// (or, without an anchor, absolute) ns/occ more than threshold above
+// the baseline's, a kernel that started allocating, or a baseline row
+// missing from the current run. It returns human-readable findings,
+// regressions first; ok lines follow for the log.
+func compare(baseline, current []row, threshold float64) (regressions, ok []string) {
+	base := index(baseline)
+	cur := index(current)
+	baseAnchor := anchors(base)
+	curAnchor := anchors(cur)
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		b := base[key]
+		if b.Kernel == anchorKernel {
+			continue // the anchor measures the machine, not the code
+		}
+		c, found := cur[key]
+		if !found {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: missing from current run (baseline %.2f ns/occ)", key, b.NsPerOcc))
+			continue
+		}
+		if b.AllocsPerOp == 0 && c.AllocsPerOp > 0 {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocates %.1f/op, baseline 0 (steady-state alloc-free property lost)",
+					key, c.AllocsPerOp))
+		}
+		bAnchor, bHas := baseAnchor[b.Lookup]
+		cAnchor, cHas := curAnchor[c.Lookup]
+		if bHas != cHas {
+			// An anchor on only one side would silently degrade to
+			// comparing raw ns across different machines — the exact
+			// failure mode normalisation exists to prevent. Fail loudly
+			// instead: the anchor rows went missing from a run.
+			side := "current"
+			if cHas {
+				side = "baseline"
+			}
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s/%s anchor missing from %s run; cannot compare across machines",
+					key, anchorKernel, b.Lookup, side))
+			continue
+		}
+		var bMetric, cMetric float64
+		var unit string
+		if bHas {
+			bMetric, cMetric = b.NsPerOcc/bAnchor, c.NsPerOcc/cAnchor
+			unit = "x seed"
+		} else {
+			bMetric, cMetric = b.NsPerOcc, c.NsPerOcc
+			unit = "ns/occ"
+		}
+		if bMetric <= 0 {
+			continue
+		}
+		change := cMetric/bMetric - 1
+		line := fmt.Sprintf("%s: %.3f -> %.3f %s (%+.1f%%)", key, bMetric, cMetric, unit, 100*change)
+		if change > threshold {
+			regressions = append(regressions, line+" REGRESSION")
+		} else {
+			ok = append(ok, line)
+		}
+	}
+	return regressions, ok
+}

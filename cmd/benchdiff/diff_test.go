@@ -1,0 +1,152 @@
+package main
+
+// Unit tests of the gate's comparator — the acceptance criterion asks
+// for the >20% rule to be verified here, not by breaking CI.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture builds a bench file shape: per lookup, a seed anchor plus one
+// columnar kernel at the given ratio of the anchor.
+func fixture(anchorNs float64, ratios map[string]float64) []row {
+	var rows []row
+	for lookup, ratio := range ratios {
+		rows = append(rows,
+			row{Kernel: "seed-aos", Lookup: lookup, NsPerOcc: anchorNs},
+			row{Kernel: "columnar-basic", Lookup: lookup, NsPerOcc: anchorNs * ratio},
+		)
+	}
+	return rows
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := fixture(100, map[string]float64{"direct": 0.8, "sorted": 1.0})
+	// Current machine is 3x slower overall — absolute ns regress badly —
+	// but the normalised ratios moved only 10%: no regression.
+	cur := fixture(300, map[string]float64{"direct": 0.88, "sorted": 1.05})
+	regs, ok := compare(base, cur, 0.20)
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if len(ok) != 2 {
+		t.Fatalf("ok lines = %v", ok)
+	}
+}
+
+func TestCompareFlagsOver20Percent(t *testing.T) {
+	base := fixture(100, map[string]float64{"direct": 0.8, "sorted": 1.0})
+	// direct's ratio moves 0.8 -> 1.0: a 25% normalised slowdown.
+	cur := fixture(100, map[string]float64{"direct": 1.0, "sorted": 1.0})
+	regs, _ := compare(base, cur, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "columnar-basic/direct") {
+		t.Fatalf("regressions = %v", regs)
+	}
+	// Exactly at the boundary (20.0%) passes; just over fails.
+	cur = fixture(100, map[string]float64{"direct": 0.8 * 1.2, "sorted": 1.0})
+	if regs, _ := compare(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("boundary flagged: %v", regs)
+	}
+	cur = fixture(100, map[string]float64{"direct": 0.8 * 1.21, "sorted": 1.0})
+	if regs, _ := compare(base, cur, 0.20); len(regs) != 1 {
+		t.Fatalf("21%% not flagged")
+	}
+}
+
+func TestCompareMachineIndependence(t *testing.T) {
+	base := fixture(50, map[string]float64{"cuckoo": 0.9})
+	// 10x faster machine, same ratio: clean.
+	cur := fixture(5, map[string]float64{"cuckoo": 0.9})
+	if regs, _ := compare(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("faster machine flagged: %v", regs)
+	}
+	// 10x faster machine but the ratio doubled: caught.
+	cur = fixture(5, map[string]float64{"cuckoo": 1.8})
+	if regs, _ := compare(base, cur, 0.20); len(regs) != 1 {
+		t.Fatal("ratio regression hidden by faster machine")
+	}
+}
+
+func TestCompareMissingRowFails(t *testing.T) {
+	base := fixture(100, map[string]float64{"direct": 0.8, "sorted": 1.0})
+	cur := fixture(100, map[string]float64{"direct": 0.8})
+	regs, _ := compare(base, cur, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("regressions = %v", regs)
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	base := []row{
+		{Kernel: "seed-aos", Lookup: "direct", NsPerOcc: 100},
+		{Kernel: "columnar-basic", Lookup: "direct", NsPerOcc: 80, AllocsPerOp: 0},
+	}
+	cur := []row{
+		{Kernel: "seed-aos", Lookup: "direct", NsPerOcc: 100},
+		{Kernel: "columnar-basic", Lookup: "direct", NsPerOcc: 80, AllocsPerOp: 2},
+	}
+	regs, _ := compare(base, cur, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "alloc") {
+		t.Fatalf("regressions = %v", regs)
+	}
+}
+
+func TestCompareAbsoluteFallbackWithoutAnchor(t *testing.T) {
+	base := []row{{Kernel: "columnar-basic", Lookup: "direct", NsPerOcc: 100}}
+	cur := []row{{Kernel: "columnar-basic", Lookup: "direct", NsPerOcc: 130}}
+	regs, _ := compare(base, cur, 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("absolute fallback missed 30%%: %v", regs)
+	}
+	cur = []row{{Kernel: "columnar-basic", Lookup: "direct", NsPerOcc: 110}}
+	if regs, _ := compare(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("absolute fallback flagged 10%%: %v", regs)
+	}
+}
+
+func TestReadRowsRejectsEmptyAndBadJSON(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRows(empty); err == nil {
+		t.Fatal("empty rows accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRows(bad); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	good := filepath.Join(dir, "good.json")
+	data, _ := json.Marshal(fixture(10, map[string]float64{"direct": 1}))
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := readRows(good)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("good file: %v, %d rows", err, len(rows))
+	}
+}
+
+func TestCompareAnchorMissingOneSideFailsLoudly(t *testing.T) {
+	base := fixture(100, map[string]float64{"direct": 0.8})
+	// Current run lost its seed-aos rows (e.g. the benchmark was
+	// renamed): must fail loudly, not fall back to cross-machine ns.
+	cur := []row{{Kernel: "columnar-basic", Lookup: "direct", NsPerOcc: 80}}
+	regs, _ := compare(base, cur, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "anchor missing") {
+		t.Fatalf("regressions = %v", regs)
+	}
+	// And symmetrically when the baseline lacks the anchor.
+	regs, _ = compare(cur, base, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "anchor missing") {
+		t.Fatalf("regressions = %v", regs)
+	}
+}

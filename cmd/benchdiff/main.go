@@ -1,0 +1,63 @@
+// Command benchdiff is the CI perf-regression gate: it compares a
+// bench JSON produced by the current run (BenchmarkGatherKernels with
+// BENCH_CORE_OUT set) against the committed baseline and exits non-zero
+// when any kernel regressed beyond the threshold.
+//
+// Usage:
+//
+//	benchdiff -baseline bench/baseline_core.json -current BENCH_core.json [-threshold 0.20]
+//
+// Comparison is machine-independent: each kernel is normalised by the
+// seed-AoS reference measured in the same run (see diff.go). To
+// re-baseline after an intentional perf change, regenerate the file and
+// commit it:
+//
+//	BENCH_CORE_OUT=$PWD/bench/baseline_core.json \
+//	  go test -run '^$' -bench 'BenchmarkGatherKernels' -benchtime 300x ./internal/core/
+//
+// (bench/README.md documents the workflow.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench/baseline_core.json", "committed baseline JSON")
+		currentPath  = flag.String("current", "BENCH_core.json", "bench JSON from the current run")
+		threshold    = flag.Float64("threshold", 0.20, "allowed fractional slowdown before failing (0.20 = 20%)")
+	)
+	flag.Parse()
+
+	if *threshold <= 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: threshold must be > 0")
+		os.Exit(2)
+	}
+	baseline, err := readRows(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := readRows(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: current: %v\n", err)
+		os.Exit(2)
+	}
+
+	regressions, ok := compare(baseline, current, *threshold)
+	for _, line := range ok {
+		fmt.Println("ok  " + line)
+	}
+	for _, line := range regressions {
+		fmt.Println("FAIL " + line)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d kernel(s) regressed beyond %.0f%% vs %s\n",
+			len(regressions), *threshold*100, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d kernels within %.0f%% of baseline\n", len(ok), *threshold*100)
+}

@@ -138,6 +138,36 @@ func ShardFor(c *Cache, js *spec.Job, lo, hi int) (*yet.Table, bool, error) {
 	return v.(*yet.Table), hit, nil
 }
 
+// SweepVariants lowers a validated sweep spec into the engine's
+// variant set, preserving order (variant k of the result prices spec
+// variant k). Unnamed variants get positional names so sweep results
+// are always labelled.
+func SweepVariants(s *spec.SweepSpec) []core.Variant {
+	out := make([]core.Variant, len(s.Variants))
+	for i := range s.Variants {
+		vs := &s.Variants[i]
+		v := core.Variant{
+			Name:               vs.Name,
+			OccRetention:       vs.OccRetention,
+			AggRetention:       vs.AggRetention,
+			ParticipationScale: vs.ParticipationScale,
+		}
+		if v.Name == "" {
+			v.Name = fmt.Sprintf("variant-%d", i)
+		}
+		if vs.OccLimit != nil {
+			l := float64(*vs.OccLimit)
+			v.OccLimit = &l
+		}
+		if vs.AggLimit != nil {
+			l := float64(*vs.AggLimit)
+			v.AggLimit = &l
+		}
+		out[i] = v
+	}
+	return out
+}
+
 // LookupKind maps a validated job lookup name to the engine constant.
 func LookupKind(s string) core.LookupKind {
 	switch s {

@@ -30,7 +30,7 @@ func columnarPortfolio(t testing.TB) *layer.Portfolio {
 	t.Helper()
 	terms := []financial.Terms{
 		financial.Default(), // identity
-		{FX: 1.15, EventLimit: financial.Unlimited, Participation: 0.5},                 // scale
+		{FX: 1.15, EventLimit: financial.Unlimited, Participation: 0.5},                   // scale
 		{FX: 1, EventRetention: 2_000, EventLimit: financial.Unlimited, Participation: 1}, // no-limit
 		{FX: 0.9, EventRetention: 1_000, EventLimit: 60_000, Participation: 0.8},          // general
 	}

@@ -26,6 +26,15 @@ func (e *Engine) RunPipeline(src TrialSource, sink Sink, opt Options) (PhaseBrea
 // workers poll ctx between trial spans, and a cancellable context
 // forces dynamic span scheduling so cancellation stays prompt.
 func (e *Engine) RunPipelineContext(ctx context.Context, src TrialSource, sink Sink, opt Options) (PhaseBreakdown, error) {
+	return e.runPipelineContext(ctx, src, sink, opt, nil)
+}
+
+// runPipelineContext is the one orchestrator behind both the plain and
+// the sweep entry points. A non-nil sw switches workers to the fused
+// sweep kernels and widens the sink's layer-index space to the
+// flattened (variant, layer) grid; scheduling, cancellation and error
+// handling are identical either way.
+func (e *Engine) runPipelineContext(ctx context.Context, src TrialSource, sink Sink, opt Options, sw *SweepEngine) (PhaseBreakdown, error) {
 	var zero PhaseBreakdown
 	if src == nil {
 		return zero, ErrNilSource
@@ -49,7 +58,11 @@ func (e *Engine) RunPipelineContext(ctx context.Context, src TrialSource, sink S
 	if p, ok := src.(spanPlanner); ok {
 		p.planSpans(workers, opt.Dynamic || ctx.Done() != nil)
 	}
-	if err := sink.Begin(e.layerIDs(), nt); err != nil {
+	ids := e.layerIDs()
+	if sw != nil {
+		ids = sw.flatLayerIDs()
+	}
+	if err := sink.Begin(ids, nt); err != nil {
 		return zero, err
 	}
 
@@ -66,6 +79,7 @@ func (e *Engine) RunPipelineContext(ctx context.Context, src TrialSource, sink S
 		// Sequential runs stay on the calling goroutine (streaming
 		// decode still overlaps compute via the source's prefetcher).
 		w := newWorker(e, opt, src.MeanTrialLen())
+		w.sw = sw
 		for {
 			if err := ctx.Err(); err != nil {
 				return zero, err
@@ -105,6 +119,7 @@ func (e *Engine) RunPipelineContext(ctx context.Context, src TrialSource, sink S
 		go func(wi int) {
 			defer wg.Done()
 			w := newWorker(e, opt, src.MeanTrialLen())
+			w.sw = sw
 			for !aborted.Load() {
 				if err := ctx.Err(); err != nil {
 					fail(err)

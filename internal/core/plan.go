@@ -104,6 +104,28 @@ func (s *gatherStep) losses(dst []float64, events []uint32) {
 	}
 }
 
+// sweepStep is one ELT's slot in a sweep layer's execution plan: the
+// base engine's gatherStep plus the per-variant financial programs the
+// fused kernels fan a single gathered loss column out to. A sweep layer
+// whose variant set leaves financial terms untouched has no sweepSteps
+// at all — it gathers through the base plan once and only the layer
+// terms fan out (see sweepLayer.shared).
+type sweepStep struct {
+	base gatherStep
+
+	// progs[k] is variant k's compiled program for this ELT. Variants
+	// that do not alter the ELT's financial terms carry the base
+	// program, so their fan-out arithmetic is bitwise identical to a
+	// plain gather.
+	progs []financial.Program
+
+	// combinedK[k] is variant k's folded whole-layer table (stepCombined
+	// only, where financial terms were folded at compile time and cannot
+	// be re-applied post-gather). Variants with unchanged financial
+	// terms alias the base engine's table.
+	combinedK [][]float64
+}
+
 // planStep lowers one built lookup representation into its plan step.
 func planStep(look elt.Lookup, prog financial.Program) (gatherStep, error) {
 	switch l := look.(type) {

@@ -176,6 +176,63 @@ func AssembleResult(numTrials int, shards []ShardYLT) (*Result, error) {
 	return res, nil
 }
 
+// VariantSinks demultiplexes a scenario sweep's flattened result
+// stream into one ordinary Sink per variant: the sweep pipeline emits
+// with the layer index flattened to variant*NumLayers+layer
+// (variant-major), and VariantSinks routes each cell to the matching
+// member with the original layer index restored. Every member
+// therefore observes exactly what a plain single-variant run would
+// feed it — the base engine's layer IDs, the run's trial count, and
+// EmitBatch spans — so FullYLT, SummarySink, EPSink or any MultiSink
+// of them work unchanged per variant.
+type VariantSinks struct {
+	sinks  []Sink
+	layers int // per-variant layer count, fixed at Begin
+}
+
+// NewVariantSinks wraps one sink per sweep variant, in variant order.
+func NewVariantSinks(sinks ...Sink) *VariantSinks {
+	return &VariantSinks{sinks: sinks}
+}
+
+// Sink returns variant k's member sink (for reading results after the
+// run).
+func (v *VariantSinks) Sink(k int) Sink { return v.sinks[k] }
+
+// NumVariants returns the number of member sinks.
+func (v *VariantSinks) NumVariants() int { return len(v.sinks) }
+
+// Begin splits the flattened layer IDs into per-variant groups and
+// begins every member with its group. The flattened count must be an
+// exact multiple of the variant count — a mismatch means the sink was
+// paired with the wrong engine.
+func (v *VariantSinks) Begin(flatIDs []uint32, numTrials int) error {
+	if len(v.sinks) == 0 {
+		return errors.New("core: VariantSinks needs at least one sink")
+	}
+	if len(flatIDs) == 0 || len(flatIDs)%len(v.sinks) != 0 {
+		return fmt.Errorf("core: VariantSinks: %d flattened layers do not split across %d variants",
+			len(flatIDs), len(v.sinks))
+	}
+	v.layers = len(flatIDs) / len(v.sinks)
+	for k, s := range v.sinks {
+		if err := s.Begin(flatIDs[k*v.layers:(k+1)*v.layers], numTrials); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Emit routes one flattened cell to its variant's sink.
+func (v *VariantSinks) Emit(flat, trial int, aggLoss, maxOcc float64) {
+	v.sinks[flat/v.layers].Emit(flat%v.layers, trial, aggLoss, maxOcc)
+}
+
+// EmitBatch routes one flattened span to its variant's sink.
+func (v *VariantSinks) EmitBatch(flat, trialLo int, aggLoss, maxOcc []float64) {
+	v.sinks[flat/v.layers].EmitBatch(flat%v.layers, trialLo, aggLoss, maxOcc)
+}
+
 // MultiSink fans every callback out to each member in order, so one run
 // can feed several online consumers (e.g. moments plus exceedance
 // sketches) in a single pass over the trials.

@@ -1,0 +1,180 @@
+package core
+
+// BenchmarkScenarioSweep quantifies the tentpole claim: pricing K
+// candidate structures of one portfolio fused into a single pass beats
+// K naive re-runs of the whole pipeline, because the gather (the
+// memory-bound part per §III) is paid once instead of K times. Two
+// variant shapes bracket the win:
+//
+//   - layer-terms: variants change only attachment/limits, so one
+//     gathered lox buffer serves all K (the shared-gather fast path —
+//     the common "price a tower of alternatives" sweep);
+//   - share: variants also scale participation, forcing the per-ELT
+//     program fan-out (gather raw once, apply K programs).
+//
+// When BENCH_SWEEP_OUT is set (CI points it at BENCH_sweep.json), the
+// fused-vs-naive ns/variant table and speedups are written as JSON for
+// the perf trajectory record.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/ralab/are/internal/yet"
+)
+
+const sweepBenchK = 8
+
+type sweepBenchRow struct {
+	Lookup            string  `json:"lookup"`
+	Shape             string  `json:"shape"`
+	Variants          int     `json:"variants"`
+	FusedNsPerVariant float64 `json:"fusedNsPerVariant"`
+	NaiveNsPerVariant float64 `json:"naiveNsPerVariant"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// sweepBenchVariants builds K=8 variants of the given shape; variant 0
+// is always the empty delta.
+func sweepBenchVariants(shape string) []Variant {
+	vs := make([]Variant, 0, sweepBenchK)
+	vs = append(vs, Variant{Name: "base"})
+	for i := 1; i < sweepBenchK; i++ {
+		v := Variant{Name: fmt.Sprintf("%s-%d", shape, i)}
+		f := float64(i)
+		switch shape {
+		case "share":
+			v.ParticipationScale = 0.3 + 0.08*f // 0.38 .. 0.86
+		default: // layer-terms
+			v.OccRetention = fptr(1_000 * f)
+			v.OccLimit = fptr(1e6 + 250_000*f)
+			v.AggRetention = fptr(50_000 * f)
+		}
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+func BenchmarkScenarioSweep(b *testing.B) {
+	p := testPortfolio(b, 1, gatherBenchELTs, 5_000)
+	y, err := yet.Generate(yet.UniformSource(gatherBenchCatalog), yet.Config{
+		Seed: 13, Trials: gatherBenchTrials, FixedEvents: gatherBenchEvents,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{Workers: 1, SkipValidation: true}
+
+	rows := map[string]*sweepBenchRow{}
+	var order []string
+	row := func(kind LookupKind, shape string) *sweepBenchRow {
+		key := kind.String() + "/" + shape
+		r, ok := rows[key]
+		if !ok {
+			r = &sweepBenchRow{Lookup: kind.String(), Shape: shape, Variants: sweepBenchK}
+			rows[key] = r
+			order = append(order, key)
+		}
+		return r
+	}
+
+	kinds := []LookupKind{LookupDirect, LookupSorted, LookupCuckoo, LookupCombined}
+	for _, kind := range kinds {
+		for _, shape := range []string{"layer-terms", "share"} {
+			variants := sweepBenchVariants(shape)
+
+			sw, err := NewSweepEngine(p, gatherBenchCatalog, kind, variants)
+			if err != nil {
+				b.Fatal(err)
+			}
+			naive := make([]*Engine, len(variants))
+			for k, v := range variants {
+				vp := variedPortfolio(b, p, v)
+				if naive[k], err = NewEngine(vp, gatherBenchCatalog, kind); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			b.Run(fmt.Sprintf("fused/%s/%s", kind, shape), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sw.Run(y, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ns := float64(b.Elapsed().Nanoseconds()) / (float64(b.N) * sweepBenchK)
+				b.ReportMetric(ns, "ns/variant")
+				row(kind, shape).FusedNsPerVariant = ns
+			})
+
+			b.Run(fmt.Sprintf("naive/%s/%s", kind, shape), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for k := range naive {
+						if _, err := naive[k].Run(y, opt); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				ns := float64(b.Elapsed().Nanoseconds()) / (float64(b.N) * sweepBenchK)
+				b.ReportMetric(ns, "ns/variant")
+				row(kind, shape).NaiveNsPerVariant = ns
+			})
+		}
+	}
+
+	if out := os.Getenv("BENCH_SWEEP_OUT"); out != "" {
+		final := make([]sweepBenchRow, 0, len(order))
+		for _, key := range order {
+			r := rows[key]
+			if r.FusedNsPerVariant > 0 {
+				r.Speedup = r.NaiveNsPerVariant / r.FusedNsPerVariant
+			}
+			final = append(final, *r)
+		}
+		data, err := json.MarshalIndent(final, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", out)
+	}
+}
+
+// BenchmarkSweepScaling reports how fused cost grows with K on the
+// gather-bound sorted representation: near-flat growth is the fusion
+// working (the K-th variant costs arithmetic only, not lookups).
+func BenchmarkSweepScaling(b *testing.B) {
+	p := testPortfolio(b, 1, gatherBenchELTs, 5_000)
+	y, err := yet.Generate(yet.UniformSource(gatherBenchCatalog), yet.Config{
+		Seed: 13, Trials: gatherBenchTrials, FixedEvents: gatherBenchEvents,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{Workers: 1, SkipValidation: true}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		all := sweepBenchVariants("layer-terms")
+		for len(all) < k {
+			more := sweepBenchVariants("share")[1:]
+			all = append(all, more...)
+		}
+		variants := all[:k]
+		sw, err := NewSweepEngine(p, gatherBenchCatalog, LookupSorted, variants)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sw.Run(y, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(k)), "ns/variant")
+		})
+	}
+}

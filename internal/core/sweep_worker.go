@@ -1,0 +1,256 @@
+package core
+
+// Sweep kernels: the per-worker execution of a scenario sweep. One
+// gather pass per (layer, trial), K fan-outs — see sweep.go for the
+// design and the bitwise contract these loops uphold.
+
+import (
+	"time"
+
+	"github.com/ralab/are/internal/elt"
+	"github.com/ralab/are/internal/layer"
+)
+
+// runSweepSpan evaluates one batch of trials for every layer and every
+// variant, delivering results span-at-a-time: one EmitBatch per
+// (variant, layer, span) with the layer index flattened to
+// variant*NumLayers+layer (VariantSinks demultiplexes).
+func (w *worker) runSweepSpan(b Batch, sink Sink) {
+	sw := w.sw
+	span := b.Hi - b.Lo
+	numK := len(sw.variants)
+	numL := len(sw.layers)
+	w.sizeSweepScratch(numK, span)
+
+	for li := range sw.layers {
+		sl := &sw.layers[li]
+		for t := b.Lo; t < b.Hi; t++ {
+			w.sweepTrial(sl, b.Table.TrialEvents(t), w.varAgg, w.varOcc)
+			for k := 0; k < numK; k++ {
+				w.sweepAgg[k][t-b.Lo] = w.varAgg[k]
+				w.sweepOcc[k][t-b.Lo] = w.varOcc[k]
+			}
+		}
+		for k := 0; k < numK; k++ {
+			sink.EmitBatch(k*numL+li, b.Offset+b.Lo, w.sweepAgg[k][:span], w.sweepOcc[k][:span])
+		}
+	}
+}
+
+// sizeSweepScratch grows the per-variant result scratch to K variants
+// and span trials; steady-state spans reuse it without allocating.
+func (w *worker) sizeSweepScratch(numK, span int) {
+	if len(w.varAgg) < numK {
+		w.varAgg = make([]float64, numK)
+		w.varOcc = make([]float64, numK)
+	}
+	for len(w.sweepAgg) < numK {
+		w.sweepAgg = append(w.sweepAgg, nil)
+		w.sweepOcc = append(w.sweepOcc, nil)
+	}
+	for k := 0; k < numK; k++ {
+		if cap(w.sweepAgg[k]) < span {
+			w.sweepAgg[k] = make([]float64, span)
+			w.sweepOcc[k] = make([]float64, span)
+		}
+	}
+}
+
+// sweepTrial computes every variant's (aggLoss, maxOcc) for one trial
+// of one layer into aggs/maxs (each len K). The gather is paid once:
+// shared layers compute a single occurrence-loss buffer through the
+// plain kernels and fan out only at the layer terms; fan-out layers
+// gather each ELT's raw losses once and apply all K programs to the
+// column.
+func (w *worker) sweepTrial(sl *sweepLayer, events []uint32, aggs, maxs []float64) {
+	if len(events) == 0 {
+		clear(aggs)
+		clear(maxs)
+		return
+	}
+	if sl.shared() {
+		var lox []float64
+		switch {
+		case w.opt.Profile:
+			lox = w.profiledLox(sl.base, events)
+		case w.opt.ChunkSize > 0:
+			lox = w.chunkedLox(sl.base, events)
+		default:
+			lox = w.basicLox(sl.base, events)
+		}
+		w.sweepLayerPhase(sl, lox, nil, aggs, maxs)
+		return
+	}
+
+	loxK := w.bufK(len(aggs), len(events))
+	switch {
+	case w.opt.Profile:
+		w.profiledLoxK(sl, events, loxK)
+	case w.opt.ChunkSize > 0:
+		w.chunkedLoxK(sl, events, loxK)
+	default:
+		w.basicLoxK(sl, events, loxK)
+	}
+	w.sweepLayerPhase(sl, nil, loxK, aggs, maxs)
+}
+
+// sweepLayerPhase applies each variant's layer terms — to the shared
+// lox buffer when every variant gathered the same losses, else to the
+// variant's own buffer — accumulating profile time when enabled.
+func (w *worker) sweepLayerPhase(sl *sweepLayer, lox []float64, loxK [][]float64, aggs, maxs []float64) {
+	var t0 time.Time
+	if w.opt.Profile {
+		t0 = time.Now()
+	}
+	for k := range aggs {
+		v := lox
+		if v == nil {
+			v = loxK[k]
+		}
+		aggs[k], maxs[k] = sweepLayerTerms(sl.lterms[k], v)
+	}
+	if w.opt.Profile {
+		w.phases.LayerTerms += time.Since(t0)
+	}
+}
+
+// sweepLayerTerms is worker.layerTerms without the in-place update, so
+// one gathered lox buffer can serve every variant: occurrence terms per
+// occurrence (line 11), then the running-sum aggregate terms
+// (lines 12-17). The per-occurrence floating-point operation sequence
+// is identical to layerTerms — v is computed once, fed to the max and
+// the running sum exactly as the stored element would be — so results
+// are bitwise identical (pinned by TestSweepLayerTermsMatchesInPlace).
+func sweepLayerTerms(lt layer.Terms, lox []float64) (aggLoss, maxOcc float64) {
+	var running, prev float64
+	for _, l := range lox {
+		v := lt.ApplyOcc(l)
+		if v > maxOcc {
+			maxOcc = v
+		}
+		running += v
+		capped := lt.ApplyAgg(running)
+		aggLoss += capped - prev
+		prev = capped
+	}
+	return aggLoss, maxOcc
+}
+
+// bufK returns K zeroed occurrence-loss buffers of length n.
+func (w *worker) bufK(numK, n int) [][]float64 {
+	for len(w.loxK) < numK {
+		w.loxK = append(w.loxK, nil)
+	}
+	for k := 0; k < numK; k++ {
+		if cap(w.loxK[k]) < n {
+			w.loxK[k] = make([]float64, n)
+		} else {
+			w.loxK[k] = w.loxK[k][:n]
+			clear(w.loxK[k])
+		}
+	}
+	return w.loxK[:numK]
+}
+
+// basicLoxK is the fan-out gather of the basic kernel: per plan step,
+// one raw-loss gather over the whole event column, then K program
+// applications to the gathered column. Combined layers (terms folded
+// into the table) gather each variant's folded table instead.
+func (w *worker) basicLoxK(sl *sweepLayer, events []uint32, loxK [][]float64) {
+	raw := w.rawBuf(len(events))
+	for i := range sl.steps {
+		s := &sl.steps[i]
+		if s.combinedK != nil {
+			for k := range loxK {
+				gatherCombined(loxK[k], events, s.combinedK[k])
+			}
+			continue
+		}
+		s.base.losses(raw, events)
+		elt.FanOut(loxK, raw, s.progs)
+	}
+}
+
+// chunkedLoxK is the fan-out gather of the chunked kernel: the event
+// column moves through ChunkSize blocks, each block's raw losses
+// gathered once into the chunk buffer and fanned out to every
+// variant's lox range. Accumulation order per occurrence matches the
+// plain chunked kernel exactly.
+func (w *worker) chunkedLoxK(sl *sweepLayer, events []uint32, loxK [][]float64) {
+	n := len(events)
+	cs := len(w.chunk)
+	for base := 0; base < n; base += cs {
+		end := base + cs
+		if end > n {
+			end = n
+		}
+		ev := events[base:end]
+		raw := w.chunk[:end-base]
+		for i := range sl.steps {
+			s := &sl.steps[i]
+			if s.combinedK != nil {
+				for k := range loxK {
+					gatherCombined(loxK[k][base:end], ev, s.combinedK[k])
+				}
+				continue
+			}
+			s.base.losses(raw, ev)
+			for k := range loxK {
+				elt.ApplyInto(loxK[k][base:end], raw, s.progs[k])
+			}
+		}
+	}
+}
+
+// profiledLoxK is the fan-out gather of the profiled kernel, phase
+// timings preserved: fetch once, look every ELT up once (phase b),
+// then apply each variant's programs to the shared raw matrix
+// (phase c) — so the breakdown shows exactly how little of a fused
+// sweep is spent outside the gather.
+func (w *worker) profiledLoxK(sl *sweepLayer, events []uint32, loxK [][]float64) {
+	n := len(events)
+
+	t0 := time.Now()
+	ids := w.idsBuf(n)
+	copy(ids, events)
+	t1 := time.Now()
+	w.phases.EventFetch += t1.Sub(t0)
+
+	if s := &sl.steps[0]; s.combinedK != nil {
+		// Per-variant folded tables: the lookup pass is per variant by
+		// construction, all of it attributed to lookup as in the plain
+		// profiled kernel.
+		for k := range loxK {
+			tbl := s.combinedK[k]
+			dst := loxK[k]
+			for d, ev := range ids {
+				dst[d] = tbl[ev]
+			}
+		}
+		w.phases.ELTLookup += time.Since(t1)
+		return
+	}
+
+	numELTs := len(sl.steps)
+	raw := w.rawBuf(numELTs * n)
+	for e := range sl.steps {
+		sl.steps[e].base.losses(raw[e*n:(e+1)*n], ids)
+	}
+	t2 := time.Now()
+	w.phases.ELTLookup += t2.Sub(t1)
+
+	for k := range loxK {
+		for e := range sl.steps {
+			elt.ApplyInto(loxK[k], raw[e*n:(e+1)*n], sl.steps[e].progs[k])
+		}
+	}
+	w.phases.Financial += time.Since(t2)
+}
+
+// gatherCombined accumulates a folded layer table's per-event losses:
+// dst[i] += tbl[events[i]] — the stepCombined gather body.
+func gatherCombined(dst []float64, events []uint32, tbl []float64) {
+	for i, ev := range events {
+		dst[i] += tbl[ev]
+	}
+}

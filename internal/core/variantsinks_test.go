@@ -1,0 +1,133 @@
+package core
+
+// Concurrency tests of the VariantSinks demultiplexer — run race-enabled
+// in CI (the core package is part of the -race step): many workers
+// funnel flattened (variant, layer) spans through one VariantSinks into
+// per-variant online sinks concurrently.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/ralab/are/internal/metrics"
+)
+
+// TestVariantSinksConcurrent hammers EmitBatch/Emit from many
+// goroutines across every flattened slot and checks each member sink
+// saw exactly its variant's cells.
+func TestVariantSinksConcurrent(t *testing.T) {
+	const (
+		numK    = 3
+		numL    = 2
+		trials  = 4096
+		workers = 8
+		span    = 64
+	)
+	sums := make([]*metrics.SummarySink, numK)
+	members := make([]Sink, numK)
+	for k := range members {
+		sums[k] = metrics.NewSummarySink()
+		members[k] = sums[k]
+	}
+	vs := NewVariantSinks(members...)
+	ids := make([]uint32, numK*numL)
+	for i := range ids {
+		ids[i] = uint32(i % numL)
+	}
+	if err := vs.Begin(ids, trials); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker w owns spans [w*span, ...) striding by workers*span, and
+	// emits every flattened (variant, layer) slot for each — the same
+	// disjoint-cells contract the sweep pipeline upholds.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			agg := make([]float64, span)
+			occ := make([]float64, span)
+			for lo := w * span; lo < trials; lo += workers * span {
+				for flat := 0; flat < numK*numL; flat++ {
+					k, l := flat/numL, flat%numL
+					for i := range agg {
+						// Value encodes (variant, layer, trial) so
+						// misrouting shows up in the moments.
+						agg[i] = float64((lo+i)*numK*numL + k*numL + l)
+						occ[i] = agg[i] / 2
+					}
+					if lo/span%2 == 0 {
+						vs.EmitBatch(flat, lo, agg, occ)
+					} else {
+						for i := range agg {
+							vs.Emit(flat, lo+i, agg[i], occ[i])
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for k := 0; k < numK; k++ {
+		for l := 0; l < numL; l++ {
+			s := sums[k].Summary(l)
+			if s.Trials != trials {
+				t.Fatalf("variant %d layer %d: %d trials, want %d", k, l, s.Trials, trials)
+			}
+			wantMin := float64(k*numL + l)
+			wantMax := float64((trials-1)*numK*numL + k*numL + l)
+			if s.Min != wantMin || s.Max != wantMax {
+				t.Fatalf("variant %d layer %d: min/max %v/%v, want %v/%v",
+					k, l, s.Min, s.Max, wantMin, wantMax)
+			}
+		}
+	}
+}
+
+// TestSweepPipelineOnlineSinks runs a real many-worker sweep into
+// VariantSinks over online sinks (the service's configuration),
+// cross-checking the streamed moments against the materialised truth.
+// Race-enabled CI runs this with goroutines contending on the
+// per-layer sink locks through the demultiplexer.
+func TestSweepPipelineOnlineSinks(t *testing.T) {
+	p := columnarPortfolio(t)
+	y := columnarYET(t)
+	sw, err := NewSweepEngine(p, columnarCatalog, LookupDirect, sweepVariantsFanOut())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := sw.Run(y, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sums := make([]*metrics.SummarySink, sw.NumVariants())
+	members := make([]Sink, sw.NumVariants())
+	for k := range members {
+		sums[k] = metrics.NewSummarySink()
+		members[k] = MultiSink{sums[k], metrics.NewEPSink(nil)}
+	}
+	if _, err := sw.RunPipeline(NewTableSource(y), NewVariantSinks(members...), Options{Workers: 8, Dynamic: true}); err != nil {
+		t.Fatal(err)
+	}
+	for k := range sums {
+		for l := 0; l < sw.Base().NumLayers(); l++ {
+			got := sums[k].Summary(l)
+			ylt := truth[k].YLT(l)
+			var mean float64
+			for _, v := range ylt {
+				mean += v
+			}
+			mean /= float64(len(ylt))
+			if got.Trials != len(ylt) {
+				t.Fatalf("variant %d layer %d: trials %d != %d", k, l, got.Trials, len(ylt))
+			}
+			if diff := math.Abs(got.Mean - mean); diff > 1e-9*(1+math.Abs(mean)) {
+				t.Fatalf("variant %d layer %d: online mean %v vs exact %v", k, l, got.Mean, mean)
+			}
+		}
+	}
+}

@@ -14,12 +14,16 @@ type worker struct {
 	e   *Engine
 	opt Options
 
+	// sw is non-nil when the worker executes a scenario sweep; spans
+	// then route through runSweepSpan (sweep_worker.go).
+	sw *SweepEngine
+
 	// lox[d] is the combined loss of occurrence d net of financial
 	// terms, then net of occurrence terms — the paper's lox vector.
 	lox []float64
 
 	// chunk is the ChunkSize-long local buffer used by the optimised
-	// kernel.
+	// kernel (and the sweep fan-out's raw-loss chunk scratch).
 	chunk []float64
 
 	// aggBuf/occBuf collect one span's per-trial results for a single
@@ -29,9 +33,17 @@ type worker struct {
 
 	// ids and raw are the profiled kernel's phase vectors (fetched
 	// event IDs; per-ELT raw losses), hoisted here so profiling does
-	// not allocate per trial.
+	// not allocate per trial. The sweep's basic fan-out kernel reuses
+	// raw as its gathered loss column.
 	ids []uint32
 	raw []float64
+
+	// Sweep scratch (sweep_worker.go): per-variant occurrence-loss
+	// buffers, per-trial variant results, and per-variant span buffers
+	// for batched sink delivery. Sized lazily on the first sweep span.
+	loxK               [][]float64
+	varAgg, varOcc     []float64
+	sweepAgg, sweepOcc [][]float64
 
 	phases PhaseBreakdown
 }
@@ -56,6 +68,10 @@ func newWorker(e *Engine, opt Options, meanTrialLen float64) *worker {
 // (layer, span), so no per-cell interface dispatch survives on the hot
 // path either way.
 func (w *worker) runSpan(b Batch, sink Sink) {
+	if w.sw != nil {
+		w.runSweepSpan(b, sink)
+		return
+	}
 	full, _ := sink.(*FullYLT)
 	span := b.Hi - b.Lo
 	if full == nil && cap(w.aggBuf) < span {
@@ -106,11 +122,18 @@ func (w *worker) trialBasic(cl *compiledLayer, events []uint32) (aggLoss, maxOcc
 	if n == 0 {
 		return 0, 0
 	}
-	lox := w.buf(n)
+	return w.layerTerms(cl, w.basicLox(cl, events))
+}
+
+// basicLox runs the basic kernel's gather phase: every plan step
+// batch-gathered over the whole event column into the zeroed lox
+// buffer (steps 1-2 of §II.B; lines 5-9 per ELT).
+func (w *worker) basicLox(cl *compiledLayer, events []uint32) []float64 {
+	lox := w.buf(len(events))
 	for i := range cl.steps {
 		cl.steps[i].gather(lox, events)
 	}
-	return w.layerTerms(cl, lox)
+	return lox
 }
 
 // trialChunked is the optimised kernel: identical arithmetic, but events
@@ -123,6 +146,14 @@ func (w *worker) trialChunked(cl *compiledLayer, events []uint32) (aggLoss, maxO
 	if n == 0 {
 		return 0, 0
 	}
+	return w.layerTerms(cl, w.chunkedLox(cl, events))
+}
+
+// chunkedLox runs the chunked kernel's gather phase: events move
+// through the fixed-size chunk buffer, each fully gathered block copied
+// into lox.
+func (w *worker) chunkedLox(cl *compiledLayer, events []uint32) []float64 {
+	n := len(events)
 	lox := w.buf(n)
 	cs := len(w.chunk)
 
@@ -138,8 +169,7 @@ func (w *worker) trialChunked(cl *compiledLayer, events []uint32) (aggLoss, maxO
 		}
 		copy(lox[base:end], chunk)
 	}
-
-	return w.layerTerms(cl, lox)
+	return lox
 }
 
 // trialProfiled mirrors the paper's phase-separated loops (one pass per
@@ -152,16 +182,27 @@ func (w *worker) trialProfiled(cl *compiledLayer, events []uint32) (aggLoss, max
 	if n == 0 {
 		return 0, 0
 	}
+	lox := w.profiledLox(cl, events)
+
+	// Phase (d): occurrence + aggregate layer terms (lines 10-19).
+	t := time.Now()
+	aggLoss, maxOcc = w.layerTerms(cl, lox)
+	w.phases.LayerTerms += time.Since(t)
+	return aggLoss, maxOcc
+}
+
+// profiledLox runs the profiled kernel's phases (a)-(c) — event fetch,
+// ELT lookup, financial terms — accumulating wall time per phase and
+// returning the combined occurrence losses.
+func (w *worker) profiledLox(cl *compiledLayer, events []uint32) []float64 {
+	n := len(events)
 	lox := w.buf(n)
 
 	// Phase (a): fetch events from the YET into a local vector
 	// (lines 3-4: walking Et in b) — a straight copy of the event
 	// column into worker scratch.
 	t0 := time.Now()
-	if cap(w.ids) < n {
-		w.ids = make([]uint32, n)
-	}
-	ids := w.ids[:n]
+	ids := w.idsBuf(n)
 	copy(ids, events)
 	t1 := time.Now()
 	w.phases.EventFetch += t1.Sub(t0)
@@ -174,20 +215,13 @@ func (w *worker) trialProfiled(cl *compiledLayer, events []uint32) (aggLoss, max
 		for d, ev := range ids {
 			lox[d] = tbl[ev]
 		}
-		t2 := time.Now()
-		w.phases.ELTLookup += t2.Sub(t1)
-		aggLoss, maxOcc = w.layerTerms(cl, lox)
-		w.phases.LayerTerms += time.Since(t2)
-		return aggLoss, maxOcc
+		w.phases.ELTLookup += time.Since(t1)
+		return lox
 	}
 
 	// Phase (b): ELT lookups (line 5), raw losses gathered per ELT
 	// into the hoisted scratch matrix.
-	numELTs := len(cl.steps)
-	if cap(w.raw) < numELTs*n {
-		w.raw = make([]float64, numELTs*n)
-	}
-	raw := w.raw[:numELTs*n]
+	raw := w.rawBuf(len(cl.steps) * n)
 	for e := range cl.steps {
 		cl.steps[e].losses(raw[e*n:(e+1)*n], ids)
 	}
@@ -206,13 +240,8 @@ func (w *worker) trialProfiled(cl *compiledLayer, events []uint32) (aggLoss, max
 			}
 		}
 	}
-	t3 := time.Now()
-	w.phases.Financial += t3.Sub(t2)
-
-	// Phase (d): occurrence + aggregate layer terms (lines 10-19).
-	aggLoss, maxOcc = w.layerTerms(cl, lox)
-	w.phases.LayerTerms += time.Since(t3)
-	return aggLoss, maxOcc
+	w.phases.Financial += time.Since(t2)
+	return lox
 }
 
 // layerTerms applies steps 3 and 4 of the algorithm to the combined
@@ -247,4 +276,21 @@ func (w *worker) buf(n int) []float64 {
 	w.lox = w.lox[:n]
 	clear(w.lox)
 	return w.lox
+}
+
+// idsBuf returns the event-ID scratch of length n (contents arbitrary).
+func (w *worker) idsBuf(n int) []uint32 {
+	if cap(w.ids) < n {
+		w.ids = make([]uint32, n)
+	}
+	return w.ids[:n]
+}
+
+// rawBuf returns the raw-loss scratch of length n (contents arbitrary —
+// every use overwrites before reading).
+func (w *worker) rawBuf(n int) []float64 {
+	if cap(w.raw) < n {
+		w.raw = make([]float64, n)
+	}
+	return w.raw[:n]
 }

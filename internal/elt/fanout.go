@@ -1,0 +1,71 @@
+package elt
+
+// Fan-out kernels: the second half of the fused scenario sweep.
+//
+// A pricing sweep evaluates K term variants of a layer against the same
+// trials. The expensive part of the gather — the random lookup per
+// occurrence per ELT — does not depend on the variant, so the sweep
+// kernels pay it once (LossesInto fills a raw-loss column into worker
+// scratch) and then fan the column out to each variant's compiled
+// program with ApplyInto. The loop bodies below replicate gatherDense's
+// arithmetic exactly, reading the pre-gathered raw value instead of
+// re-probing the representation, which keeps a zero-delta variant's
+// accumulation bitwise identical to a plain GatherInto pass.
+
+import (
+	"github.com/ralab/are/internal/financial"
+)
+
+// ApplyInto accumulates the program-transformed raw losses into dst:
+// dst[i] += p(raw[i]) for every non-zero raw[i]. raw is a previously
+// gathered loss column (LossesInto output — zeros mark absent events),
+// so a sweep applies K programs to one gather by calling ApplyInto K
+// times over the same scratch.
+func ApplyInto(dst, raw []float64, p financial.Program) {
+	switch p.Op {
+	case financial.OpIdentity:
+		for i, v := range raw {
+			if v != 0 {
+				dst[i] += v
+			}
+		}
+	case financial.OpScale:
+		fx, part := p.FX, p.Participation
+		for i, v := range raw {
+			if v != 0 {
+				dst[i] += (v * fx) * part
+			}
+		}
+	case financial.OpNoLimit:
+		fx, ret, part := p.FX, p.Retention, p.Participation
+		for i, v := range raw {
+			if v != 0 {
+				if l := v*fx - ret; l > 0 {
+					dst[i] += l * part
+				}
+			}
+		}
+	default:
+		fx, ret, lim, part := p.FX, p.Retention, p.Limit, p.Participation
+		for i, v := range raw {
+			if v != 0 {
+				if l := v*fx - ret; l > 0 {
+					if l > lim {
+						l = lim
+					}
+					dst[i] += l * part
+				}
+			}
+		}
+	}
+}
+
+// FanOut applies each program to the shared raw-loss column,
+// accumulating into the matching destination: dsts[k][i] += progs[k](raw[i])
+// for non-zero raw[i]. It is the per-ELT inner step of the sweep
+// kernels; dsts[k] is variant k's occurrence-loss buffer.
+func FanOut(dsts [][]float64, raw []float64, progs []financial.Program) {
+	for k := range progs {
+		ApplyInto(dsts[k], raw, progs[k])
+	}
+}

@@ -1,0 +1,114 @@
+package elt
+
+// The fan-out kernels' bitwise contract: ApplyInto over a LossesInto
+// column must accumulate exactly what GatherInto accumulates probing
+// the representation directly, for every program class and every
+// representation — that identity is what lets the sweep engine pay the
+// gather once and fan K programs out over it.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/rng"
+)
+
+func fanoutPrograms() []financial.Program {
+	return financial.CompileAll([]financial.Terms{
+		financial.Default(), // identity
+		{FX: 1.3, EventLimit: financial.Unlimited, Participation: 0.4},                    // scale
+		{FX: 1, EventRetention: 5_000, EventLimit: financial.Unlimited, Participation: 1}, // no-limit
+		{FX: 0.85, EventRetention: 2_000, EventLimit: 40_000, Participation: 0.6},         // general
+	})
+}
+
+func TestApplyIntoMatchesGatherInto(t *testing.T) {
+	const catalogSize = 5_000
+	r := rng.New(41)
+	recs := make([]Record, 0, 400)
+	seen := map[catalog.EventID]bool{}
+	for len(recs) < 400 {
+		ev := catalog.EventID(r.Intn(catalogSize))
+		if seen[ev] {
+			continue
+		}
+		seen[ev] = true
+		loss := 50_000 * r.Float64()
+		if len(recs) == 0 {
+			loss = 0 // present-but-zero record: both paths must skip it
+		}
+		recs = append(recs, Record{Event: ev, Loss: loss})
+	}
+	tab, err := New(1, financial.Default(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := make([]uint32, 600)
+	for i := range events {
+		events[i] = uint32(r.Intn(catalogSize)) // many will miss the table
+	}
+
+	direct, err := NewDirect(tab, catalogSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookups := map[string]interface {
+		GatherInto(dst []float64, events []uint32, p financial.Program)
+		LossesInto(dst []float64, events []uint32)
+	}{
+		"direct": direct,
+		"sorted": NewSorted(tab),
+		"hash":   NewHash(tab),
+		"cuckoo": NewCuckoo(tab),
+	}
+
+	for name, look := range lookups {
+		for pi, prog := range fanoutPrograms() {
+			want := make([]float64, len(events))
+			seed := 0.5 // non-zero accumulator start catches = vs += confusion
+			for i := range want {
+				want[i] = seed
+			}
+			look.GatherInto(want, events, prog)
+
+			raw := make([]float64, len(events))
+			look.LossesInto(raw, events)
+			got := make([]float64, len(events))
+			for i := range got {
+				got[i] = seed
+			}
+			ApplyInto(got, raw, prog)
+
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s program %d (%s): occ %d: ApplyInto %v != GatherInto %v",
+						name, pi, prog.Op, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFanOutAppliesEveryProgram(t *testing.T) {
+	progs := fanoutPrograms()
+	raw := []float64{0, 1_000, 10_000, 100_000, 3_500}
+	dsts := make([][]float64, len(progs))
+	for k := range dsts {
+		dsts[k] = make([]float64, len(raw))
+	}
+	FanOut(dsts, raw, progs)
+	for k, p := range progs {
+		for i, v := range raw {
+			var want float64
+			if v != 0 {
+				want = p.Apply(v)
+			}
+			if math.Float64bits(dsts[k][i]) != math.Float64bits(want) {
+				t.Fatalf("program %d occ %d: %v != %v", k, i, dsts[k][i], want)
+			}
+		}
+	}
+}

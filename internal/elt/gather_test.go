@@ -12,9 +12,9 @@ import (
 // gatherTerms spans every financial.Program op class.
 var gatherTerms = []financial.Terms{
 	financial.Default(), // identity
-	{FX: 1.2, EventLimit: financial.Unlimited, Participation: 0.4},             // scale
-	{FX: 1, EventRetention: 900, EventLimit: financial.Unlimited, Participation: 1},  // no-limit
-	{FX: 0.9, EventRetention: 500, EventLimit: 40_000, Participation: 0.75},          // general
+	{FX: 1.2, EventLimit: financial.Unlimited, Participation: 0.4},                  // scale
+	{FX: 1, EventRetention: 900, EventLimit: financial.Unlimited, Participation: 1}, // no-limit
+	{FX: 0.9, EventRetention: 500, EventLimit: 40_000, Participation: 0.75},         // general
 }
 
 func gatherTable(t *testing.T, terms financial.Terms, catalogSize int) *Table {

@@ -1,0 +1,48 @@
+package financial
+
+import (
+	"fmt"
+	"math"
+)
+
+// Variant-set compilation: the scenario-sweep engine prices K candidate
+// structures of one portfolio in a single streaming pass, and each
+// candidate may alter the ELT-level share. A variant set is therefore a
+// slice of Terms (one per scenario) compiled together into the []Program
+// a sweep step fans gathered losses out to — see elt.ApplyInto and the
+// sweepStep plan in package core.
+
+// ErrBadScale rejects non-positive or non-finite participation scales.
+var ErrBadScale = fmt.Errorf("financial: participation scale must be finite and > 0")
+
+// ScaleParticipation returns t with its participation multiplied by
+// scale, the "vary the share" axis of a pricing sweep. A scale of 1
+// returns t unchanged (bitwise: no multiplication is performed), so a
+// zero-delta sweep variant compiles to exactly the base program. The
+// scaled terms still must satisfy Validate — participation stays in
+// (0, 1] — which CompileAll's callers check per variant.
+func ScaleParticipation(t Terms, scale float64) (Terms, error) {
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return t, fmt.Errorf("%w: %v", ErrBadScale, scale)
+	}
+	if scale == 1 {
+		return t, nil
+	}
+	t.Participation *= scale
+	if err := t.Validate(); err != nil {
+		return t, fmt.Errorf("financial: scaled by %v: %w", scale, err)
+	}
+	return t, nil
+}
+
+// CompileAll compiles a variant set: one Program per Terms, in order.
+// Each program is exactly what ts[k].Compile() yields, so a variant
+// whose terms equal the base terms compiles to the base program and the
+// sweep kernels' fan-out stays bitwise identical to a plain run for it.
+func CompileAll(ts []Terms) []Program {
+	ps := make([]Program, len(ts))
+	for i, t := range ts {
+		ps[i] = t.Compile()
+	}
+	return ps
+}

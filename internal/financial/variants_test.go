@@ -1,0 +1,62 @@
+package financial
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestScaleParticipationUnchangedIsExact(t *testing.T) {
+	base := Terms{FX: 1.1, EventRetention: 3, EventLimit: 100, Participation: 0.7}
+	got, err := ScaleParticipation(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Fatalf("scale 1 changed terms: %+v", got)
+	}
+}
+
+func TestScaleParticipation(t *testing.T) {
+	base := Terms{FX: 1, EventRetention: 0, EventLimit: Unlimited, Participation: 0.8}
+	got, err := ScaleParticipation(base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Participation != 0.8*0.5 {
+		t.Fatalf("participation = %v", got.Participation)
+	}
+	if got.FX != base.FX || got.EventRetention != base.EventRetention || got.EventLimit != base.EventLimit {
+		t.Fatalf("other fields changed: %+v", got)
+	}
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := ScaleParticipation(base, bad); !errors.Is(err, ErrBadScale) {
+			t.Fatalf("scale %v: err = %v", bad, err)
+		}
+	}
+	// A scale that pushes participation above 1 must fail validation.
+	if _, err := ScaleParticipation(base, 2); err == nil {
+		t.Fatal("participation 1.6 accepted")
+	}
+}
+
+func TestCompileAllMatchesCompile(t *testing.T) {
+	ts := []Terms{
+		Default(),
+		{FX: 1.2, EventLimit: Unlimited, Participation: 0.5},
+		{FX: 1, EventRetention: 100, EventLimit: Unlimited, Participation: 1},
+		{FX: 0.9, EventRetention: 10, EventLimit: 500, Participation: 0.25},
+	}
+	ps := CompileAll(ts)
+	if len(ps) != len(ts) {
+		t.Fatalf("len = %d", len(ps))
+	}
+	for i, tm := range ts {
+		if ps[i] != tm.Compile() {
+			t.Fatalf("program %d differs: %+v vs %+v", i, ps[i], tm.Compile())
+		}
+	}
+	if got := CompileAll(nil); len(got) != 0 {
+		t.Fatalf("nil input: %v", got)
+	}
+}

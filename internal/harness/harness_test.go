@@ -18,7 +18,7 @@ func tinyConfig() Config {
 
 func TestNamesCoverAllFigures(t *testing.T) {
 	want := []string{"convergence", "eltrep", "fig2a", "fig2b", "fig2c", "fig2d",
-		"fig3a", "fig3b", "fig4", "fig5a", "fig5b", "fig6a", "fig6b", "gather", "pricing", "scale", "streaming"}
+		"fig3a", "fig3b", "fig4", "fig5a", "fig5b", "fig6a", "fig6b", "gather", "pricing", "scale", "streaming", "sweep"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -131,6 +131,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: yet.trials %d exceeds the server cap of %d", j.YET.Trials, s.cfg.MaxTrials))
 		return
 	}
+	if j.Sweep != nil && s.coord != nil {
+		// The fused sweep runs on one node; fanning its flattened sink
+		// space across shards is future work, so fail loudly at submit
+		// instead of queueing a job that cannot run.
+		writeError(w, http.StatusBadRequest,
+			errors.New("server: sweep jobs are not supported in coordinator role; submit to a single-role server"))
+		return
+	}
 	job, err := s.sched.submit(j)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")

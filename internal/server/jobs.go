@@ -15,6 +15,7 @@ import (
 	"github.com/ralab/are/internal/metrics"
 	"github.com/ralab/are/internal/pricing"
 	"github.com/ralab/are/internal/spec"
+	"github.com/ralab/are/internal/yet"
 )
 
 // JobState is the lifecycle state of a submitted analysis.
@@ -76,16 +77,27 @@ type Status struct {
 // JobResult is the wire form of a completed analysis
 // (GET /v1/jobs/{id}/result). Shards, Retried and WorkersUsed are
 // populated only for jobs a coordinator fanned out across the cluster.
+// Variants is populated only for sweep jobs: one entry per requested
+// variant, in request order (Layers then carries variant 0 — the view
+// closest to the plain job — so existing clients keep working).
 type JobResult struct {
-	ID           string        `json:"id"`
-	Trials       int           `json:"trials"`
-	ElapsedMS    int64         `json:"elapsedMs"`
-	YETCached    bool          `json:"yetCached"`
-	EngineCached bool          `json:"engineCached"`
-	Shards       int           `json:"shards,omitempty"`
-	Retried      int           `json:"retried,omitempty"`
-	WorkersUsed  int           `json:"workersUsed,omitempty"`
-	Layers       []LayerResult `json:"layers"`
+	ID           string          `json:"id"`
+	Trials       int             `json:"trials"`
+	ElapsedMS    int64           `json:"elapsedMs"`
+	YETCached    bool            `json:"yetCached"`
+	EngineCached bool            `json:"engineCached"`
+	Shards       int             `json:"shards,omitempty"`
+	Retried      int             `json:"retried,omitempty"`
+	WorkersUsed  int             `json:"workersUsed,omitempty"`
+	Layers       []LayerResult   `json:"layers"`
+	Variants     []VariantResult `json:"variants,omitempty"`
+}
+
+// VariantResult carries one sweep variant's per-layer metrics.
+type VariantResult struct {
+	Index  int           `json:"index"`
+	Name   string        `json:"name"`
+	Layers []LayerResult `json:"layers"`
 }
 
 // LayerResult carries one layer's metrics.
@@ -447,9 +459,12 @@ func (s *scheduler) runJob(j *Job) {
 
 	var res *JobResult
 	var err error
-	if s.coord != nil {
+	switch {
+	case s.coord != nil:
 		res, err = s.executeDistributed(j)
-	} else {
+	case j.Spec.Sweep != nil:
+		res, err = s.executeSweep(j)
+	default:
 		res, err = s.execute(j)
 	}
 	j.mu.Lock()
@@ -472,16 +487,28 @@ func (s *scheduler) runJob(j *Job) {
 	j.cancel()
 }
 
-func (s *scheduler) execute(j *Job) (*JobResult, error) {
-	js := j.Spec
+// jobArtifacts is the shared prelude of the local execution paths: the
+// cached compile/generation products plus the engine options a job
+// runs under. One builder keeps plain and sweep jobs identical in
+// everything but the pass they run.
+type jobArtifacts struct {
+	art               *artifact.Engine
+	table             *yet.Table
+	engineHit, yetHit bool
+	opt               core.Options
+}
 
-	// Check before any artifact build: the cache builds are not
-	// ctx-aware, and a force-cancelled shutdown must not pay for
-	// engine compilation or YET generation of jobs it is abandoning.
+// prepare fetches the job's artifacts from the shared cache and builds
+// its engine options. The leading ctx check runs before any artifact
+// build: the cache builds are not ctx-aware, and a force-cancelled
+// shutdown must not pay for engine compilation or YET generation of
+// jobs it is abandoning; the trailing check keeps a cancelled job from
+// starting its run.
+func (s *scheduler) prepare(j *Job) (*jobArtifacts, error) {
+	js := j.Spec
 	if err := j.ctx.Err(); err != nil {
 		return nil, err
 	}
-
 	art, engineHit, err := artifact.EngineFor(s.cache, js)
 	if err != nil {
 		return nil, err
@@ -493,7 +520,26 @@ func (s *scheduler) execute(j *Job) (*JobResult, error) {
 	if err := j.ctx.Err(); err != nil {
 		return nil, err
 	}
+	workers := js.Workers
+	if workers <= 0 {
+		workers = s.cfg.EngineWorkers
+	}
+	return &jobArtifacts{
+		art:       art,
+		table:     table,
+		engineHit: engineHit,
+		yetHit:    yetHit,
+		opt: core.Options{
+			Workers:  workers,
+			Lookup:   artifact.LookupKind(js.Lookup),
+			Progress: j.progress(),
+		},
+	}, nil
+}
 
+// jobSinks builds one job-shaped sink stack: online moments + EP
+// always, a materialising sink only when quotes were requested.
+func jobSinks(js *spec.Job) (*metrics.SummarySink, *metrics.EPSink, *core.FullYLT, core.MultiSink) {
 	sum := metrics.NewSummarySink()
 	ep := metrics.NewEPSink(js.Metrics.ReturnPeriods)
 	sinks := core.MultiSink{sum, ep}
@@ -502,18 +548,19 @@ func (s *scheduler) execute(j *Job) (*JobResult, error) {
 		full = core.NewFullYLT()
 		sinks = append(sinks, full)
 	}
+	return sum, ep, full, sinks
+}
 
-	workers := js.Workers
-	if workers <= 0 {
-		workers = s.cfg.EngineWorkers
+func (s *scheduler) execute(j *Job) (*JobResult, error) {
+	js := j.Spec
+	a, err := s.prepare(j)
+	if err != nil {
+		return nil, err
 	}
-	opt := core.Options{
-		Workers:  workers,
-		Lookup:   artifact.LookupKind(js.Lookup),
-		Progress: j.progress(),
-	}
+	sum, ep, full, sinks := jobSinks(js)
+
 	start := time.Now()
-	if _, err := art.Eng.RunPipelineContext(j.ctx, core.NewTableSource(table), sinks, opt); err != nil {
+	if _, err := a.art.Eng.RunPipelineContext(j.ctx, core.NewTableSource(a.table), sinks, a.opt); err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
@@ -522,12 +569,71 @@ func (s *scheduler) execute(j *Job) (*JobResult, error) {
 	if full != nil {
 		fullRes = full.Result()
 	}
-	res, err := assembleJobResult(j.ID, js, art.P.P, sum, ep, fullRes, elapsed)
+	res, err := assembleJobResult(j.ID, js, a.art.P.P, sum, ep, fullRes, elapsed)
 	if err != nil {
 		return nil, err
 	}
-	res.YETCached = yetHit
-	res.EngineCached = engineHit
+	res.YETCached = a.yetHit
+	res.EngineCached = a.engineHit
+	return res, nil
+}
+
+// executeSweep runs a scenario-sweep job: the base engine and YET come
+// from the shared artifact cache exactly as for a plain job (sweep jobs
+// with the same base portfolio are cache hits), the variant set is
+// compiled against the cached engine, and one fused pass feeds a
+// per-variant sink stack through VariantSinks. Every variant gets the
+// plain job's metric set; quotes, when requested, are priced per
+// variant from that variant's materialised YLT under the variant's
+// effective occurrence limit.
+func (s *scheduler) executeSweep(j *Job) (*JobResult, error) {
+	js := j.Spec
+	a, err := s.prepare(j)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := a.art.Eng.CompileSweep(a.art.P.P, artifact.SweepVariants(js.Sweep))
+	if err != nil {
+		return nil, err
+	}
+
+	numK := sweep.NumVariants()
+	sums := make([]*metrics.SummarySink, numK)
+	eps := make([]*metrics.EPSink, numK)
+	fulls := make([]*core.FullYLT, numK)
+	members := make([]core.Sink, numK)
+	for k := 0; k < numK; k++ {
+		sum, ep, full, sinks := jobSinks(js)
+		sums[k], eps[k], fulls[k], members[k] = sum, ep, full, sinks
+	}
+
+	start := time.Now()
+	if _, err := sweep.RunPipelineContext(j.ctx, core.NewTableSource(a.table), core.NewVariantSinks(members...), a.opt); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	res := &JobResult{
+		ID:           j.ID,
+		Trials:       js.YET.Trials,
+		ElapsedMS:    elapsed.Milliseconds(),
+		YETCached:    a.yetHit,
+		EngineCached: a.engineHit,
+	}
+	for k, v := range sweep.Variants() {
+		var fullRes *core.Result
+		if fulls[k] != nil {
+			fullRes = fulls[k].Result()
+		}
+		layers, err := layerResults(js, a.art.P.P, v, sums[k], eps[k], fullRes)
+		if err != nil {
+			return nil, fmt.Errorf("variant %d (%s): %w", k, v.Name, err)
+		}
+		res.Variants = append(res.Variants, VariantResult{Index: k, Name: v.Name, Layers: layers})
+	}
+	// Keep the plain-job view pointing at variant 0 so clients that do
+	// not know about sweeps still read a coherent result.
+	res.Layers = res.Variants[0].Layers
 	return res, nil
 }
 
@@ -579,11 +685,24 @@ func (j *Job) progress() func(done, total int) {
 // one code path whether the sinks were fed by a local pipeline or
 // reassembled from cluster shards.
 func assembleJobResult(id string, js *spec.Job, p *layer.Portfolio, sum *metrics.SummarySink, ep *metrics.EPSink, full *core.Result, elapsed time.Duration) (*JobResult, error) {
-	res := &JobResult{
+	layers, err := layerResults(js, p, core.Variant{}, sum, ep, full)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{
 		ID:        id,
 		Trials:    js.YET.Trials,
 		ElapsedMS: elapsed.Milliseconds(),
-	}
+		Layers:    layers,
+	}, nil
+}
+
+// layerResults renders one sink stack's per-layer metrics. v supplies
+// the effective layer terms (sweep variants override attachments and
+// limits, so quotes must price against the variant's occurrence limit,
+// not the base portfolio's); plain jobs pass the zero Variant.
+func layerResults(js *spec.Job, p *layer.Portfolio, v core.Variant, sum *metrics.SummarySink, ep *metrics.EPSink, full *core.Result) ([]LayerResult, error) {
+	out := make([]LayerResult, 0, len(p.Layers))
 	for li, l := range p.Layers {
 		lr := LayerResult{
 			ID:         l.ID,
@@ -597,7 +716,7 @@ func assembleJobResult(id string, js *spec.Job, p *layer.Portfolio, sum *metrics
 			q, err := pricing.Price(full.YLT(li), pricing.Config{
 				VolatilityMultiplier: js.Metrics.VolatilityMultiplier,
 				ExpenseRatio:         js.Metrics.ExpenseRatio,
-				OccLimit:             l.LTerms.OccLimit,
+				OccLimit:             v.LayerTerms(l.LTerms).OccLimit,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("quote layer %d: %w", l.ID, err)
@@ -613,7 +732,7 @@ func assembleJobResult(id string, js *spec.Job, p *layer.Portfolio, sum *metrics
 				TVaR99:           q.TVaR99,
 			}
 		}
-		res.Layers = append(res.Layers, lr)
+		out = append(out, lr)
 	}
-	return res, nil
+	return out, nil
 }

@@ -1,0 +1,141 @@
+package server
+
+// Service-level tests of the scenario-sweep job path: variant 0 of a
+// sweep must reproduce the plain job's result exactly, the artifact
+// cache must share the base engine between sweep and plain jobs, and
+// sweep-specific validation must fail loudly at submission.
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sweepJobBody is jobBody's portfolio with a sweep attached.
+func sweepJobBody(seed uint64, trials, fixedEvents int, quotes bool, sweep string) string {
+	return fmt.Sprintf(`{
+	  "portfolio": {
+	    "catalogSize": 20000,
+	    "elts": [
+	      {"id": 1, "generate": {"seed": 11, "numRecords": 2000}},
+	      {"id": 2, "generate": {"seed": 12, "numRecords": 2000}}
+	    ],
+	    "layers": [
+	      {"id": 1, "name": "cat-xl-a", "elts": [1, 2],
+	       "terms": {"occRetention": 1e5, "occLimit": 4e6}}
+	    ]
+	  },
+	  "yet": {"seed": %d, "trials": %d, "fixedEvents": %d},
+	  "metrics": {"quotes": %v},
+	  "workers": 1,
+	  "sweep": %s
+	}`, seed, trials, fixedEvents, quotes, sweep)
+}
+
+func TestSweepJobEndToEnd(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 2})
+
+	sweep := `{"variants": [
+	  {"name": "base"},
+	  {"name": "higher-attach", "occRetention": 5e5, "occLimit": 3e6},
+	  {"name": "60-share", "participationScale": 0.6}
+	]}`
+	st, resp := postJob(t, ts, sweepJobBody(42, 2000, 40, true, sweep))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit sweep: %d", resp.StatusCode)
+	}
+	waitState(t, ts, st.ID, JobDone)
+	res, _ := getResult(t, ts, st.ID)
+	if res == nil || len(res.Variants) != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+	for k, v := range res.Variants {
+		if v.Index != k || len(v.Layers) != 1 {
+			t.Fatalf("variant %d = %+v", k, v)
+		}
+		if v.Layers[0].Quote == nil {
+			t.Fatalf("variant %d missing quote", k)
+		}
+	}
+	if res.Variants[0].Name != "base" || res.Variants[2].Name != "60-share" {
+		t.Fatalf("variant names = %q, %q", res.Variants[0].Name, res.Variants[2].Name)
+	}
+	// The legacy view points at variant 0.
+	if !reflect.DeepEqual(res.Layers, res.Variants[0].Layers) {
+		t.Fatal("top-level layers differ from variant 0")
+	}
+
+	// A plain job with the identical base spec: variant 0 must equal it
+	// exactly (same worker count, same span order, same sinks), and the
+	// base engine + YET must come from the cache.
+	st2, resp2 := postJob(t, ts, jobBody(42, 2000, 40, true))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit plain: %d", resp2.StatusCode)
+	}
+	waitState(t, ts, st2.ID, JobDone)
+	plain, _ := getResult(t, ts, st2.ID)
+	if plain == nil {
+		t.Fatal("plain result missing")
+	}
+	if !plain.EngineCached || !plain.YETCached {
+		t.Fatalf("plain job after sweep: engineCached=%v yetCached=%v, want cache hits",
+			plain.EngineCached, plain.YETCached)
+	}
+	if !reflect.DeepEqual(plain.Layers, res.Variants[0].Layers) {
+		t.Fatalf("variant 0 differs from plain run:\n sweep: %+v\n plain: %+v",
+			res.Variants[0].Layers[0], plain.Layers[0])
+	}
+
+	// Sanity on the deltas: a higher attachment cannot raise the mean
+	// loss, and a 60% share scales the mean down.
+	base := res.Variants[0].Layers[0].Summary.Mean
+	if m := res.Variants[1].Layers[0].Summary.Mean; m > base {
+		t.Fatalf("higher attachment raised mean: %v > %v", m, base)
+	}
+	if m := res.Variants[2].Layers[0].Summary.Mean; m >= base {
+		t.Fatalf("60%% share did not reduce mean: %v >= %v", m, base)
+	}
+	// Quotes must price under the variant's occurrence limit (3e6, not
+	// the base 4e6): rate on line = premium / limit.
+	q := res.Variants[1].Layers[0].Quote
+	if rel := q.RateOnLine*3e6 - q.TechnicalPremium; rel > 1e-6 || rel < -1e-6 {
+		t.Fatalf("variant quote not priced under overridden limit: RoL %v premium %v", q.RateOnLine, q.TechnicalPremium)
+	}
+}
+
+func TestSweepJobValidation(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1})
+	bad := []string{
+		`{"variants": []}`,
+		`{"variants": [{"participationScale": -0.5}]}`,
+		`{"variants": [{"occLimit": -1}]}`,
+		`{"variants": [{"occRetention": -2}]}`,
+		`{"wrong": true}`,
+	}
+	for _, sweep := range bad {
+		_, resp := postJob(t, ts, sweepJobBody(1, 50, 5, false, sweep))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("sweep %s accepted: %d", sweep, resp.StatusCode)
+		}
+	}
+	// A scale that pushes participation above 1 passes structural
+	// validation but must fail the job at compile time.
+	st, resp := postJob(t, ts, sweepJobBody(1, 50, 5, false, `{"variants": [{"participationScale": 3}]}`))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("compile-failing sweep rejected early: %d", resp.StatusCode)
+	}
+	got := waitState(t, ts, st.ID, JobFailed)
+	if !strings.Contains(strings.ToLower(got.Error), "participation") {
+		t.Fatalf("failure error = %q", got.Error)
+	}
+}
+
+func TestSweepRejectedOnCoordinator(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1, Role: RoleCoordinator})
+	_, resp := postJob(t, ts, sweepJobBody(1, 50, 5, false, `{"variants": [{"name": "base"}]}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("coordinator accepted sweep: %d", resp.StatusCode)
+	}
+}

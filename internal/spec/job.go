@@ -46,7 +46,49 @@ type Job struct {
 	// Lookup names the ELT representation
 	// (direct|sorted|hash|cuckoo|combined); empty means direct.
 	Lookup string `json:"lookup,omitempty"`
+
+	// Sweep, when present, turns the job into a scenario sweep: every
+	// variant of the base portfolio is evaluated in one fused pass and
+	// the result carries per-variant metrics (and quotes, when
+	// requested). Variant 0 semantics: a variant with no overrides
+	// reproduces the plain job's numbers bitwise.
+	Sweep *SweepSpec `json:"sweep,omitempty"`
 }
+
+// SweepSpec is the wire form of a scenario sweep: the candidate
+// structures to price against the base portfolio in a single pass.
+//
+//	"sweep": {"variants": [
+//	  {"name": "base"},
+//	  {"name": "higher-attach", "occRetention": 2e6},
+//	  {"name": "60% share", "participationScale": 0.6}
+//	]}
+type SweepSpec struct {
+	Variants []VariantSpec `json:"variants"`
+}
+
+// VariantSpec is one candidate structure: layer-term overrides (omitted
+// fields inherit the base layer's terms) plus a participation scale.
+type VariantSpec struct {
+	Name string `json:"name,omitempty"`
+
+	// Layer-term overrides, applied to every layer. Limits accept a
+	// number or "unlimited".
+	OccRetention *float64 `json:"occRetention,omitempty"`
+	OccLimit     *Limit   `json:"occLimit,omitempty"`
+	AggRetention *float64 `json:"aggRetention,omitempty"`
+	AggLimit     *Limit   `json:"aggLimit,omitempty"`
+
+	// ParticipationScale multiplies every ELT's participation; 0 (or
+	// omitted) and 1 both mean unchanged. Scaled participations must
+	// stay in (0, 1], checked when the sweep compiles.
+	ParticipationScale float64 `json:"participationScale,omitempty"`
+}
+
+// MaxSweepVariants caps one sweep's variant count: enough for any
+// realistic pricing tower, small enough that a single request cannot
+// commission unbounded compile work.
+const MaxSweepVariants = 64
 
 // YETSpec mirrors yet.Config for job requests.
 type YETSpec struct {
@@ -94,15 +136,20 @@ type MetricsSpec struct {
 
 // Job validation errors (each yields a 400 from the service).
 var (
-	ErrJobNoPortfolio  = errors.New("spec: job needs a portfolio")
-	ErrJobFileELT      = errors.New("spec: job portfolios cannot use file ELT references")
-	ErrJobTrials       = errors.New("spec: job yet.trials must be positive")
-	ErrJobEvents       = errors.New("spec: job yet needs meanEvents or fixedEvents > 0")
-	ErrJobReturnPeriod = errors.New("spec: job returnPeriods must be finite and > 1")
-	ErrJobExpense      = errors.New("spec: job expenseRatio must be in [0, 1)")
-	ErrJobVolatility   = errors.New("spec: job volatilityMultiplier must be >= 0")
-	ErrJobLookup       = errors.New("spec: job lookup must be one of direct|sorted|hash|cuckoo|combined")
-	ErrJobGenerate     = errors.New("spec: generated ELT needs numRecords > 0")
+	ErrJobNoPortfolio     = errors.New("spec: job needs a portfolio")
+	ErrJobFileELT         = errors.New("spec: job portfolios cannot use file ELT references")
+	ErrJobTrials          = errors.New("spec: job yet.trials must be positive")
+	ErrJobEvents          = errors.New("spec: job yet needs meanEvents or fixedEvents > 0")
+	ErrJobReturnPeriod    = errors.New("spec: job returnPeriods must be finite and > 1")
+	ErrJobExpense         = errors.New("spec: job expenseRatio must be in [0, 1)")
+	ErrJobVolatility      = errors.New("spec: job volatilityMultiplier must be >= 0")
+	ErrJobLookup          = errors.New("spec: job lookup must be one of direct|sorted|hash|cuckoo|combined")
+	ErrJobGenerate        = errors.New("spec: generated ELT needs numRecords > 0")
+	ErrSweepVariants      = fmt.Errorf("spec: sweep needs between 1 and %d variants", MaxSweepVariants)
+	ErrSweepScale         = errors.New("spec: sweep participationScale must be finite and > 0 (or omitted)")
+	ErrSweepRetention     = errors.New("spec: sweep retentions must be finite and >= 0")
+	ErrSweepLimit         = errors.New("spec: sweep limits must be > 0 (may be \"unlimited\")")
+	ErrSweepCombinedShare = errors.New("spec: participationScale sweeps are not supported with lookup=combined (per-variant folded tables; use direct)")
 )
 
 // validLookups are the ELT representation names a job may request,
@@ -161,6 +208,53 @@ func (j *Job) Validate() error {
 	}
 	if j.Workers < 0 {
 		return fmt.Errorf("spec: job workers must be >= 0, got %d", j.Workers)
+	}
+	if j.Sweep != nil {
+		if err := j.Sweep.validate(); err != nil {
+			return err
+		}
+		// Share-varying variants under the combined representation
+		// cannot reuse the base layer tables (terms are folded in at
+		// compile time): each such variant would fold its own
+		// catalog-size table per layer — up to 64x the plain job's
+		// table memory from one request, for a configuration the
+		// fusion cannot speed up anyway. Reject it; direct gives the
+		// same numbers and amortises the gather.
+		if j.Lookup == "combined" {
+			for i := range j.Sweep.Variants {
+				if s := j.Sweep.Variants[i].ParticipationScale; s != 0 && s != 1 {
+					return fmt.Errorf("%w (variant %d)", ErrSweepCombinedShare, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validate checks the sweep structurally; whether a scaled
+// participation stays in range depends on the base ELT terms and is
+// checked at compile time (a 4xx-worthy failure either way, surfaced
+// when the job runs).
+func (s *SweepSpec) validate() error {
+	if len(s.Variants) == 0 || len(s.Variants) > MaxSweepVariants {
+		return fmt.Errorf("%w: got %d", ErrSweepVariants, len(s.Variants))
+	}
+	for i := range s.Variants {
+		v := &s.Variants[i]
+		if v.ParticipationScale != 0 &&
+			(!(v.ParticipationScale > 0) || math.IsInf(v.ParticipationScale, 0)) {
+			return fmt.Errorf("%w: variant %d has %v", ErrSweepScale, i, v.ParticipationScale)
+		}
+		for _, r := range []*float64{v.OccRetention, v.AggRetention} {
+			if r != nil && (*r < 0 || math.IsNaN(*r) || math.IsInf(*r, 0)) {
+				return fmt.Errorf("%w: variant %d has %v", ErrSweepRetention, i, *r)
+			}
+		}
+		for _, l := range []*Limit{v.OccLimit, v.AggLimit} {
+			if l != nil && (!(float64(*l) > 0) || math.IsNaN(float64(*l))) {
+				return fmt.Errorf("%w: variant %d has %v", ErrSweepLimit, i, float64(*l))
+			}
+		}
 	}
 	return nil
 }

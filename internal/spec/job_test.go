@@ -2,6 +2,7 @@ package spec
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -115,5 +116,90 @@ func TestJobCheckMatchesBuild(t *testing.T) {
 	}
 	if _, _, err := j.BuildPortfolio(); err != nil {
 		t.Fatalf("validated job failed to build: %v", err)
+	}
+}
+
+// withSweep splices a sweep object into the valid job fixture.
+func withSweep(sweep string) string {
+	return strings.Replace(validJob, `"yet":`, `"sweep": `+sweep+`, "yet":`, 1)
+}
+
+func TestParseJobSweep(t *testing.T) {
+	j, err := ParseJob(strings.NewReader(withSweep(`{"variants": [
+	  {"name": "base"},
+	  {"name": "tower-2", "occRetention": 1e6, "occLimit": "unlimited", "participationScale": 0.5}
+	]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Sweep == nil || len(j.Sweep.Variants) != 2 {
+		t.Fatalf("sweep = %+v", j.Sweep)
+	}
+	v := j.Sweep.Variants[1]
+	if v.OccRetention == nil || *v.OccRetention != 1e6 {
+		t.Fatalf("occRetention = %v", v.OccRetention)
+	}
+	if v.OccLimit == nil || !math.IsInf(float64(*v.OccLimit), 1) {
+		t.Fatalf("occLimit = %v, want +Inf", v.OccLimit)
+	}
+	if v.AggLimit != nil {
+		t.Fatalf("aggLimit should be nil, got %v", *v.AggLimit)
+	}
+	if v.ParticipationScale != 0.5 {
+		t.Fatalf("participationScale = %v", v.ParticipationScale)
+	}
+}
+
+func TestParseJobSweepErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		sweep string
+		want  error
+	}{
+		{"empty", `{"variants": []}`, ErrSweepVariants},
+		{"negative scale", `{"variants": [{"participationScale": -1}]}`, ErrSweepScale},
+		{"nan-proof limit", `{"variants": [{"occLimit": 0}]}`, ErrSweepLimit},
+		{"negative retention", `{"variants": [{"aggRetention": -3}]}`, ErrSweepRetention},
+	}
+	for _, tc := range cases {
+		_, err := ParseJob(strings.NewReader(withSweep(tc.sweep)))
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Over the cap.
+	var b strings.Builder
+	b.WriteString(`{"variants": [`)
+	for i := 0; i <= MaxSweepVariants; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(`{}`)
+	}
+	b.WriteString(`]}`)
+	if _, err := ParseJob(strings.NewReader(withSweep(b.String()))); !errors.Is(err, ErrSweepVariants) {
+		t.Fatalf("over-cap sweep: err = %v", err)
+	}
+	// Unknown variant fields fail loudly.
+	if _, err := ParseJob(strings.NewReader(withSweep(`{"variants": [{"shore": 1}]}`))); err == nil {
+		t.Fatal("unknown variant field accepted")
+	}
+}
+
+// Share-varying sweeps under the combined representation are rejected:
+// each such variant would fold its own catalog-size table per layer.
+func TestParseJobSweepCombinedShareRejected(t *testing.T) {
+	body := strings.Replace(
+		withSweep(`{"variants": [{"name": "base"}, {"participationScale": 0.5}]}`),
+		`"sweep":`, `"lookup": "combined", "sweep":`, 1)
+	if _, err := ParseJob(strings.NewReader(body)); !errors.Is(err, ErrSweepCombinedShare) {
+		t.Fatalf("err = %v, want ErrSweepCombinedShare", err)
+	}
+	// Layer-term-only sweeps stay fine under combined.
+	ok := strings.Replace(
+		withSweep(`{"variants": [{"name": "base"}, {"occRetention": 1e5}]}`),
+		`"sweep":`, `"lookup": "combined", "sweep":`, 1)
+	if _, err := ParseJob(strings.NewReader(ok)); err != nil {
+		t.Fatal(err)
 	}
 }
