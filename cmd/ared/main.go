@@ -10,6 +10,7 @@
 //
 //	ared -addr :8321
 //	ared -addr :8321 -job-workers 4 -engine-workers 2 -queue 128 -max-trials 2000000
+//	ared -addr :8321 -spill-dir /var/cache/ared -debug-addr 127.0.0.1:6060
 //
 //	# a three-node cluster on one machine:
 //	ared -addr :8321 -role coordinator -shard-trials 50000
@@ -41,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only on -debug-addr)
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,8 +60,10 @@ func main() {
 		queue     = flag.Int("queue", 64, "queued jobs before submissions get 503")
 		maxTrials = flag.Int("max-trials", 0, "per-job yet.trials cap (0 = uncapped)")
 		cache     = flag.Int("cache", 64, "shared-artifact cache entries")
+		spillDir  = flag.String("spill-dir", "", "directory for mmap-backed YET spill files (empty = tables stay on the heap)")
 		retain    = flag.Int("retain", 1000, "finished jobs kept before the oldest are evicted")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain period before jobs are cancelled")
+		debugAddr = flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
 
 		role        = flag.String("role", "single", "process role: single, worker or coordinator")
 		coordinator = flag.String("coordinator", "", "coordinator base URL to register with (worker role)")
@@ -82,6 +87,7 @@ func main() {
 		EngineWorkers:    *engineW,
 		MaxTrials:        *maxTrials,
 		CacheEntries:     *cache,
+		SpillDir:         *spillDir,
 		MaxJobsRetained:  *retain,
 		ShutdownGrace:    *grace,
 		Logf:             log.Printf,
@@ -89,6 +95,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ared:", err)
 		os.Exit(2)
+	}
+
+	if *debugAddr != "" {
+		// The pprof handlers live on http.DefaultServeMux; serving that
+		// mux on its own listener keeps profiling off the API port (and
+		// off by default — no -debug-addr, no listener at all).
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("ared: debug server: %v", err)
+			}
+		}()
+		fmt.Printf("ared: pprof on http://%s/debug/pprof/\n", *debugAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -21,17 +21,26 @@ import (
 	"sort"
 )
 
-// row mirrors gatherBenchRow in internal/core's bench JSON.
+// row mirrors gatherBenchRow in internal/core's bench JSON and the
+// service rows BenchmarkServiceJob writes.
 type row struct {
 	Kernel      string  `json:"kernel"`
 	Lookup      string  `json:"lookup"`
+	Anchor      bool    `json:"anchor,omitempty"`
 	NsPerOcc    float64 `json:"nsPerOcc"`
 	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
 }
 
-// anchorKernel is the same-machine reference every other kernel is
-// normalised against.
+// anchorKernel is the historical same-machine reference name; newer
+// bench writers mark their reference row with `anchor: true` instead
+// (the service bench's direct-pipeline row), and either form anchors
+// its lookup.
 const anchorKernel = "seed-aos"
+
+// isAnchor reports whether the row measures the machine rather than
+// the code under test.
+func (r row) isAnchor() bool { return r.Anchor || r.Kernel == anchorKernel }
 
 // readRows loads one bench JSON file.
 func readRows(path string) ([]row, error) {
@@ -63,7 +72,7 @@ func index(rows []row) map[string]row {
 func anchors(m map[string]row) map[string]float64 {
 	a := map[string]float64{}
 	for _, r := range m {
-		if r.Kernel == anchorKernel && r.NsPerOcc > 0 {
+		if r.isAnchor() && r.NsPerOcc > 0 {
 			a[r.Lookup] = r.NsPerOcc
 		}
 	}
@@ -89,7 +98,7 @@ func compare(baseline, current []row, threshold float64) (regressions, ok []stri
 
 	for _, key := range keys {
 		b := base[key]
-		if b.Kernel == anchorKernel {
+		if b.isAnchor() {
 			continue // the anchor measures the machine, not the code
 		}
 		c, found := cur[key]
@@ -102,6 +111,19 @@ func compare(baseline, current []row, threshold float64) (regressions, ok []stri
 			regressions = append(regressions,
 				fmt.Sprintf("%s: allocates %.1f/op, baseline 0 (steady-state alloc-free property lost)",
 					key, c.AllocsPerOp))
+		}
+		// Allocation counts and bytes are machine-independent already, so
+		// they gate absolutely: growth beyond the threshold means the
+		// code allocates more, not that the runner changed.
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp*(1+threshold) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %.1f -> %.1f (%+.1f%%) REGRESSION",
+					key, b.AllocsPerOp, c.AllocsPerOp, 100*(c.AllocsPerOp/b.AllocsPerOp-1)))
+		}
+		if b.BytesPerOp > 0 && c.BytesPerOp > b.BytesPerOp*(1+threshold) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: bytes/op %.0f -> %.0f (%+.1f%%) REGRESSION",
+					key, b.BytesPerOp, c.BytesPerOp, 100*(c.BytesPerOp/b.BytesPerOp-1)))
 		}
 		bAnchor, bHas := baseAnchor[b.Lookup]
 		cAnchor, cHas := curAnchor[c.Lookup]

@@ -95,6 +95,49 @@ func TestCompareAllocGate(t *testing.T) {
 	}
 }
 
+func TestCompareAnchorFlagRows(t *testing.T) {
+	// Service-bench shape: the reference row is marked anchor:true
+	// instead of being named seed-aos. It must normalise its lookup and
+	// be excluded from gating itself.
+	mk := func(anchorNs, jobNs float64) []row {
+		return []row{
+			{Kernel: "direct-pipeline", Lookup: "service", Anchor: true, NsPerOcc: anchorNs},
+			{Kernel: "service-job", Lookup: "service", NsPerOcc: jobNs},
+		}
+	}
+	// 3x slower machine, same ratio: clean.
+	if regs, ok := compare(mk(50, 60), mk(150, 180), 0.20); len(regs) != 0 || len(ok) != 1 {
+		t.Fatalf("anchor-flag normalisation: regs=%v ok=%v", regs, ok)
+	}
+	// Same machine, service overhead ratio up 50%: caught.
+	if regs, _ := compare(mk(50, 60), mk(50, 90), 0.20); len(regs) != 1 {
+		t.Fatal("anchor-flag ratio regression missed")
+	}
+}
+
+func TestCompareAllocGrowthGate(t *testing.T) {
+	mk := func(allocs, bytes float64) []row {
+		return []row{
+			{Kernel: "direct-pipeline", Lookup: "service", Anchor: true, NsPerOcc: 50},
+			{Kernel: "service-job", Lookup: "service", NsPerOcc: 60,
+				AllocsPerOp: allocs, BytesPerOp: bytes},
+		}
+	}
+	base := mk(330, 60_000)
+	// Within threshold on both axes: clean.
+	if regs, _ := compare(base, mk(360, 65_000), 0.20); len(regs) != 0 {
+		t.Fatalf("within-threshold growth flagged: %v", regs)
+	}
+	// Alloc count grew 50%: caught even though ns/occ is flat.
+	if regs, _ := compare(base, mk(495, 60_000), 0.20); len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatal("alloc-count growth missed")
+	}
+	// Alloc bytes grew 10x (an O(trials) allocation came back): caught.
+	if regs, _ := compare(base, mk(330, 600_000), 0.20); len(regs) != 1 || !strings.Contains(regs[0], "bytes/op") {
+		t.Fatal("alloc-bytes growth missed")
+	}
+}
+
 func TestCompareAbsoluteFallbackWithoutAnchor(t *testing.T) {
 	base := []row{{Kernel: "columnar-basic", Lookup: "direct", NsPerOcc: 100}}
 	cur := []row{{Kernel: "columnar-basic", Lookup: "direct", NsPerOcc: 130}}

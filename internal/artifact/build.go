@@ -2,6 +2,8 @@ package artifact
 
 import (
 	"fmt"
+	"path/filepath"
+	"strings"
 
 	"github.com/ralab/are/internal/core"
 	"github.com/ralab/are/internal/layer"
@@ -123,8 +125,32 @@ func CachedTable(c *Cache, js *spec.Job) (*yet.Table, bool) {
 
 // ShardFor returns trials [lo, hi) of the job's Year Event Table,
 // cached per range: a distributed worker materialises only its shard.
+//
+// With a spill directory configured the data plane goes zero-copy
+// instead: the full table is generated once, serialised to disk, and
+// mapped; every range — full tables for direct jobs, shards for the
+// distributed executor — is then a Slice view of that one shared
+// mapping (bounds copy only, no payload). A worker's first shard of a
+// job pays the full generation, but every subsequent shard, job and
+// process restart over the same spec is a decode-free file mapping.
+// Spill failures (disk full, unwritable dir) degrade to the heap path.
 func ShardFor(c *Cache, js *spec.Job, lo, hi int) (*yet.Table, bool, error) {
 	catalogSize := js.Portfolio.CatalogSize
+	if c.SpillDir() != "" {
+		full, hit, err := mappedTableFor(c, js)
+		if err == nil {
+			if lo == 0 && hi == js.YET.Trials {
+				return full, hit, nil
+			}
+			if 0 <= lo && lo <= hi && hi <= full.NumTrials() {
+				return full.Slice(lo, hi), hit, nil
+			}
+			return nil, false, fmt.Errorf("yet: %w: [%d, %d) of %d", yet.ErrBadRange, lo, hi, full.NumTrials())
+		}
+		// Generation errors (bad spec, bad range) recur identically on
+		// the heap path below and are reported from there; only spill
+		// I/O failures actually take this fallback.
+	}
 	key, err := ContentKey("yet", yetKeySpec{YET: js.YET, CatalogSize: catalogSize, Lo: lo, Hi: hi})
 	if err != nil {
 		return nil, false, err
@@ -134,6 +160,45 @@ func ShardFor(c *Cache, js *spec.Job, lo, hi int) (*yet.Table, bool, error) {
 	})
 	if err != nil {
 		return nil, false, fmt.Errorf("yet: %w", err)
+	}
+	return v.(*yet.Table), hit, nil
+}
+
+// mappedTableFor returns the job's full table as an mmap-backed view,
+// building the spill file on first use. It caches under the same key
+// as the heap full-table build, so CachedTable and a later no-spill
+// ShardFor observe it interchangeably (mapped and heap tables are
+// observationally identical — internal/yet's oracle tests pin that).
+// A spill file surviving from an earlier process is mapped without
+// regenerating: the content-hashed name guarantees it is the right
+// table, and WriteFile's atomic rename guarantees it is whole.
+func mappedTableFor(c *Cache, js *spec.Job) (*yet.Table, bool, error) {
+	catalogSize := js.Portfolio.CatalogSize
+	key, err := ContentKey("yet", yetKeySpec{
+		YET:         js.YET,
+		CatalogSize: catalogSize,
+		Lo:          0,
+		Hi:          js.YET.Trials,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	v, hit, err := c.Get(key, func() (any, error) {
+		path := filepath.Join(c.SpillDir(), strings.TrimPrefix(key, "yet:")+".yet")
+		if t, err := yet.Map(path); err == nil {
+			return t, nil
+		}
+		t, err := yet.GenerateRange(yet.UniformSource(catalogSize), js.YET.ToConfig(), 0, js.YET.Trials)
+		if err != nil {
+			return nil, err
+		}
+		if err := yet.WriteFile(path, t); err != nil {
+			return nil, err
+		}
+		return yet.Map(path)
+	})
+	if err != nil {
+		return nil, false, err
 	}
 	return v.(*yet.Table), hit, nil
 }

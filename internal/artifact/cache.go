@@ -12,6 +12,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 )
@@ -31,6 +32,8 @@ type Cache struct {
 	mu      sync.Mutex
 	max     int
 	entries map[string]*cacheEntry
+
+	spillDir string // non-empty enables the mmap-backed table path
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -96,6 +99,30 @@ func (c *Cache) evictLocked() {
 		}
 	}
 }
+
+// SetSpillDir enables the zero-copy table path: generated Year Event
+// Tables are serialised once into dir (named by content hash) and
+// served to every job as views of one shared read-only file mapping,
+// so N concurrent jobs over the same table cost one decode-free
+// mapping instead of N heap copies. The directory is created if
+// absent; its files double as a warm cache across process restarts
+// (content-hashed names make stale files impossible, only orphaned
+// ones). Call before the cache is in use.
+func (c *Cache) SetSpillDir(dir string) error {
+	if dir == "" {
+		c.spillDir = ""
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("artifact: spill dir: %w", err)
+	}
+	c.spillDir = dir
+	return nil
+}
+
+// SpillDir returns the configured spill directory ("" when the heap
+// table path is in use).
+func (c *Cache) SpillDir() string { return c.spillDir }
 
 // Peek returns the completed artifact for key, without building,
 // blocking on an in-flight build, or touching the hit/miss stats — an

@@ -78,7 +78,8 @@ func (e *Engine) runPipelineContext(ctx context.Context, src TrialSource, sink S
 	if workers == 1 {
 		// Sequential runs stay on the calling goroutine (streaming
 		// decode still overlaps compute via the source's prefetcher).
-		w := newWorker(e, opt, src.MeanTrialLen())
+		w := getWorker(e, opt, src.MeanTrialLen())
+		defer w.release()
 		w.sw = sw
 		for {
 			if err := ctx.Err(); err != nil {
@@ -118,7 +119,8 @@ func (e *Engine) runPipelineContext(ctx context.Context, src TrialSource, sink S
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w := newWorker(e, opt, src.MeanTrialLen())
+			w := getWorker(e, opt, src.MeanTrialLen())
+			defer w.release()
 			w.sw = sw
 			for !aborted.Load() {
 				if err := ctx.Err(); err != nil {

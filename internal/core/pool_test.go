@@ -1,0 +1,72 @@
+package core
+
+// Oracle coverage for the job-lifetime pools: a pooled FullYLT — fresh
+// or recycled with a dirty slab — must be bitwise identical to the
+// allocating sink, and Release must be safe on every path.
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPooledYLTBitwiseIdentical: pooled and allocating sinks produce
+// identical tables, including when the pooled sink's slab is recycled
+// (dirty) from a previous, larger run.
+func TestPooledYLTBitwiseIdentical(t *testing.T) {
+	p := testPortfolio(t, 2, 4, 1200)
+	e, err := NewEngine(p, testCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty the pool with a larger run first, so the recycled slab
+	// carries stale non-zero cells the second run must not leak.
+	big := testYET(t, 400, 50)
+	dirty := NewPooledYLT()
+	if _, err := e.RunPipeline(NewTableSource(big), dirty, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	dirty.Release()
+
+	y := testYET(t, 250, 40)
+	plain := NewFullYLT()
+	if _, err := e.RunPipeline(NewTableSource(y), plain, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	pooled := NewPooledYLT()
+	if _, err := e.RunPipeline(NewTableSource(y), pooled, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	a, b := plain.Result(), pooled.Result()
+	if len(a.AggLoss) != len(b.AggLoss) {
+		t.Fatal("layer count mismatch")
+	}
+	for l := range a.AggLoss {
+		if len(a.AggLoss[l]) != len(b.AggLoss[l]) {
+			t.Fatalf("layer %d length mismatch", l)
+		}
+		for i := range a.AggLoss[l] {
+			if math.Float64bits(a.AggLoss[l][i]) != math.Float64bits(b.AggLoss[l][i]) ||
+				math.Float64bits(a.MaxOccLoss[l][i]) != math.Float64bits(b.MaxOccLoss[l][i]) {
+				t.Fatalf("pooled YLT differs at layer %d trial %d", l, i)
+			}
+		}
+	}
+	pooled.Release()
+}
+
+// TestReleaseIsIdempotentAndSafeUnpooled: Release on unpooled sinks,
+// on never-begun sinks, and called twice must all be no-ops.
+func TestReleaseIsIdempotentAndSafeUnpooled(t *testing.T) {
+	NewFullYLT().Release()
+	NewPooledYLT().Release()
+	s := NewPooledYLT()
+	if err := s.Begin([]uint32{1, 2}, 10); err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	s.Release()
+	if s.Result() != nil {
+		t.Fatal("Result survives Release")
+	}
+}

@@ -42,11 +42,21 @@ type Sink interface {
 // exactly one worker.
 type FullYLT struct {
 	res *Result
+
+	pooled bool       // Begin draws the table backing from the slab pool
+	slab   *[]float64 // pooled backing; returned by Release
 }
 
 // NewFullYLT returns an empty materialising sink; Result becomes valid
 // once a run over the sink completes.
 func NewFullYLT() *FullYLT { return &FullYLT{} }
+
+// NewPooledYLT returns a materialising sink whose loss tables are
+// carved from one recycled flat slab instead of fresh per-layer
+// allocations — the job-lifetime form for services running quoted jobs
+// back to back. The caller must Release once done reading Result (and
+// must not retain Result or its columns past that).
+func NewPooledYLT() *FullYLT { return &FullYLT{pooled: true} }
 
 // Begin allocates the per-layer loss tables.
 func (s *FullYLT) Begin(layerIDs []uint32, numTrials int) error {
@@ -55,12 +65,36 @@ func (s *FullYLT) Begin(layerIDs []uint32, numTrials int) error {
 		AggLoss:    make([][]float64, len(layerIDs)),
 		MaxOccLoss: make([][]float64, len(layerIDs)),
 	}
-	for i := range layerIDs {
-		res.AggLoss[i] = make([]float64, numTrials)
-		res.MaxOccLoss[i] = make([]float64, numTrials)
+	if s.pooled {
+		// One slab backs every table; three-index slicing keeps a
+		// layer's slice from ever growing into its neighbour's cells.
+		s.slab = getYLTSlab(2 * len(layerIDs) * numTrials)
+		slab := *s.slab
+		for i := range layerIDs {
+			o := 2 * i * numTrials
+			res.AggLoss[i] = slab[o : o+numTrials : o+numTrials]
+			res.MaxOccLoss[i] = slab[o+numTrials : o+2*numTrials : o+2*numTrials]
+		}
+	} else {
+		for i := range layerIDs {
+			res.AggLoss[i] = make([]float64, numTrials)
+			res.MaxOccLoss[i] = make([]float64, numTrials)
+		}
 	}
 	s.res = res
 	return nil
+}
+
+// Release returns a pooled sink's slab for reuse and invalidates the
+// sink: Result, State and the columns they exposed must not be touched
+// afterwards. Harmless on unpooled sinks and on every error path (an
+// unreleased slab is simply collected).
+func (s *FullYLT) Release() {
+	if s.slab != nil {
+		yltSlabPool.Put(s.slab)
+		s.slab = nil
+	}
+	s.res = nil
 }
 
 // Emit stores one cell.

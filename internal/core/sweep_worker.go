@@ -25,7 +25,9 @@ func (w *worker) runSweepSpan(b Batch, sink Sink) {
 	for li := range sw.layers {
 		sl := &sw.layers[li]
 		for t := b.Lo; t < b.Hi; t++ {
-			w.sweepTrial(sl, b.Table.TrialEvents(t), w.varAgg, w.varOcc)
+			// Slice to this sweep's variant count: recycled workers may
+			// carry wider scratch from an earlier, larger sweep.
+			w.sweepTrial(sl, b.Table.TrialEvents(t), w.varAgg[:numK], w.varOcc[:numK])
 			for k := 0; k < numK; k++ {
 				w.sweepAgg[k][t-b.Lo] = w.varAgg[k]
 				w.sweepOcc[k][t-b.Lo] = w.varOcc[k]

@@ -433,13 +433,12 @@ func (c *Coordinator) RunJob(ctx context.Context, js *spec.Job, progress func(do
 func (c *Coordinator) execRemote(ctx context.Context, w *workerState, js *spec.Job, sh shardJob, wantYLT bool) (*ShardResult, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
 	defer cancel()
-	var res ShardResult
-	err := postJSON(ctx, c.cfg.Client, w.url+"/v1/shards", ShardRequest{Job: js, Lo: sh.lo, Hi: sh.hi, WantYLT: wantYLT}, &res)
+	res, err := postShard(ctx, c.cfg.Client, w.url+"/v1/shards", ShardRequest{Job: js, Lo: sh.lo, Hi: sh.hi, WantYLT: wantYLT})
 	if err != nil {
 		return nil, err
 	}
 	if res.Lo != sh.lo || res.Hi != sh.hi {
 		return nil, fmt.Errorf("dist: worker %s answered shard [%d, %d) for request [%d, %d)", w.id, res.Lo, res.Hi, sh.lo, sh.hi)
 	}
-	return &res, nil
+	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"github.com/ralab/are/internal/core"
 	"github.com/ralab/are/internal/metrics"
@@ -103,27 +104,57 @@ type ClusterStatus struct {
 	ShardsRetried  int64          `json:"shardsRetried"`
 }
 
-// postJSON is the protocol's one HTTP verb: POST in as JSON, decode a
+// reqBufPool recycles the request-body encode buffers: heartbeats and
+// shard dispatches repeat for the life of the cluster, so the protocol
+// should not allocate a fresh body per call.
+var reqBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// newJSONRequest builds a POST with in encoded through a pooled buffer
+// and an explicit Content-Length. The caller must return the buffer to
+// the pool once the request has completed (the body reader aliases it).
+func newJSONRequest(ctx context.Context, url string, in any) (*http.Request, *bytes.Buffer, error) {
+	buf := reqBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(in); err != nil {
+		reqBufPool.Put(buf)
+		return nil, nil, fmt.Errorf("dist: encode %s: %w", url, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		reqBufPool.Put(buf)
+		return nil, nil, fmt.Errorf("dist: request %s: %w", url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.ContentLength = int64(buf.Len())
+	return req, buf, nil
+}
+
+// checkStatus surfaces a non-2xx reply as a *StatusError; on success
+// the body is left unread for the caller to decode.
+func checkStatus(resp *http.Response, url string) error {
+	if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+		return nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return &StatusError{Code: resp.StatusCode, URL: url, Body: strings.TrimSpace(string(msg))}
+}
+
+// postJSON is the protocol's plain HTTP verb: POST in as JSON, decode a
 // 2xx response into out (when non-nil), surface non-2xx bodies as
 // errors.
 func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
-	body, err := json.Marshal(in)
+	req, buf, err := newJSONRequest(ctx, url, in)
 	if err != nil {
-		return fmt.Errorf("dist: encode %s: %w", url, err)
+		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("dist: request %s: %w", url, err)
-	}
-	req.Header.Set("Content-Type", "application/json")
+	defer reqBufPool.Put(buf)
 	resp, err := client.Do(req)
 	if err != nil {
 		return fmt.Errorf("dist: post %s: %w", url, err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return &StatusError{Code: resp.StatusCode, URL: url, Body: strings.TrimSpace(string(msg))}
+	if err := checkStatus(resp, url); err != nil {
+		return err
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -133,6 +164,39 @@ func postJSON(ctx context.Context, client *http.Client, url string, in, out any)
 		return fmt.Errorf("dist: decode %s: %w", url, err)
 	}
 	return nil
+}
+
+// postShard dispatches one shard request, negotiating the binary result
+// format: the request advertises it via Accept, and the decode follows
+// the response's Content-Type — a worker that answers JSON (older
+// build, or any non-negotiating server) is decoded exactly as before.
+func postShard(ctx context.Context, client *http.Client, url string, in ShardRequest) (*ShardResult, error) {
+	req, buf, err := newJSONRequest(ctx, url, &in)
+	if err != nil {
+		return nil, err
+	}
+	defer reqBufPool.Put(buf)
+	req.Header.Set("Accept", ShardMediaType+", application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: post %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp, url); err != nil {
+		return nil, err
+	}
+	if ct := resp.Header.Get("Content-Type"); strings.HasPrefix(ct, ShardMediaType) {
+		res, err := DecodeShardResult(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("dist: decode %s: %w", url, err)
+		}
+		return res, nil
+	}
+	res := new(ShardResult)
+	if err := json.NewDecoder(resp.Body).Decode(res); err != nil {
+		return nil, fmt.Errorf("dist: decode %s: %w", url, err)
+	}
+	return res, nil
 }
 
 // StatusError is a non-2xx protocol reply.

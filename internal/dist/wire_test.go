@@ -1,0 +1,143 @@
+package dist
+
+// Oracle coverage for the binary shard-result frame: encode→decode must
+// reproduce every float bit, truncated or corrupt frames must error
+// (never mis-decode), and the negotiated and JSON paths must agree.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/metrics"
+)
+
+func wireResult(t *testing.T, trials int, withYLT bool) *ShardResult {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	sum := metrics.NewSummarySink()
+	ep := metrics.NewEPSink(nil)
+	if err := sum.Begin([]uint32{3, 9}, trials); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Begin([]uint32{3, 9}, trials); err != nil {
+		t.Fatal(err)
+	}
+	res := &ShardResult{
+		Lo: 100, Hi: 100 + trials, LayerIDs: []uint32{3, 9},
+		ElapsedMS: 42, YETCached: true, EngineCached: false,
+	}
+	if withYLT {
+		st := &core.YLTState{
+			LayerIDs:   []uint32{3, 9},
+			NumTrials:  trials,
+			AggLoss:    make([][]float64, 2),
+			MaxOccLoss: make([][]float64, 2),
+		}
+		for l := 0; l < 2; l++ {
+			st.AggLoss[l] = make([]float64, trials)
+			st.MaxOccLoss[l] = make([]float64, trials)
+			for i := range st.AggLoss[l] {
+				// Adversarial finite bit patterns (denormals, extremes):
+				// finite is the engine's output contract, and the JSON
+				// fallback cannot carry NaN/Inf at all.
+				v := math.Float64frombits(rng.Uint64())
+				for math.IsNaN(v) || math.IsInf(v, 0) {
+					v = math.Float64frombits(rng.Uint64())
+				}
+				st.AggLoss[l][i] = v
+				st.MaxOccLoss[l][i] = rng.NormFloat64() * 1e9
+			}
+		}
+		res.YLT = st
+	}
+	for i := 0; i < trials; i++ {
+		sum.Emit(0, i, rng.Float64(), rng.Float64())
+	}
+	res.Summary = sum.State()
+	res.EP = ep.State()
+	return res
+}
+
+// TestShardWireRoundTripBitwise: every YLT cell and every header field
+// survives the binary frame bit-for-bit.
+func TestShardWireRoundTripBitwise(t *testing.T) {
+	for _, withYLT := range []bool{true, false} {
+		res := wireResult(t, 1337, withYLT)
+		var buf bytes.Buffer
+		if err := EncodeShardResult(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeShardResult(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lo != res.Lo || got.Hi != res.Hi || got.ElapsedMS != res.ElapsedMS ||
+			got.YETCached != res.YETCached || got.EngineCached != res.EngineCached {
+			t.Fatalf("header fields mangled: %+v", got)
+		}
+		if (got.YLT != nil) != withYLT {
+			t.Fatalf("YLT presence: got %v, want %v", got.YLT != nil, withYLT)
+		}
+		if !withYLT {
+			continue
+		}
+		if got.YLT.NumTrials != res.YLT.NumTrials || len(got.YLT.AggLoss) != len(res.YLT.AggLoss) {
+			t.Fatalf("YLT shape mangled")
+		}
+		for l := range res.YLT.AggLoss {
+			if got.YLT.LayerIDs[l] != res.YLT.LayerIDs[l] {
+				t.Fatalf("layer ID %d mangled", l)
+			}
+			for i := range res.YLT.AggLoss[l] {
+				if math.Float64bits(got.YLT.AggLoss[l][i]) != math.Float64bits(res.YLT.AggLoss[l][i]) ||
+					math.Float64bits(got.YLT.MaxOccLoss[l][i]) != math.Float64bits(res.YLT.MaxOccLoss[l][i]) {
+					t.Fatalf("YLT cell (%d, %d) not bitwise identical", l, i)
+				}
+			}
+		}
+		// The binary header must say exactly what the JSON path would.
+		jb, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaJSON ShardResult
+		if err := json.Unmarshal(jb, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		if len(viaJSON.Summary.Layers) != len(got.Summary.Layers) ||
+			viaJSON.Summary.Layers[0].Agg != got.Summary.Layers[0].Agg {
+			t.Fatalf("summary state diverges between JSON and binary paths")
+		}
+	}
+}
+
+// TestShardWireRejectsCorrupt: truncations at every section boundary
+// and corrupted magic/version bytes must error, not mis-decode.
+func TestShardWireRejectsCorrupt(t *testing.T) {
+	res := wireResult(t, 64, true)
+	var buf bytes.Buffer
+	if err := EncodeShardResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+
+	for _, cut := range []int{0, 3, 9, 10, len(frame) / 2, len(frame) - 1} {
+		if _, err := DecodeShardResult(bytes.NewReader(frame[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(frame))
+		}
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = 'X'
+	if _, err := DecodeShardResult(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic decoded without error")
+	}
+	bad = append([]byte(nil), frame...)
+	bad[4] = 99
+	if _, err := DecodeShardResult(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown version decoded without error")
+	}
+}

@@ -86,6 +86,26 @@ func NewEPCurve(losses []float64) (*EPCurve, error) {
 	return &EPCurve{sorted: s}, nil
 }
 
+// NewEPCurveAt is NewEPCurve building into buf's storage when its
+// capacity allows, for transient callers (quote pricing sorts a full
+// YLT per layer and discards the curve immediately) that recycle the
+// scratch through a pool. It returns the backing slice actually used —
+// buf, or a fresh allocation when buf was too small — which the caller
+// may reclaim only once the curve itself is discarded: the curve
+// aliases it.
+func NewEPCurveAt(buf, losses []float64) (*EPCurve, []float64, error) {
+	if len(losses) == 0 {
+		return nil, buf, ErrEmptyYLT
+	}
+	if cap(buf) < len(losses) {
+		buf = make([]float64, len(losses))
+	}
+	s := buf[:len(losses)]
+	copy(s, losses)
+	sort.Float64s(s)
+	return &EPCurve{sorted: s}, s, nil
+}
+
 // Trials returns the number of trials behind the curve.
 func (c *EPCurve) Trials() int { return len(c.sorted) }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -42,6 +43,8 @@ type QuantileSketch struct {
 	tail   []float64   // sorted ascending: the largest min(n, k) observations, weight 1
 	levels [][]float64 // level h: unordered items of weight 2^h
 	flips  []bool      // per-level alternation bit for deterministic compaction
+
+	rankScratch []weightedValue // reused by bodyRank across quantile queries
 }
 
 // DefaultSketchK is the per-level and tail-reserve capacity used when
@@ -71,6 +74,22 @@ func NewQuantileSketch(k int) (*QuantileSketch, error) {
 
 // Count returns the number of observations represented.
 func (s *QuantileSketch) Count() int64 { return s.n }
+
+// Reset empties the sketch in place, keeping the tail, level and rank
+// scratch storage so a pooled sketch's steady state adds no
+// allocations. Retained empty levels behave identically to a fresh
+// sketch in every query and compaction; ErrorBound may over-report
+// (stay conservative) until those levels fill again.
+func (s *QuantileSketch) Reset() {
+	s.n = 0
+	s.tail = s.tail[:0]
+	for h := range s.levels {
+		s.levels[h] = s.levels[h][:0]
+	}
+	for h := range s.flips {
+		s.flips[h] = false
+	}
+}
 
 // K returns the sketch capacity.
 func (s *QuantileSketch) K() int { return s.k }
@@ -202,23 +221,38 @@ func (s *QuantileSketch) Quantile(q float64) float64 {
 	return s.bodyRank(target)
 }
 
-// bodyRank answers a weighted rank query over the body levels.
+// bodyRank answers a weighted rank query over the body levels. The
+// gathered item list is kept as per-sketch scratch: EP curve rendering
+// issues one query per return period, and reusing the buffer (with the
+// allocation-free generic sort) keeps result assembly from allocating
+// per point.
 func (s *QuantileSketch) bodyRank(target int64) float64 {
-	type wv struct {
-		v float64
-		w int64
+	total := 0
+	for _, lvl := range s.levels {
+		total += len(lvl)
 	}
-	items := make([]wv, 0, 2*s.k)
+	if total == 0 {
+		return s.tail[0]
+	}
+	if cap(s.rankScratch) < total {
+		s.rankScratch = make([]weightedValue, 0, total)
+	}
+	items := s.rankScratch[:0]
 	for h, lvl := range s.levels {
 		w := int64(1) << uint(h)
 		for _, v := range lvl {
-			items = append(items, wv{v, w})
+			items = append(items, weightedValue{v, w})
 		}
 	}
-	if len(items) == 0 {
-		return s.tail[0]
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	slices.SortFunc(items, func(a, b weightedValue) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		}
+		return 0
+	})
 	var cum int64
 	for _, it := range items {
 		cum += it.w
@@ -227,6 +261,13 @@ func (s *QuantileSketch) bodyRank(target int64) float64 {
 		}
 	}
 	return items[len(items)-1].v
+}
+
+// weightedValue is one body item paired with its level weight for rank
+// queries.
+type weightedValue struct {
+	v float64
+	w int64
 }
 
 // ErrorBound returns the guaranteed worst-case rank error of a body

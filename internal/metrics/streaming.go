@@ -121,8 +121,18 @@ type summaryLayer struct {
 // NewSummarySink returns an empty sink; it sizes itself at Begin.
 func NewSummarySink() *SummarySink { return &SummarySink{} }
 
-// Begin sizes the per-layer accumulators.
+// Begin sizes the per-layer accumulators. A sink whose previous run
+// left enough layer capacity is rearmed in place, so pooled sinks
+// (the server recycles one stack per job) begin without allocating.
 func (s *SummarySink) Begin(layerIDs []uint32, numTrials int) error {
+	if cap(s.layers) >= len(layerIDs) {
+		s.layers = s.layers[:len(layerIDs)]
+		for i := range s.layers {
+			s.layers[i].agg = OnlineSummary{}
+			s.layers[i].occ = OnlineSummary{}
+		}
+		return nil
+	}
 	s.layers = make([]summaryLayer, len(layerIDs))
 	return nil
 }
@@ -221,11 +231,24 @@ func NewEPSinkSize(rps []float64, k int) *EPSink {
 // ReturnPeriods returns the sink's accepted return periods.
 func (s *EPSink) ReturnPeriods() []float64 { return append([]float64(nil), s.rps...) }
 
-// Begin builds the per-layer sketch pairs.
+// Begin builds the per-layer sketch pairs. Like SummarySink.Begin, a
+// sink with enough leftover layer capacity is rearmed in place: kept
+// sketches are Reset (their level storage survives), so a pooled sink
+// reaches steady state with zero per-run sketch allocation.
 func (s *EPSink) Begin(layerIDs []uint32, numTrials int) error {
-	s.layers = make([]epLayer, len(layerIDs))
+	if cap(s.layers) >= len(layerIDs) {
+		s.layers = s.layers[:len(layerIDs)]
+	} else {
+		s.layers = make([]epLayer, len(layerIDs))
+	}
 	for i := range s.layers {
 		l := &s.layers[i]
+		l.n = 0
+		if l.agg != nil && l.occ != nil {
+			l.agg.Reset()
+			l.occ.Reset()
+			continue
+		}
 		var err error
 		if l.agg, err = NewQuantileSketch(s.k); err != nil {
 			return err
@@ -235,6 +258,23 @@ func (s *EPSink) Begin(layerIDs []uint32, numTrials int) error {
 		}
 	}
 	return nil
+}
+
+// Rearm resets the sink for a new run under a different return-period
+// set — the piece of NewEPSink's construction that varies per job —
+// while keeping the sketch capacity k and every per-layer sketch for
+// Begin to reuse. The server's pooled sink stacks call this between
+// jobs.
+func (s *EPSink) Rearm(rps []float64) {
+	if len(rps) == 0 {
+		rps = StandardReturnPeriods
+	}
+	s.rps = s.rps[:0]
+	for _, rp := range rps {
+		if rp > 1 && !math.IsInf(rp, 0) && !math.IsNaN(rp) {
+			s.rps = append(s.rps, rp)
+		}
+	}
 }
 
 // Emit folds one trial into the layer's sketch pair.

@@ -13,9 +13,16 @@ package pricing
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"github.com/ralab/are/internal/metrics"
 )
+
+// curveBufPool recycles the sorted-YLT scratch behind the transient
+// exceedance curve Price builds per quote: re-quoting is the hot loop
+// the paper targets, and the curve — two quantile reads — must not
+// cost a trial-sized allocation per layer.
+var curveBufPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // Quote is a priced layer.
 type Quote struct {
@@ -63,7 +70,12 @@ func Price(ylt []float64, cfg Config) (Quote, error) {
 	if err != nil {
 		return Quote{}, err
 	}
-	curve, err := metrics.NewEPCurve(ylt)
+	bufp := curveBufPool.Get().(*[]float64)
+	curve, buf, err := metrics.NewEPCurveAt(*bufp, ylt)
+	*bufp = buf
+	// The curve never escapes Price — both reads below copy plain
+	// floats into the Quote — so the scratch can go straight back.
+	defer curveBufPool.Put(bufp)
 	if err != nil {
 		return Quote{}, err
 	}

@@ -1,0 +1,220 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ralab/are/internal/artifact"
+	"github.com/ralab/are/internal/core"
+	"github.com/ralab/are/internal/metrics"
+	"github.com/ralab/are/internal/server"
+	"github.com/ralab/are/internal/spec"
+	"github.com/ralab/are/internal/yet"
+)
+
+// benchJobBody is the service benchmark's job: two layers, quotes on
+// (so the job materialises a FullYLT — the allocation the data plane
+// must pool), a trial count big enough that the gather dominates
+// per-request overhead but small enough for -benchtime calibration.
+func benchJobBody(trials int) string {
+	return fmt.Sprintf(`{
+	  "portfolio": {
+	    "catalogSize": 15000,
+	    "elts": [
+	      {"id": 1, "generate": {"seed": 21, "numRecords": 1500}},
+	      {"id": 2, "generate": {"seed": 22, "numRecords": 1500}}
+	    ],
+	    "layers": [
+	      {"id": 1, "name": "cat-a", "elts": [1, 2],
+	       "terms": {"occRetention": 1e5, "occLimit": 4e6}},
+	      {"id": 2, "name": "cat-b", "elts": [2],
+	       "terms": {"occRetention": 5e4, "occLimit": 2e6, "aggRetention": 1e5}}
+	    ]
+	  },
+	  "yet": {"seed": 77, "trials": %d, "meanEvents": 30},
+	  "metrics": {"quotes": true},
+	  "workers": 2
+	}`, trials)
+}
+
+// runServiceJob drives one job end to end: POST, poll the result
+// endpoint until the job leaves the running states, decode. It is the
+// client half of the jobs/sec measurement, so it stays deliberately
+// plain — exactly what examples/client does.
+func runServiceJob(b *testing.B, base, body string) {
+	b.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("submit: %d", resp.StatusCode)
+	}
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusConflict { // still queued/running
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			b.Fatalf("result: %d: %s", resp.StatusCode, msg)
+		}
+		var res server.JobResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(res.Layers) != 2 || res.Layers[0].Quote == nil {
+			b.Fatalf("result shape: %d layers", len(res.Layers))
+		}
+		return
+	}
+}
+
+// BenchmarkServiceJob measures the service path end to end — POST
+// /v1/jobs through GET /v1/jobs/{id}/result on a cached-artifact
+// workload (every iteration reuses the same YET and engine, the
+// steady-state shape of production traffic) — reporting ns/job,
+// jobs/sec and allocs/job. The kernels were made fast in PRs 4-5; this
+// benchmark exists so the layers around them (artifact serving, sink
+// allocation, result encoding) are gated the same way.
+//
+// When BENCH_SERVICE_OUT is set (CI points it at BENCH_service.json),
+// two rows are written in the benchdiff schema: the job row plus a
+// same-process direct-pipeline anchor, so the gate compares
+// service-overhead-relative-to-compute rather than raw nanoseconds
+// across runner generations.
+func BenchmarkServiceJob(b *testing.B) {
+	const trials = 20_000
+	body := benchJobBody(trials)
+
+	srv, err := server.New(server.Config{JobWorkers: 1, EngineWorkers: 2, QueueDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	// Warm the artifact cache: the measured regime is cache-hit jobs.
+	runServiceJob(b, ts.URL, body)
+
+	// Same-process anchor: the bare pipeline over the same artifacts,
+	// with the same sink stack a quoted job runs. Everything the service
+	// adds on top of this is what the benchmark gates.
+	js, err := spec.ParseJob(strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := artifact.NewCache(8)
+	eng, _, err := artifact.EngineFor(cache, js)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, _, err := artifact.TableFor(cache, js)
+	if err != nil {
+		b.Fatal(err)
+	}
+	occ := table.NumOccurrences()
+	anchorNs := measureAnchor(b, eng, table, js)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		runServiceJob(b, ts.URL, body)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+
+	nsPerJob := float64(elapsed.Nanoseconds()) / float64(b.N)
+	allocsPerJob := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+	bytesPerJob := float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.N)
+	jobsPerSec := float64(b.N) / elapsed.Seconds()
+	b.ReportMetric(jobsPerSec, "jobs/sec")
+	b.ReportMetric(allocsPerJob, "allocs/job")
+	b.ReportMetric(bytesPerJob, "B/job")
+	b.Logf("trials=%d occ=%d ns/job=%.0f jobs/sec=%.2f allocs/job=%.0f B/job=%.0f anchor ns/occ=%.3f",
+		trials, occ, nsPerJob, jobsPerSec, allocsPerJob, bytesPerJob, anchorNs/float64(occ))
+
+	if out := os.Getenv("BENCH_SERVICE_OUT"); out != "" {
+		type row struct {
+			Kernel      string  `json:"kernel"`
+			Lookup      string  `json:"lookup"`
+			Anchor      bool    `json:"anchor,omitempty"`
+			NsPerOcc    float64 `json:"nsPerOcc"`
+			AllocsPerOp float64 `json:"allocsPerOp"`
+			BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
+			NsPerJob    float64 `json:"nsPerJob,omitempty"`
+			JobsPerSec  float64 `json:"jobsPerSec,omitempty"`
+		}
+		rows := []row{
+			{Kernel: "direct-pipeline", Lookup: "service", Anchor: true,
+				NsPerOcc: anchorNs / float64(occ)},
+			{Kernel: "service-job", Lookup: "service",
+				NsPerOcc:    nsPerJob / float64(occ),
+				AllocsPerOp: allocsPerJob,
+				BytesPerOp:  bytesPerJob,
+				NsPerJob:    nsPerJob,
+				JobsPerSec:  jobsPerSec},
+		}
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", out)
+	}
+}
+
+// measureAnchor times the bare pipeline (summary + EP + materialising
+// sinks, the quoted-job stack) over the cached artifacts, returning
+// ns per run. A fixed small repeat count keeps it cheap; it is a
+// machine reference, not a measurement under test.
+func measureAnchor(b *testing.B, eng *artifact.Engine, table *yet.Table, js *spec.Job) float64 {
+	b.Helper()
+	const reps = 3
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		sum := metrics.NewSummarySink()
+		ep := metrics.NewEPSink(js.Metrics.ReturnPeriods)
+		full := core.NewFullYLT()
+		if _, err := eng.Eng.RunPipeline(core.NewTableSource(table), core.MultiSink{sum, ep, full}, core.Options{
+			Workers: 2, Lookup: artifact.LookupKind(js.Lookup),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / reps
+}

@@ -1,0 +1,388 @@
+package server
+
+// Hand-rolled streaming JSON encoding for the hot response paths. The
+// service's steady-state allocation profile is dominated by per-request
+// encoding: every result poll and every finished job used to pay
+// reflection (json.Encoder) plus a fresh indent buffer. The encoders
+// here append into one pooled byte buffer and write it straight to the
+// wire, flushing layer-by-layer for large results so a multi-variant
+// sweep response never has to sit fully buffered in memory.
+//
+// Byte-level compatibility: the float and string formats reproduce
+// encoding/json exactly (shortest round-trip floats with the e-0x
+// exponent cleanup, HTML-escaped strings), and field order follows the
+// struct declarations, so the bodies are what compact json.Marshal
+// would produce — pinned by TestEncodeMatchesMarshal. Values must be
+// finite; engine losses and the metrics derived from them are.
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// encBuf is one pooled response-encoding buffer.
+type encBuf struct {
+	b []byte
+}
+
+var encPool = sync.Pool{
+	New: func() any { return &encBuf{b: make([]byte, 0, 4096)} },
+}
+
+func getEnc() *encBuf {
+	e := encPool.Get().(*encBuf)
+	e.b = e.b[:0]
+	return e
+}
+
+// put returns the buffer unless a giant response grew it past the point
+// where keeping it would pin memory for every future small response.
+func (e *encBuf) put() {
+	if cap(e.b) <= 1<<20 {
+		encPool.Put(e)
+	}
+}
+
+// flushLimit is the buffered threshold above which a streaming encode
+// writes out what it has: large result bodies go to the wire in chunks
+// instead of materialising in full.
+const flushLimit = 32 << 10
+
+func (e *encBuf) flushIfFull(w http.ResponseWriter) {
+	if len(e.b) >= flushLimit {
+		w.Write(e.b)
+		e.b = e.b[:0]
+	}
+}
+
+// jsonCT is the shared Content-Type value; assigning one shared slice
+// into the header map avoids the per-response []string{v} that
+// Header().Set allocates. Handlers must never mutate it.
+var jsonCT = []string{"application/json"}
+
+// beginJSON stamps headers and status for a pooled-buffer JSON body.
+func beginJSON(w http.ResponseWriter, status int) {
+	w.Header()["Content-Type"] = jsonCT
+	w.WriteHeader(status)
+}
+
+// --- primitive appends -------------------------------------------------
+
+// appendFloat appends f the way encoding/json does: shortest
+// round-trip decimal, 'f' form in [1e-6, 1e21), 'e' form outside with
+// the two-digit exponent's leading zero stripped. The output parses
+// back to bit-identical float64s (strconv shortest form) — the wire
+// contract the oracle tests pin.
+func appendFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// clean up e-09 to e-9, as encoding/json does
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendString appends s as a JSON string, matching encoding/json's
+// default (HTML-escaping) encoder byte for byte: ", \ and control
+// bytes escaped (\n, \r, \t short forms), <, > and & as \u00XX, the
+// line separators U+2028/U+2029 as \u202X, and invalid UTF-8 replaced
+// with U+FFFD.
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	b = appendStringBody(b, s)
+	return append(b, '"')
+}
+
+// appendStringBody escapes s without the surrounding quotes, so error
+// messages can be assembled from parts in place.
+func appendStringBody(b []byte, s string) []byte {
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '"', '\\':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case r == utf8.RuneError && size == 1:
+			b = append(b, s[start:i]...)
+			b = append(b, "\\ufffd"...)
+			i += size
+			start = i
+		case r == '\u2028' || r == '\u2029':
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+		default:
+			i += size
+		}
+	}
+	return append(b, s[start:]...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+// field appends `"name":` preceded by a comma unless it opens an
+// object. Field names are literal and never need escaping.
+func (e *encBuf) field(name string, first bool) {
+	if !first {
+		e.b = append(e.b, ',')
+	}
+	e.b = append(e.b, '"')
+	e.b = append(e.b, name...)
+	e.b = append(e.b, '"', ':')
+}
+
+// --- response bodies ---------------------------------------------------
+
+func (e *encBuf) summary(name string, s SummaryJSON) {
+	e.field(name, false)
+	e.b = append(e.b, '{')
+	e.field("mean", true)
+	e.b = appendFloat(e.b, s.Mean)
+	e.field("stdDev", false)
+	e.b = appendFloat(e.b, s.StdDev)
+	e.field("min", false)
+	e.b = appendFloat(e.b, s.Min)
+	e.field("max", false)
+	e.b = appendFloat(e.b, s.Max)
+	e.field("trials", false)
+	e.b = strconv.AppendInt(e.b, int64(s.Trials), 10)
+	e.b = append(e.b, '}')
+}
+
+func (e *encBuf) points(name string, pts []PointJSON) {
+	e.field(name, false)
+	if pts == nil {
+		e.b = append(e.b, "null"...)
+		return
+	}
+	e.b = append(e.b, '[')
+	for i, p := range pts {
+		if i > 0 {
+			e.b = append(e.b, ',')
+		}
+		e.b = append(e.b, '{')
+		e.field("returnPeriod", true)
+		e.b = appendFloat(e.b, p.ReturnPeriod)
+		e.field("prob", false)
+		e.b = appendFloat(e.b, p.Prob)
+		e.field("loss", false)
+		e.b = appendFloat(e.b, p.Loss)
+		e.b = append(e.b, '}')
+	}
+	e.b = append(e.b, ']')
+}
+
+func (e *encBuf) layer(l *LayerResult, first bool) {
+	if !first {
+		e.b = append(e.b, ',')
+	}
+	e.b = append(e.b, '{')
+	e.field("id", true)
+	e.b = strconv.AppendUint(e.b, uint64(l.ID), 10)
+	e.field("name", false)
+	e.b = appendString(e.b, l.Name)
+	e.summary("summary", l.Summary)
+	e.summary("occSummary", l.OccSummary)
+	e.points("ep", l.EP)
+	e.points("oep", l.OEP)
+	if q := l.Quote; q != nil {
+		e.field("quote", false)
+		e.b = append(e.b, '{')
+		e.field("expectedLoss", true)
+		e.b = appendFloat(e.b, q.ExpectedLoss)
+		e.field("stdDev", false)
+		e.b = appendFloat(e.b, q.StdDev)
+		e.field("riskLoad", false)
+		e.b = appendFloat(e.b, q.RiskLoad)
+		e.field("expenseLoad", false)
+		e.b = appendFloat(e.b, q.ExpenseLoad)
+		e.field("technicalPremium", false)
+		e.b = appendFloat(e.b, q.TechnicalPremium)
+		e.field("rateOnLine", false)
+		e.b = appendFloat(e.b, q.RateOnLine)
+		e.field("pml100", false)
+		e.b = appendFloat(e.b, q.PML100)
+		e.field("tvar99", false)
+		e.b = appendFloat(e.b, q.TVaR99)
+		e.b = append(e.b, '}')
+	}
+	e.b = append(e.b, '}')
+}
+
+// layers appends one layer-result array, flushing to the wire between
+// layers when the buffer fills; pass a nil writer to keep everything
+// buffered (tests, small bodies).
+func (e *encBuf) layers(name string, ls []LayerResult, first bool, w http.ResponseWriter) {
+	e.field(name, first)
+	if ls == nil {
+		e.b = append(e.b, "null"...)
+		return
+	}
+	e.b = append(e.b, '[')
+	for i := range ls {
+		e.layer(&ls[i], i == 0)
+		if w != nil {
+			e.flushIfFull(w)
+		}
+	}
+	e.b = append(e.b, ']')
+}
+
+// appendResult appends a complete JobResult body, streaming through w
+// (when non-nil) as the buffer fills.
+func (e *encBuf) appendResult(res *JobResult, w http.ResponseWriter) {
+	e.b = append(e.b, '{')
+	e.field("id", true)
+	e.b = appendString(e.b, res.ID)
+	e.field("trials", false)
+	e.b = strconv.AppendInt(e.b, int64(res.Trials), 10)
+	e.field("elapsedMs", false)
+	e.b = strconv.AppendInt(e.b, res.ElapsedMS, 10)
+	e.field("yetCached", false)
+	e.b = appendBool(e.b, res.YETCached)
+	e.field("engineCached", false)
+	e.b = appendBool(e.b, res.EngineCached)
+	if res.Shards != 0 {
+		e.field("shards", false)
+		e.b = strconv.AppendInt(e.b, int64(res.Shards), 10)
+	}
+	if res.Retried != 0 {
+		e.field("retried", false)
+		e.b = strconv.AppendInt(e.b, int64(res.Retried), 10)
+	}
+	if res.WorkersUsed != 0 {
+		e.field("workersUsed", false)
+		e.b = strconv.AppendInt(e.b, int64(res.WorkersUsed), 10)
+	}
+	e.layers("layers", res.Layers, false, w)
+	if res.Variants != nil {
+		e.field("variants", false)
+		e.b = append(e.b, '[')
+		for i := range res.Variants {
+			v := &res.Variants[i]
+			if i > 0 {
+				e.b = append(e.b, ',')
+			}
+			e.b = append(e.b, '{')
+			e.field("index", true)
+			e.b = strconv.AppendInt(e.b, int64(v.Index), 10)
+			e.field("name", false)
+			e.b = appendString(e.b, v.Name)
+			e.layers("layers", v.Layers, false, w)
+			e.b = append(e.b, '}')
+		}
+		e.b = append(e.b, ']')
+	}
+	e.b = append(e.b, '}')
+}
+
+// appendStatus appends one job Status body.
+func (e *encBuf) appendStatus(st *Status) {
+	e.b = append(e.b, '{')
+	e.field("id", true)
+	e.b = appendString(e.b, st.ID)
+	e.field("state", false)
+	e.b = appendString(e.b, st.State)
+	e.field("submittedAt", false)
+	e.b = appendString(e.b, st.SubmittedAt)
+	if st.StartedAt != "" {
+		e.field("startedAt", false)
+		e.b = appendString(e.b, st.StartedAt)
+	}
+	if st.FinishedAt != "" {
+		e.field("finishedAt", false)
+		e.b = appendString(e.b, st.FinishedAt)
+	}
+	e.field("trialsDone", false)
+	e.b = strconv.AppendInt(e.b, int64(st.TrialsDone), 10)
+	e.field("totalTrials", false)
+	e.b = strconv.AppendInt(e.b, int64(st.TotalTrials), 10)
+	e.field("progress", false)
+	e.b = appendFloat(e.b, st.Progress)
+	if st.Error != "" {
+		e.field("error", false)
+		e.b = appendString(e.b, st.Error)
+	}
+	e.b = append(e.b, '}')
+}
+
+// --- handler-facing writers --------------------------------------------
+
+// writeResult streams a finished job's result to the client: headers,
+// then the body encoded through one pooled buffer that flushes to the
+// wire as it fills. Small results go out in a single write (net/http
+// then sets Content-Length itself); large ones ride chunked encoding.
+func writeResult(w http.ResponseWriter, res *JobResult) {
+	e := getEnc()
+	beginJSON(w, http.StatusOK)
+	e.appendResult(res, w)
+	e.b = append(e.b, '\n')
+	w.Write(e.b)
+	e.put()
+}
+
+// writeStatus writes one job status body from the pooled buffer.
+func writeStatus(w http.ResponseWriter, status int, st Status) {
+	e := getEnc()
+	beginJSON(w, status)
+	e.appendStatus(&st)
+	e.b = append(e.b, '\n')
+	w.Write(e.b)
+	e.put()
+}
+
+// writeErrorParts writes the uniform error envelope with the message
+// assembled from literal parts — the allocation-free form the result
+// poll path (409 per poll) depends on.
+func writeErrorParts(w http.ResponseWriter, status int, parts ...string) {
+	e := getEnc()
+	beginJSON(w, status)
+	e.b = append(e.b, '{')
+	e.field("error", true)
+	e.b = append(e.b, '"')
+	for _, p := range parts {
+		e.b = appendStringBody(e.b, p)
+	}
+	e.b = append(e.b, '"', '}', '\n')
+	w.Write(e.b)
+	e.put()
+}

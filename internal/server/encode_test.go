@@ -1,0 +1,155 @@
+package server
+
+// Oracle tests for the hand-rolled response encoders: the bodies must
+// be byte-identical to compact json.Marshal (which pins both the field
+// layout and — via strconv's shortest-round-trip float form — bitwise
+// float fidelity), across hostile strings and adversarial float values.
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+func testResult() *JobResult {
+	quote := &QuoteJSON{
+		ExpectedLoss: 12345.678901234567, StdDev: 89.0625, RiskLoad: 26.71875,
+		ExpenseLoad: 1646.0905201645756, TechnicalPremium: math.MaxFloat64,
+		RateOnLine: 0.024690246913580247, PML100: 5e-324, TVaR99: 1e21,
+	}
+	layers := []LayerResult{
+		{
+			ID: 7, Name: "quake <XL> & wind \"tail\"\n",
+			Summary:    SummaryJSON{Mean: 1e-7, StdDev: 0, Min: math.SmallestNonzeroFloat64, Max: 9.99e20, Trials: 20000},
+			OccSummary: SummaryJSON{Mean: 0.1 + 0.2, StdDev: -0.0, Min: 1e-6, Max: 1e300, Trials: 20000},
+			EP: []PointJSON{
+				{ReturnPeriod: 250, Prob: 0.004, Loss: 1234.5000000000002},
+				{ReturnPeriod: 10000, Prob: 1e-4, Loss: 0},
+			},
+			OEP:   []PointJSON{},
+			Quote: quote,
+		},
+		{
+			ID: 8, Name: "per\u2028sep\u2029líne\ufffd",
+			EP: []PointJSON{{ReturnPeriod: 2, Prob: 0.5, Loss: 42}},
+		},
+	}
+	return &JobResult{
+		ID: "j-000042", Trials: 20000, ElapsedMS: 1234,
+		YETCached: true, EngineCached: false,
+		Shards: 3, Retried: 1, WorkersUsed: 2,
+		Layers: layers,
+		Variants: []VariantResult{
+			{Index: 0, Name: "base", Layers: layers},
+			{Index: 1, Name: "+10% limit", Layers: layers[:1]},
+		},
+	}
+}
+
+// TestEncodeMatchesMarshal pins the streamed result and status bodies
+// byte-for-byte against encoding/json.
+func TestEncodeMatchesMarshal(t *testing.T) {
+	res := testResult()
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := getEnc()
+	e.appendResult(res, nil)
+	if string(e.b) != string(want) {
+		t.Fatalf("result encoding diverges from json.Marshal:\n got %s\nwant %s", e.b, want)
+	}
+
+	// A minimal result (no shards, no variants, no quotes, nil points)
+	// exercises every omitempty branch.
+	small := &JobResult{ID: "j-000001", Trials: 1, Layers: []LayerResult{{ID: 1, Name: ""}}}
+	want, err = json.Marshal(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.b = e.b[:0]
+	e.appendResult(small, nil)
+	if string(e.b) != string(want) {
+		t.Fatalf("minimal result diverges:\n got %s\nwant %s", e.b, want)
+	}
+
+	for _, st := range []Status{
+		{ID: "j-000009", State: "running", SubmittedAt: "2026-08-08T00:00:00Z",
+			StartedAt: "2026-08-08T00:00:01Z", TrialsDone: 512, TotalTrials: 20000, Progress: 0.0256},
+		{ID: "j-000010", State: "failed", SubmittedAt: "2026-08-08T00:00:00Z",
+			FinishedAt: "2026-08-08T00:00:02Z", Progress: 1, Error: "boom <&> \t"},
+	} {
+		want, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.b = e.b[:0]
+		e.appendStatus(&st)
+		if string(e.b) != string(want) {
+			t.Fatalf("status encoding diverges:\n got %s\nwant %s", e.b, want)
+		}
+	}
+	e.put()
+}
+
+// TestEncodeFloatRoundTrip sweeps random finite float64 bit patterns:
+// the appended text must match json.Marshal byte-for-byte and must
+// parse back to the identical bits — the wire contract quoted results
+// rely on.
+func TestEncodeFloatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	check := func(f float64) {
+		t.Helper()
+		got := appendFloat(nil, f)
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("float %x: encoded %q, json.Marshal %q", math.Float64bits(f), got, want)
+		}
+		back, err := strconv.ParseFloat(string(got), 64)
+		if err != nil {
+			t.Fatalf("float %q does not parse: %v", got, err)
+		}
+		if math.Float64bits(back) != math.Float64bits(f) {
+			t.Fatalf("float %x round-trips to %x via %q", math.Float64bits(f), math.Float64bits(back), got)
+		}
+	}
+	for _, f := range []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.1, 1e-6, 9.999999e-7, 1e21, 9.99e20,
+		math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64, 1e-300, 1 << 62,
+	} {
+		check(f)
+	}
+	for i := 0; i < 200000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		check(f)
+	}
+}
+
+// TestEncodeStringEscaping pins the string encoder against
+// encoding/json's HTML-escaping default across control bytes, HTML
+// metacharacters, multibyte runes, line separators and invalid UTF-8.
+func TestEncodeStringEscaping(t *testing.T) {
+	cases := []string{
+		"", "plain", `quote " and \ backslash`, "tab\tnew\nline\rreturn",
+		"\x00\x01\x1f\x7f", "<script>&amp;</script>", "líne\u2028sep\u2029",
+		"日本語", "bad\xffutf8\xc3(", "mixed \x02 <&>   ok",
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendString(nil, s)
+		if string(got) != string(want) {
+			t.Fatalf("string %q: encoded %s, json.Marshal %s", s, got, want)
+		}
+	}
+}

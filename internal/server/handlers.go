@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"github.com/ralab/are/internal/dist"
@@ -146,7 +147,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
-	writeJSON(w, http.StatusAccepted, job.Status())
+	writeStatus(w, http.StatusAccepted, job.Status())
 }
 
 // validJobStates are the ?state= filter values handleList accepts.
@@ -184,12 +185,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, ErrUnknownJob)
 		return
 	}
-	writeJSON(w, http.StatusOK, j.Status())
+	writeStatus(w, http.StatusOK, j.Status())
 }
 
 // handleResult returns a finished job's result: 200 when done, 409 while
 // queued or running, 410 for failed/cancelled jobs (the result is gone
-// and will never arrive), 404 for unknown IDs.
+// and will never arrive), 404 for unknown IDs. This is the hottest
+// endpoint a polling client touches, so every branch writes through the
+// pooled streaming encoder instead of reflection — the 409 poll answer
+// in particular allocates nothing beyond the response itself.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.sched.get(r.PathValue("id"))
 	if !ok {
@@ -201,13 +205,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j.mu.Unlock()
 	switch state {
 	case JobDone:
-		writeJSON(w, http.StatusOK, res)
+		writeResult(w, res)
 	case JobFailed:
-		writeError(w, http.StatusGone, fmt.Errorf("server: job %s failed: %s", j.ID, jerr))
+		writeErrorParts(w, http.StatusGone, "server: job ", j.ID, " failed: ", jerr)
 	case JobCancelled:
-		writeError(w, http.StatusGone, fmt.Errorf("server: job %s was cancelled", j.ID))
+		writeErrorParts(w, http.StatusGone, "server: job ", j.ID, " was cancelled")
 	default:
-		writeError(w, http.StatusConflict, fmt.Errorf("server: job %s is %s", j.ID, state))
+		writeErrorParts(w, http.StatusConflict, "server: job ", j.ID, " is ", string(state))
 	}
 }
 
@@ -221,7 +225,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrJobFinished):
 		writeError(w, http.StatusConflict, err)
 	default:
-		writeJSON(w, http.StatusAccepted, j.Status())
+		writeStatus(w, http.StatusAccepted, j.Status())
 	}
 }
 
@@ -269,6 +273,19 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.shardsServed.Add(1)
 	s.metrics.trialsProcessed.Add(int64(res.Hi - res.Lo))
+	if strings.Contains(r.Header.Get("Accept"), dist.ShardMediaType) {
+		// Negotiated binary frame: raw little-endian YLT columns behind
+		// a JSON metadata header — no decimal formatting pass, ~3x fewer
+		// bytes, bitwise-identical floats by construction.
+		w.Header().Set("Content-Type", dist.ShardMediaType)
+		w.WriteHeader(http.StatusOK)
+		if err := dist.EncodeShardResult(w, res); err != nil {
+			// Headers are gone; the truncated frame fails the client's
+			// frame validation, which is the best we can signal now.
+			return
+		}
+		return
+	}
 	writeJSON(w, http.StatusOK, res)
 }
 

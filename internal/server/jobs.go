@@ -537,18 +537,41 @@ func (s *scheduler) prepare(j *Job) (*jobArtifacts, error) {
 	}, nil
 }
 
-// jobSinks builds one job-shaped sink stack: online moments + EP
-// always, a materialising sink only when quotes were requested.
-func jobSinks(js *spec.Job) (*metrics.SummarySink, *metrics.EPSink, *core.FullYLT, core.MultiSink) {
-	sum := metrics.NewSummarySink()
-	ep := metrics.NewEPSink(js.Metrics.ReturnPeriods)
-	sinks := core.MultiSink{sum, ep}
+// sinkSet is one recyclable pair of online sinks. The server runs one
+// per job (per variant for sweeps), and both sinks rearm in place —
+// Begin resets their layer state, Rearm swaps the return periods — so
+// pooling the pair removes the per-job sketch construction (two
+// sketches per layer, each growing O(k log n) level storage during the
+// run) from the steady state.
+type sinkSet struct {
+	sum *metrics.SummarySink
+	ep  *metrics.EPSink
+}
+
+var sinkSetPool = sync.Pool{New: func() any {
+	return &sinkSet{sum: metrics.NewSummarySink(), ep: metrics.NewEPSink(nil)}
+}}
+
+// release returns the pair to the pool. Callers release only after the
+// job's result is assembled (the sinks' states are read by then) and
+// only on the success path — a cancelled or failed run may still have
+// a straggling worker holding a sink reference.
+func (ss *sinkSet) release() { sinkSetPool.Put(ss) }
+
+// jobSinks builds one job-shaped sink stack: pooled online moments +
+// EP always, a materialising sink only when quotes were requested.
+// Both pieces are pool-backed and live exactly from the run to result
+// assembly, so each caller must release them once the result is built.
+func jobSinks(js *spec.Job) (*sinkSet, *core.FullYLT, core.MultiSink) {
+	set := sinkSetPool.Get().(*sinkSet)
+	set.ep.Rearm(js.Metrics.ReturnPeriods)
+	sinks := core.MultiSink{set.sum, set.ep}
 	var full *core.FullYLT
 	if js.Metrics.Quotes {
-		full = core.NewFullYLT()
+		full = core.NewPooledYLT()
 		sinks = append(sinks, full)
 	}
-	return sum, ep, full, sinks
+	return set, full, sinks
 }
 
 func (s *scheduler) execute(j *Job) (*JobResult, error) {
@@ -557,7 +580,7 @@ func (s *scheduler) execute(j *Job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sum, ep, full, sinks := jobSinks(js)
+	set, full, sinks := jobSinks(js)
 
 	start := time.Now()
 	if _, err := a.art.Eng.RunPipelineContext(j.ctx, core.NewTableSource(a.table), sinks, a.opt); err != nil {
@@ -569,10 +592,14 @@ func (s *scheduler) execute(j *Job) (*JobResult, error) {
 	if full != nil {
 		fullRes = full.Result()
 	}
-	res, err := assembleJobResult(j.ID, js, a.art.P.P, sum, ep, fullRes, elapsed)
+	res, err := assembleJobResult(j.ID, js, a.art.P.P, set.sum, set.ep, fullRes, elapsed)
 	if err != nil {
 		return nil, err
 	}
+	if full != nil {
+		full.Release() // quotes are priced; the YLT slab goes back to the pool
+	}
+	set.release()
 	res.YETCached = a.yetHit
 	res.EngineCached = a.engineHit
 	return res, nil
@@ -598,13 +625,12 @@ func (s *scheduler) executeSweep(j *Job) (*JobResult, error) {
 	}
 
 	numK := sweep.NumVariants()
-	sums := make([]*metrics.SummarySink, numK)
-	eps := make([]*metrics.EPSink, numK)
+	sets := make([]*sinkSet, numK)
 	fulls := make([]*core.FullYLT, numK)
 	members := make([]core.Sink, numK)
 	for k := 0; k < numK; k++ {
-		sum, ep, full, sinks := jobSinks(js)
-		sums[k], eps[k], fulls[k], members[k] = sum, ep, full, sinks
+		set, full, sinks := jobSinks(js)
+		sets[k], fulls[k], members[k] = set, full, sinks
 	}
 
 	start := time.Now()
@@ -625,10 +651,14 @@ func (s *scheduler) executeSweep(j *Job) (*JobResult, error) {
 		if fulls[k] != nil {
 			fullRes = fulls[k].Result()
 		}
-		layers, err := layerResults(js, a.art.P.P, v, sums[k], eps[k], fullRes)
+		layers, err := layerResults(js, a.art.P.P, v, sets[k].sum, sets[k].ep, fullRes)
 		if err != nil {
 			return nil, fmt.Errorf("variant %d (%s): %w", k, v.Name, err)
 		}
+		if fulls[k] != nil {
+			fulls[k].Release()
+		}
+		sets[k].release()
 		res.Variants = append(res.Variants, VariantResult{Index: k, Name: v.Name, Layers: layers})
 	}
 	// Keep the plain-job view pointing at variant 0 so clients that do

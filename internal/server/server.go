@@ -117,6 +117,14 @@ type Config struct {
 	// CacheEntries bounds the shared-artifact cache; 0 selects 64.
 	CacheEntries int
 
+	// SpillDir, when non-empty, enables the zero-copy table path:
+	// generated Year Event Tables are serialised once into this
+	// directory and served to all jobs (and shard executions) as views
+	// of shared read-only file mappings instead of per-job heap decodes.
+	// The directory is created if absent and doubles as a warm table
+	// cache across restarts. Empty keeps tables on the heap.
+	SpillDir string
+
 	// MaxJobsRetained bounds the job registry: once exceeded, the
 	// oldest finished jobs (and their results) are evicted, so a
 	// long-running daemon's memory scales with its retention window,
@@ -197,6 +205,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	m := &serverMetrics{start: time.Now()}
 	cache := artifact.NewCache(cfg.CacheEntries)
+	if err := cache.SetSpillDir(cfg.SpillDir); err != nil {
+		return nil, err
+	}
 	var coord *dist.Coordinator
 	if cfg.Role == RoleCoordinator {
 		coord = dist.NewCoordinator(dist.Config{

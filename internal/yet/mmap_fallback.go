@@ -1,0 +1,18 @@
+//go:build !((linux || darwin) && !nommap)
+
+package yet
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported is false on platforms without the mmap backend and on
+// any build with the nommap tag; Map degrades to ReadFile there.
+const mmapSupported = false
+
+var errNoMmap = errors.New("yet: mmap not supported in this build")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile(b []byte) error { return errNoMmap }

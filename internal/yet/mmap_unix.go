@@ -1,0 +1,25 @@
+//go:build (linux || darwin) && !nommap
+
+package yet
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can serve tables straight
+// from the page cache. The nommap build tag forces the portable
+// heap-decode fallback on platforms that would otherwise map.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared: the kernel's page
+// cache backs the mapping, so N processes (or N jobs in one process)
+// mapping the same YET file share one physical copy.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -58,11 +58,17 @@ type Occurrence struct {
 	Time  float64
 }
 
-// Table is a packed Year Event Table in columnar (SoA) layout.
+// Table is a packed Year Event Table in columnar (SoA) layout. The
+// backing is either heap slices (Generate, Read) or a shared read-only
+// file mapping (Map; see map.go) — the accessors hide which.
 type Table struct {
-	events []uint32  // all trials' event IDs, concatenated
-	times  []float64 // all trials' timestamps, parallel to events
+	events []uint32  // all trials' event IDs, concatenated (heap backing)
+	times  []float64 // all trials' timestamps, parallel to events (heap backing)
 	bounds []uint64  // len = NumTrials+1; trial i spans [bounds[i], bounds[i+1])
+
+	m     *mapping // non-nil when columns are served from an mmap'd file
+	mbase uint64   // file-order occurrence offset of this view's trial 0
+	owns  bool     // this table (not a Slice view) owns m's lifetime
 }
 
 // Config controls YET generation.
@@ -262,18 +268,28 @@ func rawSeasonalTime(r *rng.Rand, p catalog.Peril) float64 {
 func (t *Table) NumTrials() int { return len(t.bounds) - 1 }
 
 // NumOccurrences returns the total number of event occurrences.
-func (t *Table) NumOccurrences() int { return len(t.events) }
+func (t *Table) NumOccurrences() int { return int(t.bounds[t.NumTrials()] - t.bounds[0]) }
 
 // TrialEvents returns the event-ID column of trial i (shared storage;
 // callers must not modify it). This is the engine kernels' hot accessor:
-// 4 bytes streamed per occurrence, nothing else touched.
+// 4 bytes streamed per occurrence, nothing else touched — for a mapped
+// table the returned slice aliases the page cache directly.
 func (t *Table) TrialEvents(i int) []uint32 {
+	if t.m != nil {
+		return t.m.trialEvents(t.mbase+t.bounds[i], t.bounds[i+1]-t.bounds[i])
+	}
 	return t.events[t.bounds[i]:t.bounds[i+1]]
 }
 
 // TrialTimes returns the timestamp column of trial i (shared storage;
-// callers must not modify it), parallel to TrialEvents(i).
+// callers must not modify it), parallel to TrialEvents(i). On a mapped
+// table the first call materialises the whole (cold) time column once
+// per mapping; see map.go for the alignment reason.
 func (t *Table) TrialTimes(i int) []float64 {
+	if t.m != nil {
+		ts := t.m.materialiseTimes()
+		return ts[t.mbase+t.bounds[i] : t.mbase+t.bounds[i+1]]
+	}
 	return t.times[t.bounds[i]:t.bounds[i+1]]
 }
 
@@ -287,10 +303,10 @@ func (t *Table) TrialLen(i int) int {
 // allocates per call — a convenience for oracles, tests and report code;
 // hot paths should read the columns (TrialEvents/TrialTimes) directly.
 func (t *Table) Trial(i int) []Occurrence {
-	lo, hi := t.bounds[i], t.bounds[i+1]
-	occ := make([]Occurrence, hi-lo)
+	evs, tms := t.TrialEvents(i), t.TrialTimes(i)
+	occ := make([]Occurrence, len(evs))
 	for j := range occ {
-		occ[j] = Occurrence{Event: catalog.EventID(t.events[lo+uint64(j)]), Time: t.times[lo+uint64(j)]}
+		occ[j] = Occurrence{Event: catalog.EventID(evs[j]), Time: tms[j]}
 	}
 	return occ
 }
@@ -300,11 +316,13 @@ func (t *Table) MeanTrialLen() float64 {
 	if t.NumTrials() == 0 {
 		return 0
 	}
-	return float64(len(t.events)) / float64(t.NumTrials())
+	return float64(t.NumOccurrences()) / float64(t.NumTrials())
 }
 
 // Slice returns a view containing trials [lo, hi) that shares column
-// storage with t; used to partition work across engine workers.
+// storage with t; used to partition work across engine workers. Views
+// of a mapped table share its mapping (and keep it alive): N shards of
+// one job cost one decode-free mapping between them.
 func (t *Table) Slice(lo, hi int) *Table {
 	if lo < 0 || hi > t.NumTrials() || lo > hi {
 		panic(fmt.Sprintf("yet: bad slice [%d,%d) of %d trials", lo, hi, t.NumTrials()))
@@ -313,6 +331,9 @@ func (t *Table) Slice(lo, hi int) *Table {
 	bounds := make([]uint64, hi-lo+1)
 	for i := range bounds {
 		bounds[i] = t.bounds[lo+i] - base
+	}
+	if t.m != nil {
+		return &Table{bounds: bounds, m: t.m, mbase: t.mbase + base}
 	}
 	return &Table{
 		events: t.events[base:t.bounds[hi]],
@@ -375,7 +396,7 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	if err := write(uint64(t.NumTrials())); err != nil {
 		return n, err
 	}
-	if err := write(uint64(len(t.events))); err != nil {
+	if err := write(uint64(t.NumOccurrences())); err != nil {
 		return n, err
 	}
 	if err := write(t.bounds); err != nil {
@@ -383,15 +404,14 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	}
 	var rec [8]byte
 	for i := 0; i < t.NumTrials(); i++ {
-		lo, hi := t.bounds[i], t.bounds[i+1]
-		for _, ev := range t.events[lo:hi] {
+		for _, ev := range t.TrialEvents(i) {
 			binary.LittleEndian.PutUint32(rec[:4], ev)
 			if _, err := bw.Write(rec[:4]); err != nil {
 				return n, err
 			}
 			n += 4
 		}
-		for _, tm := range t.times[lo:hi] {
+		for _, tm := range t.TrialTimes(i) {
 			binary.LittleEndian.PutUint64(rec[:8], math.Float64bits(tm))
 			if _, err := bw.Write(rec[:8]); err != nil {
 				return n, err
