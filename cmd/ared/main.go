@@ -42,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only on -debug-addr)
 	"os"
@@ -71,6 +72,7 @@ func main() {
 		shardTrials = flag.Int("shard-trials", 0, "target trials per shard (coordinator role, 0 = 25000)")
 		shardTries  = flag.Int("shard-attempts", 0, "workers one shard may be tried on (coordinator role, 0 = 3)")
 		workerTTL   = flag.Duration("worker-ttl", 0, "heartbeat lease before a worker is skipped (coordinator role, 0 = 15s)")
+		shardTO     = flag.Duration("shard-timeout", 0, "one shard dispatch round trip bound (coordinator role, 0 = 5m)")
 	)
 	flag.Parse()
 
@@ -82,6 +84,7 @@ func main() {
 		ShardTrials:      *shardTrials,
 		MaxShardAttempts: *shardTries,
 		WorkerTTL:        *workerTTL,
+		ShardTimeout:     *shardTO,
 		JobWorkers:       *jobs,
 		QueueDepth:       *queue,
 		EngineWorkers:    *engineW,
@@ -97,23 +100,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Bind every listener before announcing anything: a port that is
+	// already taken must fail the process loudly with a non-zero exit,
+	// not leave a daemon that looks alive but serves nothing. Binding
+	// first also resolves ":0" addresses, so the startup lines below
+	// carry real ports — which is what lets a test harness (or an init
+	// system) start ared on OS-assigned ports and learn them from
+	// stdout deterministically.
+	ln, err := srv.Listen()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ared:", err)
+		os.Exit(1)
+	}
 	if *debugAddr != "" {
 		// The pprof handlers live on http.DefaultServeMux; serving that
 		// mux on its own listener keeps profiling off the API port (and
 		// off by default — no -debug-addr, no listener at all).
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ared: debug listen %s: %v\n", *debugAddr, err)
+			os.Exit(1)
+		}
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+			if err := http.Serve(dln, nil); err != nil {
 				log.Printf("ared: debug server: %v", err)
 			}
 		}()
-		fmt.Printf("ared: pprof on http://%s/debug/pprof/\n", *debugAddr)
+		fmt.Printf("ared: pprof on http://%s/debug/pprof/\n", dln.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("ared: listening on %s as %s (%d job workers, queue %d)\n", *addr, *role, *jobs, *queue)
-	if err := srv.ListenAndServe(ctx); err != nil {
+	fmt.Printf("ared: listening on %s as %s (%d job workers, queue %d)\n", ln.Addr(), *role, *jobs, *queue)
+	if err := srv.Serve(ctx, ln); err != nil {
 		fmt.Fprintln(os.Stderr, "ared:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,154 @@
+package chaostest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/ralab/are/internal/dist"
+	"github.com/ralab/are/internal/server"
+)
+
+// client is the harness's view of one ared process's HTTP API. It keeps
+// results as raw bytes as well as decoded structs: byte identity across
+// repeated fetches is one of the invariants (a done job's result never
+// changes), and decoding happens on the same bytes the invariant saw.
+type client struct {
+	base string
+	c    *http.Client
+}
+
+func newClient(base string) *client {
+	return &client{
+		base: strings.TrimRight(base, "/"),
+		// Generous per-call timeout: the harness's own traffic must never
+		// be what times out — degraded paths are the proxies' job.
+		c: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// httpError is a non-2xx API reply, kept simple so callers can switch
+// on the code.
+type httpError struct {
+	code int
+	body string
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("http %d: %s", e.code, e.body) }
+
+// errCode extracts the status code from an error returned by this
+// client; 0 for transport errors (connection refused, reset — the
+// signatures of a killed process).
+func errCode(err error) int {
+	if he, ok := err.(*httpError); ok {
+		return he.code
+	}
+	return 0
+}
+
+// do runs one call; 2xx bodies are returned raw, anything else becomes
+// an *httpError.
+func (c *client) do(method, path string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, &httpError{code: resp.StatusCode, body: strings.TrimSpace(string(b))}
+	}
+	return b, nil
+}
+
+// submit POSTs a job spec; on 202 returns the queued job's status.
+func (c *client) submit(specJSON string) (server.Status, error) {
+	var st server.Status
+	b, err := c.do(http.MethodPost, "/v1/jobs", []byte(specJSON))
+	if err != nil {
+		return st, err
+	}
+	return st, json.Unmarshal(b, &st)
+}
+
+// status GETs one job's status.
+func (c *client) status(id string) (server.Status, error) {
+	var st server.Status
+	b, err := c.do(http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return st, err
+	}
+	return st, json.Unmarshal(b, &st)
+}
+
+// result GETs a done job's result — raw bytes plus the decoded form.
+func (c *client) result(id string) ([]byte, *server.JobResult, error) {
+	b, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := new(server.JobResult)
+	if err := json.Unmarshal(b, res); err != nil {
+		return nil, nil, fmt.Errorf("decode result %s: %w", id, err)
+	}
+	return b, res, nil
+}
+
+// cancel DELETEs a job; the returned status carries the post-cancel
+// state.
+func (c *client) cancel(id string) (server.Status, error) {
+	var st server.Status
+	b, err := c.do(http.MethodDelete, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return st, err
+	}
+	return st, json.Unmarshal(b, &st)
+}
+
+// cluster GETs the coordinator's registry.
+func (c *client) cluster() (dist.ClusterStatus, error) {
+	var cs dist.ClusterStatus
+	b, err := c.do(http.MethodGet, "/v1/cluster", nil)
+	if err != nil {
+		return cs, err
+	}
+	return cs, json.Unmarshal(b, &cs)
+}
+
+// heartbeat spoofs one worker heartbeat — the clock-skew fault: a
+// heartbeat arriving on behalf of a process that is long dead keeps the
+// coordinator's lease alive, so dispatch keeps selecting a corpse.
+func (c *client) heartbeat(workerID string) error {
+	_, err := c.do(http.MethodPost, "/v1/cluster/workers/"+workerID+"/heartbeat", []byte("{}"))
+	return err
+}
+
+// healthy GETs /healthz and reports status "ok".
+func (c *client) healthy() bool {
+	b, err := c.do(http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return false
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	return json.Unmarshal(b, &h) == nil && h.Status == "ok"
+}

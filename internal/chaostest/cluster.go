@@ -1,0 +1,689 @@
+package chaostest
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/ralab/are/internal/server"
+	"github.com/ralab/are/internal/spec"
+)
+
+// jobRecord is the harness's ledger entry for one submitted job — the
+// ground truth the invariants are checked against.
+type jobRecord struct {
+	ordinal int
+	spec    string
+	target  string // "coordinator" or "worker<i>"
+
+	workerIdx   int // -1 for coordinator jobs
+	incarnation int // worker process incarnation at submit (worker jobs)
+	epoch       int // coordinator epoch at submit (coordinator jobs)
+
+	id    string // server-assigned job ID; "" when the submit was refused
+	state string // last observed state
+	// terminal latches the first observed terminal state; any later
+	// observation of a different state is a double-completion violation.
+	terminal bool
+	// offline means the process instance holding this job's state is
+	// gone: no further HTTP for it, its captured result (if any) stands.
+	offline bool
+	// lost classifies a documented-allowed disappearance:
+	// "lost-to-restart" (coordinator restart wiped the in-memory store),
+	// "lost-to-kill" (the worker holding it was SIGKILLed) or
+	// "rejected" (503 at submit). A job that vanishes any other way
+	// fails the run.
+	lost string
+
+	resultBytes []byte
+	result      *server.JobResult
+	verified    bool
+}
+
+// Report is one chaos run's tally, returned to the test for its
+// acceptance assertions.
+type Report struct {
+	Script *Script
+
+	Submitted, Rejected              int
+	Done, Failed, Cancelled          int
+	LostToRestart, LostToKill        int
+	VerifiedSingleNode, VerifiedDist int
+	WorkerKills, CoordinatorRestarts int
+	SettlesPassed                    int
+}
+
+// Logf matches testing.T.Logf; the harness narrates through it.
+type Logf func(format string, args ...any)
+
+type workerSlot struct {
+	idx         int
+	proxy       *Proxy
+	proc        *Proc // nil while killed
+	incarnation int
+	spillDir    string
+	cl          *client
+}
+
+// Cluster drives one chaos run end to end.
+type Cluster struct {
+	cfg    Config
+	script *Script
+	logf   Logf
+	dir    string
+	bin    string
+
+	coordAddr string // stable for the whole run (SO_REUSEADDR rebinds it)
+	coordProc *Proc
+	coordCl   *client
+	epoch     int
+
+	workers []*workerSlot
+	oracle  *oracle
+	records []*jobRecord
+	exec    *os.File // execution log: every action and its outcome
+}
+
+// Run executes one full chaos run: generate the script, boot the
+// cluster, drive every action, settle, verify, tear down. The returned
+// Report is valid even on error; the action trace and all process logs
+// are in Report-independent files under the artifact directory (logged
+// through logf).
+func Run(cfg Config, logf Logf) (*Report, error) {
+	cfg.setDefaults()
+	script := Generate(cfg)
+	rep := &Report{Script: script, WorkerKills: script.Kills, CoordinatorRestarts: script.CoordRestarts}
+
+	dir := cfg.ArtifactDir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "chaos-"); err != nil {
+			return rep, err
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return rep, err
+	}
+	logf("chaos: seed=%d artifacts=%s", cfg.Seed, dir)
+	if err := os.WriteFile(filepath.Join(dir, "trace.txt"), []byte(script.Trace()), 0o644); err != nil {
+		return rep, err
+	}
+
+	bin, err := BuildAred(dir)
+	if err != nil {
+		return rep, err
+	}
+	c := &Cluster{cfg: cfg, script: script, logf: logf, dir: dir, bin: bin, oracle: newOracle()}
+	c.exec, err = os.Create(filepath.Join(dir, "exec.log"))
+	if err != nil {
+		return rep, err
+	}
+	defer c.exec.Close()
+
+	if err := c.boot(); err != nil {
+		c.emergencyTeardown()
+		return rep, err
+	}
+	runErr := c.execute(rep)
+	downErr := c.teardown(runErr != nil)
+	c.tally(rep)
+	if runErr != nil {
+		return rep, runErr
+	}
+	if downErr != nil {
+		return rep, downErr
+	}
+	if rep.Done < cfg.MinDone {
+		return rep, fmt.Errorf("chaos: only %d jobs completed, want >= %d — the run was not a meaningful exercise", rep.Done, cfg.MinDone)
+	}
+	return rep, nil
+}
+
+func (c *Cluster) execlog(format string, args ...any) {
+	fmt.Fprintf(c.exec, format+"\n", args...)
+}
+
+// boot starts the coordinator and every worker slot.
+func (c *Cluster) boot() error {
+	p, err := c.startCoordinator("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	c.coordProc = p
+	c.coordAddr = p.Addr // stable: restarts rebind this exact port
+	c.coordCl = newClient("http://" + c.coordAddr)
+
+	for i := 0; i < c.cfg.Workers; i++ {
+		proxy, err := NewProxy()
+		if err != nil {
+			return err
+		}
+		w := &workerSlot{
+			idx:      i,
+			proxy:    proxy,
+			spillDir: filepath.Join(c.dir, fmt.Sprintf("spill-w%d", i)),
+		}
+		c.workers = append(c.workers, w)
+		if err := c.startWorker(w); err != nil {
+			return err
+		}
+	}
+	// The cluster is usable once every worker's registration landed.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cs, err := c.coordCl.cluster()
+		if err == nil && cs.Alive >= c.cfg.Workers {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: cluster never formed: %d alive, err=%v", cs.Alive, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c.execlog("boot: coordinator %s, %d workers registered", c.coordAddr, c.cfg.Workers)
+	return nil
+}
+
+// Cluster timing: tight leases and timeouts so faults surface in test
+// time, not production time. A 2s worker lease (heartbeats every ~667ms)
+// and a 3s shard round-trip bound mean a blackholed worker costs one
+// 3s timeout before its shard requeues elsewhere.
+func (c *Cluster) startCoordinator(addr string) (*Proc, error) {
+	p, err := StartProc(c.bin, c.dir, fmt.Sprintf("coordinator-e%d", c.epoch),
+		"-addr", addr, "-role", "coordinator",
+		"-shard-trials", "150",
+		"-worker-ttl", "2s",
+		"-shard-timeout", "3s",
+		"-job-workers", "4",
+		"-grace", "5s",
+	)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.WaitReady(20 * time.Second); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (c *Cluster) startWorker(w *workerSlot) error {
+	name := fmt.Sprintf("worker%d-i%d", w.idx, w.incarnation)
+	p, err := StartProc(c.bin, c.dir, name,
+		"-addr", "127.0.0.1:0", "-role", "worker",
+		"-coordinator", "http://"+c.coordAddr,
+		"-advertise", w.proxy.URL(),
+		"-job-workers", "2", "-engine-workers", "1",
+		"-spill-dir", w.spillDir,
+		"-grace", "5s",
+	)
+	if err != nil {
+		return err
+	}
+	if _, err := p.WaitReady(20 * time.Second); err != nil {
+		return err
+	}
+	w.proc = p
+	w.proxy.SetTarget(p.Addr)
+	w.cl = newClient("http://" + p.Addr)
+	return nil
+}
+
+// execute drives the script. Any invariant violation aborts
+// immediately — the trace and exec log say exactly what was happening.
+func (c *Cluster) execute(rep *Report) error {
+	for _, a := range c.script.Actions {
+		if err := c.step(a, rep); err != nil {
+			c.execlog("%s -> FAIL: %v", a.String(), err)
+			return fmt.Errorf("chaos: action #%04d %s: %w (trace: %s)", a.Seq, a.Kind, err, filepath.Join(c.dir, "trace.txt"))
+		}
+		// A breath between actions lets submissions interleave with
+		// faults instead of the script degenerating into phases.
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil
+}
+
+func (c *Cluster) step(a Action, rep *Report) error {
+	switch a.Kind {
+	case ActSubmit:
+		if a.Final {
+			// Restore-phase submission: the script guarantees the cluster
+			// was just healed and repopulated, but registration is the
+			// workers' own asynchronous loop — give the registry a moment
+			// to reflect reality before the last round of real traffic.
+			// Mid-chaos submits get no such courtesy on purpose.
+			if err := c.awaitAliveWorkers(1, 15*time.Second); err != nil {
+				return err
+			}
+		}
+		return c.doSubmit(a, c.coordCl, "coordinator", -1)
+	case ActSubmitWorker:
+		w := c.workers[a.Worker]
+		if w.proc == nil {
+			return fmt.Errorf("script targets dead worker %d (generator/executor state diverged)", a.Worker)
+		}
+		return c.doSubmit(a, w.cl, fmt.Sprintf("worker%d", a.Worker), a.Worker)
+	case ActPoll:
+		return c.pollRecord(c.records[a.Job])
+	case ActCancel:
+		return c.doCancel(c.records[a.Job])
+	case ActKillWorker:
+		return c.doKillWorker(a.Worker)
+	case ActRestartWorker:
+		w := c.workers[a.Worker]
+		if w.proc != nil {
+			return fmt.Errorf("script restarts live worker %d", a.Worker)
+		}
+		w.incarnation++
+		if err := c.startWorker(w); err != nil {
+			return err
+		}
+		c.execlog("%s -> worker%d up at %s (advertise %s)", a.String(), a.Worker, w.proc.Addr, w.proxy.URL())
+		return nil
+	case ActRestartCoordinator:
+		return c.doRestartCoordinator()
+	case ActPartition:
+		c.workers[a.Worker].proxy.Partition()
+		c.execlog("%s", a.String())
+		return nil
+	case ActHeal:
+		c.workers[a.Worker].proxy.Heal()
+		c.execlog("%s", a.String())
+		return nil
+	case ActSlowWorker:
+		c.workers[a.Worker].proxy.SetDelay(a.Delay)
+		c.execlog("%s", a.String())
+		return nil
+	case ActSkewHeartbeat:
+		return c.doSkewHeartbeat(a.Worker)
+	case ActSettle:
+		if err := c.settle(); err != nil {
+			return err
+		}
+		rep.SettlesPassed++
+		return nil
+	}
+	return fmt.Errorf("unknown action kind %q", a.Kind)
+}
+
+// awaitAliveWorkers blocks until the coordinator's registry shows at
+// least n live workers.
+func (c *Cluster) awaitAliveWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		cs, err := c.coordCl.cluster()
+		if err == nil && cs.Alive >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("registry shows %d live workers after %v (want >= %d), err=%v", cs.Alive, timeout, n, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (c *Cluster) doSubmit(a Action, cl *client, target string, workerIdx int) error {
+	rec := &jobRecord{
+		ordinal:   a.Job,
+		spec:      a.Spec,
+		target:    target,
+		workerIdx: workerIdx,
+		epoch:     c.epoch,
+	}
+	if workerIdx >= 0 {
+		rec.incarnation = c.workers[workerIdx].incarnation
+	}
+	if len(c.records) != a.Job {
+		return fmt.Errorf("job ordinal %d but %d records exist", a.Job, len(c.records))
+	}
+	c.records = append(c.records, rec)
+	st, err := cl.submit(a.Spec)
+	if err != nil {
+		if errCode(err) == 503 {
+			// Queue full or draining — a documented refusal, not a loss.
+			rec.lost = "rejected"
+			rec.offline = true
+			c.execlog("%s -> rejected (503)", a.String())
+			return nil
+		}
+		return fmt.Errorf("submit to %s: %w", target, err)
+	}
+	rec.id = st.ID
+	rec.state = st.State
+	c.execlog("#%04d %s j%d -> %s on %s (%s)", a.Seq, a.Kind, a.Job, st.ID, target, st.State)
+	return nil
+}
+
+// pollRecord observes one job and enforces the lifecycle invariants on
+// what it sees.
+func (c *Cluster) pollRecord(rec *jobRecord) error {
+	if rec == nil || rec.id == "" || rec.offline || rec.lost != "" {
+		return nil
+	}
+	cl := c.coordCl
+	if rec.workerIdx >= 0 {
+		w := c.workers[rec.workerIdx]
+		if w.proc == nil || rec.incarnation != w.incarnation {
+			// The process that owned this job is gone; kill-time
+			// classification should have caught it.
+			return fmt.Errorf("job %s's worker incarnation vanished without classification", rec.id)
+		}
+		cl = w.cl
+	}
+	st, err := cl.status(rec.id)
+	if err != nil {
+		return fmt.Errorf("poll %s on %s: %w", rec.id, rec.target, err)
+	}
+	return c.observe(rec, st.State, st.Error, cl)
+}
+
+// observe folds one observed state into the record, enforcing terminal
+// immutability and result byte-stability.
+func (c *Cluster) observe(rec *jobRecord, state, errMsg string, cl *client) error {
+	if rec.terminal {
+		if state != rec.state {
+			return fmt.Errorf("job %s changed terminal state %s -> %s (double completion)", rec.id, rec.state, state)
+		}
+		if state == string(server.JobDone) && rec.resultBytes != nil {
+			raw, _, err := cl.result(rec.id)
+			if err != nil {
+				return fmt.Errorf("re-fetch result %s: %w", rec.id, err)
+			}
+			if !bytes.Equal(raw, rec.resultBytes) {
+				return fmt.Errorf("job %s's result bytes changed between fetches", rec.id)
+			}
+		}
+		return nil
+	}
+	rec.state = state
+	switch state {
+	case string(server.JobDone):
+		raw, res, err := cl.result(rec.id)
+		if err != nil {
+			return fmt.Errorf("fetch result %s: %w", rec.id, err)
+		}
+		rec.terminal = true
+		rec.resultBytes, rec.result = raw, res
+		c.execlog("observe: %s done on %s (%d bytes)", rec.id, rec.target, len(raw))
+	case string(server.JobFailed):
+		rec.terminal = true
+		c.execlog("observe: %s failed on %s: %s", rec.id, rec.target, errMsg)
+		if rec.workerIdx >= 0 {
+			// A worker-direct job never crosses the network the chaos
+			// touches: its proxy, the coordinator and the other workers
+			// are irrelevant to it. The only thing that can fail it is
+			// the engine itself — which is a real bug, not chaos.
+			return fmt.Errorf("single-node job %s failed (%s) — no cluster fault can explain a worker-direct failure", rec.id, errMsg)
+		}
+	case string(server.JobCancelled):
+		rec.terminal = true
+		c.execlog("observe: %s %s on %s", rec.id, state, rec.target)
+	}
+	return nil
+}
+
+func (c *Cluster) doCancel(rec *jobRecord) error {
+	if rec == nil || rec.id == "" || rec.offline || rec.lost != "" || rec.terminal {
+		return nil
+	}
+	cl := c.coordCl
+	if rec.workerIdx >= 0 {
+		cl = c.workers[rec.workerIdx].cl
+	}
+	st, err := cl.cancel(rec.id)
+	if err != nil {
+		if errCode(err) == 409 { // finished in the race — the next poll observes it
+			return nil
+		}
+		return fmt.Errorf("cancel %s: %w", rec.id, err)
+	}
+	c.execlog("cancel: %s -> %s", rec.id, st.State)
+	return c.observe(rec, st.State, st.Error, cl)
+}
+
+// doKillWorker SIGKILLs the worker process. Every non-terminal job that
+// lived in that process is now legitimately lost; terminal ones keep
+// their captured results but go offline.
+func (c *Cluster) doKillWorker(idx int) error {
+	w := c.workers[idx]
+	if w.proc == nil {
+		return fmt.Errorf("script kills dead worker %d", idx)
+	}
+	w.proc.Kill()
+	w.proc = nil
+	w.proxy.severConns()
+	for _, rec := range c.records {
+		if rec.workerIdx != idx || rec.incarnation != w.incarnation || rec.offline || rec.lost != "" {
+			continue
+		}
+		rec.offline = true
+		if !rec.terminal {
+			rec.lost = "lost-to-kill"
+			c.execlog("kill worker%d: %s lost-to-kill (was %s)", idx, rec.id, rec.state)
+		}
+	}
+	c.execlog("kill: worker%d (incarnation %d) SIGKILLed", idx, w.incarnation)
+	return nil
+}
+
+// doRestartCoordinator SIGKILLs the coordinator and boots a fresh one
+// on the same port. The job store is documented in-memory, so every
+// open coordinator job is lost-to-restart; job IDs restart from
+// j-000001, which is why records carry an epoch.
+func (c *Cluster) doRestartCoordinator() error {
+	c.coordProc.Kill()
+	for _, rec := range c.records {
+		if rec.workerIdx >= 0 || rec.epoch != c.epoch || rec.offline || rec.lost != "" {
+			continue
+		}
+		rec.offline = true
+		if !rec.terminal {
+			rec.lost = "lost-to-restart"
+			c.execlog("coordinator restart: %s lost-to-restart (was %s)", rec.id, rec.state)
+		}
+	}
+	c.epoch++
+	p, err := c.startCoordinator(c.coordAddr)
+	if err != nil {
+		return fmt.Errorf("coordinator restart on %s: %w", c.coordAddr, err)
+	}
+	c.coordProc = p
+	c.execlog("restart: coordinator epoch %d up on %s", c.epoch, c.coordAddr)
+	return nil
+}
+
+// doSkewHeartbeat spoofs a heartbeat for a dead worker's registry
+// entry — a clock-skewed node vouching for a corpse. The coordinator
+// keeps dispatching to it and must absorb the failures via requeue.
+func (c *Cluster) doSkewHeartbeat(idx int) error {
+	w := c.workers[idx]
+	cs, err := c.coordCl.cluster()
+	if err != nil {
+		return fmt.Errorf("cluster status for skew: %w", err)
+	}
+	for _, ws := range cs.Workers {
+		if ws.URL == w.proxy.URL() {
+			if err := c.coordCl.heartbeat(ws.ID); err != nil {
+				// 404: the restarted coordinator never knew this corpse.
+				if errCode(err) == 404 {
+					c.execlog("skew: worker%d unknown to coordinator (fresh epoch)", idx)
+					return nil
+				}
+				return fmt.Errorf("spoof heartbeat %s: %w", ws.ID, err)
+			}
+			c.execlog("skew: spoofed heartbeat for dead worker%d (%s)", idx, ws.ID)
+			return nil
+		}
+	}
+	c.execlog("skew: worker%d not in registry", idx)
+	return nil
+}
+
+// settle is the quiescent point: heal the network, wait for every open
+// job to reach a terminal state, then hold every completed job to the
+// oracle.
+func (c *Cluster) settle() error {
+	for _, w := range c.workers {
+		w.proxy.Heal()
+	}
+	deadline := time.Now().Add(c.cfg.SettleTimeout)
+	for {
+		open := 0
+		for _, rec := range c.records {
+			if rec.id == "" || rec.terminal || rec.offline || rec.lost != "" {
+				continue
+			}
+			if err := c.pollRecord(rec); err != nil {
+				return err
+			}
+			if !rec.terminal {
+				open++
+			}
+		}
+		if open == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			var stuck []string
+			for _, rec := range c.records {
+				if rec.id != "" && !rec.terminal && !rec.offline && rec.lost == "" {
+					stuck = append(stuck, fmt.Sprintf("%s on %s (%s)", rec.id, rec.target, rec.state))
+				}
+			}
+			return fmt.Errorf("settle: %d jobs never reached a terminal state within %v: %s",
+				len(stuck), c.cfg.SettleTimeout, strings.Join(stuck, ", "))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Verify every done job exactly once, and re-fetch to pin byte
+	// stability while its process is still up.
+	for _, rec := range c.records {
+		if !rec.terminal || rec.state != string(server.JobDone) || rec.verified {
+			continue
+		}
+		if !rec.offline {
+			cl := c.coordCl
+			if rec.workerIdx >= 0 {
+				cl = c.workers[rec.workerIdx].cl
+			}
+			if err := c.observe(rec, rec.state, "", cl); err != nil {
+				return err
+			}
+		}
+		var err error
+		if rec.workerIdx >= 0 {
+			err = c.oracle.verifySingleNode(rec.spec, rec.result)
+		} else {
+			err = c.oracle.verifyDistributed(rec.spec, rec.result)
+		}
+		if err != nil {
+			return fmt.Errorf("job %s (%s, spec %s): %w", rec.id, rec.target, rec.spec, err)
+		}
+		rec.verified = true
+		c.execlog("verified: %s against oracle", rec.id)
+	}
+	c.execlog("settle: all jobs terminal, %d records", len(c.records))
+	return nil
+}
+
+// tally fills the report from the ledger.
+func (c *Cluster) tally(rep *Report) {
+	for _, rec := range c.records {
+		rep.Submitted++
+		switch rec.lost {
+		case "rejected":
+			rep.Rejected++
+			continue
+		case "lost-to-restart":
+			rep.LostToRestart++
+			continue
+		case "lost-to-kill":
+			rep.LostToKill++
+			continue
+		}
+		switch rec.state {
+		case string(server.JobDone):
+			rep.Done++
+			if rec.verified {
+				if rec.workerIdx >= 0 {
+					rep.VerifiedSingleNode++
+				} else {
+					rep.VerifiedDist++
+				}
+			}
+		case string(server.JobFailed):
+			rep.Failed++
+		case string(server.JobCancelled):
+			rep.Cancelled++
+		}
+	}
+}
+
+// teardown shuts the cluster down and asserts the exit contract: every
+// surviving process drains and exits zero on SIGTERM, and every port
+// the cluster used rebinds cleanly afterwards (nothing leaked). When
+// the run already failed, teardown still reaps everything but reports
+// only the run's error.
+func (c *Cluster) teardown(alreadyFailed bool) error {
+	var errs []string
+	addrs := []string{c.coordAddr}
+	for _, w := range c.workers {
+		if w.proc != nil {
+			addrs = append(addrs, w.proc.Addr)
+			if err := w.proc.Stop(15 * time.Second); err != nil {
+				errs = append(errs, err.Error())
+			}
+			w.proc = nil
+		}
+	}
+	if c.coordProc != nil {
+		if err := c.coordProc.Stop(15 * time.Second); err != nil {
+			errs = append(errs, err.Error())
+		}
+		c.coordProc = nil
+	}
+	for _, w := range c.workers {
+		addrs = append(addrs, w.proxy.Addr())
+		w.proxy.Close()
+	}
+	for _, addr := range addrs {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("port leaked: %s does not rebind: %v", addr, err))
+			continue
+		}
+		ln.Close()
+	}
+	if len(errs) > 0 && !alreadyFailed {
+		return fmt.Errorf("chaos teardown: %s", strings.Join(errs, "; "))
+	}
+	if len(errs) > 0 {
+		c.logf("chaos: teardown issues after failed run: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// emergencyTeardown reaps whatever boot managed to start.
+func (c *Cluster) emergencyTeardown() {
+	if c.coordProc != nil {
+		c.coordProc.Kill()
+	}
+	for _, w := range c.workers {
+		if w.proc != nil {
+			w.proc.Kill()
+		}
+		if w.proxy != nil {
+			w.proxy.Close()
+		}
+	}
+}
+
+// ParseSpec re-parses a record's spec JSON; exported for tests that
+// want to inspect the corpus a seed produces.
+func ParseSpec(specJSON string) (*spec.Job, error) {
+	return spec.ParseJob(strings.NewReader(specJSON))
+}

@@ -1,0 +1,181 @@
+package chaostest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// buildOnce builds the real cmd/ared binary exactly once per test
+// binary; every process the harness spawns is that artifact, not an
+// in-process httptest stand-in — the chaos run exercises flag parsing,
+// signal handling, stdout contracts and process death for real.
+var buildOnce struct {
+	sync.Once
+	path string
+	err  error
+}
+
+// BuildAred compiles cmd/ared once per test binary and returns the
+// binary path (the first caller's dir wins; later calls return the same
+// binary). An empty dir selects a private temp directory, which is the
+// safe choice from tests — a t.TempDir passed here would be cleaned up
+// while later tests in the same binary still reference the path.
+func BuildAred(dir string) (string, error) {
+	buildOnce.Do(func() {
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "ared-bin-"); err != nil {
+				buildOnce.err = err
+				return
+			}
+		}
+		bin := filepath.Join(dir, "ared")
+		cmd := exec.Command("go", "build", "-o", bin, "github.com/ralab/are/cmd/ared")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildOnce.err = fmt.Errorf("chaostest: build ared: %v\n%s", err, out)
+			return
+		}
+		buildOnce.path = bin
+	})
+	return buildOnce.path, buildOnce.err
+}
+
+// Proc is one spawned ared process. Its stdout is scanned for the
+// "ared: listening on" readiness line (which carries the resolved
+// listen address — the contract that makes ":0" ports discoverable),
+// and both streams are teed into a log file in the artifact directory
+// so every process's full output survives the run.
+type Proc struct {
+	Name string
+	Addr string // resolved listen address, available after WaitReady
+
+	cmd   *exec.Cmd
+	log   *os.File
+	ready chan struct{}
+
+	waitOnce sync.Once
+	done     chan struct{}
+	waitErr  error
+}
+
+// readyPrefix is the stdout line cmd/ared prints once every listener is
+// bound; the address that follows is the resolved API address.
+const readyPrefix = "ared: listening on "
+
+// StartProc launches bin with args, logging to <dir>/<name>.log.
+func StartProc(bin, dir, name string, args ...string) (*Proc, error) {
+	logf, err := os.Create(filepath.Join(dir, name+".log"))
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		logf.Close()
+		return nil, err
+	}
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return nil, fmt.Errorf("chaostest: start %s: %w", name, err)
+	}
+	p := &Proc{
+		Name:  name,
+		cmd:   cmd,
+		log:   logf,
+		ready: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go p.scan(stdout)
+	go func() {
+		err := cmd.Wait()
+		p.waitOnce.Do(func() { p.waitErr = err })
+		logf.Close()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// scan tees stdout into the log while watching for the readiness line.
+func (p *Proc) scan(r io.Reader) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	readied := false
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(p.log, line)
+		if !readied && strings.HasPrefix(line, readyPrefix) {
+			rest := strings.TrimPrefix(line, readyPrefix)
+			if i := strings.IndexByte(rest, ' '); i > 0 {
+				p.Addr = rest[:i]
+			}
+			readied = true
+			close(p.ready)
+		}
+	}
+}
+
+// WaitReady blocks until the process announced its listener (returning
+// the resolved address) or died or the timeout passed.
+func (p *Proc) WaitReady(timeout time.Duration) (string, error) {
+	select {
+	case <-p.ready:
+		return p.Addr, nil
+	case <-p.done:
+		return "", fmt.Errorf("chaostest: %s exited before becoming ready: %v", p.Name, p.waitErr)
+	case <-time.After(timeout):
+		return "", fmt.Errorf("chaostest: %s not ready after %v", p.Name, timeout)
+	}
+}
+
+// Kill is the chaos verb: SIGKILL, no shutdown, no drain — the process
+// is gone mid-whatever-it-was-doing. Waits for the OS to reap it.
+func (p *Proc) Kill() {
+	_ = p.cmd.Process.Kill()
+	<-p.done
+}
+
+// Alive reports whether the process has not yet been reaped.
+func (p *Proc) Alive() bool {
+	select {
+	case <-p.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Stop is the teardown verb: SIGTERM and wait for a clean exit. A
+// process that has not exited within timeout gets SIGQUIT — so its
+// goroutine dump lands in the log for the post-mortem — then SIGKILL,
+// and Stop reports the failure. A non-zero exit status is an error too:
+// the binary's contract is that a signalled drain ends in exit 0.
+func (p *Proc) Stop(timeout time.Duration) error {
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-p.done:
+	case <-time.After(timeout):
+		_ = p.cmd.Process.Signal(syscall.SIGQUIT) // dump goroutines into the log
+		select {
+		case <-p.done:
+			return fmt.Errorf("chaostest: %s wedged on SIGTERM (exited only on SIGQUIT; see %s.log for the goroutine dump)", p.Name, p.Name)
+		case <-time.After(5 * time.Second):
+			_ = p.cmd.Process.Kill()
+			<-p.done
+			return fmt.Errorf("chaostest: %s ignored SIGTERM and SIGQUIT, killed (see %s.log)", p.Name, p.Name)
+		}
+	}
+	if p.waitErr != nil {
+		return fmt.Errorf("chaostest: %s exited non-zero on SIGTERM: %v", p.Name, p.waitErr)
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package chaostest
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a TCP forwarder that stands between the coordinator and one
+// worker as the worker's advertised address. It is the harness's
+// network: because the proxy's own port is stable for the whole run, a
+// worker slot keeps its registry identity across process restarts
+// (SetTarget repoints the backend), and the link can be degraded
+// without touching either process:
+//
+//   - Partition() blackholes the link — established connections stop
+//     forwarding bytes and new connections are accepted but never
+//     serviced, exactly what a dropped-packets partition looks like to
+//     the dialer. The coordinator's shard timeout, not a connection
+//     error, is what surfaces it. Note the partition is asymmetric by
+//     construction: only dispatch traffic crosses the proxy, so the
+//     worker's own heartbeats keep arriving and the coordinator keeps
+//     believing in a worker it cannot reach — the nastier half of a
+//     split.
+//   - SetDelay(d) injects d of latency ahead of every forwarded chunk,
+//     a slow worker rather than a dead one.
+//   - Heal() clears both.
+type Proxy struct {
+	ln net.Listener
+
+	mu          sync.Mutex
+	target      string
+	partitioned bool
+	delay       time.Duration
+	conns       map[net.Conn]struct{}
+	closed      bool
+}
+
+// NewProxy opens the proxy's stable listener on an OS-assigned port.
+// Target may be empty until the first SetTarget.
+func NewProxy() (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, conns: make(map[net.Conn]struct{})}
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the stable address workers advertise.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL is Addr as a base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// SetTarget repoints new connections at addr (a restarted worker's
+// fresh port). Established connections are severed: they belong to the
+// old backend, and keep-alive clients must be forced to redial rather
+// than keep talking to a corpse.
+func (p *Proxy) SetTarget(addr string) {
+	p.mu.Lock()
+	p.target = addr
+	p.mu.Unlock()
+	p.severConns()
+}
+
+// Partition blackholes the link until Heal.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	p.mu.Unlock()
+}
+
+// SetDelay injects latency ahead of every forwarded chunk until Heal.
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// Heal restores a clean, fast link.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.delay = 0
+	p.mu.Unlock()
+}
+
+// Close stops the listener and severs every tracked connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (p *Proxy) accept() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go p.serve(client)
+	}
+}
+
+// track registers c for teardown; reports false when the proxy is
+// already closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) serve(client net.Conn) {
+	defer client.Close()
+	if !p.track(client) {
+		return
+	}
+	defer p.untrack(client)
+
+	// Respect the partition even before dialing: a blackholed dialer sees
+	// its connection accepted (SYN handled by the kernel) but nothing
+	// more. gate returns false once the proxy closes.
+	if !p.gate() {
+		return
+	}
+	p.mu.Lock()
+	target := p.target
+	p.mu.Unlock()
+	if target == "" {
+		return
+	}
+	backend, err := net.DialTimeout("tcp", target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+	if !p.track(backend) {
+		return
+	}
+	defer p.untrack(backend)
+
+	done := make(chan struct{}, 2)
+	pipe := func(dst, src net.Conn) {
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				if !p.gate() {
+					break
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		// Half-close so the peer's read loop observes EOF promptly.
+		if tc, ok := dst.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}
+	go pipe(backend, client)
+	pipe(client, backend)
+	<-done
+}
+
+// gate blocks while the link is degraded: first the injected latency,
+// then — for a partition — until Heal or Close. Returns false when the
+// proxy closed while waiting.
+func (p *Proxy) gate() bool {
+	p.mu.Lock()
+	d := p.delay
+	p.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	for {
+		p.mu.Lock()
+		part, closed := p.partitioned, p.closed
+		p.mu.Unlock()
+		if closed {
+			return false
+		}
+		if !part {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// severConns drops every live connection without touching the
+// listener — used when a worker process is killed so in-flight
+// dispatches fail the way a dead peer's connections do (reset), not by
+// timing out against a half-open socket.
+func (p *Proxy) severConns() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

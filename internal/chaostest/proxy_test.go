@@ -1,0 +1,126 @@
+package chaostest
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func proxyBackend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func proxyGet(t *testing.T, p *Proxy, timeout time.Duration) (string, error) {
+	t.Helper()
+	cl := &http.Client{Timeout: timeout}
+	resp, err := cl.Get(p.URL())
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// TestProxyForwardsAndRetargets: the proxy's stable address forwards to
+// its target, and SetTarget repoints it — the mechanism that preserves
+// a worker slot's registry identity across process restarts.
+func TestProxyForwardsAndRetargets(t *testing.T) {
+	a := proxyBackend(t, "alpha")
+	b := proxyBackend(t, "beta")
+	p, err := NewProxy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.SetTarget(a.Listener.Addr().String())
+	if got, err := proxyGet(t, p, 5*time.Second); err != nil || got != "alpha" {
+		t.Fatalf("via proxy: %q, %v", got, err)
+	}
+	p.SetTarget(b.Listener.Addr().String())
+	if got, err := proxyGet(t, p, 5*time.Second); err != nil || got != "beta" {
+		t.Fatalf("after retarget: %q, %v", got, err)
+	}
+}
+
+// TestProxyPartitionBlackholes: a partitioned link accepts connections
+// but never answers — the dialer sees a timeout, not a refusal — and
+// heals back to working order.
+func TestProxyPartitionBlackholes(t *testing.T) {
+	backend := proxyBackend(t, "ok")
+	p, err := NewProxy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetTarget(backend.Listener.Addr().String())
+
+	p.Partition()
+	if got, err := proxyGet(t, p, 500*time.Millisecond); err == nil {
+		t.Fatalf("blackholed proxy answered %q", got)
+	} else if ne, ok := err.(net.Error); ok && !ne.Timeout() {
+		// The failure mode matters: a partition must look like silence.
+		t.Fatalf("blackholed proxy failed with non-timeout error: %v", err)
+	}
+
+	p.Heal()
+	if got, err := proxyGet(t, p, 5*time.Second); err != nil || got != "ok" {
+		t.Fatalf("healed proxy: %q, %v", got, err)
+	}
+}
+
+// TestProxyDelay: injected latency slows the round trip by at least the
+// configured amount without breaking it.
+func TestProxyDelay(t *testing.T) {
+	backend := proxyBackend(t, "slow")
+	p, err := NewProxy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetTarget(backend.Listener.Addr().String())
+
+	p.SetDelay(150 * time.Millisecond)
+	start := time.Now()
+	got, err := proxyGet(t, p, 5*time.Second)
+	if err != nil || got != "slow" {
+		t.Fatalf("slow proxy: %q, %v", got, err)
+	}
+	if d := time.Since(start); d < 150*time.Millisecond {
+		t.Fatalf("round trip took %v, expected >= 150ms of injected latency", d)
+	}
+	p.Heal()
+	start = time.Now()
+	if _, err := proxyGet(t, p, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("healed round trip still slow: %v", d)
+	}
+}
+
+// TestProxyClosePortReleased: Close severs connections and releases the
+// port (the leak check teardown relies on this).
+func TestProxyClosePortReleased(t *testing.T) {
+	p, err := NewProxy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := p.Addr()
+	p.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("proxy port %s not released: %v", addr, err)
+	}
+	ln.Close()
+}

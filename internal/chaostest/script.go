@@ -1,0 +1,334 @@
+package chaostest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// ActionKind enumerates the chaos vocabulary.
+type ActionKind string
+
+// The weighted action set. Submission targets: plain and quoted jobs go
+// to the coordinator (the distributed path); sweep and single jobs
+// marked worker-direct go straight to one worker's API (the single-node
+// path — sweeps are rejected by coordinators by design).
+const (
+	ActSubmit             ActionKind = "submit"              // plain/quoted job -> coordinator
+	ActSubmitWorker       ActionKind = "submit-worker"       // plain/sweep job -> one worker, single-node
+	ActPoll               ActionKind = "poll"                // GET status (and result when done)
+	ActCancel             ActionKind = "cancel"              // DELETE job
+	ActKillWorker         ActionKind = "kill-worker"         // SIGKILL the worker process
+	ActRestartWorker      ActionKind = "restart-worker"      // fresh process, same advertise URL (re-register path)
+	ActRestartCoordinator ActionKind = "restart-coordinator" // SIGKILL + fresh process on the same port
+	ActPartition          ActionKind = "partition"           // blackhole the worker's dispatch proxy
+	ActHeal               ActionKind = "heal"                // restore the worker's proxy (partition + latency)
+	ActSlowWorker         ActionKind = "slow-worker"         // inject per-connection latency at the proxy
+	ActSkewHeartbeat      ActionKind = "skew-heartbeat"      // spoof a heartbeat for a dead worker (clock-skewed lease)
+	ActSettle             ActionKind = "settle"              // quiescent point: heal, drain, verify invariants
+)
+
+// Action is one step of a chaos script. Fields not applicable to the
+// kind hold their zero value (Worker and Job use -1).
+type Action struct {
+	Seq    int
+	Kind   ActionKind
+	Worker int           // worker slot index
+	Job    int           // job ordinal (submission order)
+	Quoted bool          // submit: request quotes
+	Sweep  bool          // submit-worker: scenario sweep
+	Final  bool          // submit*: restore-phase submission against the healed cluster
+	Spec   string        // submit*: canonical job spec JSON
+	Delay  time.Duration // slow-worker: injected latency
+}
+
+// String renders the action as one trace line. The full spec JSON rides
+// along on submissions so a trace alone is enough to replay by hand.
+func (a Action) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%04d %s", a.Seq, a.Kind)
+	if a.Worker >= 0 {
+		fmt.Fprintf(&b, " w%d", a.Worker)
+	}
+	if a.Job >= 0 {
+		fmt.Fprintf(&b, " j%d", a.Job)
+	}
+	if a.Quoted {
+		b.WriteString(" quoted")
+	}
+	if a.Sweep {
+		b.WriteString(" sweep")
+	}
+	if a.Final {
+		b.WriteString(" final")
+	}
+	if a.Delay > 0 {
+		fmt.Fprintf(&b, " delay=%s", a.Delay)
+	}
+	if a.Spec != "" {
+		fmt.Fprintf(&b, " spec=%s", a.Spec)
+	}
+	return b.String()
+}
+
+// Script is a fully materialised chaos run: every action the executor
+// will take, in order, plus the tallies the generator guaranteed.
+type Script struct {
+	Cfg     Config
+	Actions []Action
+
+	Kills         int // kill-worker actions
+	CoordRestarts int // restart-coordinator actions
+	Submits       int // total submissions (all kinds)
+}
+
+// Trace renders the whole script, one action per line — the replay
+// artifact, and what the determinism test compares across generations.
+func (s *Script) Trace() string {
+	var b strings.Builder
+	for _, a := range s.Actions {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// genState is the only cluster state action generation depends on. The
+// executor evolves the real cluster through exactly these transitions,
+// so the simulation here and reality cannot diverge — which is what
+// makes the pre-generated script executable.
+type genState struct {
+	alive       []bool
+	partitioned []bool
+	submitted   int
+}
+
+func (g *genState) pick(rng *rand.Rand, want func(i int) bool) int {
+	var c []int
+	for i := range g.alive {
+		if want(i) {
+			c = append(c, i)
+		}
+	}
+	if len(c) == 0 {
+		return -1
+	}
+	return c[rng.Intn(len(c))]
+}
+
+func (g *genState) aliveCount() int {
+	n := 0
+	for _, a := range g.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Generate builds the chaos script for cfg — a pure function of the
+// config (the seed above all), so the same inputs always yield the
+// byte-identical trace.
+func Generate(cfg Config) *Script {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+	jg := newJobGen(rng, cfg.MaxTrials)
+	s := &Script{Cfg: cfg}
+	g := &genState{
+		alive:       make([]bool, cfg.Workers),
+		partitioned: make([]bool, cfg.Workers),
+	}
+	for i := range g.alive {
+		g.alive[i] = true
+	}
+
+	emit := func(a Action) {
+		a.Seq = len(s.Actions)
+		s.Actions = append(s.Actions, a)
+		switch a.Kind {
+		case ActKillWorker:
+			s.Kills++
+			g.alive[a.Worker] = false
+		case ActRestartWorker:
+			g.alive[a.Worker] = true
+			g.partitioned[a.Worker] = false
+		case ActRestartCoordinator:
+			s.CoordRestarts++
+		case ActPartition:
+			g.partitioned[a.Worker] = true
+		case ActHeal:
+			g.partitioned[a.Worker] = false
+		case ActSubmit, ActSubmitWorker:
+			s.Submits++
+			g.submitted++
+		case ActSettle:
+			for i := range g.partitioned {
+				g.partitioned[i] = false // settle heals everything
+			}
+		}
+	}
+
+	submitCoord := func(final bool) {
+		quoted := rng.Intn(2) == 0
+		emit(Action{Kind: ActSubmit, Worker: -1, Job: g.submitted, Quoted: quoted, Final: final, Spec: jg.plain(quoted)})
+	}
+	submitWorker := func(final bool) bool {
+		w := g.pick(rng, func(i int) bool { return g.alive[i] })
+		if w < 0 {
+			return false
+		}
+		sweep := rng.Intn(5) < 3
+		spec := jg.plain(rng.Intn(2) == 0)
+		if sweep {
+			spec = jg.sweep()
+		}
+		emit(Action{Kind: ActSubmitWorker, Worker: w, Job: g.submitted, Sweep: sweep, Final: final, Spec: spec})
+		return true
+	}
+
+	// The weighted chaos phase. Weights skew toward traffic (submissions
+	// and polls) so faults land on a busy cluster, with enough fault
+	// weight that the default smoke reliably reaches its kill/restart
+	// floors without forcing.
+	type choice struct {
+		weight int
+		try    func() bool
+	}
+	choices := []choice{
+		{24, func() bool { submitCoord(false); return true }},
+		{10, func() bool { return submitWorker(false) }},
+		{16, func() bool {
+			if g.submitted == 0 {
+				return false
+			}
+			emit(Action{Kind: ActPoll, Worker: -1, Job: rng.Intn(g.submitted)})
+			return true
+		}},
+		{5, func() bool {
+			if g.submitted == 0 {
+				return false
+			}
+			emit(Action{Kind: ActCancel, Worker: -1, Job: rng.Intn(g.submitted)})
+			return true
+		}},
+		{6, func() bool {
+			w := g.pick(rng, func(i int) bool { return g.alive[i] })
+			if w < 0 {
+				return false
+			}
+			emit(Action{Kind: ActKillWorker, Worker: w, Job: -1})
+			return true
+		}},
+		{8, func() bool {
+			w := g.pick(rng, func(i int) bool { return !g.alive[i] })
+			if w < 0 {
+				return false
+			}
+			emit(Action{Kind: ActRestartWorker, Worker: w, Job: -1})
+			return true
+		}},
+		{2, func() bool {
+			emit(Action{Kind: ActRestartCoordinator, Worker: -1, Job: -1})
+			return true
+		}},
+		{5, func() bool {
+			w := g.pick(rng, func(i int) bool { return g.alive[i] && !g.partitioned[i] })
+			if w < 0 {
+				return false
+			}
+			emit(Action{Kind: ActPartition, Worker: w, Job: -1})
+			return true
+		}},
+		{5, func() bool {
+			w := g.pick(rng, func(i int) bool { return g.partitioned[i] })
+			if w < 0 {
+				return false
+			}
+			emit(Action{Kind: ActHeal, Worker: w, Job: -1})
+			return true
+		}},
+		{4, func() bool {
+			w := g.pick(rng, func(i int) bool { return g.alive[i] && !g.partitioned[i] })
+			if w < 0 {
+				return false
+			}
+			d := time.Duration(50+rng.Intn(250)) * time.Millisecond
+			emit(Action{Kind: ActSlowWorker, Worker: w, Job: -1, Delay: d})
+			return true
+		}},
+		{3, func() bool {
+			w := g.pick(rng, func(i int) bool { return !g.alive[i] })
+			if w < 0 {
+				return false
+			}
+			emit(Action{Kind: ActSkewHeartbeat, Worker: w, Job: -1})
+			return true
+		}},
+	}
+	total := 0
+	for _, c := range choices {
+		total += c.weight
+	}
+	sinceSettle := 0
+	for n := 0; n < cfg.Actions; n++ {
+		if sinceSettle >= cfg.SettleEvery {
+			emit(Action{Kind: ActSettle, Worker: -1, Job: -1})
+			sinceSettle = 0
+		}
+		// Rejection-free weighted pick: an inapplicable choice (e.g.
+		// kill with nobody alive) draws again; every loop iteration
+		// consumes rng deterministically either way.
+		for {
+			r := rng.Intn(total)
+			var picked choice
+			for _, c := range choices {
+				if r < c.weight {
+					picked = c
+					break
+				}
+				r -= c.weight
+			}
+			if picked.try() {
+				break
+			}
+		}
+		sinceSettle++
+	}
+
+	// Enforce the fault floors the acceptance criteria name. Appended
+	// deterministically, so the guarantee never depends on the weights.
+	for s.Kills < cfg.MinWorkerKills {
+		w := g.pick(rng, func(i int) bool { return g.alive[i] })
+		if w < 0 {
+			w = g.pick(rng, func(i int) bool { return !g.alive[i] })
+			emit(Action{Kind: ActRestartWorker, Worker: w, Job: -1})
+		}
+		emit(Action{Kind: ActKillWorker, Worker: g.pick(rng, func(i int) bool { return g.alive[i] }), Job: -1})
+	}
+	for s.CoordRestarts < cfg.MinCoordinatorRestarts {
+		emit(Action{Kind: ActRestartCoordinator, Worker: -1, Job: -1})
+	}
+
+	// Restore phase: a healed, fully populated cluster takes a last burst
+	// of traffic, then the final settle verifies everything.
+	for i := range g.alive {
+		if g.partitioned[i] {
+			emit(Action{Kind: ActHeal, Worker: i, Job: -1})
+		}
+	}
+	for i := range g.alive {
+		if !g.alive[i] {
+			emit(Action{Kind: ActRestartWorker, Worker: i, Job: -1})
+		}
+	}
+	for i := 0; i < cfg.FinalSubmits; i++ {
+		if i%3 == 2 {
+			submitWorker(true)
+		} else {
+			submitCoord(true)
+		}
+	}
+	emit(Action{Kind: ActSettle, Worker: -1, Job: -1})
+	return s
+}

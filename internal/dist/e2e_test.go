@@ -226,6 +226,60 @@ func TestDistributedSurvivesWorkerFailure(t *testing.T) {
 	}
 }
 
+// TestRequeueOnDeathBeforeFirstHeartbeat: a worker that registers and
+// dies before its first heartbeat is the nastiest liveness window — the
+// registry lists it alive for a full TTL on the strength of the
+// registration alone, so the coordinator will dispatch to a corpse.
+// Every shard it accepts must be requeued onto real workers and the job
+// must still complete bitwise-identical to the single-node run.
+func TestRequeueOnDeathBeforeFirstHeartbeat(t *testing.T) {
+	js := e2eJob(t, 2000, true)
+	c := dist.NewCoordinator(dist.Config{ShardTrials: 250})
+	startWorkers(t, c, 2, nil)
+
+	// The corpse: registration succeeds, then every request — shard
+	// dispatch included — is accepted at the TCP level and severed
+	// mid-response, exactly what a worker SIGKILLed after accepting a
+	// shard looks like from the coordinator's side. No heartbeat ever.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	t.Cleanup(dead.Close)
+	reg, err := c.Register(dist.RegisterRequest{URL: dead.URL, Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Status().Alive; got != 3 {
+		t.Fatalf("registry shows %d alive workers before the job, want 3 (corpse must count)", got)
+	}
+
+	m, err := c.RunJob(context.Background(), js, nil)
+	if err != nil {
+		t.Fatalf("job failed instead of requeueing off the dead worker: %v", err)
+	}
+	if m.Retried == 0 {
+		t.Fatal("no shard was retried — the dead worker was never dispatched to, test exercised nothing")
+	}
+	assertMatchesSingleNode(t, js, m)
+
+	st := c.Status()
+	var corpse *dist.WorkerStatus
+	for i := range st.Workers {
+		if st.Workers[i].ID == reg.ID {
+			corpse = &st.Workers[i]
+		}
+	}
+	if corpse == nil {
+		t.Fatalf("dead worker %s missing from cluster status", reg.ID)
+	}
+	if corpse.ShardsFailed == 0 {
+		t.Fatal("dead worker recorded no failed shards")
+	}
+	if corpse.ShardsDone != 0 {
+		t.Fatalf("dead worker credited with %d completed shards", corpse.ShardsDone)
+	}
+}
+
 // TestDistributedAllWorkersDead: when every worker fails persistently
 // the job must fail with a useful error, not hang.
 func TestDistributedAllWorkersDead(t *testing.T) {

@@ -499,30 +499,35 @@ type jobArtifacts struct {
 }
 
 // prepare fetches the job's artifacts from the shared cache and builds
-// its engine options. The leading ctx check runs before any artifact
-// build: the cache builds are not ctx-aware, and a force-cancelled
-// shutdown must not pay for engine compilation or YET generation of
-// jobs it is abandoning; the trailing check keeps a cancelled job from
-// starting its run.
+// its engine options.
 func (s *scheduler) prepare(j *Job) (*jobArtifacts, error) {
-	js := j.Spec
-	if err := j.ctx.Err(); err != nil {
+	return prepareLocal(j.ctx, s.cache, j.Spec, s.cfg.EngineWorkers, j.progress())
+}
+
+// prepareLocal is the scheduler-independent artifact prelude shared by
+// the scheduler paths and RunLocal. The leading ctx check runs before
+// any artifact build: the cache builds are not ctx-aware, and a
+// force-cancelled shutdown must not pay for engine compilation or YET
+// generation of jobs it is abandoning; the trailing check keeps a
+// cancelled job from starting its run.
+func prepareLocal(ctx context.Context, cache *artifact.Cache, js *spec.Job, engineWorkers int, progress func(done, total int)) (*jobArtifacts, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	art, engineHit, err := artifact.EngineFor(s.cache, js)
+	art, engineHit, err := artifact.EngineFor(cache, js)
 	if err != nil {
 		return nil, err
 	}
-	table, yetHit, err := artifact.TableFor(s.cache, js)
+	table, yetHit, err := artifact.TableFor(cache, js)
 	if err != nil {
 		return nil, err
 	}
-	if err := j.ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	workers := js.Workers
 	if workers <= 0 {
-		workers = s.cfg.EngineWorkers
+		workers = engineWorkers
 	}
 	return &jobArtifacts{
 		art:       art,
@@ -532,7 +537,7 @@ func (s *scheduler) prepare(j *Job) (*jobArtifacts, error) {
 		opt: core.Options{
 			Workers:  workers,
 			Lookup:   artifact.LookupKind(js.Lookup),
-			Progress: j.progress(),
+			Progress: progress,
 		},
 	}, nil
 }
@@ -614,11 +619,17 @@ func (s *scheduler) execute(j *Job) (*JobResult, error) {
 // variant from that variant's materialised YLT under the variant's
 // effective occurrence limit.
 func (s *scheduler) executeSweep(j *Job) (*JobResult, error) {
-	js := j.Spec
 	a, err := s.prepare(j)
 	if err != nil {
 		return nil, err
 	}
+	return runSweepLocal(j.ID, j.ctx, j.Spec, a)
+}
+
+// runSweepLocal is the sweep pass proper, shared by the scheduler and
+// RunLocal — one fused pipeline run over prepared artifacts, rendered
+// per variant.
+func runSweepLocal(id string, ctx context.Context, js *spec.Job, a *jobArtifacts) (*JobResult, error) {
 	sweep, err := a.art.Eng.CompileSweep(a.art.P.P, artifact.SweepVariants(js.Sweep))
 	if err != nil {
 		return nil, err
@@ -634,13 +645,13 @@ func (s *scheduler) executeSweep(j *Job) (*JobResult, error) {
 	}
 
 	start := time.Now()
-	if _, err := sweep.RunPipelineContext(j.ctx, core.NewTableSource(a.table), core.NewVariantSinks(members...), a.opt); err != nil {
+	if _, err := sweep.RunPipelineContext(ctx, core.NewTableSource(a.table), core.NewVariantSinks(members...), a.opt); err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
 
 	res := &JobResult{
-		ID:           j.ID,
+		ID:           id,
 		Trials:       js.YET.Trials,
 		ElapsedMS:    elapsed.Milliseconds(),
 		YETCached:    a.yetHit,
@@ -725,6 +736,46 @@ func assembleJobResult(id string, js *spec.Job, p *layer.Portfolio, sum *metrics
 		ElapsedMS: elapsed.Milliseconds(),
 		Layers:    layers,
 	}, nil
+}
+
+// RunLocal executes one validated job spec in-process through the same
+// single-node code path the scheduler runs — shared artifact cache,
+// fused sweep execution for sweep specs, quotes priced from the
+// materialised YLT — and, for plain jobs, additionally returns the
+// materialised per-layer tables. It exists for oracles: the chaos
+// harness replays every completed cluster job through RunLocal and
+// holds the service's wire results to this output (bitwise for
+// single-node jobs, within the documented merge tolerances for
+// distributed ones, with the returned Result supplying the exact
+// empirical quantiles behind the EP rank windows). The Result is nil
+// for sweep jobs — sweeps never fan out, so nothing needs rank data.
+func RunLocal(ctx context.Context, cache *artifact.Cache, js *spec.Job) (*JobResult, *core.Result, error) {
+	a, err := prepareLocal(ctx, cache, js, 1, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if js.Sweep != nil {
+		res, err := runSweepLocal("oracle", ctx, js, a)
+		return res, nil, err
+	}
+	sum := metrics.NewSummarySink()
+	ep := metrics.NewEPSink(js.Metrics.ReturnPeriods)
+	full := core.NewFullYLT()
+	start := time.Now()
+	if _, err := a.art.Eng.RunPipelineContext(ctx, core.NewTableSource(a.table), core.MultiSink{sum, ep, full}, a.opt); err != nil {
+		return nil, nil, err
+	}
+	fullRes := full.Result()
+	var quoteRes *core.Result
+	if js.Metrics.Quotes {
+		quoteRes = fullRes // Quote fields appear exactly when requested, as served
+	}
+	res, err := assembleJobResult("oracle", js, a.art.P.P, sum, ep, quoteRes, time.Since(start))
+	if err != nil {
+		return nil, nil, err
+	}
+	res.YETCached, res.EngineCached = a.yetHit, a.engineHit
+	return res, fullRes, nil
 }
 
 // layerResults renders one sink stack's per-layer metrics. v supplies

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestListenResolvesPort: Listen on ":0" must yield the real bound
+// address — the contract cmd/ared's startup line (and the chaos
+// harness's port discovery) relies on.
+func TestListenResolvesPort(t *testing.T) {
+	srv, err := New(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownQuiet(t, srv)
+	ln, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr, ok := ln.Addr().(*net.TCPAddr)
+	if !ok || addr.Port == 0 {
+		t.Fatalf("Listen did not resolve the port: %v", ln.Addr())
+	}
+}
+
+// TestListenPortCollision: a port that is already bound must surface as
+// an error from Listen (cmd/ared turns it into a non-zero exit), never
+// as a daemon that silently serves nothing.
+func TestListenPortCollision(t *testing.T) {
+	squatter, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer squatter.Close()
+
+	srv, err := New(Config{Addr: squatter.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownQuiet(t, srv)
+	ln, err := srv.Listen()
+	if err == nil {
+		ln.Close()
+		t.Fatalf("Listen succeeded on the occupied port %s", squatter.Addr())
+	}
+	if !strings.Contains(err.Error(), squatter.Addr().String()) {
+		t.Errorf("bind error %q does not name the contested address %s", err, squatter.Addr())
+	}
+}
+
+func shutdownQuiet(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}

@@ -96,6 +96,13 @@ type Config struct {
 	// still dispatches to a worker; 0 selects the dist default (15s).
 	WorkerTTL time.Duration
 
+	// ShardTimeout bounds one shard's dispatch round trip (coordinator
+	// role); 0 selects the dist default (5m). Lowering it makes a
+	// coordinator recover quickly from workers that accept connections
+	// but never answer — a partitioned or wedged worker costs one
+	// timeout, then the shard is requeued elsewhere.
+	ShardTimeout time.Duration
+
 	// JobWorkers is the number of jobs that run concurrently; 0 selects
 	// 2. Each job additionally runs EngineWorkers engine goroutines. In
 	// the worker role it also bounds concurrently executing shards.
@@ -211,9 +218,10 @@ func New(cfg Config) (*Server, error) {
 	var coord *dist.Coordinator
 	if cfg.Role == RoleCoordinator {
 		coord = dist.NewCoordinator(dist.Config{
-			ShardTrials: cfg.ShardTrials,
-			MaxAttempts: cfg.MaxShardAttempts,
-			WorkerTTL:   cfg.WorkerTTL,
+			ShardTrials:    cfg.ShardTrials,
+			MaxAttempts:    cfg.MaxShardAttempts,
+			WorkerTTL:      cfg.WorkerTTL,
+			RequestTimeout: cfg.ShardTimeout,
 		})
 	}
 	s := &Server{
@@ -294,15 +302,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// ListenAndServe serves the API on cfg.Addr until ctx is cancelled, then
-// shuts down gracefully: the HTTP server stops accepting connections and
-// the scheduler drains within ShutdownGrace. The returned error is nil
-// on a clean shutdown.
-func (s *Server) ListenAndServe(ctx context.Context) error {
+// Listen binds the API listener on cfg.Addr without serving yet. The
+// split from Serve exists so a caller can fail fast (and loudly) on a
+// port that is already bound, and so an ":0" address resolves to its
+// real port — ln.Addr() — before the first request can arrive. cmd/ared
+// announces that resolved address on stdout, which is what lets a test
+// harness start daemons on OS-assigned ports without races.
+func (s *Server) Listen() (net.Listener, error) {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
-		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+		return nil, fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
 	}
+	return ln, nil
+}
+
+// Serve serves the API on ln until ctx is cancelled, then shuts down
+// gracefully exactly as ListenAndServe does.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{
 		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -322,6 +338,18 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 		return httpErr
 	}
 	return jobErr
+}
+
+// ListenAndServe is Listen followed by Serve: the API on cfg.Addr until
+// ctx is cancelled, then a graceful shutdown (the HTTP server stops
+// accepting connections and the scheduler drains within ShutdownGrace).
+// The returned error is nil on a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := s.Listen()
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
 }
 
 // Addr returns the configured listen address.

@@ -2,6 +2,7 @@ package spec
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -183,6 +184,92 @@ func TestParseJobSweepErrors(t *testing.T) {
 	// Unknown variant fields fail loudly.
 	if _, err := ParseJob(strings.NewReader(withSweep(`{"variants": [{"shore": 1}]}`))); err == nil {
 		t.Fatal("unknown variant field accepted")
+	}
+}
+
+// sweepN renders a sweep with n override-free variants.
+func sweepN(n int) string {
+	var b strings.Builder
+	b.WriteString(`{"variants": [`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"name": "v%d"}`, i)
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+// TestParseJobSweepVariantBounds pins the variant-count contract at its
+// exact edges: the cap is inclusive (64 variants is a legal tower), and
+// both sides of each boundary answer with ErrSweepVariants, the 400 the
+// service maps it to.
+func TestParseJobSweepVariantBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		ok   bool
+	}{
+		{"zero rejected", 0, false},
+		{"one accepted", 1, true},
+		{"max accepted", MaxSweepVariants, true},
+		{"max+1 rejected", MaxSweepVariants + 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j, err := ParseJob(strings.NewReader(withSweep(sweepN(tc.n))))
+			if !tc.ok {
+				if !errors.Is(err, ErrSweepVariants) {
+					t.Fatalf("%d variants: err = %v, want ErrSweepVariants", tc.n, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("%d variants rejected: %v", tc.n, err)
+			}
+			if len(j.Sweep.Variants) != tc.n {
+				t.Fatalf("parsed %d variants, want %d", len(j.Sweep.Variants), tc.n)
+			}
+		})
+	}
+}
+
+// TestParseJobSweepDuplicateOverrides: variants that repeat the same
+// layer overrides are individually legal — a tower may price the same
+// structure twice (e.g. under different names) and every copy is kept,
+// in order. Within one variant object a duplicated JSON key follows the
+// decoder's last-wins rule; this pins that wire behaviour so it cannot
+// drift silently.
+func TestParseJobSweepDuplicateOverrides(t *testing.T) {
+	j, err := ParseJob(strings.NewReader(withSweep(`{"variants": [
+	  {"name": "a", "occRetention": 2e5, "aggRetention": 1e5},
+	  {"name": "b", "occRetention": 2e5, "aggRetention": 1e5},
+	  {"occRetention": 2e5, "aggRetention": 1e5}
+	]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Sweep.Variants) != 3 {
+		t.Fatalf("duplicate variants collapsed: %d of 3 kept", len(j.Sweep.Variants))
+	}
+	for i, v := range j.Sweep.Variants {
+		if v.OccRetention == nil || *v.OccRetention != 2e5 ||
+			v.AggRetention == nil || *v.AggRetention != 1e5 {
+			t.Fatalf("variant %d overrides not preserved: %+v", i, v)
+		}
+	}
+	if j.Sweep.Variants[0].Name != "a" || j.Sweep.Variants[1].Name != "b" || j.Sweep.Variants[2].Name != "" {
+		t.Fatal("variant order not preserved")
+	}
+
+	dup, err := ParseJob(strings.NewReader(withSweep(
+		`{"variants": [{"occRetention": 1e5, "occRetention": 3e5}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dup.Sweep.Variants[0].OccRetention; got == nil || *got != 3e5 {
+		t.Fatalf("duplicated key: occRetention = %v, want last-wins 3e5", got)
 	}
 }
 

@@ -1,0 +1,21 @@
+// Package chaos is the seeded black-box chaos suite for the ared
+// cluster. It builds the real cmd/ared binary, forms a
+// coordinator-plus-workers cluster out of separate OS processes, and
+// drives it through a deterministic, replayable storm of submissions
+// and faults (kill -9, restarts, partitions, slow links, clock-skewed
+// heartbeats), holding every completed job to an in-process oracle.
+//
+// Run the CI smoke (about half a minute):
+//
+//	go test ./test/chaos -chaos.seed=42
+//
+// Deep soak:
+//
+//	go test ./test/chaos -chaos.long -timeout 30m
+//
+// Replay a failure by rerunning its seed: the action trace is a pure
+// function of (seed, config) and is written, with every process log,
+// to the artifact directory (-chaos.artifacts, or a temp dir reported
+// in the test log). See internal/chaostest for the harness itself and
+// docs/distributed.md for the invariants.
+package chaos
