@@ -12,18 +12,31 @@
 //	ared -addr :8321 -job-workers 4 -engine-workers 2 -queue 128 -max-trials 2000000
 //	ared -addr :8321 -spill-dir /var/cache/ared -debug-addr 127.0.0.1:6060
 //
+//	# durable multi-tenant service: crash-safe job store + API-key auth
+//	ared -addr :8321 -data-dir /var/lib/ared -tenants /etc/ared/tenants.json
+//
 //	# a three-node cluster on one machine:
 //	ared -addr :8321 -role coordinator -shard-trials 50000
 //	ared -addr :8322 -role worker -coordinator http://127.0.0.1:8321 -advertise http://127.0.0.1:8322
 //	ared -addr :8323 -role worker -coordinator http://127.0.0.1:8321 -advertise http://127.0.0.1:8323
 //
+// With -data-dir the job table is durable: every lifecycle transition
+// is journaled, and a restarted (even kill -9'd) daemon recovers it —
+// finished jobs serve their exact recorded result bytes, interrupted
+// jobs re-run under their original IDs. With -tenants the job API
+// requires an API key (Authorization: Bearer or X-API-Key) and
+// enforces per-tenant concurrency and rate quotas with 429 +
+// Retry-After; -auth=off serves an open API even when a tenants file
+// is configured.
+//
 // Endpoints (see docs/api.md and docs/distributed.md for the full
 // contract):
 //
 //	POST   /v1/jobs             submit an analysis job
-//	GET    /v1/jobs             list jobs (?state= filter, per-state counts)
+//	GET    /v1/jobs             list jobs, newest first (?state= filter, ?limit=/?after= pagination)
 //	GET    /v1/jobs/{id}        job status and progress
 //	GET    /v1/jobs/{id}/result completed results
+//	GET    /v1/jobs/{id}/events live status stream (Server-Sent Events)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /healthz             liveness probe (503 "draining" during shutdown)
 //	GET    /metrics             Prometheus text metrics
@@ -51,6 +64,7 @@ import (
 	"time"
 
 	"github.com/ralab/are/internal/server"
+	"github.com/ralab/are/internal/tenant"
 )
 
 func main() {
@@ -65,6 +79,9 @@ func main() {
 		retain    = flag.Int("retain", 1000, "finished jobs kept before the oldest are evicted")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain period before jobs are cancelled")
 		debugAddr = flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
+		dataDir   = flag.String("data-dir", "", "directory for the durable job journal (empty = job table in memory only)")
+		tenants   = flag.String("tenants", "", "tenants config JSON for API-key auth and quotas (empty = open API)")
+		authMode  = flag.String("auth", "auto", "auth mode: auto (on when -tenants is set), on (require -tenants), off")
 
 		role        = flag.String("role", "single", "process role: single, worker or coordinator")
 		coordinator = flag.String("coordinator", "", "coordinator base URL to register with (worker role)")
@@ -75,6 +92,25 @@ func main() {
 		shardTO     = flag.Duration("shard-timeout", 0, "one shard dispatch round trip bound (coordinator role, 0 = 5m)")
 	)
 	flag.Parse()
+
+	var reg *tenant.Registry
+	switch *authMode {
+	case "auto", "on", "off":
+	default:
+		fmt.Fprintf(os.Stderr, "ared: unknown -auth mode %q (want auto, on or off)\n", *authMode)
+		os.Exit(2)
+	}
+	if *authMode == "on" && *tenants == "" {
+		fmt.Fprintln(os.Stderr, "ared: -auth=on requires -tenants")
+		os.Exit(2)
+	}
+	if *tenants != "" && *authMode != "off" {
+		var err error
+		if reg, err = tenant.Load(*tenants); err != nil {
+			fmt.Fprintln(os.Stderr, "ared:", err)
+			os.Exit(2)
+		}
+	}
 
 	srv, err := server.New(server.Config{
 		Addr:             *addr,
@@ -93,6 +129,8 @@ func main() {
 		SpillDir:         *spillDir,
 		MaxJobsRetained:  *retain,
 		ShutdownGrace:    *grace,
+		DataDir:          *dataDir,
+		Tenants:          reg,
 		Logf:             log.Printf,
 	})
 	if err != nil {

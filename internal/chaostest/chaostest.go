@@ -30,8 +30,16 @@
 //     job is observed done/failed/cancelled it never changes state, and
 //     a done job's result bytes never change (no loss, no
 //     double-completion). Jobs that disappear with a coordinator or
-//     worker restart are accounted as lost-to-restart (the job store is
-//     documented as in-memory) — disappearing any other way fails.
+//     worker restart are accounted as lost-to-restart (the in-memory
+//     job table is the documented default) — disappearing any other
+//     way fails.
+//
+// With Config.Durable the coordinator runs with -data-dir, and the
+// lost-to-restart allowance is withdrawn entirely: after every kill -9
+// plus restart, each pre-kill job must still exist — finished jobs must
+// serve bitwise-identical result bytes from the recovered journal, and
+// interrupted jobs must re-run under their original IDs to a result the
+// oracle verifies. A single disappearance fails the run.
 //
 // Teardown asserts clean exits: every surviving process must drain and
 // exit zero on SIGTERM; a wedged process gets SIGQUIT so its goroutine
@@ -86,6 +94,13 @@ type Config struct {
 	// ArtifactDir receives the action trace and per-process logs; empty
 	// selects a temp directory (reported on failure).
 	ArtifactDir string
+
+	// Durable runs the coordinator with -data-dir (under ArtifactDir),
+	// which changes the acceptance contract: coordinator restarts may
+	// not lose anything. Every pre-kill job must be recovered — done
+	// jobs with bitwise-stable result bytes, open jobs re-run to
+	// oracle-verified completion under their original IDs.
+	Durable bool
 }
 
 // DefaultConfig is the CI smoke shape: ~30s wall time, guaranteed to
@@ -103,6 +118,15 @@ func DefaultConfig(seed uint64) Config {
 		MinDone:                10,
 		SettleTimeout:          90 * time.Second,
 	}
+}
+
+// DurableConfig is the CI smoke shape with the crash-safe job store
+// on: same faults, stricter contract (zero jobs lost to coordinator
+// restarts).
+func DurableConfig(seed uint64) Config {
+	c := DefaultConfig(seed)
+	c.Durable = true
+	return c
 }
 
 // LongConfig is the on-demand deep soak: minutes of wall time, more

@@ -192,14 +192,20 @@ func (c *Cluster) boot() error {
 // and a 3s shard round-trip bound mean a blackholed worker costs one
 // 3s timeout before its shard requeues elsewhere.
 func (c *Cluster) startCoordinator(addr string) (*Proc, error) {
-	p, err := StartProc(c.bin, c.dir, fmt.Sprintf("coordinator-e%d", c.epoch),
+	args := []string{
 		"-addr", addr, "-role", "coordinator",
 		"-shard-trials", "150",
 		"-worker-ttl", "2s",
 		"-shard-timeout", "3s",
 		"-job-workers", "4",
 		"-grace", "5s",
-	)
+	}
+	if c.cfg.Durable {
+		// One journal directory across every epoch: the restarted
+		// process must recover its predecessor's job table from it.
+		args = append(args, "-data-dir", filepath.Join(c.dir, "coord-data"))
+	}
+	p, err := StartProc(c.bin, c.dir, fmt.Sprintf("coordinator-e%d", c.epoch), args...)
 	if err != nil {
 		return nil, err
 	}
@@ -470,19 +476,24 @@ func (c *Cluster) doKillWorker(idx int) error {
 }
 
 // doRestartCoordinator SIGKILLs the coordinator and boots a fresh one
-// on the same port. The job store is documented in-memory, so every
-// open coordinator job is lost-to-restart; job IDs restart from
-// j-000001, which is why records carry an epoch.
+// on the same port. With the default in-memory job table every open
+// coordinator job is lost-to-restart and job IDs restart from
+// j-000001, which is why records carry an epoch. In durable mode
+// nothing may be lost: the new process recovers the journal, so every
+// record stays live — and immediately after restart each pre-kill job
+// must still exist, or the run fails on the spot.
 func (c *Cluster) doRestartCoordinator() error {
 	c.coordProc.Kill()
-	for _, rec := range c.records {
-		if rec.workerIdx >= 0 || rec.epoch != c.epoch || rec.offline || rec.lost != "" {
-			continue
-		}
-		rec.offline = true
-		if !rec.terminal {
-			rec.lost = "lost-to-restart"
-			c.execlog("coordinator restart: %s lost-to-restart (was %s)", rec.id, rec.state)
+	if !c.cfg.Durable {
+		for _, rec := range c.records {
+			if rec.workerIdx >= 0 || rec.epoch != c.epoch || rec.offline || rec.lost != "" {
+				continue
+			}
+			rec.offline = true
+			if !rec.terminal {
+				rec.lost = "lost-to-restart"
+				c.execlog("coordinator restart: %s lost-to-restart (was %s)", rec.id, rec.state)
+			}
 		}
 	}
 	c.epoch++
@@ -492,6 +503,26 @@ func (c *Cluster) doRestartCoordinator() error {
 	}
 	c.coordProc = p
 	c.execlog("restart: coordinator epoch %d up on %s", c.epoch, c.coordAddr)
+	if c.cfg.Durable {
+		// Recovery sweep: every coordinator job submitted before the
+		// kill must have survived into this epoch. Terminal ones get
+		// their bytes re-checked (observe re-fetches done results);
+		// open ones must at least still be known — their re-run is
+		// verified at the next settle like any other completion.
+		for _, rec := range c.records {
+			if rec.workerIdx >= 0 || rec.id == "" || rec.offline || rec.lost != "" {
+				continue
+			}
+			st, err := c.coordCl.status(rec.id)
+			if err != nil {
+				return fmt.Errorf("durable restart lost job %s (was %s): %w", rec.id, rec.state, err)
+			}
+			if err := c.observe(rec, st.State, st.Error, c.coordCl); err != nil {
+				return fmt.Errorf("durable restart, job %s: %w", rec.id, err)
+			}
+		}
+		c.execlog("restart: durable recovery sweep passed (epoch %d)", c.epoch)
+	}
 	return nil
 }
 

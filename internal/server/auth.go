@@ -1,0 +1,75 @@
+package server
+
+// API-key authentication and job ownership. When Config.Tenants is set,
+// every job endpoint runs behind withAuth: the request must present a
+// configured key (Authorization: Bearer or X-API-Key), the resolved
+// tenant rides the request context, and jobs belong to the tenant that
+// submitted them — one tenant's jobs are invisible to another, down to
+// the status code (404, never 403, so existence does not leak). The
+// operational endpoints (/healthz, /metrics) and the intra-cluster
+// endpoints (/v1/shards, /v1/cluster) stay open: they serve probes and
+// the cluster's own machinery, not tenant data.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+
+	"github.com/ralab/are/internal/tenant"
+)
+
+// Auth errors.
+var (
+	ErrUnauthorized = errors.New("server: missing or invalid API key")
+	ErrOverQuota    = errors.New("server: tenant quota exceeded")
+)
+
+// tenantKey carries the authenticated tenant through request contexts.
+type tenantKey struct{}
+
+// apiKey extracts the presented API key: a Bearer token first,
+// X-API-Key as the fallback for clients that cannot set Authorization.
+func apiKey(r *http.Request) string {
+	if key, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); ok && key != "" {
+		return key
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// withAuth guards one job endpoint. With no tenant registry configured
+// it is the identity — the API stays open, exactly as before tenancy
+// existed.
+func (s *Server) withAuth(next http.HandlerFunc) http.HandlerFunc {
+	if s.tenants == nil {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		tn, ok := s.tenants.Authenticate(apiKey(r))
+		if !ok {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="ared"`)
+			writeError(w, http.StatusUnauthorized, ErrUnauthorized)
+			return
+		}
+		next(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, tn)))
+	}
+}
+
+// tenantFrom returns the authenticated tenant; nil when auth is off.
+func tenantFrom(r *http.Request) *tenant.Tenant {
+	tn, _ := r.Context().Value(tenantKey{}).(*tenant.Tenant)
+	return tn
+}
+
+// jobForRequest resolves {id} under the ownership rule: with auth on,
+// another tenant's job answers exactly like an unknown one.
+func (s *Server) jobForRequest(r *http.Request) (*Job, bool) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		return nil, false
+	}
+	if tn := tenantFrom(r); tn != nil && j.Tenant != tn.Name {
+		return nil, false
+	}
+	return j, true
+}

@@ -109,7 +109,10 @@ func BenchmarkServiceJob(b *testing.B) {
 	const trials = 20_000
 	body := benchJobBody(trials)
 
-	srv, err := server.New(server.Config{JobWorkers: 1, EngineWorkers: 2, QueueDepth: 8})
+	// DataDir on: the measured configuration is the durable service —
+	// every job pays its journal appends (and the terminal fsync), so
+	// the gate guards the store's hot-path overhead too.
+	srv, err := server.New(server.Config{JobWorkers: 1, EngineWorkers: 2, QueueDepth: 8, DataDir: b.TempDir()})
 	if err != nil {
 		b.Fatal(err)
 	}

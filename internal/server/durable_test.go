@@ -1,0 +1,331 @@
+package server
+
+// Durable-mode tests: crash recovery, result byte stability across
+// restarts, pagination, and the SSE status stream. The "crash" here is
+// the honest in-process equivalent of kill -9 — a store populated with
+// non-terminal records and abandoned without any graceful disposal —
+// while the full black-box kill -9 lives in internal/chaostest.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ralab/are/internal/store"
+)
+
+// readBody fetches a URL and returns the raw bytes and status code.
+func readBody(t *testing.T, url string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, resp.StatusCode
+}
+
+// TestDurableResultSurvivesRestart: a finished job's result must come
+// back byte-for-byte from a new process over the same data directory.
+func TestDurableResultSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := jobBody(301, 400, 30, true)
+
+	s1, err := New(Config{JobWorkers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	st, _ := postJob(t, ts1, body)
+	waitState(t, ts1, st.ID, JobDone)
+	before, code := readBody(t, ts1.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result before restart: %d", code)
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := testServer(t, Config{JobWorkers: 1, DataDir: dir})
+	got := waitState(t, ts2, st.ID, JobDone)
+	if got.TotalTrials != 400 || got.Progress != 1 {
+		t.Fatalf("recovered status: %+v", got)
+	}
+	after, code := readBody(t, ts2.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result after restart: %d", code)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("result bytes changed across restart:\nbefore %d bytes\nafter  %d bytes", len(before), len(after))
+	}
+	// New submissions must not collide with recovered IDs.
+	st2, _ := postJob(t, ts2, body)
+	if st2.ID == st.ID {
+		t.Fatalf("restarted daemon reissued job ID %s", st.ID)
+	}
+	if jobSeq(st2.ID) <= jobSeq(st.ID) {
+		t.Fatalf("sequence went backwards: %s after %s", st2.ID, st.ID)
+	}
+}
+
+// TestDurableInterruptedJobReruns: records left non-terminal (the
+// kill -9 shape) must requeue under their original IDs and finish with
+// the same result a clean run produces.
+func TestDurableInterruptedJobReruns(t *testing.T) {
+	dir := t.TempDir()
+	body := jobBody(302, 400, 30, true)
+
+	// Simulate the crashed life: submitted + started, then nothing.
+	st0, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := st0.Submitted("j-000007", "", []byte(body), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := st0.Started("j-000007", now.Add(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st0.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := testServer(t, Config{JobWorkers: 1, DataDir: dir})
+	got := waitState(t, ts, "j-000007", JobDone)
+	if got.ID != "j-000007" {
+		t.Fatalf("recovered job changed ID: %+v", got)
+	}
+	rerun, resp := getResult(t, ts, "j-000007")
+	if rerun == nil {
+		t.Fatalf("recovered job has no result: %d", resp.StatusCode)
+	}
+	// The re-run must equal a clean run of the same spec, field for
+	// field (the engine is deterministic; ElapsedMS is wall time).
+	fresh, _ := postJob(t, ts, body)
+	waitState(t, ts, fresh.ID, JobDone)
+	want, _ := getResult(t, ts, fresh.ID)
+	if !reflect.DeepEqual(rerun.Layers, want.Layers) {
+		t.Fatalf("re-run diverged from clean run:\n%+v\nvs\n%+v", rerun.Layers, want.Layers)
+	}
+	if rerun.Trials != want.Trials {
+		t.Fatalf("trials: %d vs %d", rerun.Trials, want.Trials)
+	}
+}
+
+// TestDurableGracefulShutdownDisposesJobs: a graceful shutdown journals
+// terminal states for everything it cancels, so the next life recovers
+// a fully terminal table instead of re-running disposed work.
+func TestDurableGracefulShutdownDisposesJobs(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{JobWorkers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	// One long job runs, one queues behind it.
+	long, _ := postJob(t, ts1, jobBody(303, 500_000, 40, false))
+	queued, _ := postJob(t, ts1, jobBody(304, 500_000, 40, false))
+	waitState(t, ts1, long.ID, JobRunning)
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	_ = s1.Shutdown(ctx) // deadline forces cancellation of both
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for _, id := range []string{long.ID, queued.ID} {
+		found := false
+		for _, rec := range st2.Recovered() {
+			if rec.ID == id {
+				found = true
+				if !rec.State.Terminal() {
+					t.Errorf("job %s left non-terminal (%s) by graceful shutdown", id, rec.State)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("job %s missing from journal", id)
+		}
+	}
+}
+
+// TestListPagination: newest-first, bounded pages, a nextAfter cursor
+// that walks the whole table without duplicates or gaps, and 400s for
+// malformed paging parameters.
+func TestListPagination(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 2})
+	const n = 5
+	ids := make([]string, n)
+	for i := range ids {
+		st, _ := postJob(t, ts, jobBody(uint64(310+i), 200, 20, false))
+		ids[i] = st.ID
+	}
+	for _, id := range ids {
+		waitState(t, ts, id, JobDone)
+	}
+
+	type listResp struct {
+		Jobs      []Status       `json:"jobs"`
+		Counts    map[string]int `json:"counts"`
+		NextAfter string         `json:"nextAfter"`
+	}
+	fetch := func(query string) listResp {
+		t.Helper()
+		data, code := readBody(t, ts.URL+"/v1/jobs"+query)
+		if code != http.StatusOK {
+			t.Fatalf("list%s: %d: %s", query, code, data)
+		}
+		var lr listResp
+		if err := json.Unmarshal(data, &lr); err != nil {
+			t.Fatal(err)
+		}
+		return lr
+	}
+
+	// Page 1: the two newest, counts covering everything, a cursor.
+	p1 := fetch("?limit=2")
+	if len(p1.Jobs) != 2 || p1.Jobs[0].ID != ids[n-1] || p1.Jobs[1].ID != ids[n-2] {
+		t.Fatalf("page 1 = %+v", p1.Jobs)
+	}
+	if p1.Counts["total"] != n || p1.Counts["done"] != n {
+		t.Fatalf("counts = %v", p1.Counts)
+	}
+	if p1.NextAfter != ids[n-2] {
+		t.Fatalf("nextAfter = %q, want %q", p1.NextAfter, ids[n-2])
+	}
+	// Walk the cursor to exhaustion; the union must be every job once.
+	seen := map[string]bool{}
+	query := "?limit=2"
+	for hops := 0; ; hops++ {
+		if hops > n {
+			t.Fatal("cursor never terminated")
+		}
+		page := fetch(query)
+		for _, st := range page.Jobs {
+			if seen[st.ID] {
+				t.Fatalf("job %s repeated across pages", st.ID)
+			}
+			seen[st.ID] = true
+		}
+		if page.NextAfter == "" {
+			break
+		}
+		query = "?limit=2&after=" + page.NextAfter
+	}
+	if len(seen) != n {
+		t.Fatalf("cursor walk saw %d jobs, want %d", len(seen), n)
+	}
+	// The last page carries no cursor even when exactly full.
+	if last := fetch("?limit=2&after=" + ids[1]); last.NextAfter != "" {
+		t.Fatalf("exhausted page still has nextAfter %q", last.NextAfter)
+	}
+	for _, bad := range []string{"?limit=0", "?limit=x", "?after=nope"} {
+		if _, code := readBody(t, ts.URL+"/v1/jobs"+bad); code != http.StatusBadRequest {
+			t.Errorf("list%s: %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestEventsStream: the SSE endpoint must deliver status events ending
+// in a terminal one, each payload identical in schema to the poll
+// endpoint's body.
+func TestEventsStream(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1})
+	st, _ := postJob(t, ts, jobBody(320, 2000, 40, false))
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []Status
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Status
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event payload %q: %v", line, err)
+		}
+		if ev.ID != st.ID {
+			t.Fatalf("event for wrong job: %+v", ev)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events delivered")
+	}
+	last := events[len(events)-1]
+	if last.State != string(JobDone) || last.Progress != 1 {
+		t.Fatalf("stream did not end in a terminal status: %+v", last)
+	}
+	// Events never regress: states only move forward, progress is
+	// monotone.
+	done := -1
+	for i, ev := range events {
+		if ev.TrialsDone < done {
+			t.Fatalf("event %d progress went backwards: %+v", i, events)
+		}
+		done = ev.TrialsDone
+	}
+	if _, code := readBody(t, ts.URL+"/v1/jobs/j-999999/events"); code != http.StatusNotFound {
+		t.Fatalf("events for unknown job: %d", code)
+	}
+}
+
+// TestDurableStatusListsInterrupted exercises the ?state=interrupted
+// filter wiring (the state is transient, so assert only that the
+// filter is accepted and the recovered job is eventually done).
+func TestDurableStatusListsInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	st0, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("j-%06d", i+1)
+		if err := st0.Submitted(id, "", []byte(jobBody(uint64(330+i), 300, 20, false)), time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st0.Close()
+
+	_, ts := testServer(t, Config{JobWorkers: 2, DataDir: dir})
+	if _, code := readBody(t, ts.URL+"/v1/jobs?state=interrupted"); code != http.StatusOK {
+		t.Fatalf("state=interrupted filter: %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		waitState(t, ts, fmt.Sprintf("j-%06d", i+1), JobDone)
+	}
+}

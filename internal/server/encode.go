@@ -345,6 +345,20 @@ func (e *encBuf) appendStatus(st *Status) {
 	e.b = append(e.b, '}')
 }
 
+// encodeResultBytes renders the exact body writeResult would serve —
+// trailing newline included — into a fresh slice. Durable mode
+// journals these bytes at completion and serves them verbatim ever
+// after, which is what makes a done job's result bitwise-stable across
+// crash and restart.
+func encodeResultBytes(res *JobResult) []byte {
+	e := getEnc()
+	e.appendResult(res, nil)
+	e.b = append(e.b, '\n')
+	out := append([]byte(nil), e.b...)
+	e.put()
+	return out
+}
+
 // --- handler-facing writers --------------------------------------------
 
 // writeResult streams a finished job's result to the client: headers,

@@ -1,11 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -27,11 +31,12 @@ func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs", s.withAuth(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.withAuth(s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.withAuth(s.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.withAuth(s.handleResult))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.withAuth(s.handleEvents))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.withAuth(s.handleCancel))
 	if s.cfg.Role == RoleWorker {
 		mux.HandleFunc("POST /v1/shards", s.handleShard)
 	}
@@ -116,13 +121,57 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		write("ared_cluster_shards_done_total", "counter", cs.ShardsDone)
 		write("ared_cluster_shards_retried_total", "counter", cs.ShardsRetried)
 	}
+	if s.store != nil {
+		sm := s.store.Metrics()
+		write("ared_store_journal_bytes", "gauge", sm.JournalBytes)
+		write("ared_store_records_total", "counter", sm.Records)
+		write("ared_store_compactions_total", "counter", sm.Compactions)
+		write("ared_store_recovered_jobs", "gauge", sm.RecoveredJobs)
+		write("ared_store_recovered_interrupted", "gauge", sm.RecoveredInterrupted)
+		write("ared_store_dropped_tail_bytes", "gauge", sm.DroppedTailBytes)
+	}
+	if s.tenants != nil {
+		names := s.metrics.tenantSnapshot()
+		family := func(name, kind string, get func(*tenantCounters) int64) {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+			for _, tname := range names {
+				fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, tname, get(s.metrics.tenantCounters(tname)))
+			}
+		}
+		family("ared_tenant_jobs_submitted_total", "counter", func(c *tenantCounters) int64 { return c.submitted.Load() })
+		family("ared_tenant_jobs_completed_total", "counter", func(c *tenantCounters) int64 { return c.completed.Load() })
+		family("ared_tenant_jobs_failed_total", "counter", func(c *tenantCounters) int64 { return c.failed.Load() })
+		family("ared_tenant_jobs_cancelled_total", "counter", func(c *tenantCounters) int64 { return c.cancelled.Load() })
+		family("ared_tenant_jobs_rejected_total", "counter", func(c *tenantCounters) int64 { return c.rejected.Load() })
+		family("ared_tenant_cache_hits_total", "counter", func(c *tenantCounters) int64 { return c.cacheHits.Load() })
+		family("ared_tenant_cache_misses_total", "counter", func(c *tenantCounters) int64 { return c.cacheMiss.Load() })
+		family("ared_tenant_cache_bytes_total", "counter", func(c *tenantCounters) int64 { return c.cacheBytes.Load() })
+		fmt.Fprintf(w, "# TYPE ared_tenant_jobs_active gauge\n")
+		for _, tname := range names {
+			if tn, ok := s.tenants.Lookup(tname); ok {
+				fmt.Fprintf(w, "ared_tenant_jobs_active{tenant=%q} %d\n", tname, tn.Active())
+			}
+		}
+	}
 }
 
 // handleSubmit accepts one job: 202 with the queued job's status, 400 on
-// any validation failure, 503 when the queue is full or the server is
-// draining.
+// any validation failure, 429 when the tenant is over quota, 503 when
+// the queue is full or the server is draining.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	j, err := spec.ParseJob(http.MaxBytesReader(w, r.Body, maxJobBody))
+	var j *spec.Job
+	var raw []byte
+	var err error
+	if s.store != nil {
+		// Durable mode journals the body verbatim, so read it whole;
+		// the open-API path keeps the streaming parse (no extra copy).
+		raw, err = io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBody))
+		if err == nil {
+			j, err = spec.ParseJob(bytes.NewReader(raw))
+		}
+	} else {
+		j, err = spec.ParseJob(http.MaxBytesReader(w, r.Body, maxJobBody))
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -140,8 +189,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			errors.New("server: sweep jobs are not supported in coordinator role; submit to a single-role server"))
 		return
 	}
-	job, err := s.sched.submit(j)
+	tn := tenantFrom(r)
+	if tn != nil {
+		if ok, retry := tn.Admit(); !ok {
+			secs := int(math.Ceil(retry.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			s.metrics.tenantCounters(tn.Name).rejected.Add(1)
+			writeError(w, http.StatusTooManyRequests, ErrOverQuota)
+			return
+		}
+	}
+	job, err := s.sched.submit(j, raw, tn)
 	if err != nil {
+		if tn != nil {
+			tn.Release() // the refused job never held its admission
+		}
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -153,34 +218,89 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // validJobStates are the ?state= filter values handleList accepts.
 var validJobStates = map[string]bool{
 	string(JobQueued): true, string(JobRunning): true, string(JobDone): true,
-	string(JobFailed): true, string(JobCancelled): true,
+	string(JobFailed): true, string(JobCancelled): true, string(JobInterrupted): true,
 }
 
-// handleList returns job statuses in submission order. ?state=running
-// filters to one lifecycle state; the counts object always covers every
-// retained job, so a filtered listing still shows the whole picture.
+// Listing page bounds: ?limit= defaults to defaultListLimit and is
+// capped at maxListLimit — an unbounded listing of a long-lived durable
+// daemon's recovered table would be an accidental denial of service.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// handleList returns job statuses newest-first, paginated. ?limit=
+// bounds the page (default 100, max 1000); ?after=<job-id> resumes
+// below that ID, so walking pages while new jobs land never repeats or
+// skips an entry (IDs are a monotone sequence and the order is
+// descending). ?state=running filters to one lifecycle state; the
+// counts object always covers every visible job, so a filtered or
+// paginated listing still shows the whole picture. With auth on, only
+// the calling tenant's jobs are visible. A truncated page carries
+// nextAfter: the cursor for the next call.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	filter := r.URL.Query().Get("state")
+	q := r.URL.Query()
+	filter := q.Get("state")
 	if filter != "" && !validJobStates[filter] {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("server: unknown state %q (want queued, running, done, failed or cancelled)", filter))
+			fmt.Errorf("server: unknown state %q (want queued, running, interrupted, done, failed or cancelled)", filter))
 		return
 	}
-	all := s.sched.list()
-	counts := map[string]int{"total": len(all)}
-	jobs := make([]Status, 0, len(all))
-	for _, st := range all {
-		counts[st.State]++
-		if filter == "" || st.State == filter {
-			jobs = append(jobs, st)
+	limit := defaultListLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("server: invalid limit %q (want a positive integer)", v))
+			return
+		}
+		limit = min(n, maxListLimit)
+	}
+	afterSeq := 0
+	if v := q.Get("after"); v != "" {
+		if afterSeq = jobSeq(v); afterSeq == 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("server: invalid after cursor %q (want a job ID)", v))
+			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "counts": counts})
+	tn := tenantFrom(r)
+
+	counts := map[string]int{}
+	jobs := make([]Status, 0, min(limit, 64))
+	nextAfter := ""
+	for _, j := range s.sched.listJobs() {
+		if tn != nil && j.Tenant != tn.Name {
+			continue
+		}
+		st := j.Status()
+		counts["total"]++
+		counts[st.State]++
+		if filter != "" && st.State != filter {
+			continue
+		}
+		if afterSeq > 0 && jobSeq(st.ID) >= afterSeq {
+			continue
+		}
+		if len(jobs) == limit {
+			// One more match exists beyond the page: hand out a cursor.
+			if nextAfter == "" {
+				nextAfter = jobs[limit-1].ID
+			}
+			continue // keep walking for the counts
+		}
+		jobs = append(jobs, st)
+	}
+	body := map[string]any{"jobs": jobs, "counts": counts}
+	if nextAfter != "" {
+		body["nextAfter"] = nextAfter
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleStatus returns one job's status.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.sched.get(r.PathValue("id"))
+	j, ok := s.jobForRequest(r)
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrUnknownJob)
 		return
@@ -195,16 +315,23 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // pooled streaming encoder instead of reflection — the 409 poll answer
 // in particular allocates nothing beyond the response itself.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.sched.get(r.PathValue("id"))
+	j, ok := s.jobForRequest(r)
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrUnknownJob)
 		return
 	}
 	j.mu.Lock()
-	state, res, jerr := j.state, j.result, j.err
+	state, res, raw, jerr := j.state, j.result, j.raw, j.err
 	j.mu.Unlock()
 	switch state {
 	case JobDone:
+		// Durable (and recovered) jobs serve their journaled bytes
+		// verbatim: the same response, bit for bit, in every life.
+		if raw != nil {
+			beginJSON(w, http.StatusOK)
+			w.Write(raw)
+			return
+		}
 		writeResult(w, res)
 	case JobFailed:
 		writeErrorParts(w, http.StatusGone, "server: job ", j.ID, " failed: ", jerr)
@@ -216,8 +343,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCancel requests cancellation: 202 with the (possibly already
-// transitioned) status, 409 when the job had finished, 404 when unknown.
+// transitioned) status, 409 when the job had finished, 404 when unknown
+// (or owned by another tenant).
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.jobForRequest(r); !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownJob)
+		return
+	}
 	j, err := s.sched.cancelJob(r.PathValue("id"))
 	switch {
 	case errors.Is(err, ErrUnknownJob):

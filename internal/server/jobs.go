@@ -1,9 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +18,8 @@ import (
 	"github.com/ralab/are/internal/metrics"
 	"github.com/ralab/are/internal/pricing"
 	"github.com/ralab/are/internal/spec"
+	"github.com/ralab/are/internal/store"
+	"github.com/ralab/are/internal/tenant"
 	"github.com/ralab/are/internal/yet"
 )
 
@@ -22,13 +27,17 @@ import (
 type JobState string
 
 // Job lifecycle: queued -> running -> done | failed | cancelled. A
-// queued job that is cancelled skips running entirely.
+// queued job that is cancelled skips running entirely. Interrupted is
+// the durable-mode recovery state: a job the previous process left
+// queued or running is requeued under its original ID and runs again —
+// it is "queued with a history", and transitions exactly like queued.
 const (
-	JobQueued    JobState = "queued"
-	JobRunning   JobState = "running"
-	JobDone      JobState = "done"
-	JobFailed    JobState = "failed"
-	JobCancelled JobState = "cancelled"
+	JobQueued      JobState = "queued"
+	JobRunning     JobState = "running"
+	JobDone        JobState = "done"
+	JobFailed      JobState = "failed"
+	JobCancelled   JobState = "cancelled"
+	JobInterrupted JobState = "interrupted"
 )
 
 // Scheduler errors.
@@ -37,14 +46,16 @@ var (
 	ErrShuttingDown = errors.New("server: shutting down")
 	ErrUnknownJob   = errors.New("server: unknown job")
 	ErrJobFinished  = errors.New("server: job already finished")
+	ErrStore        = errors.New("server: durable store write failed")
 )
 
 // Job is one submitted analysis and its run state. Mutable fields are
 // guarded by mu; progress uses an atomic so the hot Progress hook never
 // contends with status reads.
 type Job struct {
-	ID   string
-	Spec *spec.Job
+	ID     string
+	Spec   *spec.Job
+	Tenant string // owning tenant's name; "" when auth is off
 
 	mu        sync.Mutex
 	state     JobState
@@ -53,12 +64,64 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	result    *JobResult
+	// raw is the encoded result body (with trailing newline) served
+	// verbatim by handleResult. Durable mode fills it at completion —
+	// the same bytes go into the journal, which is what makes a done
+	// job's result bitwise-stable across restarts.
+	raw []byte
+	// specRaw is the submitted body as journaled (durable mode only).
+	specRaw []byte
+	// watch is closed and replaced on every state or progress change;
+	// nil until the first SSE subscriber asks (lazy, so jobs nobody
+	// watches pay one nil check per transition).
+	watch chan struct{}
+	// tenantRef holds the admission slot released exactly once at the
+	// terminal transition.
+	tenantRef *tenant.Tenant
 
 	total      int
 	trialsDone atomic.Int64
 
 	cancel context.CancelFunc
 	ctx    context.Context
+}
+
+// changed returns a channel closed at the job's next state or progress
+// change. Subscribers must call changed BEFORE snapshotting Status —
+// subscribing after would miss a transition landing between the
+// snapshot and the wait.
+func (j *Job) changed() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.watch == nil {
+		j.watch = make(chan struct{})
+	}
+	return j.watch
+}
+
+// notifyLocked wakes every changed() subscriber. Caller holds j.mu.
+func (j *Job) notifyLocked() {
+	if j.watch != nil {
+		close(j.watch)
+		j.watch = nil
+	}
+}
+
+// poke is notifyLocked for callers outside j.mu (the progress hook).
+func (j *Job) poke() {
+	j.mu.Lock()
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// releaseQuotaLocked frees the job's tenant admission slot, exactly
+// once per admitted job. Caller holds j.mu; tenant's own lock never
+// takes a job lock, so the ordering is safe.
+func (j *Job) releaseQuotaLocked() {
+	if j.tenantRef != nil {
+		j.tenantRef.Release()
+		j.tenantRef = nil
+	}
 }
 
 // Status is the wire form of a job's state (GET /v1/jobs/{id}).
@@ -188,6 +251,8 @@ type scheduler struct {
 	cache   *artifact.Cache
 	metrics *serverMetrics
 	coord   *dist.Coordinator // non-nil in coordinator role: jobs fan out to the cluster
+	store   *store.Store      // non-nil in durable mode: lifecycle transitions journal through it
+	tenants *tenant.Registry  // non-nil when auth is on: recovery re-attaches quota slots
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -218,19 +283,40 @@ type DrainStats struct {
 	ForceCancelled int
 }
 
-func newScheduler(cfg Config, cache *artifact.Cache, coord *dist.Coordinator, m *serverMetrics) *scheduler {
+func newScheduler(cfg Config, cache *artifact.Cache, coord *dist.Coordinator, m *serverMetrics, st *store.Store, tenants *tenant.Registry) *scheduler {
 	ctx, cancel := context.WithCancel(context.Background())
+	var recovered []*store.JobRecord
+	if st != nil {
+		recovered = st.Recovered()
+	}
+	interrupted := 0
+	for _, rec := range recovered {
+		if !rec.State.Terminal() {
+			interrupted++
+		}
+	}
+	depth := cfg.QueueDepth
+	if depth < interrupted {
+		// Every interrupted job must requeue even if the previous life
+		// ran with a deeper queue than this one.
+		depth = interrupted
+	}
 	s := &scheduler{
 		cfg:        cfg,
 		cache:      cache,
 		metrics:    m,
 		coord:      coord,
+		store:      st,
+		tenants:    tenants,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *Job, cfg.QueueDepth),
+		queue:      make(chan *Job, depth),
 		execSem:    make(chan struct{}, cfg.JobWorkers),
 		accepting:  true,
 		jobs:       make(map[string]*Job),
+	}
+	for _, rec := range recovered {
+		s.recoverJob(rec)
 	}
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.wg.Add(1)
@@ -239,37 +325,150 @@ func newScheduler(cfg Config, cache *artifact.Cache, coord *dist.Coordinator, m 
 	return s
 }
 
+func (s *scheduler) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// jobSeq parses the numeric tail of a "j-%06d" job ID. Recovery seeds
+// the sequence from the journal's maximum so a restarted daemon never
+// hands out an ID that collides with a recovered job.
+func jobSeq(id string) int {
+	tail, ok := strings.CutPrefix(id, "j-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(tail)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// recoverJob rebuilds one journaled job at startup (before workers or
+// the listener exist, so no locks are needed). Terminal records become
+// finished jobs serving their journaled result bytes verbatim —
+// bitwise-identical to what the previous life served. Submitted and
+// running records requeue under their original IDs in the interrupted
+// state: the deterministic engine plus the artifact cache make the
+// re-run produce the same result the crash interrupted.
+func (s *scheduler) recoverJob(rec *store.JobRecord) {
+	if n := jobSeq(rec.ID); n > s.seq {
+		s.seq = n
+	}
+	j := &Job{
+		ID:        rec.ID,
+		Tenant:    rec.Tenant,
+		submitted: rec.Submitted,
+		started:   rec.Started,
+		finished:  rec.Finished,
+		specRaw:   rec.Spec,
+	}
+	js, perr := spec.ParseJob(bytes.NewReader(rec.Spec))
+	if perr == nil {
+		j.Spec = js
+		j.total = js.YET.Trials
+	}
+	switch {
+	case rec.State == store.StateDone:
+		j.state = JobDone
+		j.raw = rec.Result
+		j.trialsDone.Store(int64(j.total))
+		j.cancel = func() {}
+	case rec.State == store.StateFailed:
+		j.state = JobFailed
+		j.err = rec.Error
+		j.cancel = func() {}
+	case rec.State == store.StateCancelled:
+		j.state = JobCancelled
+		j.cancel = func() {}
+	case perr != nil:
+		// The journaled spec no longer parses (format drift across an
+		// upgrade). Failing the job visibly beats silently dropping an
+		// accepted submission.
+		j.state = JobFailed
+		j.err = "recovery: journaled spec unparsable: " + perr.Error()
+		j.finished = time.Now()
+		j.cancel = func() {}
+		if serr := s.store.Failed(j.ID, j.finished, j.err); serr != nil {
+			s.logf("store: failed %s: %v", j.ID, serr)
+		}
+	default: // submitted or running: requeue for a re-run
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		j.ctx, j.cancel = ctx, cancel
+		j.state = JobInterrupted
+		j.started = time.Time{} // not running yet in this life
+		if s.tenants != nil {
+			if tn, ok := s.tenants.Lookup(rec.Tenant); ok {
+				// The job was admitted (and journaled) in a previous
+				// life; it occupies concurrency again but spends no
+				// fresh rate token.
+				tn.Reacquire()
+				j.tenantRef = tn
+			}
+		}
+		s.queue <- j // queue is sized to hold every interrupted job
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+}
+
 // submit enqueues a validated job and returns it, or ErrQueueFull /
-// ErrShuttingDown.
-func (s *scheduler) submit(js *spec.Job) (*Job, error) {
+// ErrShuttingDown / ErrStore. raw is the submitted body for the
+// journal (nil when the server is not durable); tn is the admitting
+// tenant whose quota slot the job now holds (nil when auth is off) —
+// on error the caller releases the slot.
+func (s *scheduler) submit(js *spec.Job, raw []byte, tn *tenant.Tenant) (*Job, error) {
+	var tenantName string
+	if tn != nil {
+		tenantName = tn.Name
+	}
 	s.mu.Lock()
 	if !s.accepting {
 		s.mu.Unlock()
 		return nil, ErrShuttingDown
+	}
+	// Refuse before burning a sequence number or journaling. Only
+	// submit sends while holding s.mu, so a vacancy observed here
+	// cannot be stolen before the send below.
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		return nil, ErrQueueFull
 	}
 	s.seq++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
 		ID:        fmt.Sprintf("j-%06d", s.seq),
 		Spec:      js,
+		Tenant:    tenantName,
+		tenantRef: tn,
 		state:     JobQueued,
 		submitted: time.Now(),
 		total:     js.YET.Trials,
 		ctx:       ctx,
 		cancel:    cancel,
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Unlock()
-		cancel()
-		return nil, ErrQueueFull
+	if s.store != nil {
+		// Journal before the job becomes runnable: once the client has
+		// its 202 the job must survive a crash, and a Started record
+		// must never precede its Submitted record.
+		if err := s.store.Submitted(j.ID, tenantName, raw, j.submitted); err != nil {
+			s.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+		j.specRaw = raw
 	}
+	s.queue <- j // cannot block: the vacancy was held under s.mu
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.evictFinishedLocked()
 	s.mu.Unlock()
 	s.metrics.jobsSubmitted.Add(1)
+	if tenantName != "" {
+		s.metrics.tenantCounters(tenantName).submitted.Add(1)
+	}
 	return j, nil
 }
 
@@ -313,24 +512,40 @@ func (s *scheduler) get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// list snapshots all jobs in submission order.
-func (s *scheduler) list() []Status {
+// listJobs snapshots the registry newest-first — the listing order:
+// the most recently submitted job is the one a client is most likely
+// paging for, and a stable descending order makes the `after` cursor
+// deterministic under concurrent submissions.
+func (s *scheduler) listJobs() []*Job {
 	s.mu.Lock()
-	js := make([]*Job, 0, len(s.order))
-	for _, id := range s.order {
-		js = append(js, s.jobs[id])
-	}
-	s.mu.Unlock()
-	out := make([]Status, len(js))
-	for i, j := range js {
-		out[i] = j.Status()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		out = append(out, s.jobs[s.order[i]])
 	}
 	return out
 }
 
-// cancelJob requests cancellation. Queued jobs are marked cancelled
-// immediately; running jobs get their context cancelled and transition
-// when the engine unwinds. Finished jobs return ErrJobFinished.
+// tenantTerminal bumps the owning tenant's terminal-state counter.
+func (s *scheduler) tenantTerminal(name string, final JobState) {
+	if name == "" {
+		return
+	}
+	tc := s.metrics.tenantCounters(name)
+	switch final {
+	case JobDone:
+		tc.completed.Add(1)
+	case JobFailed:
+		tc.failed.Add(1)
+	case JobCancelled:
+		tc.cancelled.Add(1)
+	}
+}
+
+// cancelJob requests cancellation. Queued (and recovered interrupted)
+// jobs are marked cancelled immediately; running jobs get their context
+// cancelled and transition when the engine unwinds. Finished jobs
+// return ErrJobFinished.
 func (s *scheduler) cancelJob(id string) (*Job, error) {
 	j, ok := s.get(id)
 	if !ok {
@@ -341,10 +556,21 @@ func (s *scheduler) cancelJob(id string) (*Job, error) {
 	case JobDone, JobFailed, JobCancelled:
 		j.mu.Unlock()
 		return j, ErrJobFinished
-	case JobQueued:
+	case JobQueued, JobInterrupted:
+		now := time.Now()
+		if s.store != nil {
+			// Journal before publishing: no observer may see a terminal
+			// state the journal could lose.
+			if err := s.store.Cancelled(j.ID, now); err != nil {
+				s.logf("store: cancelled %s: %v", j.ID, err)
+			}
+		}
 		j.state = JobCancelled
-		j.finished = time.Now()
+		j.finished = now
 		s.metrics.jobsCancelled.Add(1)
+		s.tenantTerminal(j.Tenant, JobCancelled)
+		j.releaseQuotaLocked()
+		j.notifyLocked()
 	}
 	j.mu.Unlock()
 	j.cancel() // running worker unwinds via RunPipelineContext
@@ -365,7 +591,7 @@ func (s *scheduler) shutdown(ctx context.Context) (DrainStats, error) {
 	var open []*Job
 	for _, j := range s.jobs {
 		j.mu.Lock()
-		if j.state == JobQueued || j.state == JobRunning {
+		if j.state == JobQueued || j.state == JobRunning || j.state == JobInterrupted {
 			open = append(open, j)
 		}
 		j.mu.Unlock()
@@ -394,10 +620,21 @@ func (s *scheduler) shutdown(ctx context.Context) (DrainStats, error) {
 	if wasAccepting {
 		for j := range s.queue {
 			j.mu.Lock()
-			if j.state == JobQueued {
+			if j.state == JobQueued || j.state == JobInterrupted {
+				now := time.Now()
+				if s.store != nil {
+					// A graceful shutdown disposes of its stragglers
+					// durably; only a crash leaves jobs to recover.
+					if serr := s.store.Cancelled(j.ID, now); serr != nil {
+						s.logf("store: cancelled %s: %v", j.ID, serr)
+					}
+				}
 				j.state = JobCancelled
-				j.finished = time.Now()
+				j.finished = now
 				s.metrics.jobsCancelled.Add(1)
+				s.tenantTerminal(j.Tenant, JobCancelled)
+				j.releaseQuotaLocked()
+				j.notifyLocked()
 			}
 			j.mu.Unlock()
 		}
@@ -438,12 +675,22 @@ func (s *scheduler) worker() {
 // the job lifecycle around it is identical.
 func (s *scheduler) runJob(j *Job) {
 	j.mu.Lock()
-	if j.state != JobQueued { // cancelled while queued
+	if j.state != JobQueued && j.state != JobInterrupted { // cancelled while queued
 		j.mu.Unlock()
 		return
 	}
 	j.state = JobRunning
 	j.started = time.Now()
+	if s.store != nil {
+		// Journaled inside the same critical section that publishes the
+		// state, so "running" can never be observed before it is
+		// recorded. Started records are not fsynced — losing one to a
+		// power cut only means the job replays as submitted.
+		if err := s.store.Started(j.ID, j.started); err != nil {
+			s.logf("store: started %s: %v", j.ID, err)
+		}
+	}
+	j.notifyLocked()
 	j.mu.Unlock()
 	s.metrics.jobsRunning.Add(1)
 	defer s.metrics.jobsRunning.Add(-1)
@@ -467,22 +714,59 @@ func (s *scheduler) runJob(j *Job) {
 	default:
 		res, err = s.execute(j)
 	}
-	j.mu.Lock()
-	j.finished = time.Now()
+	var final JobState
 	switch {
 	case err == nil:
-		j.state = JobDone
+		final = JobDone
+	case errors.Is(err, context.Canceled):
+		final = JobCancelled
+	default:
+		final = JobFailed
+	}
+	// Encode the result body outside the lock: the journaled bytes ARE
+	// the response handleResult serves, which is what makes a done
+	// job's result bitwise-stable across crash and restart.
+	var raw []byte
+	if final == JobDone && s.store != nil {
+		raw = encodeResultBytes(res)
+	}
+	now := time.Now()
+	j.mu.Lock()
+	j.finished = now
+	if s.store != nil {
+		// Journal (with fsync) before publishing the terminal state: a
+		// client that reads "done" must find the job done after any
+		// crash. A failed journal write degrades durability, not
+		// service — log and serve from memory.
+		var serr error
+		switch final {
+		case JobDone:
+			serr = s.store.Done(j.ID, now, raw)
+			j.raw = raw
+		case JobCancelled:
+			serr = s.store.Cancelled(j.ID, now)
+		case JobFailed:
+			serr = s.store.Failed(j.ID, now, err.Error())
+		}
+		if serr != nil {
+			s.logf("store: %s %s: %v", final, j.ID, serr)
+		}
+	}
+	j.state = final
+	switch final {
+	case JobDone:
 		j.result = res
 		s.metrics.jobsCompleted.Add(1)
 		s.metrics.trialsProcessed.Add(int64(res.Trials))
-	case errors.Is(err, context.Canceled):
-		j.state = JobCancelled
+	case JobCancelled:
 		s.metrics.jobsCancelled.Add(1)
-	default:
-		j.state = JobFailed
+	case JobFailed:
 		j.err = err.Error()
 		s.metrics.jobsFailed.Add(1)
 	}
+	s.tenantTerminal(j.Tenant, final)
+	j.releaseQuotaLocked()
+	j.notifyLocked()
 	j.mu.Unlock()
 	j.cancel()
 }
@@ -499,9 +783,26 @@ type jobArtifacts struct {
 }
 
 // prepare fetches the job's artifacts from the shared cache and builds
-// its engine options.
+// its engine options, attributing cache traffic to the job's tenant.
+// Artifacts stay shared and immutable across tenants (the cache key is
+// the spec hash, never the tenant); only the accounting is per tenant:
+// hit/miss per artifact lookup, plus the job's table bytes walked
+// (12 bytes per occurrence in the columnar layout) as the tenant's
+// data-plane consumption.
 func (s *scheduler) prepare(j *Job) (*jobArtifacts, error) {
-	return prepareLocal(j.ctx, s.cache, j.Spec, s.cfg.EngineWorkers, j.progress())
+	a, err := prepareLocal(j.ctx, s.cache, j.Spec, s.cfg.EngineWorkers, j.progress())
+	if err == nil && j.Tenant != "" {
+		tc := s.metrics.tenantCounters(j.Tenant)
+		for _, hit := range [2]bool{a.engineHit, a.yetHit} {
+			if hit {
+				tc.cacheHits.Add(1)
+			} else {
+				tc.cacheMiss.Add(1)
+			}
+		}
+		tc.cacheBytes.Add(int64(a.table.NumOccurrences()) * 12)
+	}
+	return a, err
 }
 
 // prepareLocal is the scheduler-independent artifact prelude shared by
@@ -693,6 +994,22 @@ func (s *scheduler) executeDistributed(j *Job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// After a durable restart, recovered jobs reach this point before
+	// the workers' registration loops have found the new process — the
+	// registry is in-memory, so it restarts empty and RunJob would fail
+	// every recovered job with "no workers" in the first seconds of the
+	// new life. Durable mode waits briefly for the first worker;
+	// non-durable keeps the historical fail-fast.
+	if s.store != nil && s.coord.Status().Alive == 0 {
+		deadline := time.Now().Add(10 * time.Second)
+		for s.coord.Status().Alive == 0 && time.Now().Before(deadline) {
+			select {
+			case <-j.ctx.Done():
+				return nil, j.ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+	}
 	start := time.Now()
 	m, err := s.coord.RunJob(j.ctx, js, j.progress())
 	if err != nil {
@@ -715,7 +1032,11 @@ func (j *Job) progress() func(done, total int) {
 	return func(done, total int) {
 		for {
 			cur := j.trialsDone.Load()
-			if int64(done) <= cur || j.trialsDone.CompareAndSwap(cur, int64(done)) {
+			if int64(done) <= cur {
+				return
+			}
+			if j.trialsDone.CompareAndSwap(cur, int64(done)) {
+				j.poke() // wake SSE subscribers on forward progress
 				return
 			}
 		}

@@ -48,11 +48,15 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/ralab/are/internal/artifact"
 	"github.com/ralab/are/internal/dist"
+	"github.com/ralab/are/internal/store"
+	"github.com/ralab/are/internal/tenant"
 )
 
 // Roles a server process can play.
@@ -143,6 +147,27 @@ type Config struct {
 	// jobs to drain before force-cancelling them; 0 selects 10s.
 	ShutdownGrace time.Duration
 
+	// DataDir, when non-empty, makes the job table durable: every job
+	// lifecycle transition is journaled to an append-only log under this
+	// directory (created if absent), and a restarting daemon replays it —
+	// finished jobs come back serving their exact recorded result bytes,
+	// jobs the previous process left queued or running are requeued under
+	// their original IDs and re-run. Empty keeps the job table in memory
+	// only (the historical behaviour).
+	DataDir string
+
+	// StoreCompactBytes overrides the journal size at which the durable
+	// store compacts (rewrites the log as just the live job table);
+	// 0 selects the store default (8 MiB). Only meaningful with DataDir.
+	StoreCompactBytes int64
+
+	// Tenants, when non-nil, turns on multi-tenant auth: the job
+	// endpoints require a configured API key (Authorization: Bearer or
+	// X-API-Key), jobs are owned by the submitting tenant, and each
+	// tenant's concurrency and rate quotas are enforced ahead of
+	// submission with 429 + Retry-After. Nil keeps the API open.
+	Tenants *tenant.Registry
+
 	// Logf, when non-nil, receives operational log lines (registration
 	// failures, shutdown drain accounting). Nil discards them.
 	Logf func(format string, args ...any)
@@ -189,6 +214,55 @@ type serverMetrics struct {
 	trialsProcessed atomic.Int64
 	shardsServed    atomic.Int64
 	shardsFailed    atomic.Int64
+
+	// tenants holds per-tenant counters, created lazily on first touch;
+	// tmu guards the map only (the counters themselves are atomics).
+	tmu     sync.Mutex
+	tenants map[string]*tenantCounters
+}
+
+// tenantCounters are one tenant's labelled counters: job lifecycle
+// outcomes, quota rejections, and the tenant's artifact-cache
+// consumption (artifacts stay shared and immutable across tenants;
+// only the accounting is per tenant).
+type tenantCounters struct {
+	submitted  atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	cancelled  atomic.Int64
+	rejected   atomic.Int64
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	cacheBytes atomic.Int64
+}
+
+// tenantCounters returns (creating if needed) the named tenant's
+// counter block.
+func (m *serverMetrics) tenantCounters(name string) *tenantCounters {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	if m.tenants == nil {
+		m.tenants = make(map[string]*tenantCounters)
+	}
+	tc, ok := m.tenants[name]
+	if !ok {
+		tc = &tenantCounters{}
+		m.tenants[name] = tc
+	}
+	return tc
+}
+
+// tenantSnapshot returns the tenant names with live counters, sorted
+// for stable /metrics output.
+func (m *serverMetrics) tenantSnapshot() []string {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	names := make([]string, 0, len(m.tenants))
+	for name := range m.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Server is the ared HTTP service: a scheduler plus its API surface.
@@ -199,6 +273,8 @@ type Server struct {
 	cache   *artifact.Cache
 	sched   *scheduler
 	coord   *dist.Coordinator // non-nil in the coordinator role
+	store   *store.Store      // non-nil in durable mode (Config.DataDir)
+	tenants *tenant.Registry  // non-nil when auth is on (Config.Tenants)
 	metrics *serverMetrics
 	handler http.Handler
 }
@@ -224,13 +300,31 @@ func New(cfg Config) (*Server, error) {
 			RequestTimeout: cfg.ShardTimeout,
 		})
 	}
+	var st *store.Store
+	if cfg.DataDir != "" {
+		var err error
+		st, err = store.Open(cfg.DataDir, store.Options{
+			CompactBytes: cfg.StoreCompactBytes,
+			Retain:       cfg.MaxJobsRetained,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
 		coord:   coord,
+		store:   st,
+		tenants: cfg.Tenants,
 		metrics: m,
 	}
-	s.sched = newScheduler(cfg, cache, coord, m)
+	s.sched = newScheduler(cfg, cache, coord, m, st, cfg.Tenants)
+	if st != nil {
+		sm := st.Metrics()
+		s.logf("ared: durable store %s: %d jobs recovered (%d requeued), %d tail bytes dropped",
+			cfg.DataDir, sm.RecoveredJobs, sm.RecoveredInterrupted, sm.DroppedTailBytes)
+	}
 	s.handler = s.routes()
 	if cfg.Role == RoleWorker && cfg.CoordinatorURL != "" {
 		go s.registerLoop()
@@ -299,6 +393,13 @@ func (s *Server) Handler() http.Handler { return s.handler }
 func (s *Server) Shutdown(ctx context.Context) error {
 	stats, err := s.sched.shutdown(ctx)
 	s.logf("ared: shutdown: %d jobs drained, %d force-cancelled", stats.Drained, stats.ForceCancelled)
+	if s.store != nil {
+		// After the drain: every terminal transition is journaled by
+		// now, and Close is idempotent for repeated Shutdowns.
+		if cerr := s.store.Close(); cerr != nil {
+			s.logf("ared: store close: %v", cerr)
+		}
+	}
 	return err
 }
 

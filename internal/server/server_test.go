@@ -470,7 +470,8 @@ func TestListJobs(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}
-	if len(list.Jobs) != 2 || list.Jobs[0].ID != a.ID || list.Jobs[1].ID != b.ID {
+	// Newest first: the most recent submission leads the listing.
+	if len(list.Jobs) != 2 || list.Jobs[0].ID != b.ID || list.Jobs[1].ID != a.ID {
 		t.Fatalf("list = %+v", list.Jobs)
 	}
 	for _, j := range list.Jobs {

@@ -1,0 +1,89 @@
+package server
+
+// GET /v1/jobs/{id}/events — a Server-Sent Events stream of job status.
+// Polling GET /v1/jobs/{id} puts the client in charge of latency; the
+// event stream inverts that: the server pushes a `status` event on
+// every state transition and on forward trial progress, then closes the
+// stream after the terminal event. The payload is exactly the status
+// body the poll endpoint serves (same pooled encoder), so a client can
+// switch between the two without a second schema.
+
+import (
+	"errors"
+	"net/http"
+	"time"
+)
+
+// ErrStreamingUnsupported reports a ResponseWriter that cannot flush —
+// only possible behind middleware that wraps the writer.
+var ErrStreamingUnsupported = errors.New("server: event stream needs a flushable connection")
+
+// sseHeartbeat is the idle keep-alive cadence: a comment frame often
+// enough that LBs and proxies with idle timeouts keep the stream open.
+const sseHeartbeat = 15 * time.Second
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobForRequest(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownJob)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, ErrStreamingUnsupported)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+
+	idle := time.NewTimer(sseHeartbeat)
+	defer idle.Stop()
+	var last Status
+	first := true
+	for {
+		// Subscribe BEFORE snapshotting: a transition landing between
+		// the snapshot and the wait closes ch, so it cannot be missed.
+		ch := j.changed()
+		st := j.Status()
+		if first || st != last {
+			e := getEnc()
+			e.b = append(e.b, "event: status\ndata: "...)
+			e.appendStatus(&st)
+			e.b = append(e.b, '\n', '\n')
+			if _, err := w.Write(e.b); err != nil {
+				e.put()
+				return
+			}
+			e.put()
+			fl.Flush()
+			last, first = st, false
+		}
+		switch st.State {
+		case string(JobDone), string(JobFailed), string(JobCancelled):
+			return // terminal status delivered; the stream is complete
+		}
+		if !idle.Stop() {
+			select {
+			case <-idle.C:
+			default:
+			}
+		}
+		idle.Reset(sseHeartbeat)
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		case <-idle.C:
+			if _, err := w.Write(ssePing); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// ssePing is the keep-alive comment frame.
+var ssePing = []byte(": ping\n\n")

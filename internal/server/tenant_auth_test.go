@@ -1,0 +1,261 @@
+package server
+
+// Tenancy tests: API-key auth (401), ownership (cross-tenant 404 and
+// list invisibility), quota refusals (429 + Retry-After), isolation
+// (one tenant's saturation never blocks another), and the per-tenant
+// metric families.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ralab/are/internal/tenant"
+)
+
+// testRegistry builds a two-tenant registry: "alpha" with a tight
+// concurrency quota, "beta" effectively unlimited.
+func testRegistry(t *testing.T) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.Parse([]byte(`{"tenants": [
+		{"name": "alpha", "key": "alpha-secret-key-0001", "maxActive": 1},
+		{"name": "beta", "key": "beta-secret-key-00002"}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+const (
+	alphaKey = "alpha-secret-key-0001"
+	betaKey  = "beta-secret-key-00002"
+)
+
+// decodeInto unmarshals a response body, failing the test on error.
+func decodeInto(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("decode %s: %v", data, err)
+	}
+}
+
+// authedDo sends a request with an API key (empty key = no auth header)
+// and returns the response with its body fully read.
+func authedDo(t *testing.T, method, url, key, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// submitAs posts a job under a tenant key and returns the 202 status.
+func submitAs(t *testing.T, ts *httptest.Server, key, body string) Status {
+	t.Helper()
+	resp, data := authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", key, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit as %q: %d: %s", key, resp.StatusCode, data)
+	}
+	var st Status
+	decodeInto(t, data, &st)
+	return st
+}
+
+// waitStateAs polls status under a tenant key until the job reaches one
+// of the wanted states.
+func waitStateAs(t *testing.T, ts *httptest.Server, key, id string, want ...JobState) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, data := authedDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+id, key, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %s: %d: %s", id, resp.StatusCode, data)
+		}
+		var st Status
+		decodeInto(t, data, &st)
+		for _, w := range want {
+			if st.State == string(w) {
+				return st
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %v", id, want)
+	return Status{}
+}
+
+func TestAuthRequired(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1, Tenants: testRegistry(t)})
+	paths := []struct{ method, path string }{
+		{http.MethodPost, "/v1/jobs"},
+		{http.MethodGet, "/v1/jobs"},
+		{http.MethodGet, "/v1/jobs/j-000001"},
+		{http.MethodGet, "/v1/jobs/j-000001/result"},
+		{http.MethodGet, "/v1/jobs/j-000001/events"},
+		{http.MethodDelete, "/v1/jobs/j-000001"},
+	}
+	for _, key := range []string{"", "wrong-key-wrong-key"} {
+		for _, p := range paths {
+			resp, _ := authedDo(t, p.method, ts.URL+p.path, key, "")
+			if resp.StatusCode != http.StatusUnauthorized {
+				t.Errorf("%s %s with key %q: %d, want 401", p.method, p.path, key, resp.StatusCode)
+			}
+			if wa := resp.Header.Get("WWW-Authenticate"); !strings.Contains(wa, "Bearer") {
+				t.Errorf("%s %s: WWW-Authenticate = %q", p.method, p.path, wa)
+			}
+		}
+	}
+	// Ops endpoints stay open: probes and scrapers carry no tenant key.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		if resp, _ := authedDo(t, http.MethodGet, ts.URL+path, "", ""); resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s without key: %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// The X-API-Key spelling works too.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs", nil)
+	req.Header.Set("X-API-Key", alphaKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("X-API-Key list: %d", resp.StatusCode)
+	}
+}
+
+func TestTenantOwnership(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 2, Tenants: testRegistry(t)})
+	st := submitAs(t, ts, alphaKey, jobBody(401, 200, 20, false))
+	waitStateAs(t, ts, alphaKey, st.ID, JobDone)
+
+	// Another tenant's job does not exist, on every per-job endpoint —
+	// 404, not 403: existence must not leak across tenants.
+	for _, p := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/jobs/" + st.ID},
+		{http.MethodGet, "/v1/jobs/" + st.ID + "/result"},
+		{http.MethodGet, "/v1/jobs/" + st.ID + "/events"},
+		{http.MethodDelete, "/v1/jobs/" + st.ID},
+	} {
+		if resp, _ := authedDo(t, p.method, ts.URL+p.path, betaKey, ""); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s as beta: %d, want 404", p.method, p.path, resp.StatusCode)
+		}
+	}
+	// And it is invisible in beta's listing, including the counts.
+	resp, data := authedDo(t, http.MethodGet, ts.URL+"/v1/jobs", betaKey, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("beta list: %d", resp.StatusCode)
+	}
+	var list struct {
+		Jobs   []Status       `json:"jobs"`
+		Counts map[string]int `json:"counts"`
+	}
+	decodeInto(t, data, &list)
+	if len(list.Jobs) != 0 || list.Counts["total"] != 0 {
+		t.Fatalf("beta sees alpha's jobs: %+v", list)
+	}
+	// The owner still has full access.
+	if resp, _ := authedDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/result", alphaKey, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("alpha result: %d", resp.StatusCode)
+	}
+}
+
+func TestTenantQuotaAndIsolation(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 2, Tenants: testRegistry(t)})
+	// alpha (maxActive 1) fills its quota with a long job...
+	long := submitAs(t, ts, alphaKey, jobBody(402, 500_000, 40, false))
+	resp, data := authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", alphaKey, jobBody(403, 200, 20, false))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d: %s", resp.StatusCode, data)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	// ...while beta's submissions are untouched by alpha's saturation.
+	b := submitAs(t, ts, betaKey, jobBody(404, 200, 20, false))
+	waitStateAs(t, ts, betaKey, b.ID, JobDone)
+
+	// Quota is released exactly at terminal: cancel the long job and the
+	// next alpha submission admits.
+	if resp, data := authedDo(t, http.MethodDelete, ts.URL+"/v1/jobs/"+long.ID, alphaKey, ""); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d: %s", resp.StatusCode, data)
+	}
+	waitStateAs(t, ts, alphaKey, long.ID, JobCancelled)
+	again := submitAs(t, ts, alphaKey, jobBody(405, 200, 20, false))
+	waitStateAs(t, ts, alphaKey, again.ID, JobDone)
+
+	// The refusal and completions show up in the per-tenant metrics.
+	mresp, mdata := authedDo(t, http.MethodGet, ts.URL+"/metrics", "", "")
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", mresp.StatusCode)
+	}
+	metricsText := string(mdata)
+	for _, want := range []string{
+		`ared_tenant_jobs_rejected_total{tenant="alpha"} 1`,
+		`ared_tenant_jobs_cancelled_total{tenant="alpha"} 1`,
+		`ared_tenant_jobs_completed_total{tenant="beta"} 1`,
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestTenantRateLimit(t *testing.T) {
+	reg, err := tenant.Parse([]byte(`{"tenants": [
+		{"name": "burst", "key": "burst-secret-key-0003", "ratePerSec": 0.5, "burst": 1}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, Config{JobWorkers: 2, Tenants: reg})
+	const key = "burst-secret-key-0003"
+	first := submitAs(t, ts, key, jobBody(406, 200, 20, false))
+	waitStateAs(t, ts, key, first.ID, JobDone)
+	// The bucket (capacity 1) is empty: the immediate follow-up is rate
+	// limited even though no jobs are active.
+	resp, _ := authedDo(t, http.MethodPost, ts.URL+"/v1/jobs", key, jobBody(407, 200, 20, false))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited submit: %d", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestOpenModeUnchanged pins the no-tenants contract: without a
+// registry, no auth headers are needed and no job is tenant-labelled.
+func TestOpenModeUnchanged(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1})
+	st, _ := postJob(t, ts, jobBody(408, 200, 20, false))
+	waitState(t, ts, st.ID, JobDone)
+	// A stray API key on an open server is simply ignored.
+	if resp, _ := authedDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID, "some-ignored-key", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("open-mode status with stray key: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// seedJournal builds a small but representative journal covering every
+// record type, used as the fuzz corpus baseline.
+func seedJournal() []byte {
+	b := []byte(journalMagic)
+	at := time.Unix(1_700_000_000, 0).UnixNano()
+	b = appendSubmitted(b, "j-000001", at, "acme", []byte(`{"yet":{"trials":100}}`))
+	b = appendStarted(b, "j-000001", at+1)
+	b = appendDone(b, "j-000001", at+2, []byte(`{"id":"j-000001","layers":[]}`+"\n"))
+	b = appendSubmitted(b, "j-000002", at+3, "", []byte(`{}`))
+	b = appendStarted(b, "j-000002", at+4)
+	b = appendFailed(b, "j-000002", at+5, "boom")
+	b = appendSubmitted(b, "j-000003", at+6, "zulu", nil)
+	b = appendCancelled(b, "j-000003", at+7)
+	b = appendSubmitted(b, "j-000004", at+8, "acme", []byte(`{"sweep":[]}`))
+	b = appendStarted(b, "j-000004", at+9)
+	return b
+}
+
+// FuzzJournalReplay throws arbitrary bytes at Open as journal content.
+// The contract under fuzz: never panic, never recover a done job
+// without result bytes, never produce a table larger than the record
+// count could justify, and always leave a journal that accepts new
+// appends and round-trips them.
+func FuzzJournalReplay(f *testing.F) {
+	seed := seedJournal()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])         // torn final write
+	f.Add(seed[:len(journalMagic)+1]) // torn first record
+	f.Add([]byte(journalMagic))       // empty journal
+	f.Add([]byte{})                   // missing file content
+	f.Add([]byte("not a journal at all"))
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const probeID = "j-fuzz-probe"
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, journalName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			// Open only errors on filesystem trouble, never on content.
+			t.Fatalf("Open rejected content: %v", err)
+		}
+		rec := s.Recovered()
+		hadProbe := false
+		for _, e := range rec {
+			if e.ID == "" {
+				t.Fatal("recovered a job with an empty ID")
+			}
+			if e.ID == probeID {
+				hadProbe = true // a fuzzed frame can legitimately carry any ID
+			}
+			if e.State == StateDone && e.Result == nil {
+				t.Fatalf("done job %s recovered without result bytes", e.ID)
+			}
+			if !e.State.Terminal() && e.State != StateSubmitted && e.State != StateRunning {
+				t.Fatalf("job %s recovered in impossible state %q", e.ID, e.State)
+			}
+		}
+		// Whatever was recovered, the store must be fully usable.
+		if err := s.Submitted(probeID, "t", []byte(`{"p":1}`), time.Unix(1, 0)); err != nil {
+			t.Fatalf("append after fuzzed recovery: %v", err)
+		}
+		if err := s.Done(probeID, time.Unix(2, 0), []byte("result\n")); err != nil {
+			t.Fatalf("terminal append after fuzzed recovery: %v", err)
+		}
+		s.Close()
+
+		s2, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("reopen after fuzzed recovery: %v", err)
+		}
+		defer s2.Close()
+		rec2 := s2.Recovered()
+		if !hadProbe && len(rec2) != len(rec)+1 {
+			t.Fatalf("reopen lost records: %d then %d", len(rec), len(rec2))
+		}
+		var probe *JobRecord
+		for _, e := range rec2 {
+			if e.ID == probeID {
+				probe = e
+			}
+		}
+		if probe == nil || probe.State != StateDone || !bytes.Equal(probe.Result, []byte("result\n")) {
+			t.Fatalf("probe job did not round-trip: %+v", probe)
+		}
+	})
+}

@@ -1,0 +1,254 @@
+// Package store is ared's crash-safe durable job store: an append-only
+// journal of job lifecycle records under a data directory, replayed on
+// daemon start to recover the job table. It is dependency-free on
+// purpose — the wire format is hand-rolled length-prefixed binary in
+// the same spirit as the server's streaming JSON encoder, so the
+// service's durability story adds no third-party storage engine to the
+// deployment.
+//
+// Durability model. Every lifecycle transition appends one CRC-framed
+// record; terminal transitions (done/failed/cancelled) additionally
+// fsync, because they are the transitions whose loss would make the
+// service lie (a client that read "done" must find the job done — with
+// the same result bytes — after a crash). Non-terminal records ride
+// the page cache: losing a "started" to a power cut only means the job
+// replays as submitted instead of interrupted, and either way it is
+// re-run. A kill -9 loses nothing at all — completed write()s survive
+// process death regardless of fsync.
+//
+// Crash tolerance. The journal's unit of trust is the frame: a one-byte
+// record type, a little-endian payload length, the payload, and a
+// CRC-32 over everything before it. Replay applies frames in order and
+// stops at the first frame that is truncated, corrupt, or nonsensical;
+// the file is then truncated back to the last whole valid record, so a
+// torn final write (the only tear an append-only file can suffer)
+// costs exactly the record that was being written. Property and fuzz
+// tests pin this: any truncation or bit-flip of the tail recovers to a
+// valid prefix without panicking and without half-applied jobs.
+//
+// Compaction. The journal grows by one record per transition, so a
+// long-lived daemon rewrites it once it passes a size threshold: the
+// live table (bounded by the retention window, same as the in-memory
+// registry) is serialised as a fresh minimal journal to a temp file,
+// fsynced, and renamed over the old one — the POSIX-atomic pattern, so
+// a crash mid-compaction leaves either the old complete journal or the
+// new one, never a mix.
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// journalMagic opens every journal file; a file that does not start
+// with it is not trusted at all (replay treats the whole file as an
+// invalid tail and starts fresh).
+const journalMagic = "AREDJNL1"
+
+// Record types. The numbering is part of the on-disk format.
+const (
+	recSubmitted byte = 1
+	recStarted   byte = 2
+	recDone      byte = 3
+	recFailed    byte = 4
+	recCancelled byte = 5
+)
+
+const (
+	// frameHead is the type byte plus the payload-length word.
+	frameHead = 1 + 4
+	// frameCRC trails the payload.
+	frameCRC = 4
+	// maxPayload rejects absurd length words during replay before any
+	// allocation happens — a corrupt length must not look like a 3 GiB
+	// record. Results are capped well below this by the job body cap
+	// and the retention window.
+	maxPayload = 64 << 20
+	// maxName bounds the ID and tenant strings inside a payload.
+	maxName = 1 << 10
+)
+
+// record is one decoded journal frame.
+type record struct {
+	typ    byte
+	id     string
+	at     int64  // unix nanoseconds
+	tenant string // recSubmitted
+	spec   []byte // recSubmitted
+	result []byte // recDone
+	errMsg string // recFailed
+}
+
+// --- frame encoding ----------------------------------------------------
+
+// beginFrame appends the frame head with a placeholder length and
+// returns the payload start offset for endFrame.
+func beginFrame(b []byte, typ byte) ([]byte, int) {
+	b = append(b, typ, 0, 0, 0, 0)
+	return b, len(b)
+}
+
+// endFrame backfills the payload length and appends the CRC.
+func endFrame(b []byte, payloadStart int) []byte {
+	binary.LittleEndian.PutUint32(b[payloadStart-4:payloadStart], uint32(len(b)-payloadStart))
+	crc := crc32.ChecksumIEEE(b[payloadStart-frameHead:])
+	return binary.LittleEndian.AppendUint32(b, crc)
+}
+
+func appendStr16(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes32(b, p []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// appendCommon is every record's shared payload prefix: the job ID and
+// the transition's wall-clock time.
+func appendCommon(b []byte, id string, at int64) []byte {
+	b = appendStr16(b, id)
+	return binary.LittleEndian.AppendUint64(b, uint64(at))
+}
+
+func appendSubmitted(b []byte, id string, at int64, tenant string, spec []byte) []byte {
+	b, p := beginFrame(b, recSubmitted)
+	b = appendCommon(b, id, at)
+	b = appendStr16(b, tenant)
+	b = appendBytes32(b, spec)
+	return endFrame(b, p)
+}
+
+func appendStarted(b []byte, id string, at int64) []byte {
+	b, p := beginFrame(b, recStarted)
+	b = appendCommon(b, id, at)
+	return endFrame(b, p)
+}
+
+func appendDone(b []byte, id string, at int64, result []byte) []byte {
+	b, p := beginFrame(b, recDone)
+	b = appendCommon(b, id, at)
+	b = appendBytes32(b, result)
+	return endFrame(b, p)
+}
+
+func appendFailed(b []byte, id string, at int64, errMsg string) []byte {
+	b, p := beginFrame(b, recFailed)
+	b = appendCommon(b, id, at)
+	b = appendStr16(b, errMsg)
+	return endFrame(b, p)
+}
+
+func appendCancelled(b []byte, id string, at int64) []byte {
+	b, p := beginFrame(b, recCancelled)
+	b = appendCommon(b, id, at)
+	return endFrame(b, p)
+}
+
+// --- frame decoding ----------------------------------------------------
+
+// payloadReader consumes a CRC-verified payload with bounds checking;
+// any overrun latches bad and every later read returns zero values, so
+// decodePayload needs exactly one validity check at the end.
+type payloadReader struct {
+	b   []byte
+	bad bool
+}
+
+func (r *payloadReader) take(n int) []byte {
+	if r.bad || n < 0 || n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	p := r.b[:n]
+	r.b = r.b[n:]
+	return p
+}
+
+func (r *payloadReader) u16() int {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint16(p))
+}
+
+func (r *payloadReader) u32() int {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(p))
+}
+
+func (r *payloadReader) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *payloadReader) str16(maxLen int) string {
+	n := r.u16()
+	if n > maxLen {
+		r.bad = true
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// bytes32 copies the length-prefixed slice out of the replay buffer so
+// recovered entries never pin the whole journal read in memory.
+func (r *payloadReader) bytes32() []byte {
+	n := r.u32()
+	p := r.take(n)
+	if r.bad {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, p)
+	return out
+}
+
+// decodeFrame decodes one frame from the head of data. ok is false for
+// a truncated, corrupt, or malformed frame — the caller stops replay
+// there and truncates the journal back to the previous record.
+func decodeFrame(data []byte) (rec record, size int, ok bool) {
+	if len(data) < frameHead+frameCRC {
+		return rec, 0, false
+	}
+	typ := data[0]
+	if typ < recSubmitted || typ > recCancelled {
+		return rec, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[1:frameHead]))
+	if n > maxPayload || len(data) < frameHead+n+frameCRC {
+		return rec, 0, false
+	}
+	body := data[:frameHead+n]
+	want := binary.LittleEndian.Uint32(data[frameHead+n : frameHead+n+frameCRC])
+	if crc32.ChecksumIEEE(body) != want {
+		return rec, 0, false
+	}
+	r := payloadReader{b: body[frameHead:]}
+	rec.typ = typ
+	rec.id = r.str16(maxName)
+	rec.at = int64(r.u64())
+	switch typ {
+	case recSubmitted:
+		rec.tenant = r.str16(maxName)
+		rec.spec = r.bytes32()
+	case recDone:
+		rec.result = r.bytes32()
+	case recFailed:
+		rec.errMsg = r.str16(1 << 15)
+	}
+	// A CRC-valid frame with interior lengths that do not tile the
+	// payload exactly is still a malformed record; trust ends here.
+	if r.bad || len(r.b) != 0 || rec.id == "" {
+		return record{}, 0, false
+	}
+	return rec, frameHead + n + frameCRC, true
+}

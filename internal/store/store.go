@@ -1,0 +1,472 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// State is a journaled job lifecycle state.
+type State string
+
+// Lifecycle states as journaled. "submitted" and "running" are the
+// non-terminal states a crash can strand a job in; recovery surfaces
+// both as interrupted and re-runs them.
+const (
+	StateSubmitted State = "submitted"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobRecord is one job's durable state as recovered from (or about to
+// enter) the journal. Spec and Result are the exact bytes the service
+// accepted and served — recovery hands terminal results back to
+// clients verbatim, which is what makes result bytes stable across a
+// restart.
+type JobRecord struct {
+	ID        string
+	Tenant    string
+	Spec      []byte
+	State     State
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	Result    []byte // done jobs: the served response body
+	Error     string // failed jobs
+}
+
+// Options sizes a store.
+type Options struct {
+	// CompactBytes is the journal size that triggers compaction; 0
+	// selects 8 MiB. After a compaction the threshold rises to twice
+	// the compacted size if that is larger, so a retention window full
+	// of big results cannot thrash rewrite loops.
+	CompactBytes int64
+
+	// Retain bounds the durable table the same way the scheduler's
+	// MaxJobsRetained bounds the in-memory registry: once exceeded, the
+	// oldest terminal records are dropped (and fall out of the journal
+	// at the next compaction). 0 selects 1000.
+	Retain int
+
+	// NoSync skips fsync entirely. Tests only: it keeps property tests
+	// that open thousands of stores fast, at the cost of power-loss
+	// (not crash) durability.
+	NoSync bool
+}
+
+// Metrics is a snapshot of the store's counters for /metrics.
+type Metrics struct {
+	JournalBytes         int64
+	Records              int64
+	Compactions          int64
+	RecoveredJobs        int
+	RecoveredInterrupted int
+	DroppedTailBytes     int64
+}
+
+// ErrClosed is returned by appends after Close.
+var ErrClosed = errors.New("store: closed")
+
+const (
+	journalName    = "journal.log"
+	compactTmpName = "journal.compact.tmp"
+)
+
+// Store is the durable job store: an open journal plus the in-memory
+// table replay built from it. All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	f           *os.File
+	size        int64
+	nextCompact int64
+	buf         []byte // reused frame-encoding buffer
+	entries     map[string]*JobRecord
+	order       []string // insertion order, oldest first
+	terminal    int      // terminal entries in the table, for eviction
+
+	records     int64
+	compactions int64
+	recovered   int
+	interrupted int
+	droppedTail int64
+	closed      bool
+}
+
+// Open opens (creating if needed) the journal under dir and replays it
+// into the in-memory table. An invalid tail — a torn final write from
+// a crash — is truncated back to the last whole valid record; a stale
+// compaction temp file is removed. The recovered table is available
+// via Recovered.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.CompactBytes <= 0 {
+		opts.CompactBytes = 8 << 20
+	}
+	if opts.Retain <= 0 {
+		opts.Retain = 1000
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// A crash between compaction's write and its rename leaves the temp
+	// file behind; the real journal is still complete, so the temp is
+	// garbage.
+	os.Remove(filepath.Join(dir, compactTmpName))
+
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: read journal: %w", err)
+	}
+	s := &Store{
+		dir:         dir,
+		opts:        opts,
+		nextCompact: opts.CompactBytes,
+		entries:     make(map[string]*JobRecord),
+	}
+	good := s.replay(data)
+	s.droppedTail = int64(len(data) - good)
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncate invalid tail: %w", err)
+		}
+	}
+	if good == 0 {
+		if _, err := f.Write([]byte(journalMagic)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: write journal header: %w", err)
+		}
+		good = len(journalMagic)
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek journal: %w", err)
+	}
+	s.f = f
+	s.size = int64(good)
+	if s.nextCompact < s.size*2 {
+		s.nextCompact = s.size * 2
+	}
+	s.recovered = len(s.entries)
+	for _, e := range s.entries {
+		if !e.State.Terminal() {
+			s.interrupted++
+		}
+	}
+	return s, nil
+}
+
+// replay applies data's frames to the table, returning the byte offset
+// of the end of the last whole valid record (0 when the header itself
+// is missing or wrong, meaning nothing in the file can be trusted).
+func (s *Store) replay(data []byte) int {
+	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != journalMagic {
+		return 0
+	}
+	off := len(journalMagic)
+	for {
+		rec, size, ok := decodeFrame(data[off:])
+		if !ok {
+			return off
+		}
+		s.applyLocked(rec)
+		off += size
+	}
+}
+
+// applyLocked folds one record into the table (replay and live appends
+// share it, so recovery semantics are the append semantics). Orphan
+// records — transitions for IDs the table does not hold, possible only
+// through corruption that still CRC-validated — are ignored rather
+// than trusted. Caller holds s.mu (or is replay, pre-publication).
+func (s *Store) applyLocked(rec record) {
+	if rec.typ == recSubmitted {
+		if old, dup := s.entries[rec.id]; dup {
+			// A duplicate submit record can only come from corruption;
+			// keep the order slot, replace the entry.
+			if old.State.Terminal() {
+				s.terminal--
+			}
+		} else {
+			s.order = append(s.order, rec.id)
+		}
+		s.entries[rec.id] = &JobRecord{
+			ID:        rec.id,
+			Tenant:    rec.tenant,
+			Spec:      rec.spec,
+			State:     StateSubmitted,
+			Submitted: time.Unix(0, rec.at),
+		}
+		return
+	}
+	e := s.entries[rec.id]
+	if e == nil {
+		return
+	}
+	wasTerminal := e.State.Terminal()
+	switch rec.typ {
+	case recStarted:
+		e.State = StateRunning
+		e.Started = time.Unix(0, rec.at)
+	case recDone:
+		e.State = StateDone
+		e.Finished = time.Unix(0, rec.at)
+		e.Result = rec.result
+		e.Error = ""
+	case recFailed:
+		e.State = StateFailed
+		e.Finished = time.Unix(0, rec.at)
+		e.Error = rec.errMsg
+		e.Result = nil
+	case recCancelled:
+		e.State = StateCancelled
+		e.Finished = time.Unix(0, rec.at)
+		e.Result = nil
+	}
+	if t := e.State.Terminal(); t != wasTerminal {
+		if t {
+			s.terminal++
+		} else {
+			s.terminal--
+		}
+	}
+	s.evictLocked()
+}
+
+// evictLocked drops the oldest terminal entries once the retention
+// window overflows; non-terminal entries are never evicted. The
+// journal bytes for evicted jobs disappear at the next compaction.
+func (s *Store) evictLocked() {
+	for s.terminal > s.opts.Retain {
+		evicted := false
+		for i, id := range s.order {
+			if e := s.entries[id]; e != nil && e.State.Terminal() {
+				delete(s.entries, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				s.terminal--
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// Recovered returns the replayed table in submission order. Callers
+// own the slice; the records are shared with the store's table and
+// must be treated as read-only.
+func (s *Store) Recovered() []*JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		if e := s.entries[id]; e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// appendRecord writes one encoded frame, applies it to the table, and
+// compacts if the journal crossed its threshold. sync forces the frame
+// (and everything before it) to disk before returning — the terminal
+// transitions pay it so a power cut cannot un-finish a job a client
+// already saw finished.
+func (s *Store) appendRecord(rec record, frame []byte, sync bool) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	s.size += int64(len(frame))
+	s.records++
+	if sync && !s.opts.NoSync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: journal sync: %w", err)
+		}
+	}
+	s.applyLocked(rec)
+	if s.size >= s.nextCompact {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Submitted journals a job's acceptance. Spec is retained by the store.
+func (s *Store) Submitted(id, tenant string, specJSON []byte, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = appendSubmitted(s.buf[:0], id, at.UnixNano(), tenant, specJSON)
+	return s.appendRecord(record{typ: recSubmitted, id: id, at: at.UnixNano(), tenant: tenant, spec: specJSON}, s.buf, false)
+}
+
+// Started journals a job leaving the queue.
+func (s *Store) Started(id string, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = appendStarted(s.buf[:0], id, at.UnixNano())
+	return s.appendRecord(record{typ: recStarted, id: id, at: at.UnixNano()}, s.buf, false)
+}
+
+// Done journals a completed job with the exact response body the
+// service will serve for it (fsynced).
+func (s *Store) Done(id string, at time.Time, result []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = appendDone(s.buf[:0], id, at.UnixNano(), result)
+	return s.appendRecord(record{typ: recDone, id: id, at: at.UnixNano(), result: result}, s.buf, true)
+}
+
+// Failed journals a failed job (fsynced).
+func (s *Store) Failed(id string, at time.Time, errMsg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(errMsg) > 1<<15 {
+		errMsg = errMsg[:1<<15]
+	}
+	s.buf = appendFailed(s.buf[:0], id, at.UnixNano(), errMsg)
+	return s.appendRecord(record{typ: recFailed, id: id, at: at.UnixNano(), errMsg: errMsg}, s.buf, true)
+}
+
+// Cancelled journals a cancelled job (fsynced).
+func (s *Store) Cancelled(id string, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = appendCancelled(s.buf[:0], id, at.UnixNano())
+	return s.appendRecord(record{typ: recCancelled, id: id, at: at.UnixNano()}, s.buf, true)
+}
+
+// compactLocked rewrites the journal as the minimal record sequence
+// reproducing the live table: write to a temp file, fsync, rename over
+// the journal. A crash anywhere in here leaves a complete journal —
+// either the old one (rename not reached) or the new one. Caller holds
+// s.mu.
+func (s *Store) compactLocked() error {
+	tmpPath := filepath.Join(s.dir, compactTmpName)
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	buf := make([]byte, 0, 64<<10)
+	buf = append(buf, journalMagic...)
+	for _, id := range s.order {
+		e := s.entries[id]
+		if e == nil {
+			continue
+		}
+		buf = appendSubmitted(buf, e.ID, e.Submitted.UnixNano(), e.Tenant, e.Spec)
+		if !e.Started.IsZero() {
+			buf = appendStarted(buf, e.ID, e.Started.UnixNano())
+		}
+		switch e.State {
+		case StateDone:
+			buf = appendDone(buf, e.ID, e.Finished.UnixNano(), e.Result)
+		case StateFailed:
+			buf = appendFailed(buf, e.ID, e.Finished.UnixNano(), e.Error)
+		case StateCancelled:
+			buf = appendCancelled(buf, e.ID, e.Finished.UnixNano())
+		}
+		if len(buf) >= 1<<20 {
+			if _, err := tmp.Write(buf); err != nil {
+				tmp.Close()
+				return fmt.Errorf("store: compact write: %w", err)
+			}
+			buf = buf[:0]
+		}
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact write: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact sync: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: compact close: %w", err)
+	}
+	path := filepath.Join(s.dir, journalName)
+	if err := os.Rename(tmpPath, path); err != nil {
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	if !s.opts.NoSync {
+		// The rename must itself survive power loss; fsync the directory.
+		if d, err := os.Open(s.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	s.f.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen after compact: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: stat after compact: %w", err)
+	}
+	s.f = f
+	s.size = st.Size()
+	s.compactions++
+	s.nextCompact = s.opts.CompactBytes
+	if s.nextCompact < s.size*2 {
+		s.nextCompact = s.size * 2
+	}
+	return nil
+}
+
+// Metrics snapshots the store counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{
+		JournalBytes:         s.size,
+		Records:              s.records,
+		Compactions:          s.compactions,
+		RecoveredJobs:        s.recovered,
+		RecoveredInterrupted: s.interrupted,
+		DroppedTailBytes:     s.droppedTail,
+	}
+}
+
+// Close syncs and closes the journal. Idempotent; appends after Close
+// return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if !s.opts.NoSync {
+		s.f.Sync()
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,371 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1_700_000_000, 0)
+
+// writeLifecycle drives n jobs through the store: every third job is
+// left mid-flight (submitted or running), the rest complete done,
+// failed or cancelled round-robin. Returns the IDs in order.
+func writeLifecycle(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("j-%06d", i+1)
+		ids[i] = id
+		spec := []byte(fmt.Sprintf(`{"job":%d}`, i))
+		if err := s.Submitted(id, "acme", spec, t0.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		switch i % 6 {
+		case 0: // left submitted
+		case 1: // left running
+			if err := s.Started(id, t0.Add(time.Duration(i)*time.Second)); err != nil {
+				t.Fatal(err)
+			}
+		case 2, 3:
+			if err := s.Started(id, t0); err != nil {
+				t.Fatal(err)
+			}
+			res := []byte(fmt.Sprintf(`{"id":%q,"layers":[]}`+"\n", id))
+			if err := s.Done(id, t0, res); err != nil {
+				t.Fatal(err)
+			}
+		case 4:
+			if err := s.Started(id, t0); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Failed(id, t0, "engine exploded"); err != nil {
+				t.Fatal(err)
+			}
+		case 5:
+			if err := s.Cancelled(id, t0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ids
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := writeLifecycle(t, s, 12)
+	before := s.Recovered()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	after := s2.Recovered()
+	if len(after) != len(ids) {
+		t.Fatalf("recovered %d jobs, want %d", len(after), len(ids))
+	}
+	m := s2.Metrics()
+	if m.DroppedTailBytes != 0 {
+		t.Fatalf("clean close dropped %d tail bytes", m.DroppedTailBytes)
+	}
+	for i, e := range after {
+		b := before[i]
+		if e.ID != b.ID || e.State != b.State || e.Tenant != b.Tenant ||
+			!bytes.Equal(e.Spec, b.Spec) || !bytes.Equal(e.Result, b.Result) || e.Error != b.Error {
+			t.Fatalf("job %s changed across reopen: %+v vs %+v", b.ID, e, b)
+		}
+		if !e.Submitted.Equal(b.Submitted) || !e.Started.Equal(b.Started) || !e.Finished.Equal(b.Finished) {
+			t.Fatalf("job %s timestamps changed across reopen", b.ID)
+		}
+		switch i % 6 {
+		case 0, 1:
+			if e.State.Terminal() {
+				t.Fatalf("mid-flight job %s recovered terminal (%s)", e.ID, e.State)
+			}
+		default:
+			if !e.State.Terminal() {
+				t.Fatalf("finished job %s recovered non-terminal (%s)", e.ID, e.State)
+			}
+		}
+	}
+}
+
+// TestTruncatedTailRecovers is the crash-safety property test: cutting
+// the journal at EVERY byte offset must recover a valid prefix — no
+// panic, no partial job, and every record before the cut intact.
+func TestTruncatedTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLifecycle(t, s, 8)
+	full := s.Recovered()
+	s.Close()
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prevRecovered := -1
+	for cut := len(data); cut >= 0; cut-- {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, journalName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(sub, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		rec := st.Recovered()
+		// Monotone: shaving bytes can only lose whole trailing records,
+		// never invent or reorder.
+		if prevRecovered >= 0 && len(rec) > prevRecovered {
+			t.Fatalf("cut=%d recovered %d jobs, more than the longer journal's %d", cut, len(rec), prevRecovered)
+		}
+		prevRecovered = len(rec)
+		for i, e := range rec {
+			if e.ID != full[i].ID {
+				t.Fatalf("cut=%d: job %d is %s, want %s", cut, i, e.ID, full[i].ID)
+			}
+			if e.State == StateDone && e.Result == nil {
+				t.Fatalf("cut=%d: done job %s recovered without result bytes", cut, e.ID)
+			}
+		}
+		// The store must be writable after recovery: the torn tail was
+		// truncated away, so a fresh record lands on a clean boundary.
+		if err := st.Submitted("j-fresh", "", []byte(`{}`), t0); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		st.Close()
+		st2, err := Open(sub, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		rec2 := st2.Recovered()
+		if len(rec2) != len(rec)+1 || rec2[len(rec2)-1].ID != "j-fresh" {
+			t.Fatalf("cut=%d: post-recovery append did not survive reopen", cut)
+		}
+		st2.Close()
+	}
+}
+
+// TestBitFlippedTailRecovers flips random bits near the journal tail:
+// the CRC must catch every flip, recovery stops at the last record
+// whose frame is intact, and nothing panics.
+func TestBitFlippedTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLifecycle(t, s, 10)
+	full := s.Recovered()
+	s.Close()
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		corrupt := append([]byte(nil), data...)
+		// Bias flips toward the tail (a torn final write), but cover the
+		// whole file so mid-journal corruption is exercised too.
+		var pos int
+		if trial%3 == 0 {
+			pos = rng.Intn(len(corrupt))
+		} else {
+			pos = len(corrupt) - 1 - rng.Intn(len(corrupt)/4+1)
+		}
+		corrupt[pos] ^= 1 << uint(rng.Intn(8))
+
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, journalName), corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(sub, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("trial %d (flip at %d): open: %v", trial, pos, err)
+		}
+		rec := st.Recovered()
+		if len(rec) > len(full) {
+			t.Fatalf("trial %d: corruption grew the table: %d > %d", trial, len(rec), len(full))
+		}
+		// Every recovered record must be a prefix-consistent copy of the
+		// uncorrupted table: same ID at the same position, and done jobs
+		// carry their full result bytes (a flip inside a result either
+		// kills that record's CRC or leaves it untouched — never a
+		// silently different payload accepted as valid).
+		for i, e := range rec {
+			if e.ID != full[i].ID {
+				t.Fatalf("trial %d: record %d is %s, want %s", trial, i, e.ID, full[i].ID)
+			}
+			if e.State == full[i].State && e.State == StateDone && !bytes.Equal(e.Result, full[i].Result) {
+				t.Fatalf("trial %d: done job %s recovered with different result bytes despite CRC", trial, e.ID)
+			}
+		}
+		st.Close()
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny threshold forces many compactions over the run.
+	s, err := Open(dir, Options{NoSync: true, CompactBytes: 4 << 10, Retain: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastDone string
+	var lastResult []byte
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("j-%06d", i+1)
+		if err := s.Submitted(id, "t1", []byte(`{"portfolio":{}}`), t0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Started(id, t0); err != nil {
+			t.Fatal(err)
+		}
+		res := bytes.Repeat([]byte("x"), 256)
+		if err := s.Done(id, t0, res); err != nil {
+			t.Fatal(err)
+		}
+		lastDone, lastResult = id, res
+	}
+	m := s.Metrics()
+	if m.Compactions == 0 {
+		t.Fatal("no compaction happened despite a 4 KiB threshold")
+	}
+	if m.JournalBytes > 64<<10 {
+		t.Fatalf("journal is %d bytes; compaction is not bounding it", m.JournalBytes)
+	}
+	rec := s.Recovered()
+	if len(rec) != 20 {
+		t.Fatalf("table holds %d jobs, want the 20-job retention window", len(rec))
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{NoSync: true, CompactBytes: 4 << 10, Retain: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec2 := s2.Recovered()
+	if len(rec2) != 20 {
+		t.Fatalf("reopened table holds %d jobs, want 20", len(rec2))
+	}
+	last := rec2[len(rec2)-1]
+	if last.ID != lastDone || !bytes.Equal(last.Result, lastResult) {
+		t.Fatalf("newest job after compaction+reopen is %s, want %s with its result intact", last.ID, lastDone)
+	}
+}
+
+// TestRetentionNeverEvictsOpenJobs pins that a flood of mid-flight jobs
+// does not get evicted no matter how small Retain is.
+func TestRetentionNeverEvictsOpenJobs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("j-%06d", i+1)
+		if err := s.Submitted(id, "", []byte(`{}`), t0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Started(id, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Recovered()); got != 50 {
+		t.Fatalf("open jobs were evicted: %d left of 50", got)
+	}
+	// Finish them all; now the window applies.
+	for i := 0; i < 50; i++ {
+		if err := s.Done(fmt.Sprintf("j-%06d", i+1), t0, []byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Recovered()); got != 2 {
+		t.Fatalf("retention window holds %d, want 2", got)
+	}
+}
+
+func TestClosedStoreRefusesAppends(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := s.Submitted("j-1", "", nil, t0); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestGarbageFileStartsFresh: a journal that is not a journal at all
+// must not wedge the daemon — it is distrusted wholesale.
+func TestGarbageFileStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte("definitely not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := len(s.Recovered()); got != 0 {
+		t.Fatalf("garbage recovered %d jobs", got)
+	}
+	if s.Metrics().DroppedTailBytes == 0 {
+		t.Fatal("garbage drop not accounted")
+	}
+	if err := s.Submitted("j-1", "", []byte(`{}`), t0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleCompactTmpRemoved: a crash between compaction write and
+// rename leaves journal.compact.tmp; Open must discard it and trust
+// the (complete) journal.
+func TestStaleCompactTmpRemoved(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLifecycle(t, s, 6)
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, compactTmpName), []byte("half-written compaction"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := len(s2.Recovered()); got != 6 {
+		t.Fatalf("recovered %d jobs, want 6", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, compactTmpName)); !os.IsNotExist(err) {
+		t.Fatal("stale compaction temp file survived Open")
+	}
+}

@@ -1,0 +1,253 @@
+// Package tenant is ared's multi-tenancy layer: API-key
+// authentication, per-tenant admission quotas, and token-bucket rate
+// limits, loaded from a JSON config file at daemon start.
+//
+// The trust model is deliberately small. Tenants are a flat list of
+// (name, key, quota) records — no users, roles or grants — because the
+// service's resources are jobs, and the only questions the API needs
+// answered are "whose key is this" and "may they submit another job
+// right now". Keys are compared in constant time against SHA-256
+// digests, and the comparison loop never exits early, so neither key
+// length nor which tenant matched leaks through timing.
+//
+// Quotas are two independent brakes with different failure smells:
+//
+//   - MaxActive caps a tenant's open jobs (queued + running). It is the
+//     isolation quota — one tenant flooding the queue exhausts its own
+//     allowance, not the shared QueueDepth, so another tenant's
+//     interactive submission still admits instantly.
+//   - RatePerSec + Burst is a token bucket over submissions. It is the
+//     abuse brake — sustained submit storms are refused with a computed
+//     Retry-After even when each job finishes quickly.
+//
+// Both refusals surface as HTTP 429 with a Retry-After header; the
+// server enforces them as middleware ahead of handleSubmit.
+package tenant
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+)
+
+// configTenant is one entry in the -tenants config file.
+type configTenant struct {
+	// Name labels the tenant in job ownership, metrics and logs.
+	Name string `json:"name"`
+	// Key is the tenant's API key, presented by clients as
+	// `Authorization: Bearer <key>` or `X-API-Key: <key>`.
+	Key string `json:"key"`
+	// MaxActive caps the tenant's open (queued + running) jobs;
+	// 0 means unlimited.
+	MaxActive int `json:"maxActive"`
+	// RatePerSec refills the tenant's submission token bucket;
+	// 0 disables rate limiting for the tenant.
+	RatePerSec float64 `json:"ratePerSec"`
+	// Burst is the bucket capacity — how many submissions may land
+	// back-to-back before the rate applies. 0 with a rate selects
+	// max(1, RatePerSec).
+	Burst float64 `json:"burst"`
+}
+
+type configFile struct {
+	Tenants []configTenant `json:"tenants"`
+}
+
+// Tenant is one authenticated principal and its live quota state.
+type Tenant struct {
+	Name string
+
+	keyDigest [sha256.Size]byte
+	maxActive int
+	rate      float64
+	burst     float64
+	now       func() time.Time // injectable for deterministic bucket tests
+
+	mu     sync.Mutex
+	active int
+	tokens float64
+	last   time.Time
+}
+
+// Registry holds every configured tenant. Immutable after load; the
+// per-tenant quota state inside is concurrency-safe.
+type Registry struct {
+	tenants []*Tenant
+	byName  map[string]*Tenant
+}
+
+// maxNameLen bounds tenant names so they fit journal records and
+// metric labels without escaping games.
+const maxNameLen = 128
+
+// Load reads and validates a tenants config file.
+func Load(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	r, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Parse builds a registry from config JSON.
+func Parse(data []byte) (*Registry, error) {
+	var cfg configFile
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("no tenants configured")
+	}
+	r := &Registry{byName: make(map[string]*Tenant, len(cfg.Tenants))}
+	seenKeys := make(map[[sha256.Size]byte]string, len(cfg.Tenants))
+	for i, ct := range cfg.Tenants {
+		if ct.Name == "" {
+			return nil, fmt.Errorf("tenant %d: missing name", i)
+		}
+		if len(ct.Name) > maxNameLen {
+			return nil, fmt.Errorf("tenant %q: name longer than %d bytes", ct.Name, maxNameLen)
+		}
+		if len(ct.Key) < 16 {
+			return nil, fmt.Errorf("tenant %q: key shorter than 16 bytes", ct.Name)
+		}
+		if _, dup := r.byName[ct.Name]; dup {
+			return nil, fmt.Errorf("tenant %q: duplicate name", ct.Name)
+		}
+		if ct.MaxActive < 0 || ct.RatePerSec < 0 || ct.Burst < 0 ||
+			math.IsNaN(ct.RatePerSec) || math.IsNaN(ct.Burst) {
+			return nil, fmt.Errorf("tenant %q: negative quota", ct.Name)
+		}
+		burst := ct.Burst
+		if ct.RatePerSec > 0 && burst <= 0 {
+			burst = math.Max(1, ct.RatePerSec)
+		}
+		t := &Tenant{
+			Name:      ct.Name,
+			keyDigest: sha256.Sum256([]byte(ct.Key)),
+			maxActive: ct.MaxActive,
+			rate:      ct.RatePerSec,
+			burst:     burst,
+			tokens:    burst,
+			now:       time.Now,
+		}
+		if prev, dup := seenKeys[t.keyDigest]; dup {
+			return nil, fmt.Errorf("tenant %q: key duplicates tenant %q", ct.Name, prev)
+		}
+		seenKeys[t.keyDigest] = ct.Name
+		r.tenants = append(r.tenants, t)
+		r.byName[ct.Name] = t
+	}
+	return r, nil
+}
+
+// Authenticate resolves an API key to its tenant. Every configured
+// digest is compared — no early exit — so the work done is independent
+// of whether (and where) the key matched.
+func (r *Registry) Authenticate(key string) (*Tenant, bool) {
+	if key == "" {
+		return nil, false
+	}
+	d := sha256.Sum256([]byte(key))
+	var found *Tenant
+	for _, t := range r.tenants {
+		if subtle.ConstantTimeCompare(d[:], t.keyDigest[:]) == 1 {
+			found = t
+		}
+	}
+	return found, found != nil
+}
+
+// Lookup finds a tenant by name — recovery uses it to re-attach
+// journaled jobs to their owners.
+func (r *Registry) Lookup(name string) (*Tenant, bool) {
+	t, ok := r.byName[name]
+	return t, ok
+}
+
+// Names returns every tenant name, in config order (metrics iterate
+// it for stable label ordering).
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.tenants))
+	for i, t := range r.tenants {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// Admit reserves one job admission: a concurrency slot and a rate
+// token. When refused, retryAfter is how long the client should wait
+// before trying again (the Retry-After header). A granted admission
+// holds the slot until Release.
+func (t *Tenant) Admit() (ok bool, retryAfter time.Duration) {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.refillLocked(now)
+	if t.maxActive > 0 && t.active >= t.maxActive {
+		// The slot frees when one of the tenant's own jobs finishes;
+		// there is no schedule to compute, so advise a short poll.
+		return false, time.Second
+	}
+	if t.rate > 0 && t.tokens < 1 {
+		need := (1 - t.tokens) / t.rate
+		d := time.Duration(math.Ceil(need)) * time.Second
+		if d < time.Second {
+			d = time.Second
+		}
+		return false, d
+	}
+	if t.rate > 0 {
+		t.tokens--
+	}
+	t.active++
+	return true, 0
+}
+
+// Release frees one admission slot; the scheduler calls it exactly
+// once per admitted job at its terminal transition.
+func (t *Tenant) Release() {
+	t.mu.Lock()
+	if t.active > 0 {
+		t.active--
+	}
+	t.mu.Unlock()
+}
+
+// Reacquire takes an admission slot without spending a rate token.
+// Restart recovery uses it: an interrupted job was already admitted
+// (and journaled) in a previous life, so re-running it must not count
+// against the bucket — but it does occupy concurrency again.
+func (t *Tenant) Reacquire() {
+	t.mu.Lock()
+	t.active++
+	t.mu.Unlock()
+}
+
+// Active reports the tenant's open-job count (metrics gauge).
+func (t *Tenant) Active() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active
+}
+
+// refillLocked advances the token bucket to now. Caller holds t.mu.
+func (t *Tenant) refillLocked(now time.Time) {
+	if t.rate <= 0 {
+		return
+	}
+	if !t.last.IsZero() {
+		if dt := now.Sub(t.last).Seconds(); dt > 0 {
+			t.tokens = math.Min(t.burst, t.tokens+dt*t.rate)
+		}
+	}
+	t.last = now
+}

@@ -1,0 +1,163 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleConfig = `{
+  "tenants": [
+    {"name": "acme", "key": "acme-secret-key-0001", "maxActive": 2, "ratePerSec": 2, "burst": 4},
+    {"name": "zenith", "key": "zenith-secret-key-01"}
+  ]
+}`
+
+func TestParseAndAuthenticate(t *testing.T) {
+	r, err := Parse([]byte(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "acme" || got[1] != "zenith" {
+		t.Fatalf("names: %v", got)
+	}
+	tn, ok := r.Authenticate("acme-secret-key-0001")
+	if !ok || tn.Name != "acme" {
+		t.Fatalf("valid key rejected: ok=%v tenant=%v", ok, tn)
+	}
+	for _, bad := range []string{"", "wrong", "acme-secret-key-0002", "acme-secret-key-000"} {
+		if _, ok := r.Authenticate(bad); ok {
+			t.Fatalf("key %q authenticated", bad)
+		}
+	}
+	if tn, ok := r.Lookup("zenith"); !ok || tn.Name != "zenith" {
+		t.Fatalf("lookup zenith: ok=%v", ok)
+	}
+	if _, ok := r.Lookup("nobody"); ok {
+		t.Fatal("lookup of unknown tenant succeeded")
+	}
+}
+
+func TestParseRejectsBadConfigs(t *testing.T) {
+	for name, cfg := range map[string]string{
+		"empty":     `{"tenants": []}`,
+		"no-name":   `{"tenants": [{"key": "0123456789abcdef"}]}`,
+		"short-key": `{"tenants": [{"name": "a", "key": "short"}]}`,
+		"dup-name":  `{"tenants": [{"name": "a", "key": "0123456789abcdef"}, {"name": "a", "key": "fedcba9876543210"}]}`,
+		"dup-key":   `{"tenants": [{"name": "a", "key": "0123456789abcdef"}, {"name": "b", "key": "0123456789abcdef"}]}`,
+		"negative":  `{"tenants": [{"name": "a", "key": "0123456789abcdef", "maxActive": -1}]}`,
+		"long-name": `{"tenants": [{"name": "` + strings.Repeat("x", 200) + `", "key": "0123456789abcdef"}]}`,
+		"not-json":  `tenants: yaml`,
+	} {
+		if _, err := Parse([]byte(cfg)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// fakeClock drives a tenant's bucket deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func clockedTenant(t *testing.T, cfgJSON string) (*Tenant, *fakeClock) {
+	t.Helper()
+	r, err := Parse([]byte(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := r.tenants[0]
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	tn.now = func() time.Time { return clk.t }
+	return tn, clk
+}
+
+func TestConcurrencyQuota(t *testing.T) {
+	tn, _ := clockedTenant(t, `{"tenants":[{"name":"a","key":"0123456789abcdef","maxActive":2}]}`)
+	if ok, _ := tn.Admit(); !ok {
+		t.Fatal("first admit refused")
+	}
+	if ok, _ := tn.Admit(); !ok {
+		t.Fatal("second admit refused")
+	}
+	ok, retry := tn.Admit()
+	if ok {
+		t.Fatal("third admit allowed past maxActive=2")
+	}
+	if retry <= 0 {
+		t.Fatalf("refusal carries no Retry-After: %v", retry)
+	}
+	tn.Release()
+	if ok, _ := tn.Admit(); !ok {
+		t.Fatal("admit after release refused")
+	}
+	if got := tn.Active(); got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	tn, clk := clockedTenant(t, `{"tenants":[{"name":"a","key":"0123456789abcdef","ratePerSec":2,"burst":3}]}`)
+	// Burst admits back to back...
+	for i := 0; i < 3; i++ {
+		if ok, _ := tn.Admit(); !ok {
+			t.Fatalf("burst admit %d refused", i)
+		}
+		tn.Release()
+	}
+	// ...then the rate bites, with a sensible Retry-After.
+	ok, retry := tn.Admit()
+	if ok {
+		t.Fatal("admit allowed with an empty bucket")
+	}
+	if retry < time.Second {
+		t.Fatalf("Retry-After %v, want >= 1s", retry)
+	}
+	// Refill at 2/sec: after 1s, two more submissions fit.
+	clk.advance(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := tn.Admit(); !ok {
+			t.Fatalf("post-refill admit %d refused", i)
+		}
+		tn.Release()
+	}
+	if ok, _ := tn.Admit(); ok {
+		t.Fatal("third post-refill admit allowed; refill over-credited")
+	}
+	// The bucket never exceeds burst no matter how long the idle gap.
+	clk.advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := tn.Admit(); ok {
+			admitted++
+			tn.Release()
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("after a long idle %d admits landed, want the burst cap 3", admitted)
+	}
+}
+
+// TestReacquireSkipsBucket pins the recovery contract: re-admitting an
+// interrupted job consumes concurrency but no rate token.
+func TestReacquireSkipsBucket(t *testing.T) {
+	tn, _ := clockedTenant(t, `{"tenants":[{"name":"a","key":"0123456789abcdef","maxActive":3,"ratePerSec":1,"burst":1}]}`)
+	tn.Reacquire()
+	tn.Reacquire()
+	if got := tn.Active(); got != 2 {
+		t.Fatalf("active after reacquire = %d, want 2", got)
+	}
+	// The bucket is untouched: one burst token is still there.
+	if ok, _ := tn.Admit(); !ok {
+		t.Fatal("admit refused despite full bucket")
+	}
+}
+
+func TestUnlimitedTenant(t *testing.T) {
+	tn, _ := clockedTenant(t, `{"tenants":[{"name":"a","key":"0123456789abcdef"}]}`)
+	for i := 0; i < 100; i++ {
+		if ok, _ := tn.Admit(); !ok {
+			t.Fatalf("unlimited tenant refused at %d", i)
+		}
+	}
+}

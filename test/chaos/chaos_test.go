@@ -60,6 +60,30 @@ func TestChaosSmoke(t *testing.T) {
 	}
 }
 
+// TestChaosDurableSmoke is the durable-coordinator gate: the same
+// seeded storm with -data-dir on, where the lost-to-restart allowance
+// is withdrawn. Every coordinator kill -9 must recover the full job
+// table — done jobs byte-stable, open jobs re-run under their original
+// IDs — and the harness fails any job that disappears.
+func TestChaosDurableSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke spawns a process cluster; skipped in -short")
+	}
+	rep := runChaos(t, chaostest.DurableConfig(*chaosSeed))
+	if rep.CoordinatorRestarts < 1 {
+		t.Errorf("durable smoke restarted the coordinator %d times, want >= 1", rep.CoordinatorRestarts)
+	}
+	if rep.LostToRestart != 0 {
+		t.Errorf("durable mode lost %d jobs to coordinator restarts, want 0", rep.LostToRestart)
+	}
+	if got := rep.VerifiedSingleNode + rep.VerifiedDist; got != rep.Done {
+		t.Errorf("%d jobs done but only %d verified against the oracle", rep.Done, got)
+	}
+	if rep.VerifiedDist == 0 {
+		t.Error("no distributed job survived to verification; the run exercised nothing end-to-end")
+	}
+}
+
 // TestChaosLong is the on-demand soak (-chaos.long): the same harness
 // at several times the action count, fault floors and corpus size.
 func TestChaosLong(t *testing.T) {
