@@ -10,6 +10,7 @@
 //
 //	ared -addr :8321
 //	ared -addr :8321 -job-workers 4 -engine-workers 2 -queue 128 -max-trials 2000000
+//	ared -addr :8321 -fuse-wait 5ms   # let bursts coalesce into fused passes a little longer
 //	ared -addr :8321 -spill-dir /var/cache/ared -debug-addr 127.0.0.1:6060
 //
 //	# durable multi-tenant service: crash-safe job store + API-key auth
@@ -28,6 +29,12 @@
 // enforces per-tenant concurrency and rate quotas with 429 +
 // Retry-After; -auth=off serves an open API even when a tenants file
 // is configured.
+//
+// Compatible queued jobs (same portfolio, lookup, YET and worker
+// count) are fused into one gather pass by the admission planner: a
+// freshly dequeued job waits up to -fuse-wait for batchmates, then the
+// batch prices in a single engine pass with per-job results identical
+// to solo runs. -fuse-wait 0 disables fusion.
 //
 // Endpoints (see docs/api.md and docs/distributed.md for the full
 // contract):
@@ -67,12 +74,24 @@ import (
 	"github.com/ralab/are/internal/tenant"
 )
 
+// fuseWaitConfig maps the -fuse-wait flag to Config.FuseWait: the flag
+// uses 0 to disable cross-job fusion (natural for a duration flag),
+// the Config uses negative (so the zero Config still selects the
+// default wait).
+func fuseWaitConfig(d time.Duration) time.Duration {
+	if d <= 0 {
+		return -1
+	}
+	return d
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8321", "listen address")
 		jobs      = flag.Int("job-workers", 2, "jobs (or shards) run concurrently")
 		engineW   = flag.Int("engine-workers", 0, "engine workers per job (0 = GOMAXPROCS/job-workers)")
 		queue     = flag.Int("queue", 64, "queued jobs before submissions get 503")
+		fuseWait  = flag.Duration("fuse-wait", 2*time.Millisecond, "how long a job may wait for fusable batchmates before running (0 = fusion disabled)")
 		maxTrials = flag.Int("max-trials", 0, "per-job yet.trials cap (0 = uncapped)")
 		cache     = flag.Int("cache", 64, "shared-artifact cache entries")
 		spillDir  = flag.String("spill-dir", "", "directory for mmap-backed YET spill files (empty = tables stay on the heap)")
@@ -123,6 +142,7 @@ func main() {
 		ShardTimeout:     *shardTO,
 		JobWorkers:       *jobs,
 		QueueDepth:       *queue,
+		FuseWait:         fuseWaitConfig(*fuseWait),
 		EngineWorkers:    *engineW,
 		MaxTrials:        *maxTrials,
 		CacheEntries:     *cache,

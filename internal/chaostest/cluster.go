@@ -222,6 +222,10 @@ func (c *Cluster) startWorker(w *workerSlot) error {
 		"-coordinator", "http://"+c.coordAddr,
 		"-advertise", w.proxy.URL(),
 		"-job-workers", "2", "-engine-workers", "1",
+		// Wide enough for burst submissions to queue up and fuse; the
+		// burst action exists to drive the admission planner under
+		// chaos.
+		"-fuse-wait", "5ms",
 		"-spill-dir", w.spillDir,
 		"-grace", "5s",
 	)
@@ -272,6 +276,24 @@ func (c *Cluster) step(a Action, rep *Report) error {
 			return fmt.Errorf("script targets dead worker %d (generator/executor state diverged)", a.Worker)
 		}
 		return c.doSubmit(a, w.cl, fmt.Sprintf("worker%d", a.Worker), a.Worker)
+	case ActBurst:
+		w := c.workers[a.Worker]
+		if w.proc == nil {
+			return fmt.Errorf("script targets dead worker %d (generator/executor state diverged)", a.Worker)
+		}
+		// Count identical submissions, back to back with no breath
+		// between them, so they land inside the worker's fuse window.
+		// Each gets its own consecutive ordinal and its own record:
+		// from the invariant checker's point of view a burst is just
+		// Count independent jobs.
+		for i := 0; i < a.Count; i++ {
+			sub := a
+			sub.Job = a.Job + i
+			if err := c.doSubmit(sub, w.cl, fmt.Sprintf("worker%d", a.Worker), a.Worker); err != nil {
+				return err
+			}
+		}
+		return nil
 	case ActPoll:
 		return c.pollRecord(c.records[a.Job])
 	case ActCancel:

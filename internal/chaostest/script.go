@@ -17,6 +17,7 @@ type ActionKind string
 const (
 	ActSubmit             ActionKind = "submit"              // plain/quoted job -> coordinator
 	ActSubmitWorker       ActionKind = "submit-worker"       // plain/sweep job -> one worker, single-node
+	ActBurst              ActionKind = "burst"               // N identical jobs back to back -> one worker (the fusion path)
 	ActPoll               ActionKind = "poll"                // GET status (and result when done)
 	ActCancel             ActionKind = "cancel"              // DELETE job
 	ActKillWorker         ActionKind = "kill-worker"         // SIGKILL the worker process
@@ -40,6 +41,7 @@ type Action struct {
 	Sweep  bool          // submit-worker: scenario sweep
 	Final  bool          // submit*: restore-phase submission against the healed cluster
 	Spec   string        // submit*: canonical job spec JSON
+	Count  int           // burst: identical submissions, consecutive ordinals from Job
 	Delay  time.Duration // slow-worker: injected latency
 }
 
@@ -62,6 +64,9 @@ func (a Action) String() string {
 	}
 	if a.Final {
 		b.WriteString(" final")
+	}
+	if a.Count > 0 {
+		fmt.Fprintf(&b, " count=%d", a.Count)
 	}
 	if a.Delay > 0 {
 		fmt.Fprintf(&b, " delay=%s", a.Delay)
@@ -162,6 +167,9 @@ func Generate(cfg Config) *Script {
 		case ActSubmit, ActSubmitWorker:
 			s.Submits++
 			g.submitted++
+		case ActBurst:
+			s.Submits += a.Count
+			g.submitted += a.Count
 		case ActSettle:
 			for i := range g.partitioned {
 				g.partitioned[i] = false // settle heals everything
@@ -198,6 +206,19 @@ func Generate(cfg Config) *Script {
 	choices := []choice{
 		{24, func() bool { submitCoord(false); return true }},
 		{10, func() bool { return submitWorker(false) }},
+		// Burst: one spec submitted 2-4 times back to back at one
+		// worker — the compatible-job runs the admission planner fuses
+		// into a single gather pass. Chaos asserts correctness (each
+		// job's own lifecycle and result), never that fusion happened.
+		{6, func() bool {
+			w := g.pick(rng, func(i int) bool { return g.alive[i] })
+			if w < 0 {
+				return false
+			}
+			count := 2 + rng.Intn(3)
+			emit(Action{Kind: ActBurst, Worker: w, Job: g.submitted, Count: count, Spec: jg.plain(rng.Intn(2) == 0)})
+			return true
+		}},
 		{16, func() bool {
 			if g.submitted == 0 {
 				return false

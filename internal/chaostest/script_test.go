@@ -77,6 +77,17 @@ func TestGenerateScriptConsistency(t *testing.T) {
 					t.Fatalf("seed %d #%d: job ordinal %d, want %d", seed, a.Seq, a.Job, submitted)
 				}
 				submitted++
+			case ActBurst:
+				if !alive[a.Worker] {
+					t.Fatalf("seed %d #%d: bursts at dead worker %d", seed, a.Seq, a.Worker)
+				}
+				if a.Count < 2 {
+					t.Fatalf("seed %d #%d: burst of %d jobs (min 2)", seed, a.Seq, a.Count)
+				}
+				if a.Job != submitted {
+					t.Fatalf("seed %d #%d: burst ordinal %d, want %d", seed, a.Seq, a.Job, submitted)
+				}
+				submitted += a.Count
 			case ActPoll, ActCancel:
 				if a.Job < 0 || a.Job >= submitted {
 					t.Fatalf("seed %d #%d: %s of unknown job %d", seed, a.Seq, a.Kind, a.Job)
@@ -101,14 +112,17 @@ func TestGenerateScriptConsistency(t *testing.T) {
 // under the service's own parser, sweeps must carry variants, and the
 // spec must ride in the trace line (the replay contract).
 func TestGeneratedSpecsParse(t *testing.T) {
-	specs := 0
+	specs, bursts := 0, 0
 	for seed := uint64(0); seed < 10; seed++ {
 		s := Generate(DefaultConfig(seed))
 		for _, a := range s.Actions {
-			if a.Kind != ActSubmit && a.Kind != ActSubmitWorker {
+			if a.Kind != ActSubmit && a.Kind != ActSubmitWorker && a.Kind != ActBurst {
 				continue
 			}
 			specs++
+			if a.Kind == ActBurst {
+				bursts++
+			}
 			js, err := ParseSpec(a.Spec)
 			if err != nil {
 				t.Fatalf("seed %d #%d: generated spec rejected: %v", seed, a.Seq, err)
@@ -129,6 +143,9 @@ func TestGeneratedSpecsParse(t *testing.T) {
 	}
 	if specs == 0 {
 		t.Fatal("corpus produced no specs")
+	}
+	if bursts == 0 {
+		t.Fatal("corpus produced no burst actions")
 	}
 }
 

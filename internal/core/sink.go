@@ -229,6 +229,28 @@ func NewVariantSinks(sinks ...Sink) *VariantSinks {
 	return &VariantSinks{sinks: sinks}
 }
 
+// NewVariantSinksGrouped builds a VariantSinks from per-owner groups
+// of variant sinks, flattening them in group order, and returns each
+// group's starting variant offset. It exists for cross-job fusion: one
+// fused pass prices several jobs' variants back to back, and the
+// offsets are the demux map handing each owner the variant window
+// [offsets[i], offsets[i]+len(groups[i])) of the compiled sweep.
+// Membership is positional, so a group's sinks observe exactly what
+// they would have observed had the owner run its variants alone.
+func NewVariantSinksGrouped(groups ...[]Sink) (*VariantSinks, []int) {
+	offsets := make([]int, len(groups))
+	total := 0
+	for i, g := range groups {
+		offsets[i] = total
+		total += len(g)
+	}
+	flat := make([]Sink, 0, total)
+	for _, g := range groups {
+		flat = append(flat, g...)
+	}
+	return NewVariantSinks(flat...), offsets
+}
+
 // Sink returns variant k's member sink (for reading results after the
 // run).
 func (v *VariantSinks) Sink(k int) Sink { return v.sinks[k] }

@@ -131,3 +131,72 @@ func TestSweepPipelineOnlineSinks(t *testing.T) {
 		}
 	}
 }
+
+// TestVariantSinksGrouped checks the fusion constructor: per-owner
+// groups flatten in order, offsets index each owner's first variant,
+// and routing lands every flattened slot on the owning group's sink —
+// the demux map cross-job fusion relies on to hand each job exactly
+// its own variants.
+func TestVariantSinksGrouped(t *testing.T) {
+	const (
+		numL   = 2
+		trials = 64
+	)
+	sizes := []int{1, 3, 2}
+	var allSums []*metrics.SummarySink
+	groups := make([][]Sink, len(sizes))
+	for i, n := range sizes {
+		g := make([]Sink, n)
+		for k := range g {
+			s := metrics.NewSummarySink()
+			allSums = append(allSums, s)
+			g[k] = s
+		}
+		groups[i] = g
+	}
+	vs, offsets := NewVariantSinksGrouped(groups...)
+	wantOff := []int{0, 1, 4}
+	for i := range sizes {
+		if offsets[i] != wantOff[i] {
+			t.Fatalf("offsets[%d] = %d, want %d", i, offsets[i], wantOff[i])
+		}
+		for k := range groups[i] {
+			if vs.Sink(offsets[i]+k) != groups[i][k] {
+				t.Fatalf("group %d variant %d not at flat index %d", i, k, offsets[i]+k)
+			}
+		}
+	}
+	numK := vs.NumVariants()
+	if want := 6; numK != want {
+		t.Fatalf("NumVariants = %d, want %d", numK, want)
+	}
+
+	ids := make([]uint32, numK*numL)
+	for i := range ids {
+		ids[i] = uint32(i % numL)
+	}
+	if err := vs.Begin(ids, trials); err != nil {
+		t.Fatal(err)
+	}
+	agg := make([]float64, trials)
+	occ := make([]float64, trials)
+	for flat := 0; flat < numK*numL; flat++ {
+		for i := range agg {
+			// Value encodes the flattened slot so misrouting shows up.
+			agg[i] = float64(flat*trials + i)
+			occ[i] = agg[i]
+		}
+		vs.EmitBatch(flat, 0, agg, occ)
+	}
+	for k := 0; k < numK; k++ {
+		for l := 0; l < numL; l++ {
+			got := allSums[k].Summary(l)
+			if got.Trials != trials {
+				t.Fatalf("variant %d layer %d: %d trials, want %d", k, l, got.Trials, trials)
+			}
+			if want := float64((k*numL + l) * trials); got.Min != want {
+				t.Fatalf("variant %d layer %d: min %v, want %v", k, l, got.Min, want)
+			}
+		}
+	}
+}

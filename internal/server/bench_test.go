@@ -10,6 +10,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -188,6 +189,158 @@ func BenchmarkServiceJob(b *testing.B) {
 				AllocsPerOp: allocsPerJob,
 				BytesPerOp:  bytesPerJob,
 				NsPerJob:    nsPerJob,
+				JobsPerSec:  jobsPerSec},
+		}
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", out)
+	}
+}
+
+// fusionBenchBody is the cross-job fusion benchmark's job: a
+// gather-bound portfolio (wide catalog, six ELTs per layer, a thousand
+// events per trial) where the shared gather dominates the per-job
+// sink/terms work — the regime fusion targets. Quotes stay on so each
+// fused member still materialises and prices its own FullYLT.
+// Deliberately distinct from benchJobBody: that shape anchors the
+// committed service baseline and must not drift.
+func fusionBenchBody(trials int) string {
+	return fmt.Sprintf(`{
+	  "portfolio": {
+	    "catalogSize": 100000,
+	    "elts": [
+	      {"id": 1, "generate": {"seed": 31, "numRecords": 5000}},
+	      {"id": 2, "generate": {"seed": 32, "numRecords": 5000}},
+	      {"id": 3, "generate": {"seed": 33, "numRecords": 5000}},
+	      {"id": 4, "generate": {"seed": 34, "numRecords": 5000}},
+	      {"id": 5, "generate": {"seed": 35, "numRecords": 5000}},
+	      {"id": 6, "generate": {"seed": 36, "numRecords": 5000}}
+	    ],
+	    "layers": [
+	      {"id": 1, "name": "tower-a", "elts": [1, 2, 3, 4, 5, 6],
+	       "terms": {"occRetention": 1e5, "occLimit": 4e6}},
+	      {"id": 2, "name": "tower-b", "elts": [1, 2, 3],
+	       "terms": {"occRetention": 5e4, "occLimit": 2e6, "aggRetention": 1e5}}
+	    ]
+	  },
+	  "yet": {"seed": 77, "trials": %d, "fixedEvents": 1000},
+	  "metrics": {"quotes": true},
+	  "workers": 2,
+	  "lookup": "sorted"
+	}`, trials)
+}
+
+// admissionServer starts a memory-mode single-worker server whose
+// admission planner waits fuseWait for batchmates (negative disables
+// fusion), and warms its artifact cache with one job so the measured
+// regime is cache-hit traffic.
+func admissionServer(b *testing.B, fuseWait time.Duration, warmBody string) string {
+	b.Helper()
+	srv, err := server.New(server.Config{JobWorkers: 1, EngineWorkers: 2, QueueDepth: 64, FuseWait: fuseWait})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	runServiceJob(b, ts.URL, warmBody)
+	return ts.URL
+}
+
+// runBurst submits n identical jobs concurrently and waits until every
+// one has served its result — the client shape whose throughput fusion
+// exists to multiply.
+func runBurst(b *testing.B, base, body string, n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			runServiceJob(b, base, body)
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkFusedAdmission measures cross-job fusion's throughput win:
+// bursts of 8 identical quoted jobs against a single-worker server,
+// fused (-fuse-wait 10ms, the whole burst coalesces into one gather
+// pass) versus solo (-fuse-wait=0 semantics, every job runs its own
+// pass). Reported jobs/sec and the speedup metric are the acceptance
+// numbers; the BENCH_FUSION_OUT rows feed the benchdiff gate, with the
+// solo measurement as the same-machine anchor so CI compares the
+// fused/solo ratio rather than raw nanoseconds across runners.
+func BenchmarkFusedAdmission(b *testing.B) {
+	const (
+		batch  = 8
+		trials = 1_000
+	)
+	body := fusionBenchBody(trials)
+
+	// Solo reference: fusion disabled, same server shape, fixed reps —
+	// a machine anchor, not the measurement under test.
+	soloURL := admissionServer(b, -1, body)
+	const soloReps = 2
+	soloStart := time.Now()
+	for i := 0; i < soloReps; i++ {
+		runBurst(b, soloURL, body, batch)
+	}
+	soloNsPerJob := float64(time.Since(soloStart).Nanoseconds()) / float64(soloReps*batch)
+
+	fusedURL := admissionServer(b, 10*time.Millisecond, body)
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		runBurst(b, fusedURL, body, batch)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+
+	jobs := float64(b.N * batch)
+	fusedNsPerJob := float64(elapsed.Nanoseconds()) / jobs
+	allocsPerJob := float64(ms1.Mallocs-ms0.Mallocs) / jobs
+	bytesPerJob := float64(ms1.TotalAlloc-ms0.TotalAlloc) / jobs
+	jobsPerSec := jobs / elapsed.Seconds()
+	speedup := soloNsPerJob / fusedNsPerJob
+	b.ReportMetric(jobsPerSec, "jobs/sec")
+	b.ReportMetric(speedup, "x-vs-solo")
+	b.ReportMetric(allocsPerJob, "allocs/job")
+	b.Logf("batch=%d trials=%d solo ns/job=%.0f fused ns/job=%.0f speedup=%.2fx jobs/sec=%.2f",
+		batch, trials, soloNsPerJob, fusedNsPerJob, speedup, jobsPerSec)
+
+	if out := os.Getenv("BENCH_FUSION_OUT"); out != "" {
+		type row struct {
+			Kernel      string  `json:"kernel"`
+			Lookup      string  `json:"lookup"`
+			Anchor      bool    `json:"anchor,omitempty"`
+			NsPerOcc    float64 `json:"nsPerOcc"`
+			AllocsPerOp float64 `json:"allocsPerOp"`
+			BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
+			JobsPerSec  float64 `json:"jobsPerSec,omitempty"`
+		}
+		// NsPerOcc carries ns/job for both rows; benchdiff only uses
+		// the fused/solo ratio, which is unit-agnostic.
+		rows := []row{
+			{Kernel: "solo-admission", Lookup: "fusion", Anchor: true,
+				NsPerOcc: soloNsPerJob},
+			{Kernel: "fused-admission", Lookup: "fusion",
+				NsPerOcc:    fusedNsPerJob,
+				AllocsPerOp: allocsPerJob,
+				BytesPerOp:  bytesPerJob,
 				JobsPerSec:  jobsPerSec},
 		}
 		data, err := json.MarshalIndent(rows, "", "  ")

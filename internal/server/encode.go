@@ -338,6 +338,14 @@ func (e *encBuf) appendStatus(st *Status) {
 	e.b = strconv.AppendInt(e.b, int64(st.TotalTrials), 10)
 	e.field("progress", false)
 	e.b = appendFloat(e.b, st.Progress)
+	if st.Fused {
+		e.field("fused", false)
+		e.b = appendBool(e.b, st.Fused)
+	}
+	if st.FusedBatch != 0 {
+		e.field("fusedBatch", false)
+		e.b = strconv.AppendInt(e.b, int64(st.FusedBatch), 10)
+	}
 	if st.Error != "" {
 		e.field("error", false)
 		e.b = appendString(e.b, st.Error)

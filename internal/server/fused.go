@@ -1,0 +1,268 @@
+package server
+
+// Fused batch execution: N compatible jobs, one gather pass. The
+// planner (planner.go) guarantees every member shares base artifacts
+// and effective worker count; this file turns the batch into a single
+// SweepEngine pass whose variant list is the concatenation of each
+// member's variants (a plain job contributes one empty variant — which
+// the sweep engine compiles to the exact base program), demuxing
+// per-variant sinks back to their owning jobs. Each member keeps its
+// own journal records, progress, SSE stream, quota slot and result —
+// and at workers=1 (the bitwise regime) the result is bitwise-identical
+// to a solo run, because per-sink emission order is the span order
+// either way.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/ralab/are/internal/artifact"
+	"github.com/ralab/are/internal/core"
+)
+
+// runBatch executes one admission batch. Members cancelled while
+// queued drop out first; a single survivor runs the plain solo path; a
+// real batch attempts the fused pass and falls back to sequential solo
+// runs for any members the fused path could not finish.
+func (s *scheduler) runBatch(batch []*Job) {
+	s.metrics.batchSizes.observe(len(batch))
+	live := make([]*Job, 0, len(batch))
+	for _, j := range batch {
+		if s.start(j) {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// One execution slot serves the whole batch, shared with the shard
+	// endpoint: a node never runs more than JobWorkers engine
+	// executions at once however the traffic is mixed — and a fused
+	// batch pricing N jobs in that one slot is the throughput win.
+	ctx, cancel := batchContext(live)
+	defer cancel()
+	select {
+	case s.execSem <- struct{}{}:
+		defer func() { <-s.execSem }()
+	case <-ctx.Done():
+	}
+
+	rest := live
+	if len(live) > 1 {
+		rest = s.runFused(ctx, live)
+	}
+	for _, j := range rest {
+		res, err := s.executeJob(j)
+		s.finish(j, res, err)
+	}
+}
+
+// batchContext returns a context cancelled only once EVERY member's
+// context is cancelled: one member's cancellation must not abort its
+// batchmates' shared pass. Member contexts descend from baseCtx, so a
+// forced shutdown still cancels the batch promptly.
+func batchContext(live []*Job) (context.Context, context.CancelFunc) {
+	if len(live) == 1 {
+		return live[0].ctx, func() {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var left atomic.Int32
+	left.Store(int32(len(live)))
+	for _, j := range live {
+		go func() {
+			select {
+			case <-j.ctx.Done():
+				if left.Add(-1) == 0 {
+					cancel()
+				}
+			case <-ctx.Done():
+			}
+		}()
+	}
+	return ctx, cancel
+}
+
+// memberRun is one member's sink stacks for a fused pass: one
+// sinkSet (+ optional materialising YLT) per variant, exactly what the
+// member's solo path would have built.
+type memberRun struct {
+	sets  []*sinkSet
+	fulls []*core.FullYLT
+}
+
+// runFused prices the batch in one fused pass and finishes every
+// member it can. It returns the members that still need solo execution:
+// nil on success, the surviving members when the fused path declines
+// (compile or pipeline error) — falling back re-runs them through the
+// exact solo path, reproducing solo errors and cancellation semantics.
+func (s *scheduler) runFused(ctx context.Context, live []*Job) []*Job {
+	// Per-member artifact prepare: every member pays its own tenant
+	// cache accounting (hit/miss/bytes), exactly like the equivalent
+	// sequence of solo runs — the first miss builds, the rest hit. A
+	// member whose prepare fails (cancelled, artifact error) finishes
+	// here with the error its solo run would have produced.
+	ok := make([]*Job, 0, len(live))
+	arts := make([]*jobArtifacts, 0, len(live))
+	for _, j := range live {
+		a, err := s.prepare(j)
+		if err != nil {
+			s.finish(j, nil, err)
+			continue
+		}
+		ok = append(ok, j)
+		arts = append(arts, a)
+	}
+	if len(ok) == 0 {
+		return nil
+	}
+	if len(ok) == 1 {
+		return ok // degenerate batch: plain solo path
+	}
+
+	a := arts[0]
+	variants := make([]core.Variant, 0, len(ok))
+	for _, j := range ok {
+		if j.Spec.Sweep != nil {
+			variants = append(variants, artifact.SweepVariants(j.Spec.Sweep)...)
+		} else {
+			variants = append(variants, core.Variant{})
+		}
+	}
+	sweep, err := a.art.Eng.CompileSweep(a.art.P.P, variants)
+	if err != nil {
+		return ok // solo fallback surfaces any real spec error per job
+	}
+
+	runs := make([]memberRun, len(ok))
+	groups := make([][]core.Sink, len(ok))
+	for i, j := range ok {
+		n := j.variants
+		mr := memberRun{sets: make([]*sinkSet, n), fulls: make([]*core.FullYLT, n)}
+		g := make([]core.Sink, n)
+		for k := 0; k < n; k++ {
+			set, full, sinks := jobSinks(j.Spec)
+			mr.sets[k], mr.fulls[k], g[k] = set, full, sinks
+		}
+		runs[i], groups[i] = mr, g
+	}
+	demux, offsets := core.NewVariantSinksGrouped(groups...)
+
+	// Progress fans out to every member: each job's trial counter, SSE
+	// stream and status advance as if it ran the pass alone (it shares
+	// the trial range, so the counts are identical).
+	hooks := make([]func(int, int), len(ok))
+	for i, j := range ok {
+		hooks[i] = j.progress()
+	}
+	opt := a.opt
+	opt.Progress = func(done, total int) {
+		for _, h := range hooks {
+			h(done, total)
+		}
+	}
+
+	for _, j := range ok {
+		j.setFused(len(ok))
+	}
+	start := time.Now()
+	if _, err := sweep.RunPipelineContext(ctx, core.NewTableSource(a.table), demux, opt); err != nil {
+		// Like a solo failure, the in-flight sinks are abandoned to the
+		// GC rather than repooled — a straggling pipeline worker may
+		// still hold references.
+		for _, j := range ok {
+			j.clearFused()
+		}
+		return ok
+	}
+	elapsed := time.Since(start)
+
+	s.metrics.fusedBatches.Add(1)
+	s.metrics.fusedJobs.Add(int64(len(ok)))
+	compiled := sweep.Variants()
+	for i, j := range ok {
+		if j.Tenant != "" {
+			s.metrics.tenantCounters(j.Tenant).fused.Add(1)
+		}
+		if err := j.ctx.Err(); err != nil {
+			// Cancelled mid-pass: terminal state exactly as a solo run
+			// whose pipeline unwound; its sinks are abandoned.
+			s.finish(j, nil, err)
+			continue
+		}
+		window := compiled[offsets[i] : offsets[i]+j.variants]
+		res, err := assembleFusedResult(j, arts[i], window, runs[i], elapsed)
+		s.finish(j, res, err)
+	}
+	return nil
+}
+
+// setFused publishes that the job is running in (and, at terminal,
+// ran in) a fused pass of n jobs. Status-only — see Job.fused.
+func (j *Job) setFused(n int) {
+	j.mu.Lock()
+	j.fused = true
+	j.fusedBatch = n
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// clearFused retracts setFused when the fused pass fell back to solo.
+func (j *Job) clearFused() {
+	j.mu.Lock()
+	j.fused = false
+	j.fusedBatch = 0
+	j.mu.Unlock()
+}
+
+// assembleFusedResult renders one member's result from its demuxed
+// sinks — byte-for-byte the member's solo rendering: plain jobs go
+// through assembleJobResult, sweep jobs through the per-variant loop,
+// with cache flags from the member's own prepare.
+func assembleFusedResult(j *Job, a *jobArtifacts, variants []core.Variant, mr memberRun, elapsed time.Duration) (*JobResult, error) {
+	js := j.Spec
+	if js.Sweep == nil {
+		set, full := mr.sets[0], mr.fulls[0]
+		var fullRes *core.Result
+		if full != nil {
+			fullRes = full.Result()
+		}
+		res, err := assembleJobResult(j.ID, js, a.art.P.P, set.sum, set.ep, fullRes, elapsed)
+		if err != nil {
+			return nil, err
+		}
+		if full != nil {
+			full.Release()
+		}
+		set.release()
+		res.YETCached = a.yetHit
+		res.EngineCached = a.engineHit
+		return res, nil
+	}
+	res := &JobResult{
+		ID:           j.ID,
+		Trials:       js.YET.Trials,
+		ElapsedMS:    elapsed.Milliseconds(),
+		YETCached:    a.yetHit,
+		EngineCached: a.engineHit,
+	}
+	for k, v := range variants {
+		var fullRes *core.Result
+		if mr.fulls[k] != nil {
+			fullRes = mr.fulls[k].Result()
+		}
+		layers, err := layerResults(js, a.art.P.P, v, mr.sets[k].sum, mr.sets[k].ep, fullRes)
+		if err != nil {
+			return nil, fmt.Errorf("variant %d (%s): %w", k, v.Name, err)
+		}
+		if mr.fulls[k] != nil {
+			mr.fulls[k].Release()
+		}
+		mr.sets[k].release()
+		res.Variants = append(res.Variants, VariantResult{Index: k, Name: v.Name, Layers: layers})
+	}
+	res.Layers = res.Variants[0].Layers
+	return res, nil
+}

@@ -86,12 +86,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status":  status,
 		"role":    s.cfg.Role,
 		"running": s.metrics.jobsRunning.Load(),
-		"queued":  len(s.sched.queue),
+		"queued":  s.sched.queueLen(),
 	})
 }
 
-// handleMetrics renders Prometheus text exposition format (counters and
-// gauges only — no histogram buckets to keep the scrape allocation-free).
+// handleMetrics renders Prometheus text exposition format: counters,
+// gauges, and one histogram (admission batch sizes — its bucket set is
+// fixed, so the scrape stays allocation-light).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -105,8 +106,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("ared_jobs_failed_total", "counter", s.metrics.jobsFailed.Load())
 	write("ared_jobs_cancelled_total", "counter", s.metrics.jobsCancelled.Load())
 	write("ared_jobs_running", "gauge", s.metrics.jobsRunning.Load())
-	write("ared_jobs_queued", "gauge", len(s.sched.queue))
+	write("ared_jobs_queued", "gauge", s.sched.queueLen())
 	write("ared_trials_processed_total", "counter", s.metrics.trialsProcessed.Load())
+	write("ared_fused_batches_total", "counter", s.metrics.fusedBatches.Load())
+	write("ared_fused_jobs_total", "counter", s.metrics.fusedJobs.Load())
+	fmt.Fprintf(w, "# TYPE ared_admission_batch_size histogram\n")
+	for i, le := range batchBuckets {
+		fmt.Fprintf(w, "ared_admission_batch_size_bucket{le=%q} %d\n", strconv.FormatInt(le, 10), s.metrics.batchSizes.buckets[i].Load())
+	}
+	fmt.Fprintf(w, "ared_admission_batch_size_bucket{le=\"+Inf\"} %d\n", s.metrics.batchSizes.count.Load())
+	fmt.Fprintf(w, "ared_admission_batch_size_sum %d\n", s.metrics.batchSizes.sum.Load())
+	fmt.Fprintf(w, "ared_admission_batch_size_count %d\n", s.metrics.batchSizes.count.Load())
 	write("ared_cache_hits_total", "counter", hits)
 	write("ared_cache_misses_total", "counter", misses)
 	write("ared_cache_entries", "gauge", s.cache.Len())
@@ -143,6 +153,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		family("ared_tenant_jobs_failed_total", "counter", func(c *tenantCounters) int64 { return c.failed.Load() })
 		family("ared_tenant_jobs_cancelled_total", "counter", func(c *tenantCounters) int64 { return c.cancelled.Load() })
 		family("ared_tenant_jobs_rejected_total", "counter", func(c *tenantCounters) int64 { return c.rejected.Load() })
+		family("ared_tenant_jobs_fused_total", "counter", func(c *tenantCounters) int64 { return c.fused.Load() })
 		family("ared_tenant_cache_hits_total", "counter", func(c *tenantCounters) int64 { return c.cacheHits.Load() })
 		family("ared_tenant_cache_misses_total", "counter", func(c *tenantCounters) int64 { return c.cacheMiss.Load() })
 		family("ared_tenant_cache_bytes_total", "counter", func(c *tenantCounters) int64 { return c.cacheBytes.Load() })

@@ -57,13 +57,30 @@ type Job struct {
 	Spec   *spec.Job
 	Tenant string // owning tenant's name; "" when auth is off
 
-	mu        sync.Mutex
-	state     JobState
-	err       string
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	result    *JobResult
+	// fuseKey groups jobs the admission planner may run in one fused
+	// pass: equal keys mean identical base artifacts (portfolio,
+	// lookup, YET — hence trial range) and identical effective worker
+	// count. Empty means the job never fuses (distributed role, fusion
+	// disabled, or an unhashable spec). Immutable after creation.
+	fuseKey string
+	// variants is the job's contribution to a fused pass's variant
+	// budget: 1 for a plain job, the variant count for a sweep.
+	// Immutable after creation.
+	variants int
+
+	mu    sync.Mutex
+	state JobState
+	err   string
+	// fused marks a job that ran as part of a multi-job fused pass of
+	// fusedBatch jobs. Status-only: the journaled result bytes must
+	// stay bitwise-identical to a solo run, so this never enters
+	// JobResult.
+	fused      bool
+	fusedBatch int
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	result     *JobResult
 	// raw is the encoded result body (with trailing newline) served
 	// verbatim by handleResult. Durable mode fills it at completion —
 	// the same bytes go into the journal, which is what makes a done
@@ -134,7 +151,12 @@ type Status struct {
 	TrialsDone  int     `json:"trialsDone"`
 	TotalTrials int     `json:"totalTrials"`
 	Progress    float64 `json:"progress"` // 0..1, 1 exactly when finished
-	Error       string  `json:"error,omitempty"`
+	// Fused reports that the job ran inside a multi-job fused pass of
+	// FusedBatch jobs. Advisory (not journaled): a job recovered after
+	// a restart reports unfused even if its first life fused.
+	Fused      bool   `json:"fused,omitempty"`
+	FusedBatch int    `json:"fusedBatch,omitempty"`
+	Error      string `json:"error,omitempty"`
 }
 
 // JobResult is the wire form of a completed analysis
@@ -224,6 +246,8 @@ func (j *Job) Status() Status {
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 		TrialsDone:  int(j.trialsDone.Load()),
 		TotalTrials: j.total,
+		Fused:       j.fused,
+		FusedBatch:  j.fusedBatch,
 		Error:       j.err,
 	}
 	if !j.started.IsZero() {
@@ -242,10 +266,13 @@ func (j *Job) Status() Status {
 }
 
 // scheduler runs submitted jobs on a bounded worker pool. Submissions
-// land in a buffered queue; jobWorkers goroutines drain it for the life
-// of the server. Artifacts (YETs, compiled engines) come from the shared
-// cache, so the pool's concurrency multiplies throughput without
-// multiplying generation work.
+// land in an explicit admission queue; jobWorkers goroutines drain it
+// for the life of the server, each asking the admission planner
+// (nextBatch) for the head job plus any queued jobs fusable with it.
+// Artifacts (YETs, compiled engines) come from the shared cache, so the
+// pool's concurrency multiplies throughput without multiplying
+// generation work, and fusion multiplies it again by pricing N
+// compatible jobs in one gather pass.
 type scheduler struct {
 	cfg     Config
 	cache   *artifact.Cache
@@ -256,13 +283,14 @@ type scheduler struct {
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
-	queue      chan *Job
 	wg         sync.WaitGroup
 
 	// execSem bounds concurrent engine executions across BOTH direct
 	// jobs and shard requests (worker role): `-job-workers` is the one
 	// knob an operator sizes the machine with, so mixed traffic must
-	// not stack two separate pools on top of it.
+	// not stack two separate pools on top of it. A fused batch holds
+	// one slot however many jobs it carries — that IS the throughput
+	// win.
 	execSem chan struct{}
 
 	draining atomic.Bool // set once shutdown begins; /healthz reports it
@@ -272,6 +300,14 @@ type scheduler struct {
 	seq       int
 	jobs      map[string]*Job
 	order     []string // submission order, for listing
+	// pending is the admission queue, head first. Guarded by mu so the
+	// planner can scan and splice it; depth is bounded by cfg.QueueDepth
+	// at submit time (recovery may exceed it transiently).
+	pending []*Job
+	// arrival is closed and replaced whenever pending grows or intake
+	// stops — a broadcast that wakes planners waiting for batchmates or
+	// for work.
+	arrival chan struct{}
 }
 
 // DrainStats is shutdown's accounting: of the jobs that were queued or
@@ -289,18 +325,6 @@ func newScheduler(cfg Config, cache *artifact.Cache, coord *dist.Coordinator, m 
 	if st != nil {
 		recovered = st.Recovered()
 	}
-	interrupted := 0
-	for _, rec := range recovered {
-		if !rec.State.Terminal() {
-			interrupted++
-		}
-	}
-	depth := cfg.QueueDepth
-	if depth < interrupted {
-		// Every interrupted job must requeue even if the previous life
-		// ran with a deeper queue than this one.
-		depth = interrupted
-	}
 	s := &scheduler{
 		cfg:        cfg,
 		cache:      cache,
@@ -310,10 +334,10 @@ func newScheduler(cfg Config, cache *artifact.Cache, coord *dist.Coordinator, m 
 		tenants:    tenants,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *Job, depth),
 		execSem:    make(chan struct{}, cfg.JobWorkers),
 		accepting:  true,
 		jobs:       make(map[string]*Job),
+		arrival:    make(chan struct{}),
 	}
 	for _, rec := range recovered {
 		s.recoverJob(rec)
@@ -399,6 +423,7 @@ func (s *scheduler) recoverJob(rec *store.JobRecord) {
 		j.ctx, j.cancel = ctx, cancel
 		j.state = JobInterrupted
 		j.started = time.Time{} // not running yet in this life
+		j.fuseKey, j.variants = s.fuseKeyFor(js)
 		if s.tenants != nil {
 			if tn, ok := s.tenants.Lookup(rec.Tenant); ok {
 				// The job was admitted (and journaled) in a previous
@@ -408,7 +433,11 @@ func (s *scheduler) recoverJob(rec *store.JobRecord) {
 				j.tenantRef = tn
 			}
 		}
-		s.queue <- j // queue is sized to hold every interrupted job
+		// Workers do not exist yet, so appending needs no arrival
+		// broadcast, and pending may exceed QueueDepth here: every
+		// interrupted job must requeue even if the previous life ran
+		// with a deeper queue than this one.
+		s.pending = append(s.pending, j)
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
@@ -429,10 +458,8 @@ func (s *scheduler) submit(js *spec.Job, raw []byte, tn *tenant.Tenant) (*Job, e
 		s.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
-	// Refuse before burning a sequence number or journaling. Only
-	// submit sends while holding s.mu, so a vacancy observed here
-	// cannot be stolen before the send below.
-	if len(s.queue) == cap(s.queue) {
+	// Refuse before burning a sequence number or journaling.
+	if len(s.pending) >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		return nil, ErrQueueFull
 	}
@@ -449,6 +476,7 @@ func (s *scheduler) submit(js *spec.Job, raw []byte, tn *tenant.Tenant) (*Job, e
 		ctx:       ctx,
 		cancel:    cancel,
 	}
+	j.fuseKey, j.variants = s.fuseKeyFor(js)
 	if s.store != nil {
 		// Journal before the job becomes runnable: once the client has
 		// its 202 the job must survive a crash, and a Started record
@@ -460,7 +488,7 @@ func (s *scheduler) submit(js *spec.Job, raw []byte, tn *tenant.Tenant) (*Job, e
 		}
 		j.specRaw = raw
 	}
-	s.queue <- j // cannot block: the vacancy was held under s.mu
+	s.enqueueLocked(j)
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.evictFinishedLocked()
@@ -470,6 +498,22 @@ func (s *scheduler) submit(js *spec.Job, raw []byte, tn *tenant.Tenant) (*Job, e
 		s.metrics.tenantCounters(tenantName).submitted.Add(1)
 	}
 	return j, nil
+}
+
+// enqueueLocked appends j to the admission queue and wakes every
+// planner waiting on arrivals. Caller holds s.mu.
+func (s *scheduler) enqueueLocked(j *Job) {
+	s.pending = append(s.pending, j)
+	close(s.arrival)
+	s.arrival = make(chan struct{})
+}
+
+// queueLen reports the admission queue depth (for /healthz and
+// /metrics).
+func (s *scheduler) queueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
 }
 
 // evictFinishedLocked drops the oldest terminal jobs (and their
@@ -585,8 +629,11 @@ func (s *scheduler) cancelJob(id string) (*Job, error) {
 func (s *scheduler) shutdown(ctx context.Context) (DrainStats, error) {
 	s.draining.Store(true)
 	s.mu.Lock()
-	wasAccepting := s.accepting
 	s.accepting = false
+	// Wake idle planners so they observe the closed intake and exit
+	// once pending drains.
+	close(s.arrival)
+	s.arrival = make(chan struct{})
 	// Snapshot the jobs shutdown must dispose of, for the drain report.
 	var open []*Job
 	for _, j := range s.jobs {
@@ -597,9 +644,6 @@ func (s *scheduler) shutdown(ctx context.Context) (DrainStats, error) {
 		j.mu.Unlock()
 	}
 	s.mu.Unlock()
-	if wasAccepting {
-		close(s.queue)
-	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -614,30 +658,32 @@ func (s *scheduler) shutdown(ctx context.Context) (DrainStats, error) {
 		<-done
 	}
 	s.baseCancel()
-	// A forced stop leaves workers exiting via baseCtx without draining
-	// the (closed) queue; mark whatever is still in it cancelled so no
-	// job is stranded reporting "queued" forever.
-	if wasAccepting {
-		for j := range s.queue {
-			j.mu.Lock()
-			if j.state == JobQueued || j.state == JobInterrupted {
-				now := time.Now()
-				if s.store != nil {
-					// A graceful shutdown disposes of its stragglers
-					// durably; only a crash leaves jobs to recover.
-					if serr := s.store.Cancelled(j.ID, now); serr != nil {
-						s.logf("store: cancelled %s: %v", j.ID, serr)
-					}
+	// A forced stop makes planners exit via baseCtx without draining
+	// the queue; mark whatever is still pending cancelled so no job is
+	// stranded reporting "queued" forever.
+	s.mu.Lock()
+	stranded := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	for _, j := range stranded {
+		j.mu.Lock()
+		if j.state == JobQueued || j.state == JobInterrupted {
+			now := time.Now()
+			if s.store != nil {
+				// A graceful shutdown disposes of its stragglers
+				// durably; only a crash leaves jobs to recover.
+				if serr := s.store.Cancelled(j.ID, now); serr != nil {
+					s.logf("store: cancelled %s: %v", j.ID, serr)
 				}
-				j.state = JobCancelled
-				j.finished = now
-				s.metrics.jobsCancelled.Add(1)
-				s.tenantTerminal(j.Tenant, JobCancelled)
-				j.releaseQuotaLocked()
-				j.notifyLocked()
 			}
-			j.mu.Unlock()
+			j.state = JobCancelled
+			j.finished = now
+			s.metrics.jobsCancelled.Add(1)
+			s.tenantTerminal(j.Tenant, JobCancelled)
+			j.releaseQuotaLocked()
+			j.notifyLocked()
 		}
+		j.mu.Unlock()
 	}
 	var stats DrainStats
 	for _, j := range open {
@@ -656,28 +702,23 @@ func (s *scheduler) shutdown(ctx context.Context) (DrainStats, error) {
 func (s *scheduler) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.baseCtx.Done():
+		batch := s.nextBatch()
+		if batch == nil {
 			return
-		case j, ok := <-s.queue:
-			if !ok {
-				return
-			}
-			s.runJob(j)
 		}
+		s.runBatch(batch)
 	}
 }
 
-// runJob executes one job end to end: artifacts from the cache, the
-// streaming pipeline into online sinks (plus a materialising sink when
-// quotes were requested), and result assembly. In the coordinator role
-// the pipeline runs on the cluster instead (executeDistributed), but
-// the job lifecycle around it is identical.
-func (s *scheduler) runJob(j *Job) {
+// start transitions a batch member from queued (or interrupted) to
+// running, journaling its own Started record — each fused job's journal
+// trail is exactly a solo job's. Returns false for a job cancelled
+// while queued, which therefore never runs.
+func (s *scheduler) start(j *Job) bool {
 	j.mu.Lock()
 	if j.state != JobQueued && j.state != JobInterrupted { // cancelled while queued
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.state = JobRunning
 	j.started = time.Now()
@@ -693,27 +734,29 @@ func (s *scheduler) runJob(j *Job) {
 	j.notifyLocked()
 	j.mu.Unlock()
 	s.metrics.jobsRunning.Add(1)
-	defer s.metrics.jobsRunning.Add(-1)
+	return true
+}
 
-	// Take an execution slot shared with the shard endpoint, so a
-	// worker node never runs more than JobWorkers engine executions at
-	// once however the traffic is mixed.
-	select {
-	case s.execSem <- struct{}{}:
-		defer func() { <-s.execSem }()
-	case <-j.ctx.Done():
-	}
-
-	var res *JobResult
-	var err error
+// executeJob dispatches one started job to its execution path: cluster
+// fan-out in the coordinator role, fused sweep pass for sweep specs,
+// plain pipeline otherwise. Also the solo fallback when a fused pass
+// declines.
+func (s *scheduler) executeJob(j *Job) (*JobResult, error) {
 	switch {
 	case s.coord != nil:
-		res, err = s.executeDistributed(j)
+		return s.executeDistributed(j)
 	case j.Spec.Sweep != nil:
-		res, err = s.executeSweep(j)
+		return s.executeSweep(j)
 	default:
-		res, err = s.execute(j)
+		return s.execute(j)
 	}
+}
+
+// finish journals and publishes a started job's terminal state. Every
+// job that passed start() must reach finish exactly once — that pairs
+// the jobsRunning gauge and releases the tenant's quota slot exactly
+// once, fused or not.
+func (s *scheduler) finish(j *Job, res *JobResult, err error) {
 	var final JobState
 	switch {
 	case err == nil:
@@ -769,6 +812,7 @@ func (s *scheduler) runJob(j *Job) {
 	j.notifyLocked()
 	j.mu.Unlock()
 	j.cancel()
+	s.metrics.jobsRunning.Add(-1)
 }
 
 // jobArtifacts is the shared prelude of the local execution paths: the

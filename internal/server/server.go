@@ -116,6 +116,16 @@ type Config struct {
 	// ones before submissions are refused with 503; 0 selects 64.
 	QueueDepth int
 
+	// FuseWait bounds how long the admission planner lets a freshly
+	// popped head job wait for fusable batchmates (same base artifacts,
+	// same effective worker count, combined variants within the sweep
+	// budget) before running: the latency bound that lets bursts
+	// coalesce into one gather pass without starving interactive jobs.
+	// 0 selects 2ms; negative disables cross-job fusion entirely (every
+	// job runs solo). Ignored in the coordinator role, where jobs fan
+	// out per job.
+	FuseWait time.Duration
+
 	// EngineWorkers is the default per-job engine worker count when the
 	// job does not name one; 0 selects GOMAXPROCS / JobWorkers (so a
 	// fully loaded pool saturates the machine without oversubscribing).
@@ -190,6 +200,9 @@ func (c *Config) setDefaults() error {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.FuseWait == 0 {
+		c.FuseWait = 2 * time.Millisecond
+	}
 	if c.EngineWorkers <= 0 {
 		c.EngineWorkers = max(1, runtime.GOMAXPROCS(0)/c.JobWorkers)
 	}
@@ -215,10 +228,41 @@ type serverMetrics struct {
 	shardsServed    atomic.Int64
 	shardsFailed    atomic.Int64
 
+	// Cross-job fusion accounting: fusedBatches counts executed fused
+	// passes (batch size >= 2), fusedJobs the jobs that rode them, and
+	// batchSizes observes every admission batch the planner hands a
+	// worker — size 1 included, so the histogram shows how often
+	// traffic actually coalesces.
+	fusedBatches atomic.Int64
+	fusedJobs    atomic.Int64
+	batchSizes   batchHistogram
+
 	// tenants holds per-tenant counters, created lazily on first touch;
 	// tmu guards the map only (the counters themselves are atomics).
 	tmu     sync.Mutex
 	tenants map[string]*tenantCounters
+}
+
+// batchBuckets are the histogram's upper bounds; the variant budget
+// (spec.MaxSweepVariants) caps real batches at the last bucket.
+var batchBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64}
+
+// batchHistogram is a Prometheus-style cumulative histogram over
+// admission batch sizes, all atomics so the hot path never locks.
+type batchHistogram struct {
+	buckets [len(batchBuckets)]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func (h *batchHistogram) observe(n int) {
+	for i, le := range batchBuckets {
+		if int64(n) <= le {
+			h.buckets[i].Add(1)
+		}
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(n))
 }
 
 // tenantCounters are one tenant's labelled counters: job lifecycle
@@ -231,6 +275,7 @@ type tenantCounters struct {
 	failed     atomic.Int64
 	cancelled  atomic.Int64
 	rejected   atomic.Int64
+	fused      atomic.Int64 // jobs admitted to fused passes
 	cacheHits  atomic.Int64
 	cacheMiss  atomic.Int64
 	cacheBytes atomic.Int64

@@ -90,6 +90,16 @@ type VariantSpec struct {
 // commission unbounded compile work.
 const MaxSweepVariants = 64
 
+// VariantCount is the number of sweep variants the job prices: 1 for a
+// plain job (the scheduler's cross-job fusion budgets a plain job as
+// one empty variant in a fused pass), the variant count for a sweep.
+func (j *Job) VariantCount() int {
+	if j.Sweep == nil {
+		return 1
+	}
+	return len(j.Sweep.Variants)
+}
+
 // YETSpec mirrors yet.Config for job requests.
 type YETSpec struct {
 	Seed        uint64  `json:"seed"`

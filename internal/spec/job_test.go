@@ -290,3 +290,17 @@ func TestParseJobSweepCombinedShareRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVariantCount(t *testing.T) {
+	j, err := ParseJob(strings.NewReader(validJob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.VariantCount(); got != 1 {
+		t.Fatalf("plain VariantCount = %d, want 1", got)
+	}
+	j.Sweep = &SweepSpec{Variants: []VariantSpec{{Name: "a"}, {Name: "b"}, {Name: "c"}}}
+	if got := j.VariantCount(); got != 3 {
+		t.Fatalf("sweep VariantCount = %d, want 3", got)
+	}
+}
