@@ -41,6 +41,7 @@ package are
 
 import (
 	"io"
+	"math"
 
 	"github.com/ralab/are/internal/catalog"
 	"github.com/ralab/are/internal/catmodel"
@@ -360,37 +361,189 @@ func RunExperiment(name string, cfg ExperimentConfig) (*ExperimentTable, error) 
 }
 
 // ---------------------------------------------------------------------------
-// Extension: losses as distributions (paper §IV).
+// Extension: secondary uncertainty (paper §IV).
+//
+// The paper's §IV sketches treating each event loss as a distribution
+// rather than a mean. The engine supports it two ways, both reached
+// through this section:
+//
+//   - Sampled execution: ELT records carry a lognormal sigma
+//     (NewSampledELT, or sigma columns in specs and generated tables)
+//     and the engine draws each (trial, event) occurrence loss inside
+//     the columnar hot path when Options.Uncertainty asks for
+//     UncertaintySampled. Draws are keyed on (seed, trial, event) by a
+//     counter-based generator, so results are bitwise reproducible and
+//     independent of worker count, sharding or fusion.
+//   - Analytical machinery: the Severity type wraps discretised loss
+//     distributions with convolution, Panjer compounding and layer
+//     terms — the closed-form counterpart used to cross-validate the
+//     sampler and to price single-severity models exactly.
 
 // Distribution types, re-exported.
 type (
-	// LossDist is a discretised loss distribution (secondary
-	// uncertainty support, the extension sketched in the paper's §IV).
+	// LossDist is a discretised loss distribution on a uniform grid,
+	// the representation behind Severity. Use Severity for new code;
+	// LossDist remains for direct grid-level work.
 	LossDist = lossdist.Dist
+
+	// Uncertainty configures how an engine run treats severity
+	// distributions (Options.Uncertainty).
+	Uncertainty = core.Uncertainty
+	// UncertaintyMode selects mean-only or sampled execution.
+	UncertaintyMode = core.UncertaintyMode
+	// JobUncertaintySpec is the job-request form of the uncertainty
+	// block ({"mode": "sampled", "seed": N}).
+	JobUncertaintySpec = spec.UncertaintySpec
 )
 
+// Uncertainty modes.
+const (
+	// UncertaintyMean prices every occurrence at its recorded mean
+	// loss — the classic deterministic analysis and the zero value.
+	UncertaintyMean = core.UncertaintyMean
+	// UncertaintySampled draws per-(trial, event) occurrence losses
+	// from each record's lognormal distribution.
+	UncertaintySampled = core.UncertaintySampled
+)
+
+// NewSampledELT builds an ELT whose records carry lognormal severity
+// sigmas: sigmas[i] belongs to records[i]. Records with sigma 0 always
+// contribute their mean. The table runs unchanged in mean mode and
+// samples under UncertaintySampled.
+func NewSampledELT(id uint32, terms FinancialTerms, records []ELTRecord, sigmas []float64) (*ELT, error) {
+	return elt.NewSampled(id, terms, records, sigmas)
+}
+
+// ReferenceSampled evaluates the portfolio with the naive transcription
+// of §IV sampling — one fresh draw per occurrence, no batching. It is
+// the oracle the vectorised sampled kernels are verified against and
+// produces bitwise the same YLTs as a sampled Engine.Run with
+// Uncertainty{Seed: seed}.
+func ReferenceSampled(p *Portfolio, y *YET, catalogSize int, seed uint64) (*Result, error) {
+	return core.ReferenceSampled(p, y, catalogSize, seed)
+}
+
+// Severity is a loss-severity distribution: the single entry point to
+// the analytical §IV machinery. Construct one from a PMF, a CDF or
+// lognormal parameters; derive new severities by convolution,
+// compounding or layer terms; read moments and tail points directly.
+// The zero Severity is invalid — always construct through the
+// SeverityFrom*/LognormalSeverity constructors or a deriving method.
+type Severity struct {
+	d *lossdist.Dist
+}
+
+// SeverityFromPMF builds a severity from a PMF on a uniform grid of
+// the given step (pmf[i] is the probability of loss i*step).
+func SeverityFromPMF(step float64, pmf []float64) (Severity, error) {
+	d, err := lossdist.New(step, pmf)
+	return Severity{d}, err
+}
+
+// SeverityFromCDF discretises a continuous CDF onto a grid of the
+// given step, truncated at maxLoss.
+func SeverityFromCDF(step, maxLoss float64, cdf func(float64) float64) (Severity, error) {
+	d, err := lossdist.Discretise(step, maxLoss, cdf)
+	return Severity{d}, err
+}
+
+// LognormalSeverity discretises the lognormal severity the sampled
+// engine draws from — mean expected loss and shape sigma, the same
+// parameterisation as NewSampledELT's sigma column — onto a grid of
+// the given step truncated at maxLoss. It is the bridge between the
+// Monte Carlo and analytical halves of §IV: the Panjer compound of
+// this severity is the closed-form annual-loss distribution a sampled
+// run estimates.
+func LognormalSeverity(mean, sigma, step, maxLoss float64) (Severity, error) {
+	mu := elt.LogNormalMu(mean, sigma)
+	return SeverityFromCDF(step, maxLoss, func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 0.5 * math.Erfc(-(math.Log(x)-mu)/(sigma*math.Sqrt2))
+	})
+}
+
+// Dist exposes the underlying grid distribution for direct work.
+func (s Severity) Dist() *LossDist { return s.d }
+
+// Convolve returns the severity of the sum of independent losses
+// (FFT-accelerated for large supports).
+func (s Severity) Convolve(others ...Severity) (Severity, error) {
+	ds := make([]*lossdist.Dist, 0, len(others)+1)
+	ds = append(ds, s.d)
+	for _, o := range others {
+		ds = append(ds, o.d)
+	}
+	d, err := lossdist.ConvolveN(ds...)
+	return Severity{d}, err
+}
+
+// Compound returns the annual aggregate loss distribution for
+// Poisson(lambda) occurrences of this severity (Panjer recursion) —
+// the closed-form counterpart to a sampled engine run for a single
+// severity model. maxBuckets caps the result's support.
+func (s Severity) Compound(lambda float64, maxBuckets int) (Severity, error) {
+	d, err := lossdist.CompoundPoisson(lambda, s.d, maxBuckets)
+	return Severity{d}, err
+}
+
+// ApplyLayerTerms pushes the severity through
+// min(max(X-retention, 0), limit).
+func (s Severity) ApplyLayerTerms(retention, limit float64) (Severity, error) {
+	d, err := lossdist.ApplyLayerTerms(s.d, retention, limit)
+	return Severity{d}, err
+}
+
+// Mean returns the severity's expected loss.
+func (s Severity) Mean() float64 { return s.d.Mean() }
+
+// Variance returns the severity's loss variance.
+func (s Severity) Variance() float64 { return s.d.Variance() }
+
+// Quantile returns the smallest grid loss with CDF >= p.
+func (s Severity) Quantile(p float64) float64 { return s.d.Quantile(p) }
+
+// ExceedanceProb returns P(X > x).
+func (s Severity) ExceedanceProb(x float64) float64 { return s.d.ExceedanceProb(x) }
+
 // NewLossDist builds a distribution from a PMF on a uniform grid.
+//
+// Deprecated: use SeverityFromPMF; this remains as a thin wrapper for
+// existing callers.
 func NewLossDist(step float64, pmf []float64) (*LossDist, error) { return lossdist.New(step, pmf) }
 
 // DiscretiseLoss puts a continuous CDF onto the grid.
+//
+// Deprecated: use SeverityFromCDF; this remains as a thin wrapper for
+// existing callers.
 func DiscretiseLoss(step, maxLoss float64, cdf func(float64) float64) (*LossDist, error) {
 	return lossdist.Discretise(step, maxLoss, cdf)
 }
 
 // ConvolveLosses returns the distribution of the sum of independent
 // losses (FFT-accelerated for large supports).
+//
+// Deprecated: use Severity.Convolve; this remains as a thin wrapper
+// for existing callers.
 func ConvolveLosses(ds ...*LossDist) (*LossDist, error) { return lossdist.ConvolveN(ds...) }
 
 // CompoundAnnualLoss returns the analytical distribution of the annual
 // aggregate loss for Poisson(lambda) occurrences with the given severity
 // distribution (Panjer recursion) — the closed-form counterpart to the
 // Monte Carlo engine for a single severity model.
+//
+// Deprecated: use Severity.Compound; this remains as a thin wrapper
+// for existing callers.
 func CompoundAnnualLoss(lambda float64, severity *LossDist, maxBuckets int) (*LossDist, error) {
 	return lossdist.CompoundPoisson(lambda, severity, maxBuckets)
 }
 
 // ApplyLayerTermsToDist pushes a loss distribution through
 // min(max(X-retention, 0), limit).
+//
+// Deprecated: use Severity.ApplyLayerTerms; this remains as a thin
+// wrapper for existing callers.
 func ApplyLayerTermsToDist(d *LossDist, retention, limit float64) (*LossDist, error) {
 	return lossdist.ApplyLayerTerms(d, retention, limit)
 }

@@ -299,6 +299,136 @@ func TestFacadeLossDistributions(t *testing.T) {
 	}
 }
 
+// TestFacadeSeverity: the unified Severity type reproduces the legacy
+// per-function surface exactly, and the lognormal constructor matches
+// its target moments.
+func TestFacadeSeverity(t *testing.T) {
+	sev, err := are.SeverityFromPMF(100, []float64{0, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sev.Mean() != 150 {
+		t.Fatalf("severity mean %v, want 150", sev.Mean())
+	}
+	sum, err := sev.Convolve(sev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Mean()-2*sev.Mean()) > 1e-9 {
+		t.Fatalf("convolution mean %v", sum.Mean())
+	}
+	annual, err := sev.Compound(3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layered, err := annual.ApplyLayerTerms(100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layered.Mean() > annual.Mean() {
+		t.Fatal("layer terms increased the mean")
+	}
+	if layered.Quantile(0.5) > layered.Quantile(0.99) {
+		t.Fatal("quantiles not monotone")
+	}
+	if p := layered.ExceedanceProb(0); p < 0 || p > 1 {
+		t.Fatalf("exceedance probability %v", p)
+	}
+
+	// The deprecated wrappers and the Severity methods are the same
+	// machinery: identical distributions, bucket for bucket.
+	oldSev, err := are.NewLossDist(100, []float64{0, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldAnnual, err := are.CompoundAnnualLoss(3, oldSev, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldAnnual.Mean() != annual.Mean() || oldAnnual.Variance() != annual.Variance() {
+		t.Fatal("Severity.Compound disagrees with CompoundAnnualLoss")
+	}
+
+	logn, err := are.LognormalSeverity(1000, 0.8, 25, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(logn.Mean()-1000) > 30 {
+		t.Fatalf("lognormal severity mean %v, want ~1000", logn.Mean())
+	}
+	if logn.Dist() == nil {
+		t.Fatal("Dist() returned nil")
+	}
+}
+
+// TestFacadeSampledUncertainty: the sampled-severity surface works end
+// to end through the facade — a sampled engine run is deterministic,
+// differs from the mean-mode run, and matches ReferenceSampled bitwise.
+func TestFacadeSampledUncertainty(t *testing.T) {
+	const catalogSize = 4000
+	recs := make([]are.ELTRecord, 0, 300)
+	sigmas := make([]float64, 0, 300)
+	for ev := uint32(0); ev < 300; ev++ {
+		recs = append(recs, are.ELTRecord{Event: are.EventID(ev * 13), Loss: float64(1000 + 10*ev)})
+		sigmas = append(sigmas, 0.5+float64(ev%5)*0.2)
+	}
+	tbl, err := are.NewSampledELT(1, are.DefaultFinancialTerms(), recs, sigmas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Sampled() {
+		t.Fatal("NewSampledELT built a mean-only table")
+	}
+	lay, err := are.NewLayer(1, "sampled-xl", []*are.ELT{tbl}, are.PassThroughLayerTerms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &are.Portfolio{Layers: []*are.Layer{lay}}
+	y, err := are.GenerateYET(are.UniformEvents(catalogSize), are.YETConfig{
+		Seed: 3, Trials: 400, MeanEvents: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := are.NewEngine(p, catalogSize, are.LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := are.Options{Uncertainty: are.Uncertainty{Mode: are.UncertaintySampled, Seed: 99}}
+	res, err := eng.Run(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := eng.Run(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := are.ReferenceSampled(p, y, catalogSize, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := eng.Run(y, are.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampledDiffers := false
+	for ti := 0; ti < y.NumTrials(); ti++ {
+		if res.AggLoss[0][ti] != again.AggLoss[0][ti] {
+			t.Fatal("sampled run is not deterministic")
+		}
+		if res.AggLoss[0][ti] != ref.AggLoss[0][ti] {
+			t.Fatalf("trial %d: engine %v != ReferenceSampled %v",
+				ti, res.AggLoss[0][ti], ref.AggLoss[0][ti])
+		}
+		if res.AggLoss[0][ti] != mean.AggLoss[0][ti] {
+			sampledDiffers = true
+		}
+	}
+	if !sampledDiffers {
+		t.Fatal("sampled run identical to mean run — nothing was sampled")
+	}
+}
+
 func TestFacadeCatModelHelpers(t *testing.T) {
 	if are.DefaultFinancialTerms().Participation != 1 {
 		t.Fatal("default terms wrong")

@@ -233,6 +233,18 @@ func SweepVariants(s *spec.SweepSpec) []core.Variant {
 	return out
 }
 
+// Uncertainty lowers a validated job's uncertainty block into the
+// engine's option. Mean mode — explicit or omitted — is the zero
+// value, so jobs that never mention uncertainty run (and fuse, and
+// cache) exactly as they always have. TrialOffset stays 0 here;
+// distributed executors overwrite it with their shard's low bound.
+func Uncertainty(js *spec.Job) core.Uncertainty {
+	if !js.Sampled() {
+		return core.Uncertainty{}
+	}
+	return core.Uncertainty{Mode: core.UncertaintySampled, Seed: js.Uncertainty.Seed}
+}
+
 // LookupKind maps a validated job lookup name to the engine constant.
 func LookupKind(s string) core.LookupKind {
 	switch s {

@@ -100,7 +100,35 @@ func (g *jobGen) base(quoted bool) *spec.Job {
 	case 1:
 		j.Metrics.ReturnPeriods = []float64{5, 50, 500}
 	}
+	g.uncertainty(j)
 	return j
+}
+
+// uncertainty decorates part of the corpus with secondary uncertainty.
+// A third of jobs become sampled: every generated table gains a sigma
+// and the job carries a sampled uncertainty block. The service rejects
+// sampled jobs under lookup=combined (the fold bakes mean losses into
+// one table), so those re-roll onto a point-lookup kind — chaos submits
+// only specs the service accepts. A further sixth keep the sigma tables
+// but price in explicit mean mode, which is legal under every lookup
+// and must behave exactly like the omitted block.
+func (g *jobGen) uncertainty(j *spec.Job) {
+	r := g.rng
+	switch r.Intn(6) {
+	case 0, 1:
+		for i := range j.Portfolio.ELTs {
+			j.Portfolio.ELTs[i].Generate.Sigma = 0.5 + 0.1*float64(r.Intn(9))
+		}
+		j.Uncertainty = &spec.UncertaintySpec{Mode: "sampled", Seed: r.Uint64() % 1000}
+		if j.Lookup == "combined" {
+			j.Lookup = chaosLookups[r.Intn(len(chaosLookups)-1)]
+		}
+	case 2:
+		for i := range j.Portfolio.ELTs {
+			j.Portfolio.ELTs[i].Generate.Sigma = 0.4 + 0.1*float64(r.Intn(8))
+		}
+		j.Uncertainty = &spec.UncertaintySpec{Mode: "mean"}
+	}
 }
 
 // render validates and marshals; an invalid generated spec is a harness

@@ -112,7 +112,7 @@ func TestGenerateScriptConsistency(t *testing.T) {
 // under the service's own parser, sweeps must carry variants, and the
 // spec must ride in the trace line (the replay contract).
 func TestGeneratedSpecsParse(t *testing.T) {
-	specs, bursts := 0, 0
+	specs, bursts, sampled, meanOverSigma := 0, 0, 0, 0
 	for seed := uint64(0); seed < 10; seed++ {
 		s := Generate(DefaultConfig(seed))
 		for _, a := range s.Actions {
@@ -136,6 +136,14 @@ func TestGeneratedSpecsParse(t *testing.T) {
 			if js.Sweep != nil && a.Kind == ActSubmit {
 				t.Fatalf("seed %d #%d: sweep routed to the coordinator (rejected by design)", seed, a.Seq)
 			}
+			if js.Sampled() {
+				sampled++
+				if js.Lookup == "combined" {
+					t.Fatalf("seed %d #%d: sampled spec paired with lookup=combined (rejected by the service)", seed, a.Seq)
+				}
+			} else if js.Uncertainty != nil {
+				meanOverSigma++
+			}
 			if !strings.Contains(a.String(), a.Spec) {
 				t.Fatalf("seed %d #%d: trace line does not carry the spec", seed, a.Seq)
 			}
@@ -146,6 +154,12 @@ func TestGeneratedSpecsParse(t *testing.T) {
 	}
 	if bursts == 0 {
 		t.Fatal("corpus produced no burst actions")
+	}
+	if sampled == 0 {
+		t.Fatal("corpus produced no sampled-severity jobs")
+	}
+	if meanOverSigma == 0 {
+		t.Fatal("corpus produced no explicit-mean jobs over sigma tables")
 	}
 }
 

@@ -22,6 +22,43 @@ func NewEngine(p *layer.Portfolio, catalogSize int, kind LookupKind) (*Engine, e
 	// Share representations between layers that reference the same
 	// *elt.Table, as real books share cedant ELTs across contracts.
 	cache := make(map[*elt.Table]elt.Lookup)
+	// Severity-parameter sidecars for sampled tables, likewise shared.
+	// They are built at compile time regardless of the run mode —
+	// whether a given Run samples is an Options decision, and engines
+	// are cached across runs.
+	pcache := make(map[*elt.Table]*elt.Params)
+	paramsFor := func(t *elt.Table) (*elt.Params, error) {
+		if !t.Sampled() {
+			return nil, nil
+		}
+		p, ok := pcache[t]
+		if !ok {
+			var err error
+			p, err = elt.BuildParams(t, catalogSize)
+			if err != nil {
+				return nil, err
+			}
+			pcache[t] = p
+			e.lookupMem += p.MemoryBytes()
+			// Fold the table's z-consuming events into the engine-wide
+			// occupancy bitset: fillZ inverts the normal CDF only for
+			// events some sampled record actually covers (mean and
+			// sigma both positive — degenerate records read the mean,
+			// not z). Engine-wide rather than per-layer so the z column
+			// stays shareable across consecutive layers of one trial.
+			if e.zOcc == nil {
+				e.zOcc = make([]uint64, (catalogSize+63)/64)
+				e.lookupMem += 8 * len(e.zOcc)
+			}
+			for i, rec := range t.Records() {
+				if rec.Loss > 0 && t.Sigmas()[i] > 0 {
+					e.zOcc[rec.Event>>6] |= 1 << (rec.Event & 63)
+				}
+			}
+		}
+		e.sampled = true
+		return p, nil
+	}
 	for _, l := range p.Layers {
 		cl := compiledLayer{id: l.ID, lterms: l.LTerms}
 		if kind == LookupCombined {
@@ -50,9 +87,14 @@ func NewEngine(p *layer.Portfolio, catalogSize int, kind LookupKind) (*Engine, e
 			}
 			cl.steps = make([]gatherStep, ld.NumELTs())
 			for i := range cl.steps {
+				params, err := paramsFor(l.ELTs[i])
+				if err != nil {
+					return nil, fmt.Errorf("core: layer %d: %w", l.ID, err)
+				}
 				cl.steps[i] = gatherStep{
 					kind: stepDense, dense: ld, eltIdx: i,
-					prog: ld.Terms(i).Compile(),
+					prog:   ld.Terms(i).Compile(),
+					params: params,
 				}
 			}
 			e.lookupMem += ld.MemoryBytes()
@@ -75,6 +117,9 @@ func NewEngine(p *layer.Portfolio, catalogSize int, kind LookupKind) (*Engine, e
 				}
 				step, err := planStep(look, t.Terms.Compile())
 				if err != nil {
+					return nil, fmt.Errorf("core: layer %d: %w", l.ID, err)
+				}
+				if step.params, err = paramsFor(t); err != nil {
 					return nil, fmt.Errorf("core: layer %d: %w", l.ID, err)
 				}
 				cl.steps[i] = step
@@ -111,6 +156,10 @@ func (e *Engine) LookupKind() LookupKind { return e.kind }
 
 // LookupMemory returns the total bytes held by ELT representations.
 func (e *Engine) LookupMemory() int { return e.lookupMem }
+
+// Sampled reports whether any compiled ELT carries severity
+// parameters, i.e. UncertaintySampled runs would actually sample.
+func (e *Engine) Sampled() bool { return e.sampled }
 
 // Run executes the aggregate analysis of every compiled layer over every
 // trial of y and returns the Year Loss Tables. It is the materialising

@@ -46,6 +46,9 @@ func (e *Engine) runPipelineContext(ctx context.Context, src TrialSource, sink S
 	if err := ctx.Err(); err != nil {
 		return zero, err
 	}
+	if opt.Uncertainty.Mode == UncertaintySampled && e.kind == LookupCombined {
+		return zero, ErrSampledCombined
+	}
 
 	nt := src.NumTrials()
 	workers := opt.Workers

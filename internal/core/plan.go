@@ -55,6 +55,13 @@ type gatherStep struct {
 	sorted   *elt.Sorted
 	hash     *elt.Hash
 	cuckoo   *elt.Cuckoo
+
+	// params is the ELT's dense severity-parameter sidecar, non-nil
+	// only when the table carries sigmas. Sampled runs route such steps
+	// through gatherSampled/lossesSampled; the sidecar is dense for
+	// every lookup kind (see elt.Params), so sampled results do not
+	// depend on the representation chosen for mean gathers.
+	params *elt.Params
 }
 
 // gather accumulates this ELT's terms-transformed losses for the
@@ -102,6 +109,30 @@ func (s *gatherStep) losses(dst []float64, events []uint32) {
 	default:
 		s.cuckoo.LossesInto(dst, events)
 	}
+}
+
+// gatherSampled is gather under sampled severities: steps with
+// parameter columns sample exp(mu + sigma·z[i]) per occurrence via the
+// trial's standard-normal column z (parallel to events); mean-only
+// steps fall back to the plain gather, so mixed portfolios work.
+// stepCombined never reaches here (ErrSampledCombined).
+func (s *gatherStep) gatherSampled(dst []float64, events []uint32, z []float64) {
+	if s.params != nil {
+		s.params.GatherInto(dst, events, z, s.prog)
+		return
+	}
+	s.gather(dst, events)
+}
+
+// lossesSampled is losses under sampled severities: raw sampled losses
+// (zeros included, no financial terms) for parameterised steps, stored
+// means otherwise.
+func (s *gatherStep) lossesSampled(dst []float64, events []uint32, z []float64) {
+	if s.params != nil {
+		s.params.SampleInto(dst, events, z)
+		return
+	}
+	s.losses(dst, events)
 }
 
 // sweepStep is one ELT's slot in a sweep layer's execution plan: the

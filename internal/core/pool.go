@@ -30,6 +30,8 @@ func getWorker(e *Engine, opt Options, meanTrialLen float64) *worker {
 	w.opt = opt
 	w.sw = nil
 	w.phases = PhaseBreakdown{}
+	w.sampled = opt.Uncertainty.Mode == UncertaintySampled && e.sampled
+	w.zTrial = -1 // stale z from a previous run must never be reused
 	n := int(meanTrialLen) + 64
 	if n < 256 {
 		n = 256

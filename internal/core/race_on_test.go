@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-floor tests skip under it (instrumentation overhead is not
+// uniform across loop shapes, so perf ratios measured there are
+// meaningless).
+const raceEnabled = true

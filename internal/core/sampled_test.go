@@ -1,0 +1,462 @@
+package core
+
+// Sampled-severity (§IV) test suite: the vectorised sampled kernels
+// against the naive per-occurrence oracle, determinism under every
+// scheduling/sharding/fusion shape, the mean-mode compatibility
+// contract, and a statistical cross-check against the analytical
+// Panjer machinery.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/ralab/are/internal/catalog"
+	"github.com/ralab/are/internal/elt"
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/layer"
+	"github.com/ralab/are/internal/lossdist"
+	"github.com/ralab/are/internal/rng"
+	"github.com/ralab/are/internal/yet"
+)
+
+const sampledSeed = 0xCAFE01
+
+// sampledPortfolio is columnarPortfolio's §IV twin: ELT terms covering
+// every compiled program class, with a mix of sampled tables (one
+// containing sigma-0 records), a fully degenerate sampled table, and a
+// mean-only table — so every kernel branch runs in one portfolio.
+func sampledPortfolio(t testing.TB) *layer.Portfolio {
+	t.Helper()
+	terms := []financial.Terms{
+		financial.Default(), // identity
+		{FX: 1.15, EventLimit: financial.Unlimited, Participation: 0.5},                   // scale
+		{FX: 1, EventRetention: 2_000, EventLimit: financial.Unlimited, Participation: 1}, // no-limit
+		{FX: 0.9, EventRetention: 1_000, EventLimit: 60_000, Participation: 0.8},          // general
+	}
+	r := rng.New(5)
+	var tables []*elt.Table
+	for i, tm := range terms {
+		recs := make([]elt.Record, 0, 300)
+		seen := map[catalog.EventID]bool{}
+		for len(recs) < 300 {
+			ev := catalog.EventID(r.Intn(columnarCatalog))
+			if seen[ev] {
+				continue
+			}
+			seen[ev] = true
+			loss := 500 + 40_000*r.Float64()
+			if len(recs) == 0 {
+				loss = 0 // explicit zero-loss record: present but silent
+			}
+			recs = append(recs, elt.Record{Event: ev, Loss: loss})
+		}
+		var tab *elt.Table
+		var err error
+		switch i {
+		case 0, 3:
+			// Sampled, with a few degenerate (sigma 0) records mixed in.
+			sigmas := make([]float64, len(recs))
+			for j := range sigmas {
+				if j%7 == 0 {
+					continue
+				}
+				sigmas[j] = 0.3 + r.Float64()
+			}
+			tab, err = elt.NewSampled(uint32(i+1), tm, recs, sigmas)
+		case 1:
+			// Sampled but fully degenerate: must behave as mean-only.
+			tab, err = elt.NewSampled(uint32(i+1), tm, recs, make([]float64, len(recs)))
+		default:
+			tab, err = elt.New(uint32(i+1), tm, recs)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, tab)
+	}
+	l1, err := layer.New(1, "all-op-classes", tables, layer.Terms{
+		OccRetention: 1_000, OccLimit: 40_000, AggRetention: 5_000, AggLimit: 200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := layer.New(2, "pass-through", tables[:2], layer.PassThrough())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &layer.Portfolio{Layers: []*layer.Layer{l1, l2}}
+}
+
+func sampledOpt(workers int) Options {
+	return Options{
+		Workers:     workers,
+		Uncertainty: Uncertainty{Mode: UncertaintySampled, Seed: sampledSeed},
+	}
+}
+
+func assertSameResult(t *testing.T, ctx string, got, want *Result) {
+	t.Helper()
+	for l := range want.AggLoss {
+		for tr := range want.AggLoss[l] {
+			if math.Float64bits(got.AggLoss[l][tr]) != math.Float64bits(want.AggLoss[l][tr]) {
+				t.Fatalf("%s: layer %d trial %d agg %v != %v",
+					ctx, l, tr, got.AggLoss[l][tr], want.AggLoss[l][tr])
+			}
+			if math.Float64bits(got.MaxOccLoss[l][tr]) != math.Float64bits(want.MaxOccLoss[l][tr]) {
+				t.Fatalf("%s: layer %d trial %d maxOcc %v != %v",
+					ctx, l, tr, got.MaxOccLoss[l][tr], want.MaxOccLoss[l][tr])
+			}
+		}
+	}
+}
+
+// TestSampledKernelsMatchOracle sweeps every per-ELT lookup kind and
+// kernel against the naive per-occurrence sampling oracle, asserting
+// bitwise identity — and, because the parameter sidecar is dense for
+// every kind, all representations against each other.
+func TestSampledKernelsMatchOracle(t *testing.T) {
+	p := sampledPortfolio(t)
+	y := columnarYET(t)
+	want, err := ReferenceSampled(p, y, columnarCatalog, sampledSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := []LookupKind{LookupDirect, LookupSorted, LookupHash, LookupCuckoo}
+	kernels := []struct {
+		name string
+		opt  Options
+	}{
+		{"basic", Options{}},
+		{"chunked", Options{ChunkSize: 8}},
+		{"profiled", Options{Profile: true}},
+	}
+	for _, kind := range kinds {
+		e, err := NewEngine(p, columnarCatalog, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Sampled() {
+			t.Fatalf("%s: engine did not compile parameter columns", kind)
+		}
+		for _, k := range kernels {
+			for _, workers := range []int{1, 4} {
+				opt := k.opt
+				opt.Lookup = kind
+				opt.Workers = workers
+				opt.Uncertainty = Uncertainty{Mode: UncertaintySampled, Seed: sampledSeed}
+				got, err := e.Run(y, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResult(t, fmt.Sprintf("%s/%s/workers=%d", kind, k.name, workers), got, want)
+			}
+		}
+	}
+}
+
+// TestSampledDeterminismSweep is the tentpole's scheduling sweep:
+// bitwise-identical sampled YLTs for workers ∈ {1, 2, 8} (static and
+// dynamic) × trial-shard splits re-based through TrialOffset.
+func TestSampledDeterminismSweep(t *testing.T) {
+	p := sampledPortfolio(t)
+	y := columnarYET(t)
+	e, err := NewEngine(p, columnarCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Run(y, sampledOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 8} {
+		for _, dynamic := range []bool{false, true} {
+			opt := sampledOpt(workers)
+			opt.Dynamic = dynamic
+			got, err := e.Run(y, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, fmt.Sprintf("workers=%d dynamic=%v", workers, dynamic), got, want)
+		}
+	}
+
+	// Shard splits: each [lo, hi) range runs as its own pipeline with
+	// TrialOffset=lo — exactly what dist.ExecShard does — and the
+	// stitched YLT must equal the whole-table run bitwise.
+	nt := y.NumTrials()
+	for _, bounds := range [][]int{{0, nt}, {0, nt / 2, nt}, {0, 10, nt / 3, nt}} {
+		for i := 0; i+1 < len(bounds); i++ {
+			lo, hi := bounds[i], bounds[i+1]
+			src, err := NewTableRangeSource(y, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := sampledOpt(3)
+			opt.Uncertainty.TrialOffset = lo
+			sink := NewFullYLT()
+			if _, err := e.RunPipeline(src, sink, opt); err != nil {
+				t.Fatal(err)
+			}
+			res := sink.Result()
+			for l := range want.AggLoss {
+				for tr := lo; tr < hi; tr++ {
+					if math.Float64bits(res.AggLoss[l][tr-lo]) != math.Float64bits(want.AggLoss[l][tr]) {
+						t.Fatalf("shard [%d,%d) layer %d trial %d: %v != %v",
+							lo, hi, l, tr, res.AggLoss[l][tr-lo], want.AggLoss[l][tr])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSampledSweepFusedVsSolo certifies fusion batching: a sampled job
+// admitted as one variant of a fused sweep produces the same YLT,
+// bitwise, as the same job run solo — across worker counts, for both
+// the shared-gather and the financial fan-out sweep paths.
+func TestSampledSweepFusedVsSolo(t *testing.T) {
+	p := sampledPortfolio(t)
+	y := columnarYET(t)
+	e, err := NewEngine(p, columnarCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := e.Run(y, sampledOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	occRet := 2_500.0
+	variants := []Variant{
+		{Name: "base"}, // identical to the solo job
+		{Name: "layer-shift", OccRetention: &occRet},    // shared gather, different layer terms
+		{Name: "share-scaled", ParticipationScale: 0.5}, // financial fan-out
+	}
+	sw, err := e.CompileSweep(p, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base []*Result
+	for _, workers := range []int{1, 8} {
+		res, err := sw.Run(y, sampledOpt(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+		}
+		assertSameResult(t, fmt.Sprintf("fused base vs solo, workers=%d", workers), res[0], solo)
+		for k := range variants {
+			assertSameResult(t, fmt.Sprintf("variant %d workers=%d", k, workers), res[k], base[k])
+		}
+	}
+}
+
+// TestSampledCombinedRejected: sampled severities cannot run over the
+// compile-time-folded combined representation, at any entry point.
+func TestSampledCombinedRejected(t *testing.T) {
+	p := sampledPortfolio(t)
+	y := columnarYET(t)
+	e, err := NewEngine(p, columnarCatalog, LookupCombined)
+	if err != nil {
+		t.Fatal(err) // mean-mode combined over a sampled portfolio stays legal
+	}
+	if _, err := e.Run(y, sampledOpt(1)); !errors.Is(err, ErrSampledCombined) {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, err := e.Run(y, Options{}); err != nil {
+		t.Fatalf("mean-mode combined run: %v", err)
+	}
+	sw, err := e.CompileSweep(p, []Variant{{Name: "base"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Run(y, sampledOpt(1)); !errors.Is(err, ErrSampledCombined) {
+		t.Fatalf("sweep Run: %v", err)
+	}
+}
+
+// TestSampledMeanModeUnchanged: a portfolio whose tables carry sigmas
+// must produce bitwise the classic result when run in mean mode — the
+// parameter columns exist in the engine but the kernels ignore them.
+func TestSampledMeanModeUnchanged(t *testing.T) {
+	ps := sampledPortfolio(t)
+	// Mean-only twin: the same records and structure with every sigma
+	// column stripped.
+	strip := map[*elt.Table]*elt.Table{}
+	var layers []*layer.Layer
+	for _, a := range ps.Layers {
+		tabs := make([]*elt.Table, len(a.ELTs))
+		for i, tab := range a.ELTs {
+			tw := strip[tab]
+			if tw == nil {
+				recs := append([]elt.Record(nil), tab.Records()...)
+				var err error
+				if tw, err = elt.New(tab.ID, tab.Terms, recs); err != nil {
+					t.Fatal(err)
+				}
+				strip[tab] = tw
+			}
+			tabs[i] = tw
+		}
+		l, err := layer.New(a.ID, a.Name, tabs, a.LTerms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layers = append(layers, l)
+	}
+	pm := &layer.Portfolio{Layers: layers}
+	y := columnarYET(t)
+	es, err := NewEngine(ps, columnarCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := NewEngine(pm, columnarCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := es.Run(y, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := em.Run(y, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "mean mode on sampled portfolio", got, want)
+}
+
+// TestSampledSeedChangesResults: different seeds must give different
+// draws (the YLT is a function of the seed, not a constant).
+func TestSampledSeedChangesResults(t *testing.T) {
+	p := sampledPortfolio(t)
+	y := columnarYET(t)
+	e, err := NewEngine(p, columnarCatalog, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Run(y, sampledOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sampledOpt(1)
+	opt.Uncertainty.Seed = sampledSeed + 1
+	b, err := e.Run(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for l := range a.AggLoss {
+		for tr := range a.AggLoss[l] {
+			if a.AggLoss[l][tr] != b.AggLoss[l][tr] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("changing the uncertainty seed left every trial loss unchanged")
+	}
+}
+
+// TestSampledAggregateMatchesPanjer cross-validates the sampled engine
+// against the analytical §IV machinery: a single ELT covering the whole
+// catalog with one lognormal severity, Poisson occurrence counts, and a
+// pass-through layer is exactly the compound-Poisson model Panjer
+// recursion evaluates. The sampled YLT's mean, variance and tail must
+// match the recursion within Monte Carlo error.
+func TestSampledAggregateMatchesPanjer(t *testing.T) {
+	const (
+		catalogSize = 4_000
+		trials      = 20_000
+		lambda      = 3.0
+		meanLoss    = 10_000.0
+		sigma       = 0.8
+	)
+	// One record per catalog event: every occurrence draws a severity.
+	recs := make([]elt.Record, catalogSize)
+	sigmas := make([]float64, catalogSize)
+	for i := range recs {
+		recs[i] = elt.Record{Event: catalog.EventID(i), Loss: meanLoss}
+		sigmas[i] = sigma
+	}
+	tab, err := elt.NewSampled(1, financial.Default(), recs, sigmas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := layer.New(1, "pass-through", []*elt.Table{tab}, layer.PassThrough())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &layer.Portfolio{Layers: []*layer.Layer{l}}
+	y, err := yet.Generate(yet.UniformSource(catalogSize), yet.Config{
+		Seed: 99, Trials: trials, MeanEvents: lambda,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(p, catalogSize, LookupDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(y, sampledOpt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Analytical side: discretised lognormal severity into Panjer.
+	mu := elt.LogNormalMu(meanLoss, sigma)
+	cdf := func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 0.5 * math.Erfc(-(math.Log(x)-mu)/(sigma*math.Sqrt2))
+	}
+	sev, err := lossdist.Discretise(500, 60*meanLoss, cdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := lossdist.CompoundPoisson(lambda, sev, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ylt := res.YLT(0)
+	var sum, sumSq float64
+	for _, v := range ylt {
+		sum += v
+		sumSq += v * v
+	}
+	sampleMean := sum / trials
+	sampleVar := sumSq/trials - sampleMean*sampleMean
+
+	wantMean := lossdist.CompoundMean(lambda, sev)
+	wantVar := lossdist.CompoundVariance(lambda, sev)
+	// 4 standard errors of the mean; variance tolerance is loose (the
+	// variance of a sample variance of a heavy-tailed sum is itself
+	// noisy), but still pins gross errors like double-sampling.
+	seMean := math.Sqrt(wantVar / trials)
+	if d := math.Abs(sampleMean - wantMean); d > 4*seMean {
+		t.Errorf("mean: sampled %v vs Panjer %v (Δ=%v, 4·SE=%v)", sampleMean, wantMean, d, 4*seMean)
+	}
+	if rel := math.Abs(sampleVar-wantVar) / wantVar; rel > 0.10 {
+		t.Errorf("variance: sampled %v vs Panjer %v (rel Δ=%v)", sampleVar, wantVar, rel)
+	}
+	// Tail: empirical exceedance at the analytic 90th percentile.
+	x90 := agg.Quantile(0.90)
+	exceed := 0
+	for _, v := range ylt {
+		if v > x90 {
+			exceed++
+		}
+	}
+	pHat := float64(exceed) / trials
+	pWant := agg.ExceedanceProb(x90)
+	se := math.Sqrt(pWant * (1 - pWant) / trials)
+	if d := math.Abs(pHat - pWant); d > 5*se+0.01 {
+		t.Errorf("tail: empirical P(X>%v) = %v vs Panjer %v", x90, pHat, pWant)
+	}
+}

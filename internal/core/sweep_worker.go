@@ -25,9 +25,13 @@ func (w *worker) runSweepSpan(b Batch, sink Sink) {
 	for li := range sw.layers {
 		sl := &sw.layers[li]
 		for t := b.Lo; t < b.Hi; t++ {
+			events := b.Table.TrialEvents(t)
+			if w.sampled {
+				w.fillZ(events, w.opt.Uncertainty.TrialOffset+b.Offset+t)
+			}
 			// Slice to this sweep's variant count: recycled workers may
 			// carry wider scratch from an earlier, larger sweep.
-			w.sweepTrial(sl, b.Table.TrialEvents(t), w.varAgg[:numK], w.varOcc[:numK])
+			w.sweepTrial(sl, events, w.varAgg[:numK], w.varOcc[:numK])
 			for k := 0; k < numK; k++ {
 				w.sweepAgg[k][t-b.Lo] = w.varAgg[k]
 				w.sweepOcc[k][t-b.Lo] = w.varOcc[k]
@@ -168,7 +172,11 @@ func (w *worker) basicLoxK(sl *sweepLayer, events []uint32, loxK [][]float64) {
 			}
 			continue
 		}
-		s.base.losses(raw, events)
+		if w.sampled {
+			s.base.lossesSampled(raw, events, w.z[:len(events)])
+		} else {
+			s.base.losses(raw, events)
+		}
 		elt.FanOut(loxK, raw, s.progs)
 	}
 }
@@ -196,7 +204,11 @@ func (w *worker) chunkedLoxK(sl *sweepLayer, events []uint32, loxK [][]float64) 
 				}
 				continue
 			}
-			s.base.losses(raw, ev)
+			if w.sampled {
+				s.base.lossesSampled(raw, ev, w.z[base:end])
+			} else {
+				s.base.losses(raw, ev)
+			}
 			for k := range loxK {
 				elt.ApplyInto(loxK[k][base:end], raw, s.progs[k])
 			}
@@ -235,8 +247,15 @@ func (w *worker) profiledLoxK(sl *sweepLayer, events []uint32, loxK [][]float64)
 
 	numELTs := len(sl.steps)
 	raw := w.rawBuf(numELTs * n)
-	for e := range sl.steps {
-		sl.steps[e].base.losses(raw[e*n:(e+1)*n], ids)
+	if w.sampled {
+		z := w.z[:n]
+		for e := range sl.steps {
+			sl.steps[e].base.lossesSampled(raw[e*n:(e+1)*n], ids, z)
+		}
+	} else {
+		for e := range sl.steps {
+			sl.steps[e].base.losses(raw[e*n:(e+1)*n], ids)
+		}
 	}
 	t2 := time.Now()
 	w.phases.ELTLookup += t2.Sub(t1)

@@ -93,6 +93,42 @@ func (k LookupKind) String() string {
 	}
 }
 
+// UncertaintyMode selects how the engine treats event severities.
+type UncertaintyMode uint8
+
+const (
+	// UncertaintyMean gathers the stored mean losses — the classic
+	// behaviour and the zero value.
+	UncertaintyMean UncertaintyMode = iota
+	// UncertaintySampled draws each occurrence's loss from the record's
+	// severity distribution (§IV secondary uncertainty): lognormal with
+	// the record's mean and sigma, driven by a counter-based RNG keyed
+	// on (Seed, global trial, event ID). Records without sigmas — and
+	// whole mean-only tables — fall back to their stored means, so a
+	// portfolio can mix both. Results are a pure function of the seed:
+	// bitwise identical across worker counts, shard splits and fused
+	// sweep batches.
+	UncertaintySampled
+)
+
+// Uncertainty configures sampled-severity execution. The zero value is
+// mean mode.
+type Uncertainty struct {
+	// Mode selects mean gathers or per-occurrence sampling.
+	Mode UncertaintyMode
+
+	// Seed keys every severity draw of the job. Two runs with the same
+	// seed (and portfolio and YET) produce bitwise-identical YLTs.
+	Seed uint64
+
+	// TrialOffset maps source-local trial indices into the job's global
+	// trial space: a draw's trial coordinate is
+	// TrialOffset + batch.Offset + t. Single-process runs leave it 0;
+	// distributed executors set it to their shard's low trial bound so
+	// every shard samples the same global coordinates.
+	TrialOffset int
+}
+
 // Options configures a Run.
 type Options struct {
 	// Workers is the number of concurrent workers over trials. 0 means
@@ -107,6 +143,10 @@ type Options struct {
 
 	// Lookup selects the ELT representation; default LookupDirect.
 	Lookup LookupKind
+
+	// Uncertainty selects mean or sampled severities; zero value is
+	// mean mode (see Uncertainty).
+	Uncertainty Uncertainty
 
 	// Dynamic switches the parallel scheduler from static contiguous
 	// partitions (the OpenMP-style default) to dynamic span-stealing,
@@ -218,6 +258,15 @@ type Engine struct {
 	layers      []compiledLayer
 	lookupMem   int
 	kind        LookupKind
+	// sampled is set when any plan step carries severity parameter
+	// columns, i.e. UncertaintySampled runs would actually sample.
+	sampled bool
+	// zOcc is a catalog-sized bitset of the events covered by some
+	// sampled record with positive mean and sigma — the only events
+	// whose standard-normal deviate is ever read. fillZ skips the
+	// inverse-CDF for everything else, which is most of the column for
+	// sparse portfolios. nil when the portfolio has no sampled tables.
+	zOcc []uint64
 }
 
 // Construction errors.
@@ -229,4 +278,10 @@ var (
 	ErrUnknownLookup = errors.New("core: unknown lookup kind")
 	ErrNilSource     = errors.New("core: trial source must be non-nil")
 	ErrNilSink       = errors.New("core: sink must be non-nil")
+	// ErrSampledCombined rejects sampled severities under
+	// LookupCombined: the folded table pre-applies financial terms and
+	// the cross-ELT sum to the mean losses at compile time, and a sum
+	// of means cannot be re-sampled per event at run time. Use direct
+	// (or any per-ELT representation) for sampled jobs.
+	ErrSampledCombined = errors.New("core: sampled severities are not supported with LookupCombined (terms and cross-ELT sums are folded over mean losses at compile time; use direct)")
 )

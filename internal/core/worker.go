@@ -2,6 +2,9 @@ package core
 
 import (
 	"time"
+
+	"github.com/ralab/are/internal/rng"
+	"github.com/ralab/are/internal/stats"
 )
 
 // worker holds the per-goroutine scratch state for the kernels: the lox
@@ -38,6 +41,18 @@ type worker struct {
 	ids []uint32
 	raw []float64
 
+	// Sampled-severity state: sampled is set when the run draws
+	// severities (UncertaintySampled and the engine has parameter
+	// columns); z is the trial's standard-normal column, parallel to
+	// the event column, filled once per (global trial) by fillZ and
+	// shared by every sampled ELT across the trial's layers; zTrial
+	// remembers which global trial z currently holds (-1 = none), so
+	// consecutive kernels over the same trial skip the inverse-CDF
+	// pass.
+	sampled bool
+	z       []float64
+	zTrial  int
+
 	// Sweep scratch (sweep_worker.go): per-variant occurrence-loss
 	// buffers, per-trial variant results, and per-variant span buffers
 	// for batched sink delivery. Sized lazily on the first sweep span.
@@ -50,6 +65,8 @@ type worker struct {
 
 func newWorker(e *Engine, opt Options, meanTrialLen float64) *worker {
 	w := &worker{e: e, opt: opt}
+	w.sampled = opt.Uncertainty.Mode == UncertaintySampled && e.sampled
+	w.zTrial = -1
 	n := int(meanTrialLen) + 64
 	if n < 256 {
 		n = 256
@@ -59,6 +76,34 @@ func newWorker(e *Engine, opt Options, meanTrialLen float64) *worker {
 		w.chunk = make([]float64, opt.ChunkSize)
 	}
 	return w
+}
+
+// fillZ materialises the standard-normal column of global trial gt:
+// z[i] = Φ⁻¹(u(seed, gt, events[i])), with u from the counter-based
+// generator — a pure function of its coordinates, so any worker on any
+// shard computes identical deviates. Duplicate occurrences of one
+// event within a trial share a draw by construction. Lanes for events
+// outside the engine's sampled-occupancy bitset are left unwritten —
+// the gather kernels never read z for an event without a positive
+// (mean, sigma) record, and skipping them skips the expensive
+// inverse-CDF for most of a sparse portfolio's column. No-op when z
+// already holds this trial (consecutive layers, sweep variants).
+func (w *worker) fillZ(events []uint32, gt int) {
+	if w.zTrial == gt && len(w.z) == len(events) {
+		return
+	}
+	if cap(w.z) < len(events) {
+		w.z = make([]float64, len(events))
+	}
+	w.z = w.z[:len(events)]
+	cs := rng.NewCounterStream(w.opt.Uncertainty.Seed, uint64(gt))
+	occ := w.e.zOcc
+	for i, ev := range events {
+		if occ[ev>>6]&(1<<(ev&63)) != 0 {
+			w.z[i] = stats.InvNormCDF(cs.Float64Open(uint64(ev)))
+		}
+	}
+	w.zTrial = gt
 }
 
 // runSpan evaluates one batch of trials for every layer, delivering
@@ -90,6 +135,9 @@ func (w *worker) runSpan(b Batch, sink Sink) {
 		}
 		for t := b.Lo; t < b.Hi; t++ {
 			events := b.Table.TrialEvents(t)
+			if w.sampled {
+				w.fillZ(events, w.opt.Uncertainty.TrialOffset+b.Offset+t)
+			}
 			var a, m float64
 			switch {
 			case w.opt.Profile:
@@ -130,6 +178,13 @@ func (w *worker) trialBasic(cl *compiledLayer, events []uint32) (aggLoss, maxOcc
 // buffer (steps 1-2 of §II.B; lines 5-9 per ELT).
 func (w *worker) basicLox(cl *compiledLayer, events []uint32) []float64 {
 	lox := w.buf(len(events))
+	if w.sampled {
+		z := w.z[:len(events)]
+		for i := range cl.steps {
+			cl.steps[i].gatherSampled(lox, events, z)
+		}
+		return lox
+	}
 	for i := range cl.steps {
 		cl.steps[i].gather(lox, events)
 	}
@@ -164,8 +219,15 @@ func (w *worker) chunkedLox(cl *compiledLayer, events []uint32) []float64 {
 		}
 		chunk := w.chunk[:end-base]
 		clear(chunk)
-		for i := range cl.steps {
-			cl.steps[i].gather(chunk, events[base:end])
+		if w.sampled {
+			z := w.z[base:end]
+			for i := range cl.steps {
+				cl.steps[i].gatherSampled(chunk, events[base:end], z)
+			}
+		} else {
+			for i := range cl.steps {
+				cl.steps[i].gather(chunk, events[base:end])
+			}
 		}
 		copy(lox[base:end], chunk)
 	}
@@ -220,10 +282,18 @@ func (w *worker) profiledLox(cl *compiledLayer, events []uint32) []float64 {
 	}
 
 	// Phase (b): ELT lookups (line 5), raw losses gathered per ELT
-	// into the hoisted scratch matrix.
+	// into the hoisted scratch matrix. Sampled runs draw the losses
+	// here, so sampling time is attributed to the lookup phase.
 	raw := w.rawBuf(len(cl.steps) * n)
-	for e := range cl.steps {
-		cl.steps[e].losses(raw[e*n:(e+1)*n], ids)
+	if w.sampled {
+		z := w.z[:n]
+		for e := range cl.steps {
+			cl.steps[e].lossesSampled(raw[e*n:(e+1)*n], ids, z)
+		}
+	} else {
+		for e := range cl.steps {
+			cl.steps[e].losses(raw[e*n:(e+1)*n], ids)
+		}
 	}
 	t2 := time.Now()
 	w.phases.ELTLookup += t2.Sub(t1)

@@ -63,7 +63,8 @@ func singleNode(t testing.TB, js *spec.Job) (*core.Result, *metrics.SummarySink,
 	sum := metrics.NewSummarySink()
 	ep := metrics.NewEPSink(js.Metrics.ReturnPeriods)
 	full := core.NewFullYLT()
-	opt := core.Options{Workers: 1, Lookup: artifact.LookupKind(js.Lookup)}
+	opt := core.Options{Workers: 1, Lookup: artifact.LookupKind(js.Lookup),
+		Uncertainty: artifact.Uncertainty(js)}
 	if _, err := eng.Eng.RunPipeline(core.NewTableSource(table), core.MultiSink{sum, ep, full}, opt); err != nil {
 		t.Fatal(err)
 	}
@@ -308,6 +309,83 @@ func TestRunJobCancellation(t *testing.T) {
 	cancel()
 	if _, err := c.RunJob(ctx, js, nil); err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// sampledE2EJob is e2eJob with sampled severities: generated sigma
+// columns plus a sampled uncertainty block.
+func sampledE2EJob(t testing.TB, trials int) *spec.Job {
+	t.Helper()
+	body := fmt.Sprintf(`{
+	  "portfolio": {
+	    "catalogSize": 15000,
+	    "elts": [
+	      {"id": 1, "generate": {"seed": 21, "numRecords": 1500, "sigma": 0.7}},
+	      {"id": 2, "generate": {"seed": 22, "numRecords": 1500, "sigma": 1.1}}
+	    ],
+	    "layers": [
+	      {"id": 1, "name": "cat-a", "elts": [1, 2],
+	       "terms": {"occRetention": 1e5, "occLimit": 4e6}},
+	      {"id": 2, "name": "cat-b", "elts": [2],
+	       "terms": {"occRetention": 5e4, "occLimit": 2e6, "aggRetention": 1e5}}
+	    ]
+	  },
+	  "yet": {"seed": 77, "trials": %d, "meanEvents": 30},
+	  "metrics": {"quotes": true},
+	  "uncertainty": {"mode": "sampled", "seed": 1234},
+	  "workers": 1
+	}`, trials)
+	j, err := spec.ParseJob(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestDistributedSampledMatchesSingleNode: severity draws are keyed on
+// the global trial index, so a sampled job sharded across workers must
+// reproduce the single-node sampled YLT bitwise — the distributed half
+// of the determinism contract.
+func TestDistributedSampledMatchesSingleNode(t *testing.T) {
+	js := sampledE2EJob(t, 2000)
+	c := dist.NewCoordinator(dist.Config{ShardTrials: 250})
+	startWorkers(t, c, 3, nil)
+	m, err := c.RunJob(context.Background(), js, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 8 {
+		t.Fatalf("planned %d shards, want 8", m.Shards)
+	}
+	assertMatchesSingleNode(t, js, m)
+}
+
+// TestExecShardSampledOffsets: the executor must re-base severity draws
+// by the shard's low trial bound on both shard paths — a generated
+// shard table and a range view of a resident full table.
+func TestExecShardSampledOffsets(t *testing.T) {
+	js := sampledE2EJob(t, 300)
+	full, _, _ := singleNode(t, js)
+
+	for name, warm := range map[string]bool{"generated-shard": false, "range-of-full": true} {
+		cache := artifact.NewCache(8)
+		if warm {
+			if _, _, err := artifact.TableFor(cache, js); err != nil {
+				t.Fatal(err)
+			}
+		}
+		req := dist.ShardRequest{Job: js, Lo: 100, Hi: 200, WantYLT: true}
+		res, err := dist.ExecShard(context.Background(), cache, req, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range full.AggLoss {
+			for i := 0; i < 100; i++ {
+				if res.YLT.AggLoss[l][i] != full.AggLoss[l][100+i] {
+					t.Fatalf("%s: layer %d trial %d: shard draw differs from whole-table run", name, l, 100+i)
+				}
+			}
+		}
 	}
 }
 

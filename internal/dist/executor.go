@@ -69,6 +69,14 @@ func ExecShard(ctx context.Context, cache *artifact.Cache, req ShardRequest, def
 		workers = defaultWorkers
 	}
 	opt := core.Options{Workers: workers, Lookup: artifact.LookupKind(js.Lookup)}
+	if u := artifact.Uncertainty(js); u.Mode == core.UncertaintySampled {
+		// Severity draws are keyed on the global trial index: re-base
+		// this shard's local trials by its low bound so every shard of
+		// a sampled job draws exactly the deviates the whole-table run
+		// would — regardless of how the trial range was split.
+		u.TrialOffset = req.Lo
+		opt.Uncertainty = u
+	}
 	start := time.Now()
 	if _, err := eng.Eng.RunPipelineContext(ctx, src, sinks, opt); err != nil {
 		return nil, err

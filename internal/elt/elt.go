@@ -50,10 +50,17 @@ type Record struct {
 
 // Table is one Event Loss Table: records sorted by event ID plus the
 // table's financial terms I.
+//
+// A table may additionally carry secondary-uncertainty parameters
+// (§IV): sigmas is either nil (classic mean-loss table) or parallel to
+// records, giving each record the sigma of a lognormal severity whose
+// mean is the record's Loss. Sigma 0 means that record's severity is
+// degenerate at the mean even in sampled runs.
 type Table struct {
 	ID      uint32
 	Terms   financial.Terms
 	records []Record
+	sigmas  []float64
 }
 
 // Validation errors.
@@ -61,6 +68,8 @@ var (
 	ErrNoRecords      = errors.New("elt: table must contain at least one record")
 	ErrDuplicateEvent = errors.New("elt: duplicate event ID")
 	ErrBadLoss        = errors.New("elt: losses must be finite and non-negative")
+	ErrBadSigma       = errors.New("elt: sigmas must be finite and non-negative")
+	ErrSigmaLen       = errors.New("elt: sigmas must parallel records")
 )
 
 // New builds a Table from records, sorting them by event ID. Duplicate
@@ -87,8 +96,50 @@ func New(id uint32, terms financial.Terms, records []Record) (*Table, error) {
 	return &Table{ID: id, Terms: terms, records: records}, nil
 }
 
+// NewSampled builds a Table whose records carry lognormal severity
+// sigmas: sigmas[i] belongs to records[i] and both slices are co-sorted
+// by event ID. Validation is New plus finite non-negative sigmas. Both
+// slices are taken over by the table and must not be reused.
+func NewSampled(id uint32, terms financial.Terms, records []Record, sigmas []float64) (*Table, error) {
+	if len(sigmas) != len(records) {
+		return nil, fmt.Errorf("%w: %d records, %d sigmas", ErrSigmaLen, len(records), len(sigmas))
+	}
+	for i, sg := range sigmas {
+		if sg < 0 || math.IsNaN(sg) || math.IsInf(sg, 0) {
+			return nil, fmt.Errorf("%w: event %d sigma %v", ErrBadSigma, records[i].Event, sg)
+		}
+	}
+	// Co-sort sigmas with records through an index permutation, then
+	// reuse New for the remaining validation (terms, losses,
+	// duplicates) on the already-ordered copy.
+	perm := make([]int, len(records))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return records[perm[a]].Event < records[perm[b]].Event })
+	recs := make([]Record, len(records))
+	sgs := make([]float64, len(sigmas))
+	for i, p := range perm {
+		recs[i] = records[p]
+		sgs[i] = sigmas[p]
+	}
+	t, err := New(id, terms, recs)
+	if err != nil {
+		return nil, err
+	}
+	t.sigmas = sgs
+	return t, nil
+}
+
 // Len returns the number of non-zero event losses in the table.
 func (t *Table) Len() int { return len(t.records) }
+
+// Sampled reports whether the table carries severity sigmas.
+func (t *Table) Sampled() bool { return t.sigmas != nil }
+
+// Sigmas returns the per-record severity sigmas parallel to Records(),
+// or nil for a mean-only table. Callers must not modify them.
+func (t *Table) Sigmas() []float64 { return t.sigmas }
 
 // Records returns the sorted records. Callers must not modify them.
 func (t *Table) Records() []Record { return t.records }

@@ -25,6 +25,12 @@ type GenConfig struct {
 	// LossCV is the coefficient of variation of the lognormal severity;
 	// default 2.0 (heavy-tailed).
 	LossCV float64
+	// Sigma, when positive, gives every record a secondary-uncertainty
+	// sigma (see Table.Sigmas) drawn uniformly from [0.5, 1.5]·Sigma.
+	// The draws come from their own rng stream, so tables generated
+	// with Sigma == 0 are byte-identical to those from earlier
+	// versions of this package.
+	Sigma float64
 	// Terms are the table's financial terms; zero value means Default().
 	Terms financial.Terms
 }
@@ -62,6 +68,16 @@ func Generate(id uint32, cfg GenConfig) (*Table, error) {
 			Event: catalog.EventID(id),
 			Loss:  stats.LogNormalMeanCV(r, cfg.MeanLoss, cfg.LossCV),
 		}
+	}
+	if cfg.Sigma > 0 {
+		// Dedicated stream: adding sigmas must not perturb the ID and
+		// loss draws above.
+		sr := rng.At(cfg.Seed, 0x516A+uint64(id)<<20)
+		sigmas := make([]float64, cfg.NumRecords)
+		for i := range sigmas {
+			sigmas[i] = cfg.Sigma * (0.5 + sr.Float64())
+		}
+		return NewSampled(id, cfg.Terms, records, sigmas)
 	}
 	return New(id, cfg.Terms, records)
 }

@@ -21,13 +21,25 @@ import (
 //	terms   4 x float64     FX, event retention, event limit, participation
 //	numRecords uint64
 //	records numRecords x { event uint32, pad uint32, loss float64 }
+//	sigmas  numRecords x float64        (version 3 only)
 //
 // Records are written sorted by event ID (the Table invariant) and the
 // reader verifies ordering, making corruption detectable.
+//
+// Version 1 is the original mean-only layout. Version 3 appends one
+// dense column of per-record severity sigmas (secondary uncertainty,
+// §IV) after the record block; the record block itself is unchanged,
+// so version-1 readers fail loudly on the version word rather than
+// misparsing. Version 2 was never assigned — the jump keeps the format
+// number aligned with the spec's record arity ([event, loss, sigma]).
+// WriteTo emits version 1 whenever the table carries no sigmas, so
+// files produced from mean-only tables remain byte-identical to
+// earlier releases and readable by older binaries.
 
 const (
-	eltMagic   = "ELTB"
-	eltVersion = 1
+	eltMagic          = "ELTB"
+	eltVersion        = 1
+	eltVersionSampled = 3
 )
 
 // Serialisation errors.
@@ -52,7 +64,11 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 		n += int64(binary.Size(v))
 		return nil
 	}
-	if err := write(uint32(eltVersion)); err != nil {
+	ver := uint32(eltVersion)
+	if t.Sampled() {
+		ver = eltVersionSampled
+	}
+	if err := write(ver); err != nil {
 		return n, err
 	}
 	if err := write(t.ID); err != nil {
@@ -77,6 +93,11 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
+	for _, sg := range t.sigmas {
+		if err := write(math.Float64bits(sg)); err != nil {
+			return n, err
+		}
+	}
 	return n, bw.Flush()
 }
 
@@ -95,7 +116,7 @@ func ReadTable(rd io.Reader) (*Table, error) {
 	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptELT, err)
 	}
-	if ver != eltVersion {
+	if ver != eltVersion && ver != eltVersionSampled {
 		return nil, fmt.Errorf("%w: %d", ErrBadELTVersion, ver)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
@@ -137,7 +158,21 @@ func ReadTable(rd io.Reader) (*Table, error) {
 		prev, prevSet = ev, true
 		records = append(records, Record{Event: ev, Loss: loss})
 	}
-	t, err := New(id, terms, records)
+	var t *Table
+	var err error
+	if ver == eltVersionSampled {
+		sigmas := make([]float64, 0, min64u(numRecords, preallocCap))
+		var buf [8]byte
+		for i := uint64(0); i < numRecords; i++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("%w: truncated at sigma %d: %v", ErrCorruptELT, i, err)
+			}
+			sigmas = append(sigmas, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+		}
+		t, err = NewSampled(id, terms, records, sigmas)
+	} else {
+		t, err = New(id, terms, records)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptELT, err)
 	}

@@ -1,0 +1,170 @@
+package elt
+
+// Sampled-severity parameter columns and gather kernels (§IV).
+//
+// In sampled mode an occurrence's loss is not the stored mean but a
+// draw from a lognormal severity distribution parameterised per
+// record: raw = exp(mu + sigma·z), where z is the standard-normal
+// deviate for that (trial, event) coordinate and mu = ln(mean) −
+// sigma²/2 so the distribution's mean equals the stored mean loss.
+// The z column is produced once per trial by the engine worker from
+// the counter-based RNG (rng.CounterStream) and the inverse normal
+// CDF, then shared across every sampled ELT in the layer — event
+// severities are fully correlated across exposure sets, and duplicate
+// occurrences of one event within a trial share a single draw.
+//
+// Params is the dense distribution-parameter sidecar for one sampled
+// Table: mean, mu and sigma columns indexed directly by event ID.
+// Sampling is memory-bound random access — the same regime in which
+// the paper's measurements favour the direct access table — so the
+// sidecar always uses the dense layout regardless of which lookup
+// representation the engine chose for mean gathers. This also keeps
+// sampled results bitwise independent of the lookup kind.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/ralab/are/internal/financial"
+)
+
+// LogNormalMu returns the log-space location parameter of a lognormal
+// with the given mean and sigma: mu = ln(mean) − sigma²/2. The exact
+// expression is shared by the kernel precompute and the scalar oracle
+// so both produce bitwise-identical samples.
+func LogNormalMu(mean, sigma float64) float64 {
+	return math.Log(mean) - 0.5*sigma*sigma
+}
+
+// Params holds the dense per-event distribution parameter columns of
+// one sampled table.
+type Params struct {
+	mean  []float64 // stored mean loss, 0 = event absent
+	mu    []float64 // ln(mean) − sigma²/2, precomputed where sigma > 0
+	sigma []float64 // lognormal sigma, 0 = degenerate at the mean
+}
+
+// ErrNotSampled is returned when building parameter columns for a
+// table that carries no sigmas.
+var ErrNotSampled = errors.New("elt: table has no severity sigmas")
+
+// BuildParams builds the dense parameter columns for a sampled table
+// covering event IDs [0, catalogSize).
+func BuildParams(t *Table, catalogSize int) (*Params, error) {
+	if !t.Sampled() {
+		return nil, fmt.Errorf("%w: table %d", ErrNotSampled, t.ID)
+	}
+	if catalogSize <= 0 {
+		return nil, errors.New("elt: catalogSize must be positive")
+	}
+	if int(t.MaxEvent()) >= catalogSize {
+		return nil, fmt.Errorf("elt: event %d outside catalog of %d events", t.MaxEvent(), catalogSize)
+	}
+	p := &Params{
+		mean:  make([]float64, catalogSize),
+		mu:    make([]float64, catalogSize),
+		sigma: make([]float64, catalogSize),
+	}
+	for i, rec := range t.records {
+		p.mean[rec.Event] = rec.Loss
+		sg := t.sigmas[i]
+		p.sigma[rec.Event] = sg
+		if sg > 0 && rec.Loss > 0 {
+			p.mu[rec.Event] = LogNormalMu(rec.Loss, sg)
+		}
+	}
+	return p, nil
+}
+
+// MemoryBytes reports the three dense columns' size.
+func (p *Params) MemoryBytes() int { return 3 * 8 * len(p.mean) }
+
+// Sample returns the sampled raw loss of one event given its
+// standard-normal deviate z: 0 for absent events, the stored mean
+// (bitwise, no log/exp round trip) for sigma 0, exp(mu + sigma·z)
+// otherwise. Cold-path twin of the batch kernels below.
+func (p *Params) Sample(ev uint32, z float64) float64 {
+	raw := p.mean[ev]
+	if raw == 0 {
+		return 0
+	}
+	if sg := p.sigma[ev]; sg != 0 {
+		raw = math.Exp(p.mu[ev] + sg*z)
+	}
+	return raw
+}
+
+// GatherInto accumulates the program-transformed sampled losses of a
+// trial's event column into dst: the sampled twin of gatherDense, with
+// z parallel to events. The per-operation loop bodies replicate the
+// exact floating-point sequence of Terms.Apply on the sampled raw
+// loss, so batch results stay bitwise identical to the per-occurrence
+// oracle.
+func (p *Params) GatherInto(dst []float64, events []uint32, z []float64, pr financial.Program) {
+	mean, mu, sigma := p.mean, p.mu, p.sigma
+	switch pr.Op {
+	case financial.OpIdentity:
+		for i, ev := range events {
+			if raw := mean[ev]; raw != 0 {
+				if sg := sigma[ev]; sg != 0 {
+					raw = math.Exp(mu[ev] + sg*z[i])
+				}
+				dst[i] += raw
+			}
+		}
+	case financial.OpScale:
+		fx, part := pr.FX, pr.Participation
+		for i, ev := range events {
+			if raw := mean[ev]; raw != 0 {
+				if sg := sigma[ev]; sg != 0 {
+					raw = math.Exp(mu[ev] + sg*z[i])
+				}
+				dst[i] += (raw * fx) * part
+			}
+		}
+	case financial.OpNoLimit:
+		fx, ret, part := pr.FX, pr.Retention, pr.Participation
+		for i, ev := range events {
+			if raw := mean[ev]; raw != 0 {
+				if sg := sigma[ev]; sg != 0 {
+					raw = math.Exp(mu[ev] + sg*z[i])
+				}
+				if l := raw*fx - ret; l > 0 {
+					dst[i] += l * part
+				}
+			}
+		}
+	default:
+		fx, ret, lim, part := pr.FX, pr.Retention, pr.Limit, pr.Participation
+		for i, ev := range events {
+			if raw := mean[ev]; raw != 0 {
+				if sg := sigma[ev]; sg != 0 {
+					raw = math.Exp(mu[ev] + sg*z[i])
+				}
+				if l := raw*fx - ret; l > 0 {
+					if l > lim {
+						l = lim
+					}
+					dst[i] += l * part
+				}
+			}
+		}
+	}
+}
+
+// SampleInto stores the sampled raw loss of each event into dst, zeros
+// included — the sampled twin of LossesInto for phase-separated and
+// fan-out kernels.
+func (p *Params) SampleInto(dst []float64, events []uint32, z []float64) {
+	mean, mu, sigma := p.mean, p.mu, p.sigma
+	for i, ev := range events {
+		raw := mean[ev]
+		if raw != 0 {
+			if sg := sigma[ev]; sg != 0 {
+				raw = math.Exp(mu[ev] + sg*z[i])
+			}
+		}
+		dst[i] = raw
+	}
+}

@@ -1,0 +1,260 @@
+package elt
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ralab/are/internal/financial"
+	"github.com/ralab/are/internal/rng"
+	"github.com/ralab/are/internal/stats"
+)
+
+func mustSampled(t *testing.T, records []Record, sigmas []float64) *Table {
+	t.Helper()
+	tbl, err := NewSampled(7, financial.Default(), records, sigmas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestNewSampledCoSorts(t *testing.T) {
+	tbl := mustSampled(t,
+		[]Record{{30, 3}, {10, 1}, {20, 2}},
+		[]float64{0.3, 0.1, 0.2})
+	if !tbl.Sampled() {
+		t.Fatal("Sampled() = false")
+	}
+	for i, rec := range tbl.Records() {
+		// Sigma i/10 was attached to loss i, event 10*i.
+		if want := rec.Loss / 10; tbl.Sigmas()[i] != want {
+			t.Fatalf("sigma %d = %v, want %v (event %d)", i, tbl.Sigmas()[i], want, rec.Event)
+		}
+	}
+}
+
+func TestNewSampledValidation(t *testing.T) {
+	recs := []Record{{1, 10}, {2, 20}}
+	if _, err := NewSampled(1, financial.Default(), recs, []float64{0.5}); !errors.Is(err, ErrSigmaLen) {
+		t.Errorf("length mismatch: %v", err)
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := NewSampled(1, financial.Default(), []Record{{1, 10}, {2, 20}}, []float64{0.5, bad}); !errors.Is(err, ErrBadSigma) {
+			t.Errorf("sigma %v accepted: %v", bad, err)
+		}
+	}
+	if _, err := NewSampled(1, financial.Default(), []Record{{1, 10}, {1, 20}}, []float64{1, 2}); !errors.Is(err, ErrDuplicateEvent) {
+		t.Errorf("duplicate event: %v", err)
+	}
+}
+
+func TestMeanOnlyTableNotSampled(t *testing.T) {
+	tbl := mustTable(t, []Record{{1, 10}})
+	if tbl.Sampled() || tbl.Sigmas() != nil {
+		t.Fatal("mean-only table claims sigmas")
+	}
+	if _, err := BuildParams(tbl, 10); !errors.Is(err, ErrNotSampled) {
+		t.Fatalf("BuildParams on mean-only: %v", err)
+	}
+}
+
+func TestGenerateSigma(t *testing.T) {
+	base := GenConfig{Seed: 5, NumRecords: 500, CatalogSize: 10000}
+	plain, err := Generate(3, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSigma := base
+	withSigma.Sigma = 0.8
+	sampled, err := Generate(3, withSigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sampled.Sampled() {
+		t.Fatal("Sigma > 0 produced a mean-only table")
+	}
+	// The dedicated sigma stream must leave IDs and losses untouched.
+	for i := range plain.Records() {
+		if plain.Records()[i] != sampled.Records()[i] {
+			t.Fatalf("record %d perturbed by sigma generation", i)
+		}
+	}
+	for i, sg := range sampled.Sigmas() {
+		if sg < 0.5*0.8 || sg > 1.5*0.8 {
+			t.Fatalf("sigma %d = %v outside [0.4, 1.2]", i, sg)
+		}
+	}
+}
+
+// TestParamsSampleMatchesNaive pins every kernel against a from-scratch
+// per-occurrence computation sharing no code with Params.
+func TestParamsSampleMatchesNaive(t *testing.T) {
+	const catalogSize = 2000
+	tbl, err := Generate(9, GenConfig{Seed: 11, NumRecords: 600, CatalogSize: catalogSize, Sigma: 0.9,
+		Terms: financial.Terms{FX: 1.2, EventRetention: 5e4, EventLimit: 4e5, Participation: 0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a few degenerate records to cover the sigma==0 fast path.
+	sg := tbl.Sigmas()
+	sg[0], sg[1], sg[len(sg)-1] = 0, 0, 0
+	p, err := BuildParams(tbl, catalogSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mean := make(map[uint32]float64)
+	sigma := make(map[uint32]float64)
+	for i, rec := range tbl.Records() {
+		mean[uint32(rec.Event)] = rec.Loss
+		sigma[uint32(rec.Event)] = tbl.Sigmas()[i]
+	}
+	naive := func(ev uint32, z float64) float64 {
+		m := mean[ev]
+		if m == 0 {
+			return 0
+		}
+		s := sigma[ev]
+		if s == 0 {
+			return m
+		}
+		return math.Exp(math.Log(m) - 0.5*s*s + s*z)
+	}
+
+	// Event column mixing present, absent and repeated events.
+	r := rng.New(77)
+	events := make([]uint32, 300)
+	z := make([]float64, len(events))
+	for i := range events {
+		events[i] = uint32(r.Intn(catalogSize))
+		z[i] = stats.InvNormCDF(rng.NewCounterStream(1, 2).Float64Open(uint64(events[i])))
+	}
+	events[5] = events[6] // duplicate shares its z by construction
+	z[5] = z[6]
+
+	for i, ev := range events {
+		if got, want := p.Sample(ev, z[i]), naive(ev, z[i]); got != want {
+			t.Fatalf("Sample(%d) = %v, want %v", ev, got, want)
+		}
+	}
+
+	raw := make([]float64, len(events))
+	p.SampleInto(raw, events, z)
+	for i, ev := range events {
+		if raw[i] != naive(ev, z[i]) {
+			t.Fatalf("SampleInto[%d] = %v, want %v", i, raw[i], naive(ev, z[i]))
+		}
+	}
+
+	progs := []financial.Terms{
+		{FX: 1, EventRetention: 0, EventLimit: financial.Unlimited, Participation: 1},       // identity
+		{FX: 1.2, EventRetention: 0, EventLimit: financial.Unlimited, Participation: 0.6},   // scale
+		{FX: 1.2, EventRetention: 5e4, EventLimit: financial.Unlimited, Participation: 0.6}, // no limit
+		{FX: 1.2, EventRetention: 5e4, EventLimit: 4e5, Participation: 0.6},                 // general
+	}
+	for _, terms := range progs {
+		prog := terms.Compile()
+		dst := make([]float64, len(events))
+		p.GatherInto(dst, events, z, prog)
+		for i, ev := range events {
+			var want float64
+			if rawLoss := naive(ev, z[i]); rawLoss != 0 {
+				want = terms.Apply(rawLoss)
+			}
+			if dst[i] != want {
+				t.Fatalf("op %v GatherInto[%d] = %v, want %v", prog.Op, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestSampledELTRoundTrip(t *testing.T) {
+	orig, err := Generate(42, GenConfig{Seed: 1, NumRecords: 1000, CatalogSize: 50000, Sigma: 1.1,
+		Terms: financial.Terms{FX: 1.3, EventRetention: 100, EventLimit: financial.Unlimited, Participation: 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if ver := buf.Bytes()[4]; ver != eltVersionSampled {
+		t.Fatalf("sampled table written as version %d", ver)
+	}
+	got, err := ReadTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Sampled() || got.Len() != orig.Len() {
+		t.Fatalf("round trip lost sampling: sampled=%v len=%d", got.Sampled(), got.Len())
+	}
+	for i := range orig.Records() {
+		if orig.Records()[i] != got.Records()[i] || orig.Sigmas()[i] != got.Sigmas()[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestMeanOnlyELTStaysVersion1(t *testing.T) {
+	orig := mustTable(t, []Record{{1, 10}, {5, 50}})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if ver := buf.Bytes()[4]; ver != eltVersion {
+		t.Fatalf("mean-only table written as version %d", ver)
+	}
+	got, err := ReadTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sampled() {
+		t.Fatal("version-1 file read back as sampled")
+	}
+}
+
+func TestReadTableRejectsVersion2(t *testing.T) {
+	orig := mustTable(t, []Record{{1, 10}})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 2 // never assigned
+	if _, err := ReadTable(bytes.NewReader(data)); !errors.Is(err, ErrBadELTVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadTableRejectsTruncatedSigmaColumn(t *testing.T) {
+	orig := mustSampled(t, []Record{{1, 10}, {2, 20}, {3, 30}}, []float64{0.1, 0.2, 0.3})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) - 1, len(data) - 8, len(data) - 20} {
+		if _, err := ReadTable(bytes.NewReader(data[:cut])); !errors.Is(err, ErrCorruptELT) {
+			t.Errorf("truncation at %d: %v", cut, err)
+		}
+	}
+}
+
+func TestReadTableRejectsBadSigmaValues(t *testing.T) {
+	orig := mustSampled(t, []Record{{1, 10}}, []float64{0.5})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The sigma column is the final 8 bytes; overwrite with NaN.
+	nan := math.Float64bits(math.NaN())
+	for i := 0; i < 8; i++ {
+		data[len(data)-8+i] = byte(nan >> (8 * i))
+	}
+	if _, err := ReadTable(bytes.NewReader(data)); !errors.Is(err, ErrCorruptELT) {
+		t.Fatalf("NaN sigma accepted: %v", err)
+	}
+}

@@ -152,6 +152,12 @@ type GenConfig struct {
 	// scaled to the expected loss flow.
 	OccRetention, OccLimit float64
 	AggRetention, AggLimit float64
+
+	// Sigma, when positive, makes every generated ELT a sampled table
+	// (secondary uncertainty, §IV): per-record lognormal sigmas drawn
+	// uniformly from [0.5, 1.5]·Sigma. Zero keeps the classic mean-only
+	// tables, byte-identical to pre-sigma generation.
+	Sigma float64
 }
 
 // GeneratePortfolio builds a synthetic portfolio (ELT pool + layers),
@@ -194,6 +200,7 @@ func GeneratePortfolio(cfg GenConfig) (*Portfolio, error) {
 			CatalogSize: cfg.CatalogSize,
 			MeanLoss:    cfg.MeanLoss,
 			Terms:       terms,
+			Sigma:       cfg.Sigma,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("layer: generating ELT %d: %w", i, err)

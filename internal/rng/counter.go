@@ -1,0 +1,68 @@
+package rng
+
+// Counter-based generation for the sampled-severity hot path.
+//
+// The sequential generators in this package (SplitMix64, Rand) produce
+// streams: the n-th draw depends on having produced the n-1 before it.
+// Sampled severities need the opposite access pattern — the engine
+// visits (trial, event) coordinates in whatever order the scheduler
+// shards and interleaves work, and every visit must see the same draw.
+// A counter-based generator in the Philox/Threefry spirit provides
+// that: the draw IS a pure keyed mixing function of its coordinates,
+//
+//	u = mix(key(seed, trial), eventID)
+//
+// so results are bitwise identical across worker counts, distributed
+// shards and fused sweep batches by construction, with no state to
+// carry or synchronise.
+//
+// Where Philox applies many rounds of a weak mixing function, the
+// rounds here are the splitmix64 finalizer already used for stream
+// derivation (Mix64): a bijective full-avalanche 64-bit permutation.
+// Two finalizer rounds over the counter word give ample margin for
+// simulation-quality equidistribution (counter_test.go pins golden
+// values and checks uniformity and coordinate independence). Like the
+// rest of the package, none of this is cryptographically secure.
+
+// CounterStream is the per-(seed, trial) key of the counter-based
+// generator: Uint64(ctr) is a pure function of (seed, trial, ctr).
+// Deriving the stream once per trial amortises the seed and trial
+// mixing, leaving two Mix64 rounds per draw on the hot path. The zero
+// value is a valid (seed 0, trial 0 unkeyed) stream, but callers
+// should always derive streams through NewCounterStream.
+type CounterStream struct {
+	h uint64
+}
+
+// counterDomain separates the counter generator's key space from the
+// package's other Mix64-based derivations (Split tweaks, generation
+// stream indices), so reusing one seed across them shares no streams.
+const counterDomain = 0xD96EB1A810CAAF5F
+
+// NewCounterStream derives the draw key for one (seed, trial)
+// coordinate pair.
+func NewCounterStream(seed, trial uint64) CounterStream {
+	return CounterStream{h: Mix64(Mix64(seed^counterDomain) ^ trial)}
+}
+
+// Uint64 returns the 64-bit draw at counter coordinate ctr (the event
+// ID in the sampled-severity kernels).
+func (s CounterStream) Uint64(ctr uint64) uint64 {
+	return Mix64(Mix64(s.h ^ ctr))
+}
+
+// Float64Open maps the draw at ctr to the open interval (0, 1):
+// (top52bits + 0.5) / 2^52, never exactly 0 or 1, so an inverse-CDF
+// consumer always receives a finite quantile. 52 bits rather than the
+// usual 53 keeps the +0.5 offset exact at the top of the range
+// (2^53 − 0.5 is not representable and would round to 1).
+func (s CounterStream) Float64Open(ctr uint64) float64 {
+	return (float64(s.Uint64(ctr)>>12) + 0.5) * (1.0 / (1 << 52))
+}
+
+// Counter returns the draw for coordinate (seed, trial, ctr) without
+// an explicit stream — convenience for cold paths and tests;
+// Counter(s, t, c) == NewCounterStream(s, t).Uint64(c).
+func Counter(seed, trial, ctr uint64) uint64 {
+	return NewCounterStream(seed, trial).Uint64(ctr)
+}

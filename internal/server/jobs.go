@@ -880,9 +880,10 @@ func prepareLocal(ctx context.Context, cache *artifact.Cache, js *spec.Job, engi
 		engineHit: engineHit,
 		yetHit:    yetHit,
 		opt: core.Options{
-			Workers:  workers,
-			Lookup:   artifact.LookupKind(js.Lookup),
-			Progress: progress,
+			Workers:     workers,
+			Lookup:      artifact.LookupKind(js.Lookup),
+			Uncertainty: artifact.Uncertainty(js),
+			Progress:    progress,
 		},
 	}, nil
 }

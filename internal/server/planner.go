@@ -35,6 +35,14 @@ type fuseKeySpec struct {
 	Lookup    string       `json:"lookup"`
 	YET       spec.YETSpec `json:"yet"`
 	Workers   int          `json:"workers"`
+
+	// Uncertainty separates sampled passes (whose kernels consult the
+	// uncertainty options) from mean passes, and sampled passes with
+	// different seeds from each other. Only populated for sampled
+	// jobs, so a mean-mode job hashes identically whether it spelled
+	// {"mode": "mean"} out or omitted the block — they fuse together,
+	// as they always have.
+	Uncertainty *spec.UncertaintySpec `json:"uncertainty,omitempty"`
 }
 
 // fuseKeyFor computes a job's fuse key and variant-budget contribution.
@@ -53,12 +61,16 @@ func (s *scheduler) fuseKeyFor(js *spec.Job) (string, int) {
 	if workers <= 0 {
 		workers = s.cfg.EngineWorkers
 	}
-	key, err := artifact.ContentKey("fuse", fuseKeySpec{
+	ks := fuseKeySpec{
 		Portfolio: js.Portfolio,
 		Lookup:    js.Lookup,
 		YET:       js.YET,
 		Workers:   workers,
-	})
+	}
+	if js.Sampled() {
+		ks.Uncertainty = js.Uncertainty
+	}
+	key, err := artifact.ContentKey("fuse", ks)
 	if err != nil {
 		return "", variants
 	}

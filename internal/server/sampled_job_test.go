@@ -1,0 +1,220 @@
+package server
+
+// Service-level tests for sampled-severity jobs: end-to-end
+// determinism through the jobs API, 400s for invalid uncertainty
+// requests, and the admission planner's fusion rules (sampled passes
+// fuse only with sampled passes sharing the seed; mean passes fuse
+// regardless of whether the block is spelled out).
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampledJobBody renders a sampled job over a sigma-carrying
+// portfolio. mode "" omits the uncertainty block entirely.
+func sampledJobBody(mode string, uncSeed uint64, lookup string) string {
+	unc := ""
+	if mode != "" {
+		unc = fmt.Sprintf(`,
+	  "uncertainty": {"mode": %q, "seed": %d}`, mode, uncSeed)
+	}
+	return fmt.Sprintf(`{
+	  "portfolio": {
+	    "catalogSize": 20000,
+	    "elts": [
+	      {"id": 1, "generate": {"seed": 11, "numRecords": 2000, "sigma": 0.8}},
+	      {"id": 2, "generate": {"seed": 12, "numRecords": 2000, "sigma": 1.2}}
+	    ],
+	    "layers": [
+	      {"id": 1, "name": "cat-xl-a", "elts": [1, 2],
+	       "terms": {"occRetention": 1e5, "occLimit": 4e6}}
+	    ]
+	  },
+	  "yet": {"seed": 42, "trials": 1500, "fixedEvents": 30},
+	  "metrics": {"quotes": true},
+	  "workers": 1,
+	  "lookup": %q%s
+	}`, lookup, unc)
+}
+
+// TestSampledJobEndToEnd: a sampled job completes through the full
+// service path, is deterministic across submissions, and actually
+// samples — its metrics differ from the mean-mode analysis of the
+// same portfolio.
+func TestSampledJobEndToEnd(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1})
+
+	run := func(body string) *JobResult {
+		st, resp := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d", resp.StatusCode)
+		}
+		if got := waitState(t, ts, st.ID, JobDone, JobFailed); got.State != string(JobDone) {
+			t.Fatalf("job %s: %s (%s)", st.ID, got.State, got.Error)
+		}
+		res, _ := getResult(t, ts, st.ID)
+		return res
+	}
+
+	a := run(sampledJobBody("sampled", 7, "direct"))
+	b := run(sampledJobBody("sampled", 7, "direct"))
+	if !reflect.DeepEqual(a.Layers, b.Layers) {
+		t.Fatal("identical sampled submissions disagree")
+	}
+
+	mean := run(sampledJobBody("mean", 0, "direct"))
+	if reflect.DeepEqual(a.Layers, mean.Layers) {
+		t.Fatal("sampled job reproduced the mean-mode metrics exactly — nothing was sampled")
+	}
+	omitted := run(sampledJobBody("", 0, "direct"))
+	if !reflect.DeepEqual(mean.Layers, omitted.Layers) {
+		t.Fatal("explicit mean mode differs from an omitted uncertainty block")
+	}
+
+	otherSeed := run(sampledJobBody("sampled", 8, "direct"))
+	if reflect.DeepEqual(a.Layers, otherSeed.Layers) {
+		t.Fatal("different severity seeds produced identical metrics")
+	}
+}
+
+// TestSampledJobRejections: invalid uncertainty requests 400 at
+// submission, before any compute is spent.
+func TestSampledJobRejections(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 1})
+	for name, body := range map[string]string{
+		"combined lookup": sampledJobBody("sampled", 7, "combined"),
+		"bad mode":        sampledJobBody("monte-carlo", 7, "direct"),
+	} {
+		if _, resp := postJob(t, ts, body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// Mean mode over the same sigma portfolio stays legal under
+	// combined — nothing is sampled, the fold is sound.
+	st, resp := postJob(t, ts, sampledJobBody("mean", 0, "combined"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("mean+combined: status %d", resp.StatusCode)
+	}
+	if got := waitState(t, ts, st.ID, JobDone, JobFailed); got.State != string(JobDone) {
+		t.Fatalf("mean+combined: %s (%s)", got.State, got.Error)
+	}
+}
+
+// TestPlannerSampledCompatibility: sampled jobs fuse only with sampled
+// jobs sharing the severity seed; the mean/omitted spellings of the
+// same job share a fuse key as before.
+func TestPlannerSampledCompatibility(t *testing.T) {
+	cases := []struct {
+		name    string
+		bodies  []string
+		batches [][]int
+	}{
+		{
+			name: "same sampled seed fuses",
+			bodies: []string{
+				sampledJobBody("sampled", 7, "direct"),
+				sampledJobBody("sampled", 7, "direct"),
+			},
+			batches: [][]int{{0, 1}},
+		},
+		{
+			name: "different sampled seeds run solo",
+			bodies: []string{
+				sampledJobBody("sampled", 7, "direct"),
+				sampledJobBody("sampled", 8, "direct"),
+			},
+			batches: [][]int{{0}, {1}},
+		},
+		{
+			name: "sampled never fuses with mean",
+			bodies: []string{
+				sampledJobBody("sampled", 7, "direct"),
+				sampledJobBody("mean", 7, "direct"),
+			},
+			batches: [][]int{{0}, {1}},
+		},
+		{
+			name: "explicit mean fuses with omitted block",
+			bodies: []string{
+				sampledJobBody("mean", 0, "direct"),
+				sampledJobBody("", 0, "direct"),
+			},
+			batches: [][]int{{0, 1}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := plannerScheduler(t, time.Millisecond)
+			jobs := make([]*Job, len(tc.bodies))
+			for i, b := range tc.bodies {
+				jobs[i] = queueBody(t, s, b)
+			}
+			for bi, want := range tc.batches {
+				batch := s.nextBatch()
+				if len(batch) != len(want) {
+					t.Fatalf("batch %d: %d members, want %d", bi, len(batch), len(want))
+				}
+				for mi, ji := range want {
+					if batch[mi] != jobs[ji] {
+						t.Fatalf("batch %d member %d: got %s, want %s",
+							bi, mi, batch[mi].ID, jobs[ji].ID)
+					}
+				}
+			}
+			if n := s.queueLen(); n != 0 {
+				t.Fatalf("%d jobs left queued", n)
+			}
+		})
+	}
+}
+
+// TestFusedSampledBitwiseVsSolo: two sampled jobs fused into one pass
+// must report exactly the metrics each produces solo.
+func TestFusedSampledBitwiseVsSolo(t *testing.T) {
+	bodies := []string{
+		sampledJobBody("sampled", 7, "direct"),
+		strings.Replace(sampledJobBody("sampled", 7, "direct"), `"quotes": true`, `"quotes": false`, 1),
+	}
+
+	_, fusedTS := testServer(t, Config{JobWorkers: 1, FuseWait: 300 * time.Millisecond})
+	blocker, _ := postJob(t, fusedTS, blockerBody())
+	ids := make([]string, len(bodies))
+	for i, b := range bodies {
+		st, resp := postJob(t, fusedTS, b)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		ids[i] = st.ID
+	}
+	fused := make([]*JobResult, len(bodies))
+	for i, id := range ids {
+		st := waitState(t, fusedTS, id, JobDone, JobFailed)
+		if st.State != string(JobDone) {
+			t.Fatalf("fused job %s: %s (%s)", id, st.State, st.Error)
+		}
+		if !st.Fused || st.FusedBatch != len(bodies) {
+			t.Fatalf("job %s: fused=%v batch=%d, want fused batch of %d",
+				id, st.Fused, st.FusedBatch, len(bodies))
+		}
+		res, _ := getResult(t, fusedTS, id)
+		fused[i] = res
+	}
+	waitState(t, fusedTS, blocker.ID, JobDone)
+
+	_, soloTS := testServer(t, Config{JobWorkers: 1, FuseWait: -1})
+	for i, b := range bodies {
+		st, _ := postJob(t, soloTS, b)
+		if got := waitState(t, soloTS, st.ID, JobDone, JobFailed); got.State != string(JobDone) {
+			t.Fatalf("solo job %s: %s (%s)", st.ID, got.State, got.Error)
+		}
+		solo, _ := getResult(t, soloTS, st.ID)
+		if !reflect.DeepEqual(fused[i].Layers, solo.Layers) {
+			t.Fatalf("job %d: fused sampled layers differ from solo", i)
+		}
+	}
+}

@@ -53,6 +53,33 @@ type Job struct {
 	// requested). Variant 0 semantics: a variant with no overrides
 	// reproduces the plain job's numbers bitwise.
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+
+	// Uncertainty selects how per-record severity distributions are
+	// treated (§IV). Omitted or mode "mean" prices every occurrence at
+	// its recorded mean loss — the classic deterministic analysis, and
+	// bitwise what pre-uncertainty servers computed. Mode "sampled"
+	// draws each (trial, event) occurrence loss from its lognormal
+	// distribution, keyed on (seed, trial, event) so results are
+	// deterministic and independent of scheduling or sharding.
+	Uncertainty *UncertaintySpec `json:"uncertainty,omitempty"`
+}
+
+// UncertaintySpec is the wire form of the severity-uncertainty mode.
+//
+//	"uncertainty": {"mode": "sampled", "seed": 42}
+type UncertaintySpec struct {
+	// Mode is "mean" or "sampled"; empty means "mean".
+	Mode string `json:"mode"`
+
+	// Seed keys the severity draws. Two sampled jobs differing only in
+	// seed price the same portfolio under independent severity
+	// scenarios. Ignored in mean mode.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Sampled reports whether the job requests sampled severities.
+func (j *Job) Sampled() bool {
+	return j.Uncertainty != nil && j.Uncertainty.Mode == "sampled"
 }
 
 // SweepSpec is the wire form of a scenario sweep: the candidate
@@ -160,6 +187,8 @@ var (
 	ErrSweepRetention     = errors.New("spec: sweep retentions must be finite and >= 0")
 	ErrSweepLimit         = errors.New("spec: sweep limits must be > 0 (may be \"unlimited\")")
 	ErrSweepCombinedShare = errors.New("spec: participationScale sweeps are not supported with lookup=combined (per-variant folded tables; use direct)")
+	ErrJobUncertainty     = errors.New("spec: uncertainty mode must be \"mean\" or \"sampled\"")
+	ErrSampledCombined    = errors.New("spec: sampled uncertainty is not supported with lookup=combined (terms and cross-ELT sums are folded over mean losses at compile time; use direct)")
 )
 
 // validLookups are the ELT representation names a job may request,
@@ -215,6 +244,20 @@ func (j *Job) Validate() error {
 	}
 	if !validLookups[j.Lookup] {
 		return fmt.Errorf("%w: %q", ErrJobLookup, j.Lookup)
+	}
+	if j.Uncertainty != nil {
+		switch j.Uncertainty.Mode {
+		case "", "mean", "sampled":
+		default:
+			return fmt.Errorf("%w: %q", ErrJobUncertainty, j.Uncertainty.Mode)
+		}
+		// Sampled severities need per-occurrence draws; the combined
+		// representation folded every table into one mean-loss column
+		// at compile time, so there is nothing left to sample. Caught
+		// here so the request 400s instead of failing at run time.
+		if j.Sampled() && j.Lookup == "combined" {
+			return ErrSampledCombined
+		}
 	}
 	if j.Workers < 0 {
 		return fmt.Errorf("spec: job workers must be >= 0, got %d", j.Workers)
@@ -306,8 +349,12 @@ func (f *File) check() error {
 		if hasGen && es.Generate.NumRecords <= 0 {
 			return fmt.Errorf("%w (elt %d)", ErrJobGenerate, es.ID)
 		}
-		for k, pair := range es.Records {
-			ev := pair[0]
+		for k, row := range es.Records {
+			if len(row) != 2 && len(row) != 3 {
+				return fmt.Errorf("%w (elt %d record %d: %d elements)",
+					ErrRecordShape, es.ID, k, len(row))
+			}
+			ev := row[0]
 			if ev < 0 || ev != math.Trunc(ev) || ev >= float64(f.CatalogSize) {
 				return fmt.Errorf("spec: elt %d record %d: event %v invalid for catalog %d",
 					es.ID, k, ev, f.CatalogSize)

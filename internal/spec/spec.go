@@ -11,7 +11,7 @@
 //	  "elts": [
 //	    {"id": 1,
 //	     "terms": {"fx": 1.0, "participation": 0.5},
-//	     "records": [[17, 1250000.0], [123, 890000.0]]},
+//	     "records": [[17, 1250000.0], [123, 890000.0, 0.9]]},
 //	    {"id": 2,
 //	     "generate": {"seed": 7, "numRecords": 20000, "meanLoss": 250000}}
 //	  ],
@@ -25,6 +25,12 @@
 // Limits accept a number or the string "unlimited"; omitted limits are
 // unlimited, omitted retentions zero. Unknown fields are rejected so
 // typos fail loudly.
+//
+// A record is [event, meanLoss] or, for secondary uncertainty (§IV),
+// [event, meanLoss, sigma] — the lognormal shape parameter sampled
+// per (trial, event) when the job's uncertainty mode is "sampled".
+// Two-element and three-element records may be mixed within one table
+// (a missing sigma is 0: that record always contributes its mean).
 package spec
 
 import (
@@ -71,9 +77,16 @@ type File struct {
 // ELTSpec defines one Event Loss Table, from inline records or by
 // synthetic generation.
 type ELTSpec struct {
-	ID       uint32        `json:"id"`
-	Terms    *TermsSpec    `json:"terms,omitempty"`
-	Records  [][2]float64  `json:"records,omitempty"`
+	ID    uint32     `json:"id"`
+	Terms *TermsSpec `json:"terms,omitempty"`
+
+	// Records holds [event, meanLoss] or [event, meanLoss, sigma]
+	// rows; the two shapes may be mixed. Any row carrying a positive
+	// sigma makes the table a sampled one. Two-element rows marshal
+	// byte-identically to the historic [2]float64 form, so existing
+	// specs (and anything keyed on their JSON, like artifact cache
+	// identities) are unaffected.
+	Records  [][]float64   `json:"records,omitempty"`
 	Generate *GenerateSpec `json:"generate,omitempty"`
 
 	// File loads the table from a binary ELT file written by
@@ -117,6 +130,11 @@ type GenerateSpec struct {
 	NumRecords int     `json:"numRecords"`
 	MeanLoss   float64 `json:"meanLoss,omitempty"`
 	LossCV     float64 `json:"lossCV,omitempty"`
+
+	// Sigma, when positive, generates a sampled table: per-record
+	// lognormal sigmas drawn uniformly from [0.5, 1.5]·Sigma on a
+	// dedicated stream (record means are unchanged).
+	Sigma float64 `json:"sigma,omitempty"`
 }
 
 // LayerSpec defines one layer over previously declared ELT IDs.
@@ -161,6 +179,7 @@ var (
 	ErrELTSource    = errors.New("spec: ELT needs exactly one of records, generate or file")
 	ErrFileTerms    = errors.New("spec: file-loaded ELT cannot carry inline terms")
 	ErrNoOpener     = errors.New("spec: file references require ParseFiles")
+	ErrRecordShape  = errors.New("spec: record must be [event, meanLoss] or [event, meanLoss, sigma]")
 )
 
 // Opener resolves an ELT file reference from the spec into a reader.
@@ -235,15 +254,30 @@ func build(f *File, open Opener) (*layer.Portfolio, int, error) {
 			}
 		} else if hasRecords {
 			recs := make([]elt.Record, len(es.Records))
-			for j, pair := range es.Records {
-				ev := pair[0]
+			var sigmas []float64
+			for j, row := range es.Records {
+				if len(row) != 2 && len(row) != 3 {
+					return nil, 0, fmt.Errorf("%w (elt %d record %d: %d elements)",
+						ErrRecordShape, es.ID, j, len(row))
+				}
+				ev := row[0]
 				if ev < 0 || ev != math.Trunc(ev) || ev >= float64(f.CatalogSize) {
 					return nil, 0, fmt.Errorf("spec: elt %d record %d: event %v invalid for catalog %d",
 						es.ID, j, ev, f.CatalogSize)
 				}
-				recs[j] = elt.Record{Event: catalog.EventID(ev), Loss: pair[1]}
+				recs[j] = elt.Record{Event: catalog.EventID(ev), Loss: row[1]}
+				if len(row) == 3 && row[2] != 0 {
+					if sigmas == nil {
+						sigmas = make([]float64, len(es.Records))
+					}
+					sigmas[j] = row[2]
+				}
 			}
-			t, err = elt.New(es.ID, es.Terms.toTerms(), recs)
+			if sigmas != nil {
+				t, err = elt.NewSampled(es.ID, es.Terms.toTerms(), recs, sigmas)
+			} else {
+				t, err = elt.New(es.ID, es.Terms.toTerms(), recs)
+			}
 		} else {
 			t, err = elt.Generate(es.ID, elt.GenConfig{
 				Seed:        es.Generate.Seed,
@@ -251,6 +285,7 @@ func build(f *File, open Opener) (*layer.Portfolio, int, error) {
 				CatalogSize: f.CatalogSize,
 				MeanLoss:    es.Generate.MeanLoss,
 				LossCV:      es.Generate.LossCV,
+				Sigma:       es.Generate.Sigma,
 				Terms:       es.Terms.toTerms(),
 			})
 		}

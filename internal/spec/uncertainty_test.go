@@ -1,0 +1,141 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sampledJob is validJob with inline sigma records and a sampled
+// uncertainty block.
+const sampledJob = `{
+  "portfolio": {
+    "catalogSize": 10000,
+    "elts": [{"id": 1,
+              "records": [[3, 1000.0], [17, 2500.0, 0.9], [40, 800.0, 0]]}],
+    "layers": [{"id": 1, "elts": [1]}]
+  },
+  "yet": {"seed": 2, "trials": 100, "meanEvents": 10},
+  "uncertainty": {"mode": "sampled", "seed": 42}
+}`
+
+func TestParseJobSampled(t *testing.T) {
+	j, err := ParseJob(strings.NewReader(sampledJob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Sampled() {
+		t.Fatal("Sampled() = false for a sampled job")
+	}
+	if j.Uncertainty.Seed != 42 {
+		t.Fatalf("Seed = %d, want 42", j.Uncertainty.Seed)
+	}
+	p, _, err := j.BuildPortfolio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := p.Layers[0].ELTs[0]
+	if !tab.Sampled() {
+		t.Fatal("mixed 2/3-element records did not build a sampled table")
+	}
+	// Records are sorted by event; sigma must ride with its record.
+	want := map[uint32]float64{3: 0, 17: 0.9, 40: 0}
+	for i, rec := range tab.Records() {
+		if tab.Sigmas()[i] != want[uint32(rec.Event)] {
+			t.Fatalf("event %d sigma = %v, want %v", rec.Event, tab.Sigmas()[i], want[uint32(rec.Event)])
+		}
+	}
+}
+
+// Two-element records, a mean uncertainty block, and no block at all
+// are the same job: not sampled, mean-only tables.
+func TestParseJobMeanModes(t *testing.T) {
+	for _, body := range []string{
+		validJob,
+		strings.Replace(validJob, `"yet"`, `"uncertainty": {"mode": "mean"}, "yet"`, 1),
+		strings.Replace(validJob, `"yet"`, `"uncertainty": {"mode": ""}, "yet"`, 1),
+	} {
+		j, err := ParseJob(strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Sampled() {
+			t.Fatal("mean job reports Sampled()")
+		}
+	}
+}
+
+func TestParseJobUncertaintyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want error
+	}{
+		{"bad mode",
+			strings.Replace(sampledJob, `"sampled"`, `"monte-carlo"`, 1),
+			ErrJobUncertainty},
+		{"sampled combined",
+			strings.Replace(sampledJob, `"yet"`, `"lookup": "combined", "yet"`, 1),
+			ErrSampledCombined},
+		{"one-element record",
+			strings.Replace(sampledJob, `[3, 1000.0]`, `[3]`, 1),
+			ErrRecordShape},
+		{"four-element record",
+			strings.Replace(sampledJob, `[3, 1000.0]`, `[3, 1000.0, 0.5, 9]`, 1),
+			ErrRecordShape},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseJob(strings.NewReader(tc.body))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// mean-mode jobs over sigma-carrying portfolios stay valid (and run as
+// pure mean analyses), including under lookup=combined.
+func TestParseJobSigmaRecordsMeanMode(t *testing.T) {
+	body := strings.Replace(
+		strings.Replace(sampledJob, `"uncertainty": {"mode": "sampled", "seed": 42}`,
+			`"uncertainty": {"mode": "mean"}`, 1),
+		`"yet"`, `"lookup": "combined", "yet"`, 1)
+	j, err := ParseJob(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Sampled() {
+		t.Fatal("mean job reports Sampled()")
+	}
+}
+
+// Negative sigma must fail at build (elt.NewSampled validation).
+func TestBuildRejectsBadSigma(t *testing.T) {
+	body := strings.Replace(sampledJob, `0.9`, `-0.5`, 1)
+	j, err := ParseJob(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err) // shape-valid: rejected at build, not parse
+	}
+	if _, _, err := j.BuildPortfolio(); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+}
+
+// A generated sampled table flows through the job spec path.
+func TestParseJobGeneratedSigma(t *testing.T) {
+	body := strings.Replace(validJob,
+		`"generate": {"seed": 7, "numRecords": 500}`,
+		`"generate": {"seed": 7, "numRecords": 500, "sigma": 0.8}`, 1)
+	j, err := ParseJob(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := j.BuildPortfolio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Layers[0].ELTs[0].Sampled() {
+		t.Fatal("generated table with sigma is not sampled")
+	}
+}

@@ -1,0 +1,18 @@
+package stats
+
+import "math"
+
+// InvNormCDF returns the standard normal quantile Φ⁻¹(p) for
+// p ∈ (0, 1): the z such that P(Z ≤ z) = p for Z ~ N(0, 1).
+//
+// It is the inverse-CDF driver of the sampled-severity kernels, so it
+// must be a pure deterministic function of p on every platform: it is
+// built on math.Erfinv (a pure-Go rational approximation, accurate to
+// full float64 precision), giving Φ⁻¹(p) = √2 · erf⁻¹(2p − 1).
+//
+// Outside (0, 1) the result follows Erfinv: ±Inf at the end points and
+// NaN beyond them. Callers on the hot path feed open-interval uniforms
+// (rng.CounterStream.Float64Open) and never hit those cases.
+func InvNormCDF(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}

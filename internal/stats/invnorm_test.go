@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Known quantiles of the standard normal, to ~1e-10.
+func TestInvNormCDFKnownQuantiles(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1}, // Φ(1)
+		{0.9772498680518208, 2}, // Φ(2)
+		{0.0013498980316300933, -3},
+		{0.975, 1.959963984540054},
+		{0.99, 2.3263478740408408},
+		{0.001, -3.090232306167813},
+	}
+	for _, c := range cases {
+		got := InvNormCDF(c.p)
+		if math.Abs(got-c.z) > 1e-9 {
+			t.Errorf("InvNormCDF(%v) = %v, want %v", c.p, got, c.z)
+		}
+	}
+}
+
+func TestInvNormCDFSymmetry(t *testing.T) {
+	// Not bitwise (1-p introduces its own rounding) but tight.
+	for _, p := range []float64{1e-12, 1e-6, 0.01, 0.2, 0.4999, 0.5} {
+		lo, hi := InvNormCDF(p), InvNormCDF(1-p)
+		if math.Abs(lo+hi) > 1e-11*(1+math.Abs(lo)) {
+			t.Errorf("InvNormCDF(%v) = %v, InvNormCDF(%v) = %v: not symmetric", p, lo, 1-p, hi)
+		}
+	}
+}
+
+func TestInvNormCDFMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for i := 1; i < 10000; i++ {
+		p := float64(i) / 10000
+		z := InvNormCDF(p)
+		if !(z > prev) {
+			t.Fatalf("not strictly increasing at p=%v: %v then %v", p, prev, z)
+		}
+		prev = z
+	}
+}
+
+// Round trip against the CDF expressed via erfc: Φ(Φ⁻¹(p)) ≈ p.
+func TestInvNormCDFRoundTrip(t *testing.T) {
+	cdf := func(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+	for _, p := range []float64{1e-10, 1e-5, 0.001, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999, 1 - 1e-9} {
+		back := cdf(InvNormCDF(p))
+		if math.Abs(back-p) > 1e-12+1e-9*p {
+			t.Errorf("round trip p=%v gave %v", p, back)
+		}
+	}
+}
+
+func TestInvNormCDFEndPoints(t *testing.T) {
+	if !math.IsInf(InvNormCDF(0), -1) {
+		t.Errorf("InvNormCDF(0) = %v, want -Inf", InvNormCDF(0))
+	}
+	if !math.IsInf(InvNormCDF(1), 1) {
+		t.Errorf("InvNormCDF(1) = %v, want +Inf", InvNormCDF(1))
+	}
+}
